@@ -1,0 +1,164 @@
+//! Ablation benches for the design choices the paper discusses:
+//!
+//! * **Sub-bucket count** (Section 4): 2–3 sub-buckets per bucket are
+//!   comparable, finer subdivisions worsen quality at equal memory.
+//! * **DC's `alpha_min`** (Section 3): the algorithm is insensitive to the
+//!   chi-square significance floor as long as it is far below 1.
+//! * **AC's maintenance policy** (`gamma = -1` recompute vs split/merge).
+//! * **SSBM's merge cost** (squared vs absolute deviations).
+//!
+//! These measure *runtime*; the corresponding quality numbers are printed
+//! once per bench run via `eprintln!` so the ablation result is visible in
+//! the bench log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dh_core::dynamic::{AbsoluteDeviation, DcHistogram, MultiSubHistogram, SquaredDeviation};
+use dh_core::{ks_error, DataDistribution, Histogram, MemoryBudget};
+use dh_gen::SyntheticConfig;
+use dh_sample::{AcHistogram, AcMaintenance};
+use dh_static::SsbmHistogram;
+
+fn dataset() -> (Vec<i64>, DataDistribution) {
+    let cfg = SyntheticConfig::default().with_total_points(20_000);
+    let data = cfg.generate(5);
+    let values = data.shuffled(5);
+    let truth = DataDistribution::from_values(&values);
+    (values, truth)
+}
+
+fn subbucket_ablation(c: &mut Criterion) {
+    let (values, truth) = dataset();
+    let memory = MemoryBudget::from_kb(1.0);
+
+    let mut group = c.benchmark_group("subbucket_count");
+    group.sample_size(10);
+    for k in [2usize, 3, 4, 6, 8] {
+        let buckets = memory.buckets_with_counters(k);
+        // Report the quality side of the ablation once.
+        let mut h = MultiSubHistogram::<AbsoluteDeviation>::new(buckets, k);
+        for &v in &values {
+            h.insert(v);
+        }
+        eprintln!(
+            "subbucket ablation: k={k} -> {buckets} buckets, KS = {:.5}",
+            ks_error(&h, &truth)
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut h = MultiSubHistogram::<AbsoluteDeviation>::new(buckets, k);
+                for &v in &values {
+                    h.insert(v);
+                }
+                std::hint::black_box(h)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn dc_alpha_ablation(c: &mut Criterion) {
+    let (values, truth) = dataset();
+    let memory = MemoryBudget::from_kb(1.0);
+    let n = memory.buckets(dh_core::HistogramClass::BorderAndCount);
+
+    let mut group = c.benchmark_group("dc_alpha_min");
+    group.sample_size(10);
+    for alpha in [0.0, 1e-9, 1e-6, 1e-3, 0.5] {
+        let mut h = DcHistogram::with_alpha(n, alpha);
+        for &v in &values {
+            h.insert(v);
+        }
+        eprintln!(
+            "dc alpha ablation: alpha={alpha:>7.0e} -> {} repartitions, KS = {:.5}",
+            h.repartition_count(),
+            ks_error(&h, &truth)
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{alpha:.0e}")),
+            &alpha,
+            |b, &alpha| {
+                b.iter(|| {
+                    let mut h = DcHistogram::with_alpha(n, alpha);
+                    for &v in &values {
+                        h.insert(v);
+                    }
+                    std::hint::black_box(h)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ac_policy_ablation(c: &mut Criterion) {
+    let (values, truth) = dataset();
+    let memory = MemoryBudget::from_kb(1.0);
+    let n = memory.buckets(dh_core::HistogramClass::BorderAndCount);
+    let sample = memory.sample_elements(20);
+
+    let policies: Vec<(&str, AcMaintenance)> = vec![
+        ("recompute", AcMaintenance::RecomputeAlways),
+        ("gamma_0.5", AcMaintenance::SplitMerge { gamma: 0.5 }),
+        ("gamma_2.0", AcMaintenance::SplitMerge { gamma: 2.0 }),
+    ];
+    let mut group = c.benchmark_group("ac_maintenance");
+    group.sample_size(10);
+    for (name, policy) in policies {
+        let mut h = AcHistogram::with_maintenance(n, sample, 5, policy);
+        for &v in &values {
+            h.insert(v);
+        }
+        eprintln!(
+            "ac policy ablation: {name} -> {} recomputes, KS = {:.5}",
+            h.recompute_count(),
+            ks_error(&h, &truth)
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut h = AcHistogram::with_maintenance(n, sample, 5, policy);
+                for &v in &values {
+                    h.insert(v);
+                }
+                std::hint::black_box(h)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ssbm_policy_ablation(c: &mut Criterion) {
+    let (_, truth) = dataset();
+    let n = MemoryBudget::from_kb(0.25).buckets(dh_core::HistogramClass::BorderAndCount);
+
+    eprintln!(
+        "ssbm policy ablation: squared KS = {:.5}, absolute KS = {:.5}",
+        ks_error(&SsbmHistogram::build_with_policy::<SquaredDeviation>(&truth, n), &truth),
+        ks_error(&SsbmHistogram::build_with_policy::<AbsoluteDeviation>(&truth, n), &truth),
+    );
+    let mut group = c.benchmark_group("ssbm_policy");
+    group.sample_size(10);
+    group.bench_function("squared", |b| {
+        b.iter(|| {
+            std::hint::black_box(SsbmHistogram::build_with_policy::<SquaredDeviation>(
+                &truth, n,
+            ))
+        })
+    });
+    group.bench_function("absolute", |b| {
+        b.iter(|| {
+            std::hint::black_box(SsbmHistogram::build_with_policy::<AbsoluteDeviation>(
+                &truth, n,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    subbucket_ablation,
+    dc_alpha_ablation,
+    ac_policy_ablation,
+    ssbm_policy_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Static-histogram construction cost (the Fig. 13 companion bench).
+//!
+//! The paper's claim: SVO is by far the most expensive to build
+//! (exponential there, exact DP here), SSBM is far cheaper at comparable
+//! quality, SC cheaper still. Run with `cargo bench -p dh-bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dh_core::{DataDistribution, MemoryBudget};
+use dh_gen::SyntheticConfig;
+use dh_bench::StaticAlgo;
+
+fn construction(c: &mut Criterion) {
+    let cfg = SyntheticConfig::default()
+        .with_clusters(200)
+        .with_cluster_sd(1.0)
+        .with_total_points(20_000);
+    let data = cfg.generate(1);
+    let truth = DataDistribution::from_values(&data.values);
+    let memory = MemoryBudget::from_kb(0.25);
+
+    let mut group = c.benchmark_group("static_construction");
+    group.sample_size(10);
+    for algo in [
+        StaticAlgo::Sc,
+        StaticAlgo::Svo,
+        StaticAlgo::Sado,
+        StaticAlgo::Ssbm,
+        StaticAlgo::EquiDepth,
+        StaticAlgo::EquiWidth,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |b, algo| {
+                b.iter_batched(
+                    || truth.clone(),
+                    |t| std::hint::black_box(algo.build_seconds(memory, &t)),
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

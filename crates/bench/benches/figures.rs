@@ -1,0 +1,28 @@
+//! One Criterion bench per paper figure: each runs the figure's exact
+//! pipeline at reduced scale, so `cargo bench` exercises every experiment
+//! end to end and tracks its cost over time.
+//!
+//! Full-scale figure data comes from the `repro` binary
+//! (`cargo run --release -p dh-bench --bin repro -- all`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dh_bench::{all_figure_ids, run_figure, RunOptions};
+
+fn figure_pipelines(c: &mut Criterion) {
+    let opts = RunOptions {
+        seeds: 1,
+        scale: 0.02,
+        domain_max: Some(500),
+    };
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in all_figure_ids() {
+        group.bench_with_input(BenchmarkId::from_parameter(id), id, |b, id| {
+            b.iter(|| std::hint::black_box(run_figure(id, opts).expect("known figure")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,292 @@
+//! Uniform runners for all histogram algorithms under the paper's memory
+//! model.
+
+use dh_core::dynamic::{DadoHistogram, DcHistogram, DvoHistogram};
+use dh_core::{
+    ks_error, DataDistribution, Histogram, HistogramClass, MemoryBudget,
+};
+use dh_gen::workload::{Update, UpdateStream};
+use dh_sample::AcHistogram;
+use dh_static::{
+    CompressedHistogram, EquiDepthHistogram, EquiWidthHistogram, SadoHistogram,
+    SsbmHistogram, VOptimalHistogram,
+};
+
+/// The incrementally maintained histograms of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicAlgo {
+    /// Dynamic Compressed (Section 3).
+    Dc,
+    /// Dynamic V-Optimal (Section 4).
+    Dvo,
+    /// Dynamic Average-Deviation Optimal (Section 4.1).
+    Dado,
+    /// Approximate Compressed over a backing sample `disk_factor` times
+    /// the main memory (Gibbons–Matias–Poosala; `gamma = -1`).
+    Ac {
+        /// Disk-space multiple granted to the backing sample (paper
+        /// default 20).
+        disk_factor: usize,
+    },
+}
+
+impl DynamicAlgo {
+    /// Legend label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            DynamicAlgo::Dc => "DC".into(),
+            DynamicAlgo::Dvo => "DVO".into(),
+            DynamicAlgo::Dado => "DADO".into(),
+            DynamicAlgo::Ac { disk_factor } => format!("AC{disk_factor}X"),
+        }
+    }
+
+    /// The four dynamic algorithms of Figs. 5–8 with the default AC disk
+    /// factor.
+    pub fn standard_set() -> [DynamicAlgo; 4] {
+        [
+            DynamicAlgo::Dc,
+            DynamicAlgo::Dado,
+            DynamicAlgo::Ac { disk_factor: 20 },
+            DynamicAlgo::Dvo,
+        ]
+    }
+
+    /// Replays `updates` into a fresh histogram under `memory` bytes and
+    /// returns the final KS error against the stream's live multiset.
+    pub fn final_ks(&self, memory: MemoryBudget, seed: u64, updates: &UpdateStream) -> f64 {
+        let checkpoints = [updates.len()];
+        self.ks_at_checkpoints(memory, seed, updates, &checkpoints)
+            .pop()
+            .expect("one checkpoint requested")
+    }
+
+    /// Replays `updates`, measuring the KS error against the exact live
+    /// distribution at each checkpoint (given as update counts, ascending).
+    pub fn ks_at_checkpoints(
+        &self,
+        memory: MemoryBudget,
+        seed: u64,
+        updates: &UpdateStream,
+        checkpoints: &[usize],
+    ) -> Vec<f64> {
+        match self {
+            DynamicAlgo::Dc => {
+                let n = memory.buckets(HistogramClass::BorderAndCount);
+                drive(DcHistogram::new(n), updates, checkpoints)
+            }
+            DynamicAlgo::Dvo => {
+                let n = memory.buckets(HistogramClass::BorderAndTwoCounters);
+                drive(DvoHistogram::new(n), updates, checkpoints)
+            }
+            DynamicAlgo::Dado => {
+                let n = memory.buckets(HistogramClass::BorderAndTwoCounters);
+                drive(DadoHistogram::new(n), updates, checkpoints)
+            }
+            DynamicAlgo::Ac { disk_factor } => {
+                let n = memory.buckets(HistogramClass::BorderAndCount);
+                let sample = memory.sample_elements(*disk_factor).max(1);
+                drive(AcHistogram::new(n, sample, seed), updates, checkpoints)
+            }
+        }
+    }
+}
+
+/// Replays the stream, scoring KS against the incrementally maintained
+/// exact distribution at each checkpoint.
+fn drive<H: Histogram>(
+    mut h: H,
+    updates: &UpdateStream,
+    checkpoints: &[usize],
+) -> Vec<f64> {
+    debug_assert!(checkpoints.windows(2).all(|w| w[0] <= w[1]));
+    let mut truth = DataDistribution::new();
+    let mut out = Vec::with_capacity(checkpoints.len());
+    let mut next = 0usize;
+    for (i, u) in updates.iter().enumerate() {
+        match u {
+            Update::Insert(v) => {
+                h.insert(v);
+                truth.insert(v);
+            }
+            Update::Delete(v) => {
+                h.delete(v);
+                truth.delete(v);
+            }
+        }
+        while next < checkpoints.len() && checkpoints[next] == i + 1 {
+            out.push(ks_error(&h, &truth));
+            next += 1;
+        }
+    }
+    while next < checkpoints.len() {
+        out.push(ks_error(&h, &truth));
+        next += 1;
+    }
+    out
+}
+
+/// The statically constructed histograms of Figs. 9–13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticAlgo {
+    /// Static Compressed (SC).
+    Sc,
+    /// Static V-Optimal (SVO), exact DP.
+    Svo,
+    /// Static Average-Deviation Optimal (SADO), exact DP.
+    Sado,
+    /// Successive Similar Bucket Merge (SSBM).
+    Ssbm,
+    /// Equi-Depth (classic baseline).
+    EquiDepth,
+    /// Equi-Width (classic baseline).
+    EquiWidth,
+}
+
+impl StaticAlgo {
+    /// Legend label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StaticAlgo::Sc => "SC",
+            StaticAlgo::Svo => "SVO",
+            StaticAlgo::Sado => "SADO",
+            StaticAlgo::Ssbm => "SSBM",
+            StaticAlgo::EquiDepth => "EquiDepth",
+            StaticAlgo::EquiWidth => "EquiWidth",
+        }
+    }
+
+    /// The static set compared against DADO in Figs. 9–12.
+    pub fn standard_set() -> [StaticAlgo; 4] {
+        [
+            StaticAlgo::Sado,
+            StaticAlgo::Svo,
+            StaticAlgo::Sc,
+            StaticAlgo::Ssbm,
+        ]
+    }
+
+    /// Builds the histogram from the full distribution under `memory`
+    /// bytes and returns its KS error.
+    pub fn final_ks(&self, memory: MemoryBudget, truth: &DataDistribution) -> f64 {
+        let n = memory.buckets(HistogramClass::BorderAndCount);
+        match self {
+            StaticAlgo::Sc => ks_error(&CompressedHistogram::build(truth, n), truth),
+            StaticAlgo::Svo => ks_error(&VOptimalHistogram::build(truth, n), truth),
+            StaticAlgo::Sado => ks_error(&SadoHistogram::build(truth, n), truth),
+            StaticAlgo::Ssbm => ks_error(&SsbmHistogram::build(truth, n), truth),
+            StaticAlgo::EquiDepth => ks_error(&EquiDepthHistogram::build(truth, n), truth),
+            StaticAlgo::EquiWidth => ks_error(&EquiWidthHistogram::build(truth, n), truth),
+        }
+    }
+
+    /// Builds the histogram and returns construction wall-clock seconds
+    /// (Fig. 13).
+    pub fn build_seconds(&self, memory: MemoryBudget, truth: &DataDistribution) -> f64 {
+        let n = memory.buckets(HistogramClass::BorderAndCount);
+        let t0 = std::time::Instant::now();
+        match self {
+            StaticAlgo::Sc => {
+                std::hint::black_box(CompressedHistogram::build(truth, n));
+            }
+            StaticAlgo::Svo => {
+                std::hint::black_box(VOptimalHistogram::build(truth, n));
+            }
+            StaticAlgo::Sado => {
+                std::hint::black_box(SadoHistogram::build(truth, n));
+            }
+            StaticAlgo::Ssbm => {
+                std::hint::black_box(SsbmHistogram::build(truth, n));
+            }
+            StaticAlgo::EquiDepth => {
+                std::hint::black_box(EquiDepthHistogram::build(truth, n));
+            }
+            StaticAlgo::EquiWidth => {
+                std::hint::black_box(EquiWidthHistogram::build(truth, n));
+            }
+        }
+        t0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_gen::workload::WorkloadKind;
+
+    fn small_stream() -> UpdateStream {
+        let values: Vec<i64> = (0..3000).map(|i| (i * 13) % 500).collect();
+        UpdateStream::build(&values, WorkloadKind::RandomInsertions, 1)
+    }
+
+    #[test]
+    fn all_dynamic_algos_produce_sane_ks() {
+        let memory = MemoryBudget::from_kb(1.0);
+        let stream = small_stream();
+        for algo in DynamicAlgo::standard_set() {
+            let ks = algo.final_ks(memory, 7, &stream);
+            assert!(
+                (0.0..=1.0).contains(&ks),
+                "{}: ks out of range: {ks}",
+                algo.label()
+            );
+            assert!(
+                ks < 0.2,
+                "{}: ks implausibly bad on easy data: {ks}",
+                algo.label()
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoints_are_monotone_in_count() {
+        let memory = MemoryBudget::from_kb(1.0);
+        let stream = small_stream();
+        let ks = DynamicAlgo::Dado.ks_at_checkpoints(
+            memory,
+            1,
+            &stream,
+            &[1000, 2000, 3000],
+        );
+        assert_eq!(ks.len(), 3);
+        assert!(ks.iter().all(|&k| (0.0..=1.0).contains(&k)));
+    }
+
+    #[test]
+    fn static_algos_produce_sane_ks() {
+        let values: Vec<i64> = (0..5000).map(|i| (i * 31) % 700).collect();
+        let truth = DataDistribution::from_values(&values);
+        let memory = MemoryBudget::from_kb(0.25);
+        for algo in [
+            StaticAlgo::Sc,
+            StaticAlgo::Svo,
+            StaticAlgo::Sado,
+            StaticAlgo::Ssbm,
+            StaticAlgo::EquiDepth,
+            StaticAlgo::EquiWidth,
+        ] {
+            let ks = algo.final_ks(memory, &truth);
+            assert!(
+                (0.0..=1.0).contains(&ks),
+                "{}: ks out of range: {ks}",
+                algo.label()
+            );
+        }
+    }
+
+    #[test]
+    fn build_seconds_is_positive() {
+        let values: Vec<i64> = (0..2000).map(|i| i % 300).collect();
+        let truth = DataDistribution::from_values(&values);
+        let memory = MemoryBudget::from_bytes(200);
+        let t = StaticAlgo::Ssbm.build_seconds(memory, &truth);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(DynamicAlgo::Ac { disk_factor: 20 }.label(), "AC20X");
+        assert_eq!(DynamicAlgo::Dado.label(), "DADO");
+        assert_eq!(StaticAlgo::Svo.label(), "SVO");
+    }
+}

@@ -1,0 +1,99 @@
+//! `repro` — regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! repro all                      # every figure, paper-scale (slow)
+//! repro fig5 fig8                # selected figures
+//! repro all --quick              # 10% scale, 2 seeds (smoke test)
+//! repro all --seeds 5 --scale 0.5
+//! repro all --out results        # write CSVs + summary.md to a directory
+//! repro --list                   # list figure ids
+//! ```
+
+use dh_bench::{all_figure_ids, run_figure, RunOptions};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--seeds N] [--scale F] [--out DIR] [--list] <figN...|all>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    let mut opts = RunOptions::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut figures: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts = RunOptions::quick(),
+            "--seeds" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.seeds = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.scale = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--list" => {
+                for id in all_figure_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => figures.extend(all_figure_ids().iter().map(|s| s.to_string())),
+            f if f.starts_with("fig") => figures.push(f.to_string()),
+            _ => usage(),
+        }
+    }
+    if figures.is_empty() {
+        usage();
+    }
+    figures.dedup();
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    let mut summary = String::from("# Reproduced figures\n\n");
+    summary.push_str(&format!(
+        "Options: seeds = {}, scale = {}\n\n",
+        opts.seeds, opts.scale
+    ));
+    for id in &figures {
+        let t0 = std::time::Instant::now();
+        eprint!("running {id} ... ");
+        std::io::stderr().flush().ok();
+        match run_figure(id, opts) {
+            Ok(result) => {
+                eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+                let md = result.to_markdown();
+                println!("{md}");
+                summary.push_str(&md);
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{id}.csv"));
+                    std::fs::write(&path, result.to_csv())
+                        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(dir) = &out_dir {
+        let path = dir.join("summary.md");
+        std::fs::write(&path, summary).expect("write summary");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,734 @@
+//! One runner per evaluation figure of the paper (Figs. 5–23).
+//!
+//! Every runner follows the paper's protocol: datasets from the Section
+//! 6.1 generator (or the mail-order stand-in), identical update streams
+//! replayed into every competing histogram, KS statistic against the exact
+//! live distribution, averaged over the configured number of seeds
+//! (the paper uses 10).
+
+use crate::algos::{DynamicAlgo, StaticAlgo};
+use crate::harness::{mean, FigureResult, RunOptions, Series};
+use dh_core::{DataDistribution, HistogramClass, MemoryBudget};
+use dh_distributed::{build_global, DistributedConfig, GlobalStrategy};
+use dh_gen::mailorder::MailOrderConfig;
+use dh_gen::workload::{UpdateStream, WorkloadKind};
+use dh_gen::SyntheticConfig;
+use dh_core::ks_error;
+
+/// All reproducible figure ids, in paper order.
+pub fn all_figure_ids() -> Vec<&'static str> {
+    vec![
+        "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+        "fig22", "fig23",
+    ]
+}
+
+/// Runs a figure by id.
+///
+/// # Errors
+/// Returns an error string for unknown ids.
+pub fn run_figure(id: &str, opts: RunOptions) -> Result<FigureResult, String> {
+    match id {
+        "fig5" => Ok(fig5(opts)),
+        "fig6" => Ok(fig6(opts)),
+        "fig7" => Ok(fig7(opts)),
+        "fig8" => Ok(fig8(opts)),
+        "fig9" => Ok(fig9(opts)),
+        "fig10" => Ok(fig10(opts)),
+        "fig11" => Ok(fig11(opts)),
+        "fig12" => Ok(fig12(opts)),
+        "fig13" => Ok(fig13(opts)),
+        "fig14" => Ok(fig14(opts)),
+        "fig15" => Ok(fig15(opts)),
+        "fig16" => Ok(fig16(opts)),
+        "fig17" => Ok(fig17(opts)),
+        "fig18" => Ok(fig18(opts)),
+        "fig19" => Ok(fig19(opts)),
+        "fig20" => Ok(fig20(opts)),
+        "fig21" => Ok(fig21(opts)),
+        "fig22" => Ok(fig22(opts)),
+        "fig23" => Ok(fig23(opts)),
+        other => Err(format!(
+            "unknown figure id '{other}'; known: {:?}",
+            all_figure_ids()
+        )),
+    }
+}
+
+/// The paper's reference synthetic configuration (Section 7), scaled.
+fn reference_config(opts: RunOptions) -> SyntheticConfig {
+    let mut cfg = SyntheticConfig::default().with_total_points(opts.scaled(100_000));
+    if let Some(d) = opts.domain_max {
+        cfg.domain_max = d;
+    }
+    cfg
+}
+
+/// Sweeps one distribution parameter for a set of dynamic algorithms
+/// (the engine behind Figs. 5–7, 14 and 15).
+#[allow(clippy::too_many_arguments)]
+fn dynamic_parameter_sweep(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    configure: impl Fn(SyntheticConfig, f64) -> SyntheticConfig,
+    workload: WorkloadKind,
+    memory: MemoryBudget,
+    algos: &[DynamicAlgo],
+    opts: RunOptions,
+) -> FigureResult {
+    let mut series: Vec<Series> = algos.iter().map(|a| Series::new(a.label())).collect();
+    for &x in xs {
+        let cfg = configure(reference_config(opts), x);
+        let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
+        for seed in opts.seed_values() {
+            let data = cfg.generate(seed);
+            let stream = UpdateStream::build(&data.values, workload, seed ^ 0x5EED);
+            for (ai, algo) in algos.iter().enumerate() {
+                per_algo[ai].push(algo.final_ks(memory, seed, &stream));
+            }
+        }
+        for (ai, ks) in per_algo.into_iter().enumerate() {
+            series[ai].push(x, mean(ks));
+        }
+    }
+    FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_label: x_label.into(),
+        y_label: "KS statistic".into(),
+        series,
+    }
+}
+
+/// Fig. 5: KS vs skew `S` of the cluster-center spreads
+/// (Z=1, SD=2, C=2000, M=1KB, random insertions).
+pub fn fig5(opts: RunOptions) -> FigureResult {
+    dynamic_parameter_sweep(
+        "fig5",
+        "KS statistic as a function of S (fixed Z=1 SD=2 M=1KB)",
+        "S",
+        &[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+        |c, s| c.with_spread_skew(s),
+        WorkloadKind::RandomInsertions,
+        MemoryBudget::from_kb(1.0),
+        &DynamicAlgo::standard_set(),
+        opts,
+    )
+}
+
+/// Fig. 6: KS vs cluster-size skew `Z` (S=1, SD=2, C=2000, M=1KB).
+pub fn fig6(opts: RunOptions) -> FigureResult {
+    dynamic_parameter_sweep(
+        "fig6",
+        "KS statistic as a function of Z (fixed S=1 SD=2 M=1KB)",
+        "Z",
+        &[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+        |c, z| c.with_size_skew(z),
+        WorkloadKind::RandomInsertions,
+        MemoryBudget::from_kb(1.0),
+        &DynamicAlgo::standard_set(),
+        opts,
+    )
+}
+
+/// Fig. 7: KS vs within-cluster standard deviation `SD`
+/// (S=1, Z=1, C=2000, M=1KB).
+pub fn fig7(opts: RunOptions) -> FigureResult {
+    dynamic_parameter_sweep(
+        "fig7",
+        "KS statistic as a function of SD (fixed S=1 Z=1 M=1KB)",
+        "SD",
+        &[0.0, 2.0, 5.0, 10.0, 15.0, 20.0],
+        |c, sd| c.with_cluster_sd(sd),
+        WorkloadKind::RandomInsertions,
+        MemoryBudget::from_kb(1.0),
+        &DynamicAlgo::standard_set(),
+        opts,
+    )
+}
+
+/// Fig. 8: KS vs available memory (S=1, Z=1, SD=2, C=2000).
+pub fn fig8(opts: RunOptions) -> FigureResult {
+    let memories = [0.25, 0.5, 1.0, 2.0, 3.0, 4.0];
+    let algos = DynamicAlgo::standard_set();
+    let mut series: Vec<Series> = algos.iter().map(|a| Series::new(a.label())).collect();
+    let cfg = reference_config(opts);
+    for &mkb in &memories {
+        let memory = MemoryBudget::from_kb(mkb);
+        let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
+        for seed in opts.seed_values() {
+            let data = cfg.generate(seed);
+            let stream =
+                UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
+            for (ai, algo) in algos.iter().enumerate() {
+                per_algo[ai].push(algo.final_ks(memory, seed, &stream));
+            }
+        }
+        for (ai, ks) in per_algo.into_iter().enumerate() {
+            series[ai].push(mkb, mean(ks));
+        }
+    }
+    FigureResult {
+        id: "fig8".into(),
+        title: "Error vs available memory (fixed S=1 SD=2 Z=1)".into(),
+        x_label: "Memory [KB]".into(),
+        y_label: "KS statistic".into(),
+        series,
+    }
+}
+
+/// The static-comparison configuration of Figs. 9–12: C=50, SD=1.
+fn static_config(opts: RunOptions) -> SyntheticConfig {
+    reference_config(opts).with_clusters(50).with_cluster_sd(1.0)
+}
+
+/// Static-vs-DADO sweep engine for Figs. 9–12.
+fn static_parameter_sweep(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    configure: impl Fn(SyntheticConfig, f64) -> SyntheticConfig,
+    memory: MemoryBudget,
+    opts: RunOptions,
+) -> FigureResult {
+    let statics = StaticAlgo::standard_set();
+    let mut series: Vec<Series> = statics.iter().map(|a| Series::new(a.label())).collect();
+    series.push(Series::new("DADO"));
+    for &x in xs {
+        let cfg = configure(static_config(opts), x);
+        let mut per: Vec<Vec<f64>> = vec![Vec::new(); statics.len() + 1];
+        for seed in opts.seed_values() {
+            let data = cfg.generate(seed);
+            let truth = DataDistribution::from_values(&data.values);
+            for (ai, algo) in statics.iter().enumerate() {
+                per[ai].push(algo.final_ks(memory, &truth));
+            }
+            let stream =
+                UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
+            per[statics.len()].push(DynamicAlgo::Dado.final_ks(memory, seed, &stream));
+        }
+        for (ai, ks) in per.into_iter().enumerate() {
+            series[ai].push(x, mean(ks));
+        }
+    }
+    FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_label: x_label.into(),
+        y_label: "KS statistic".into(),
+        series,
+    }
+}
+
+/// Fig. 9: statics vs DADO as a function of `S` (Z=1, SD=1, C=50,
+/// M=0.14KB).
+pub fn fig9(opts: RunOptions) -> FigureResult {
+    static_parameter_sweep(
+        "fig9",
+        "Static comparison: KS vs S (fixed Z=1 SD=1 C=50 M=0.14KB)",
+        "S",
+        &[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+        |c, s| c.with_spread_skew(s),
+        MemoryBudget::from_kb(0.14),
+        opts,
+    )
+}
+
+/// Fig. 10: statics vs DADO as a function of `Z`.
+pub fn fig10(opts: RunOptions) -> FigureResult {
+    static_parameter_sweep(
+        "fig10",
+        "Static comparison: KS vs Z (fixed S=1 SD=1 C=50 M=0.14KB)",
+        "Z",
+        &[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+        |c, z| c.with_size_skew(z),
+        MemoryBudget::from_kb(0.14),
+        opts,
+    )
+}
+
+/// Fig. 11: statics vs DADO as a function of `SD` in `[0, 5]`.
+pub fn fig11(opts: RunOptions) -> FigureResult {
+    static_parameter_sweep(
+        "fig11",
+        "Static comparison: KS vs SD (fixed S=1 Z=1 C=50 M=0.14KB)",
+        "SD",
+        &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        |c, sd| c.with_cluster_sd(sd),
+        MemoryBudget::from_kb(0.14),
+        opts,
+    )
+}
+
+/// Fig. 12: statics vs DADO as a function of memory in `[0.11, 0.17]` KB.
+pub fn fig12(opts: RunOptions) -> FigureResult {
+    let statics = StaticAlgo::standard_set();
+    let mut series: Vec<Series> = statics.iter().map(|a| Series::new(a.label())).collect();
+    series.push(Series::new("DADO"));
+    let cfg = static_config(opts);
+    for &mkb in &[0.11, 0.12, 0.13, 0.14, 0.15, 0.16, 0.17] {
+        let memory = MemoryBudget::from_kb(mkb);
+        let mut per: Vec<Vec<f64>> = vec![Vec::new(); statics.len() + 1];
+        for seed in opts.seed_values() {
+            let data = cfg.generate(seed);
+            let truth = DataDistribution::from_values(&data.values);
+            for (ai, algo) in statics.iter().enumerate() {
+                per[ai].push(algo.final_ks(memory, &truth));
+            }
+            let stream =
+                UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
+            per[statics.len()].push(DynamicAlgo::Dado.final_ks(memory, seed, &stream));
+        }
+        for (ai, ks) in per.into_iter().enumerate() {
+            series[ai].push(mkb, mean(ks));
+        }
+    }
+    FigureResult {
+        id: "fig12".into(),
+        title: "Static comparison: error vs memory (fixed S=1 Z=1 SD=1 C=50)".into(),
+        x_label: "Memory [KB]".into(),
+        y_label: "KS statistic".into(),
+        series,
+    }
+}
+
+/// Fig. 13: construction wall-clock time vs memory (C=200, S=Z=SD=1).
+///
+/// DADO's "construction" is the incremental maintenance of the full
+/// insertion stream, as in the paper. Absolute seconds differ from 1999
+/// hardware; the ordering SVO >> SSBM > SC ~ DADO is the reproduced shape.
+pub fn fig13(opts: RunOptions) -> FigureResult {
+    let cfg = reference_config(opts)
+        .with_clusters(200)
+        .with_cluster_sd(1.0);
+    let statics = [StaticAlgo::Svo, StaticAlgo::Ssbm, StaticAlgo::Sc];
+    let mut series: Vec<Series> = statics.iter().map(|a| Series::new(a.label())).collect();
+    series.push(Series::new("DADO"));
+    for &mkb in &[0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5] {
+        let memory = MemoryBudget::from_kb(mkb);
+        let mut per: Vec<Vec<f64>> = vec![Vec::new(); statics.len() + 1];
+        // Timing wants fewer repetitions; cap at 3 seeds.
+        for seed in opts.seed_values().take(3) {
+            let data = cfg.generate(seed);
+            let truth = DataDistribution::from_values(&data.values);
+            for (ai, algo) in statics.iter().enumerate() {
+                per[ai].push(algo.build_seconds(memory, &truth));
+            }
+            // DADO: time to stream all points through the histogram.
+            let stream =
+                UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
+            let n = memory.buckets(HistogramClass::BorderAndTwoCounters);
+            let t0 = std::time::Instant::now();
+            let mut h = dh_core::dynamic::DadoHistogram::new(n);
+            for u in stream.iter() {
+                match u {
+                    dh_gen::workload::Update::Insert(v) => dh_core::Histogram::insert(&mut h, v),
+                    dh_gen::workload::Update::Delete(v) => dh_core::Histogram::delete(&mut h, v),
+                }
+            }
+            std::hint::black_box(&h);
+            per[statics.len()].push(t0.elapsed().as_secs_f64());
+        }
+        for (ai, secs) in per.into_iter().enumerate() {
+            series[ai].push(mkb, mean(secs));
+        }
+    }
+    FigureResult {
+        id: "fig13".into(),
+        title: "Typical execution times (fixed S=1 Z=1 SD=1 C=200)".into(),
+        x_label: "Memory [KB]".into(),
+        y_label: "Execution time [sec]".into(),
+        series,
+    }
+}
+
+/// Fig. 14: AC's sensitivity to its disk-space factor
+/// (C=1000, Z=1, SD=2, M=1KB), versus SC and DADO.
+pub fn fig14(opts: RunOptions) -> FigureResult {
+    let xs = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
+    let dynamics = [
+        DynamicAlgo::Ac { disk_factor: 20 },
+        DynamicAlgo::Ac { disk_factor: 40 },
+        DynamicAlgo::Ac { disk_factor: 60 },
+        DynamicAlgo::Dado,
+    ];
+    let memory = MemoryBudget::from_kb(1.0);
+    let mut series: Vec<Series> = dynamics.iter().map(|a| Series::new(a.label())).collect();
+    series.push(Series::new("SC"));
+    for &x in &xs {
+        let cfg = reference_config(opts)
+            .with_clusters(1000)
+            .with_spread_skew(x);
+        let mut per: Vec<Vec<f64>> = vec![Vec::new(); dynamics.len() + 1];
+        for seed in opts.seed_values() {
+            let data = cfg.generate(seed);
+            let stream =
+                UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
+            for (ai, algo) in dynamics.iter().enumerate() {
+                per[ai].push(algo.final_ks(memory, seed, &stream));
+            }
+            let truth = DataDistribution::from_values(&data.values);
+            per[dynamics.len()].push(StaticAlgo::Sc.final_ks(memory, &truth));
+        }
+        for (ai, ks) in per.into_iter().enumerate() {
+            series[ai].push(x, mean(ks));
+        }
+    }
+    FigureResult {
+        id: "fig14".into(),
+        title: "Sensitivity to available disk space (fixed Z=1 SD=2 C=1000 M=1KB)".into(),
+        x_label: "S".into(),
+        y_label: "KS statistic".into(),
+        series,
+    }
+}
+
+/// Fig. 15: sorted insertions (C=2000, S=1, SD=2, M=1KB) as a function of
+/// `Z`.
+pub fn fig15(opts: RunOptions) -> FigureResult {
+    dynamic_parameter_sweep(
+        "fig15",
+        "Sorted insertions: KS vs Z (fixed S=1 SD=2 C=2000 M=1KB)",
+        "Z",
+        &[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+        |c, z| c.with_size_skew(z),
+        WorkloadKind::SortedInsertions,
+        MemoryBudget::from_kb(1.0),
+        &[
+            DynamicAlgo::Dado,
+            DynamicAlgo::Ac { disk_factor: 20 },
+            DynamicAlgo::Dc,
+            DynamicAlgo::Dvo,
+        ],
+        opts,
+    )
+}
+
+/// Fig. 16: error as data is loaded in sorted order (reference
+/// distribution, M=1KB): KS at each 5% of the stream.
+pub fn fig16(opts: RunOptions) -> FigureResult {
+    let cfg = reference_config(opts);
+    let memory = MemoryBudget::from_kb(1.0);
+    let dynamics = [DynamicAlgo::Dado, DynamicAlgo::Ac { disk_factor: 20 }];
+    let fractions: Vec<f64> = (1..=20).map(|i| i as f64 / 20.0).collect();
+    let mut series: Vec<Series> = dynamics.iter().map(|a| Series::new(a.label())).collect();
+    series.push(Series::new("SC"));
+
+    let mut per: Vec<Vec<Vec<f64>>> =
+        vec![vec![Vec::new(); fractions.len()]; dynamics.len() + 1];
+    for seed in opts.seed_values() {
+        let data = cfg.generate(seed);
+        let stream =
+            UpdateStream::build(&data.values, WorkloadKind::SortedInsertions, seed ^ 0x5EED);
+        let checkpoints: Vec<usize> = fractions
+            .iter()
+            .map(|f| ((stream.len() as f64 * f).round() as usize).clamp(1, stream.len()))
+            .collect();
+        for (ai, algo) in dynamics.iter().enumerate() {
+            let ks = algo.ks_at_checkpoints(memory, seed, &stream, &checkpoints);
+            for (fi, k) in ks.into_iter().enumerate() {
+                per[ai][fi].push(k);
+            }
+        }
+        // SC rebuilt from scratch on each prefix (a static histogram is
+        // always "fresh" in this experiment).
+        for (fi, &cp) in checkpoints.iter().enumerate() {
+            let live = stream.live_multiset_after(cp);
+            let truth = DataDistribution::from_values(&live);
+            per[dynamics.len()][fi].push(StaticAlgo::Sc.final_ks(memory, &truth));
+        }
+    }
+    for (ai, by_fraction) in per.into_iter().enumerate() {
+        for (fi, ks) in by_fraction.into_iter().enumerate() {
+            series[ai].push(fractions[fi], mean(ks));
+        }
+    }
+    FigureResult {
+        id: "fig16".into(),
+        title: "Error vs volume of inserts (sorted order, S=1 Z=1 SD=2 M=1KB)".into(),
+        x_label: "Fraction of data inserted".into(),
+        y_label: "KS statistic".into(),
+        series,
+    }
+}
+
+/// Shared engine for the deletion figures (17 and 18): insert everything
+/// (random or sorted order), then randomly delete 80%, measuring KS at
+/// each deletion decile.
+fn deletion_figure(
+    id: &str,
+    title: &str,
+    insert_order: WorkloadKind,
+    opts: RunOptions,
+) -> FigureResult {
+    let cfg = reference_config(opts).with_clusters(1000);
+    let memory = MemoryBudget::from_kb(1.0);
+    let dynamics = [DynamicAlgo::Dado, DynamicAlgo::Ac { disk_factor: 20 }];
+    let fractions: Vec<f64> = (0..=8).map(|i| i as f64 / 10.0).collect();
+    let mut series: Vec<Series> = dynamics.iter().map(|a| Series::new(a.label())).collect();
+
+    let mut per: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); fractions.len()]; dynamics.len()];
+    for seed in opts.seed_values() {
+        let data = cfg.generate(seed);
+        // Build the combined stream: inserts in the requested order, then
+        // random deletions of 80% of the data.
+        let inserts = UpdateStream::build(&data.values, insert_order, seed ^ 0x5EED);
+        let deletes = UpdateStream::build(
+            &data.values,
+            WorkloadKind::InsertionsThenRandomDeletions {
+                delete_fraction: 0.8,
+            },
+            seed ^ 0xDE1E7E,
+        );
+        // Splice: ordered inserts followed by that stream's deletions.
+        let n = data.values.len();
+        let mut combined: Vec<dh_gen::workload::Update> = inserts.iter().collect();
+        combined.extend(deletes.iter().skip(n));
+        let stream = replay(&combined);
+        let checkpoints: Vec<usize> = fractions
+            .iter()
+            .map(|f| n + (f * n as f64).round() as usize)
+            .collect();
+        for (ai, algo) in dynamics.iter().enumerate() {
+            let ks = algo.ks_at_checkpoints(memory, seed, &stream, &checkpoints);
+            for (fi, k) in ks.into_iter().enumerate() {
+                per[ai][fi].push(k);
+            }
+        }
+    }
+    for (ai, by_fraction) in per.into_iter().enumerate() {
+        for (fi, ks) in by_fraction.into_iter().enumerate() {
+            series[ai].push(fractions[fi], mean(ks));
+        }
+    }
+    FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_label: "Fraction of data deleted".into(),
+        y_label: "KS statistic".into(),
+        series,
+    }
+}
+
+/// Wraps a raw update vector back into an [`UpdateStream`].
+fn replay(updates: &[dh_gen::workload::Update]) -> UpdateStream {
+    // UpdateStream has no public constructor from raw ops; rebuild via the
+    // values it carries. Deletions in our spliced streams always target
+    // live values, so a pass-through builder suffices.
+    UpdateStream::from_updates(updates.to_vec())
+}
+
+/// Fig. 17: random deletions after *random* insertions
+/// (S=1, Z=1, SD=2, C=1000, M=1KB).
+pub fn fig17(opts: RunOptions) -> FigureResult {
+    deletion_figure(
+        "fig17",
+        "Error vs volume of random deletes (random inserts, C=1000 M=1KB)",
+        WorkloadKind::RandomInsertions,
+        opts,
+    )
+}
+
+/// Fig. 18: random deletions after *sorted* insertions — the hard case for
+/// DADO the paper documents (bucket overspill toward the histogram
+/// center).
+pub fn fig18(opts: RunOptions) -> FigureResult {
+    deletion_figure(
+        "fig18",
+        "Random deletes after sorted inserts (C=1000 M=1KB)",
+        WorkloadKind::SortedInsertions,
+        opts,
+    )
+}
+
+/// Fig. 19: the mail-order trace — KS vs memory for AC, DC and DADO.
+pub fn fig19(opts: RunOptions) -> FigureResult {
+    let algos = [
+        DynamicAlgo::Ac { disk_factor: 20 },
+        DynamicAlgo::Dc,
+        DynamicAlgo::Dado,
+    ];
+    let mut series: Vec<Series> = algos.iter().map(|a| Series::new(a.label())).collect();
+    for &mkb in &[0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0] {
+        let memory = MemoryBudget::from_kb(mkb);
+        let mut per: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
+        for seed in opts.seed_values() {
+            let records = (MailOrderConfig {
+                records: opts.scaled(61_105) as usize,
+                ..MailOrderConfig::default()
+            })
+            .generate(seed);
+            let stream =
+                UpdateStream::build(&records, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
+            for (ai, algo) in algos.iter().enumerate() {
+                per[ai].push(algo.final_ks(memory, seed, &stream));
+            }
+        }
+        for (ai, ks) in per.into_iter().enumerate() {
+            series[ai].push(mkb, mean(ks));
+        }
+    }
+    FigureResult {
+        id: "fig19".into(),
+        title: "Mail order data: performance comparison".into(),
+        x_label: "Memory [KB]".into(),
+        y_label: "KS statistic".into(),
+        series,
+    }
+}
+
+/// Shared engine for the distributed figures (20–23).
+fn distributed_figure(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    configure: impl Fn(DistributedConfig, f64) -> DistributedConfig,
+    opts: RunOptions,
+) -> FigureResult {
+    let mut hu = Series::new("histogram + union");
+    let mut uh = Series::new("union + histogram");
+    for &x in xs {
+        let cfg = configure(
+            DistributedConfig {
+                total_points: opts.scaled(100_000),
+                domain_max: opts.domain_max.unwrap_or(5000),
+                ..DistributedConfig::default()
+            },
+            x,
+        );
+        let mut ks_hu = Vec::new();
+        let mut ks_uh = Vec::new();
+        for seed in opts.seed_values() {
+            let sites = cfg.generate_sites(seed);
+            let mut pooled = DataDistribution::new();
+            for s in &sites {
+                for &v in &s.values {
+                    pooled.insert(v);
+                }
+            }
+            let a = build_global(&cfg, &sites, GlobalStrategy::HistogramThenUnion);
+            let b = build_global(&cfg, &sites, GlobalStrategy::UnionThenHistogram);
+            ks_hu.push(ks_error(&a, &pooled));
+            ks_uh.push(ks_error(&b, &pooled));
+        }
+        hu.push(x, mean(ks_hu));
+        uh.push(x, mean(ks_uh));
+    }
+    FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_label: x_label.into(),
+        y_label: "KS statistic".into(),
+        series: vec![hu, uh],
+    }
+}
+
+/// Fig. 20: global-histogram error vs histogram memory.
+pub fn fig20(opts: RunOptions) -> FigureResult {
+    distributed_figure(
+        "fig20",
+        "Shared-nothing: error vs histogram size",
+        "Histogram Memory (KB)",
+        &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+        |c, kb| DistributedConfig {
+            memory: MemoryBudget::from_kb(kb),
+            ..c
+        },
+        opts,
+    )
+}
+
+/// Fig. 21: error vs intrasite skew `Z_Freq`.
+pub fn fig21(opts: RunOptions) -> FigureResult {
+    distributed_figure(
+        "fig21",
+        "Shared-nothing: error vs intrasite data skew",
+        "Z_Freq (skew within members)",
+        &[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+        |c, z| DistributedConfig { z_freq: z, ..c },
+        opts,
+    )
+}
+
+/// Fig. 22: error vs number of member sites.
+pub fn fig22(opts: RunOptions) -> FigureResult {
+    distributed_figure(
+        "fig22",
+        "Shared-nothing: error vs number of sites",
+        "Number of sites",
+        &[1.0, 2.0, 5.0, 10.0, 15.0, 20.0],
+        |c, n| DistributedConfig {
+            sites: n as usize,
+            ..c
+        },
+        opts,
+    )
+}
+
+/// Fig. 23: error vs skew of member sizes `Z_Site`.
+pub fn fig23(opts: RunOptions) -> FigureResult {
+    distributed_figure(
+        "fig23",
+        "Shared-nothing: error vs skew in site size",
+        "Z_Site (skew in member sizes)",
+        &[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+        |c, z| DistributedConfig { z_site: z, ..c },
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunOptions {
+        RunOptions {
+            seeds: 1,
+            scale: 0.02,
+            domain_max: Some(500),
+        }
+    }
+
+    #[test]
+    fn registry_knows_every_figure() {
+        for id in all_figure_ids() {
+            // Don't run them all here (slow); just check dispatch of one
+            // unknown id and the listing.
+            assert!(id.starts_with("fig"));
+        }
+        assert!(run_figure("fig999", tiny()).is_err());
+    }
+
+    #[test]
+    fn fig5_has_four_series_and_full_sweep() {
+        let f = fig5(tiny());
+        assert_eq!(f.series.len(), 4);
+        for s in &f.series {
+            assert_eq!(s.points.len(), 7);
+            assert!(s.points.iter().all(|&(_, y)| (0.0..=1.0).contains(&y)));
+        }
+        assert!(f.series_named("DADO").is_some());
+        assert!(f.series_named("AC20X").is_some());
+    }
+
+    #[test]
+    fn fig16_fractions_cover_unit_interval() {
+        let f = fig16(tiny());
+        let s = f.series_named("DADO").unwrap();
+        assert_eq!(s.points.first().unwrap().0, 0.05);
+        assert_eq!(s.points.last().unwrap().0, 1.0);
+    }
+
+    #[test]
+    fn fig20_compares_two_strategies() {
+        let f = fig20(tiny());
+        assert_eq!(f.series.len(), 2);
+        assert!(f.series_named("histogram + union").is_some());
+        assert!(f.series_named("union + histogram").is_some());
+    }
+}

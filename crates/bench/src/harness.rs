@@ -1,0 +1,234 @@
+//! Result containers and run options for the figure harness.
+
+/// One curve of a figure: a label and `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label ("DADO", "AC20X", "histogram + union", ...).
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Mean of the y values (used by shape assertions in tests).
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, y)| y).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// A reproduced figure: metadata plus its series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureResult {
+    /// Figure id ("fig5" ... "fig23").
+    pub id: String,
+    /// What the paper's figure shows.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    /// Renders the figure as CSV: header `x,label1,label2,...`, one row per
+    /// x value (assumes all series share x values, which every figure here
+    /// does).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label.replace(' ', "_"));
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.label.replace(' ', "_"));
+        }
+        out.push('\n');
+        if let Some(first) = self.series.first() {
+            for (i, &(x, _)) in first.points.iter().enumerate() {
+                out.push_str(&format!("{x}"));
+                for s in &self.series {
+                    let y = s.points.get(i).map(|&(_, y)| y).unwrap_or(f64::NAN);
+                    out.push_str(&format!(",{y:.6}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Renders the figure as a compact markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("| {} |", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.label));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.series {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        if let Some(first) = self.series.first() {
+            for (i, &(x, _)) in first.points.iter().enumerate() {
+                out.push_str(&format!("| {x:.3} |"));
+                for s in &self.series {
+                    let y = s.points.get(i).map(|&(_, y)| y).unwrap_or(f64::NAN);
+                    out.push_str(&format!(" {y:.5} |"));
+                }
+                out.push('\n');
+            }
+        }
+        out.push('\n');
+        out
+    }
+
+    /// The series with the given label, if present.
+    pub fn series_named(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+/// Options controlling figure runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Random seeds averaged per configuration (the paper uses 10).
+    pub seeds: u64,
+    /// Scale factor in `(0, 1]` applied to dataset sizes; `1.0` is the
+    /// paper's full scale (100,000 points).
+    pub scale: f64,
+    /// Override of the value-domain upper bound (paper: 5000). Smaller
+    /// domains make the `O(D²)` optimal-partition figures fast for smoke
+    /// tests and benches; `None` keeps the paper's domain.
+    pub domain_max: Option<i64>,
+}
+
+impl Default for RunOptions {
+    /// Paper-faithful defaults: 10 seeds, full 100k-point datasets over
+    /// the full [0, 5000] domain.
+    fn default() -> Self {
+        Self {
+            seeds: 10,
+            scale: 1.0,
+            domain_max: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// A fast smoke-test configuration for CI and Criterion benches.
+    pub fn quick() -> Self {
+        Self {
+            seeds: 2,
+            scale: 0.1,
+            domain_max: Some(1000),
+        }
+    }
+
+    /// Applies the scale factor to a point count.
+    pub fn scaled(&self, points: u64) -> u64 {
+        ((points as f64 * self.scale).round() as u64).max(1000)
+    }
+
+    /// Seed values to average over.
+    pub fn seed_values(&self) -> impl Iterator<Item = u64> {
+        // Fixed base so figures are reproducible run-to-run.
+        (0..self.seeds).map(|i| 0xD15EA5E + i)
+    }
+}
+
+/// Mean of an iterator of f64s (0 when empty).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> FigureResult {
+        FigureResult {
+            id: "figX".into(),
+            title: "test".into(),
+            x_label: "x".into(),
+            y_label: "KS".into(),
+            series: vec![
+                Series {
+                    label: "A".into(),
+                    points: vec![(0.0, 0.1), (1.0, 0.2)],
+                },
+                Series {
+                    label: "B".into(),
+                    points: vec![(0.0, 0.3), (1.0, 0.4)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample_figure().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,A,B");
+        assert!(lines[1].starts_with("0,0.100000,0.300000"));
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample_figure().to_markdown();
+        assert!(md.contains("### figX"));
+        assert!(md.contains("| x | A | B |"));
+    }
+
+    #[test]
+    fn series_lookup_and_mean() {
+        let f = sample_figure();
+        assert!(f.series_named("A").is_some());
+        assert!(f.series_named("Z").is_none());
+        assert!((f.series_named("B").unwrap().mean_y() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_options_scaling() {
+        let q = RunOptions::quick();
+        assert_eq!(q.scaled(100_000), 10_000);
+        // Never below the floor.
+        assert_eq!(q.scaled(5_000), 1000);
+        let full = RunOptions::default();
+        assert_eq!(full.scaled(100_000), 100_000);
+        assert_eq!(full.seed_values().count(), 10);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(std::iter::empty::<f64>()), 0.0);
+    }
+}

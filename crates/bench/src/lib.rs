@@ -1,0 +1,29 @@
+//! Experiment harness reproducing every evaluation figure of *Dynamic
+//! Histograms: Capturing Evolving Data Sets* (Figs. 5–23).
+//!
+//! * [`harness`] — result types ([`FigureResult`], [`Series`]) and run
+//!   options (seed count, quick scaling).
+//! * [`algos`] — uniform runners for the dynamic (DC, DVO, DADO, AC) and
+//!   static (SC, SVO, SADO, SSBM, Equi-Depth, Equi-Width) algorithms under
+//!   the paper's memory model.
+//! * [`figures`] — one function per figure, plus a registry used by the
+//!   `repro` binary and the Criterion benches.
+//!
+//! The `repro` binary regenerates any or all figures as CSV files and a
+//! markdown summary:
+//!
+//! ```text
+//! cargo run --release -p dh-bench --bin repro -- all --out results
+//! cargo run --release -p dh-bench --bin repro -- fig5 fig8 --seeds 10
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algos;
+pub mod figures;
+pub mod harness;
+
+pub use algos::{DynamicAlgo, StaticAlgo};
+pub use figures::{all_figure_ids, run_figure};
+pub use harness::{FigureResult, RunOptions, Series};

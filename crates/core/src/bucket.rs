@@ -1,0 +1,281 @@
+//! Bucket spans and the piecewise-linear CDF they induce.
+//!
+//! A [`BucketSpan`] is the read-side view of one histogram bucket: a
+//! half-open interval `[lo, hi)` of the continuous axis carrying `count`
+//! units of mass, spread uniformly (the uniform-distribution assumption).
+//! Every histogram in this workspace renders itself as a sorted,
+//! non-overlapping sequence of spans, from which [`HistogramCdf`] builds
+//! the continuous cumulative distribution used for selectivity estimation
+//! and KS evaluation.
+
+use dh_stats::Cdf;
+
+/// One bucket as seen by estimators: uniform mass `count` over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketSpan {
+    /// Inclusive left border on the continuous axis.
+    pub lo: f64,
+    /// Exclusive right border on the continuous axis.
+    pub hi: f64,
+    /// Mass (number of data points) in the bucket; nonnegative.
+    pub count: f64,
+}
+
+impl BucketSpan {
+    /// Creates a span.
+    ///
+    /// # Panics
+    /// Panics if the borders are out of order, non-finite, or the count is
+    /// negative.
+    pub fn new(lo: f64, hi: f64, count: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "borders must be finite");
+        assert!(lo <= hi, "bucket borders out of order: [{lo}, {hi})");
+        assert!(count >= 0.0, "bucket count must be nonnegative: {count}");
+        Self { lo, hi, count }
+    }
+
+    /// Width of the span on the continuous axis; for integer data this is
+    /// (approximately) the number of distinct values the bucket covers.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Mass density inside the span (`count / width`); zero for empty or
+    /// degenerate spans.
+    pub fn density(&self) -> f64 {
+        let w = self.width();
+        if w > 0.0 {
+            self.count / w
+        } else {
+            0.0
+        }
+    }
+
+    /// Mass lying strictly below `x` under the uniform assumption.
+    pub fn mass_below(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            self.count
+        } else {
+            self.count * (x - self.lo) / self.width()
+        }
+    }
+
+    /// Mass lying in the intersection of this span with `[a, b)`.
+    pub fn mass_in(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            0.0
+        } else {
+            (self.mass_below(b) - self.mass_below(a)).max(0.0)
+        }
+    }
+
+    /// Whether the span covers a single integer value (the paper's
+    /// "width equal to one" criterion for singular buckets), with a small
+    /// tolerance for floating-point borders.
+    pub fn is_unit_width(&self) -> bool {
+        (self.width() - 1.0).abs() < 1e-9
+    }
+}
+
+/// The continuous, piecewise-linear CDF of a sequence of bucket spans.
+///
+/// Implements [`dh_stats::Cdf`], so it can be compared directly against the
+/// true data distribution with [`dh_stats::ks_between`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramCdf {
+    spans: Vec<BucketSpan>,
+    /// `cumulative[i]` = mass strictly left of `spans[i]`.
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl HistogramCdf {
+    /// Builds a CDF from spans.
+    ///
+    /// Spans may arrive unsorted; they are sorted by `lo`. Overlapping
+    /// spans are rejected (histogram buckets never overlap); gaps are
+    /// allowed and carry zero mass.
+    ///
+    /// # Panics
+    /// Panics if any two spans overlap by more than a tolerance.
+    pub fn from_spans(mut spans: Vec<BucketSpan>) -> Self {
+        spans.sort_by(|a, b| a.lo.total_cmp(&b.lo));
+        for w in spans.windows(2) {
+            assert!(
+                w[0].hi <= w[1].lo + 1e-9,
+                "overlapping bucket spans: [{}, {}) and [{}, {})",
+                w[0].lo,
+                w[0].hi,
+                w[1].lo,
+                w[1].hi
+            );
+        }
+        let mut cumulative = Vec::with_capacity(spans.len());
+        let mut acc = 0.0;
+        for s in &spans {
+            cumulative.push(acc);
+            acc += s.count;
+        }
+        Self {
+            spans,
+            cumulative,
+            total: acc,
+        }
+    }
+
+    /// Total mass across all spans.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Unnormalized mass strictly below `x`.
+    pub fn mass_below(&self, x: f64) -> f64 {
+        // Index of the first span with lo >= x; all spans before it may
+        // contribute.
+        let i = self.spans.partition_point(|s| s.lo < x);
+        if i == 0 {
+            return 0.0;
+        }
+        let s = &self.spans[i - 1];
+        self.cumulative[i - 1] + s.mass_below(x)
+    }
+
+    /// Unnormalized mass in `[a, b)`.
+    pub fn mass_in(&self, a: f64, b: f64) -> f64 {
+        (self.mass_below(b) - self.mass_below(a)).max(0.0)
+    }
+
+    /// The spans backing this CDF, sorted by `lo`.
+    pub fn spans(&self) -> &[BucketSpan] {
+        &self.spans
+    }
+}
+
+impl Cdf for HistogramCdf {
+    fn fraction_le(&self, x: f64) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        self.mass_below(x) / self.total
+    }
+
+    // Continuous CDF: fraction_lt == fraction_le (default).
+
+    fn breakpoints(&self) -> Vec<f64> {
+        let mut pts = Vec::with_capacity(self.spans.len() * 2);
+        for s in &self.spans {
+            pts.push(s.lo);
+            pts.push(s.hi);
+        }
+        pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_geometry() {
+        let s = BucketSpan::new(2.0, 6.0, 8.0);
+        assert_eq!(s.width(), 4.0);
+        assert_eq!(s.density(), 2.0);
+        assert_eq!(s.mass_below(2.0), 0.0);
+        assert_eq!(s.mass_below(4.0), 4.0);
+        assert_eq!(s.mass_below(100.0), 8.0);
+        assert_eq!(s.mass_in(3.0, 5.0), 4.0);
+        assert!(!s.is_unit_width());
+        assert!(BucketSpan::new(7.0, 8.0, 3.0).is_unit_width());
+    }
+
+    #[test]
+    fn degenerate_span_has_zero_density() {
+        let s = BucketSpan::new(5.0, 5.0, 0.0);
+        assert_eq!(s.density(), 0.0);
+        assert_eq!(s.mass_below(10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn reversed_borders_rejected() {
+        let _ = BucketSpan::new(3.0, 2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_count_rejected() {
+        let _ = BucketSpan::new(0.0, 1.0, -1.0);
+    }
+
+    fn cdf() -> HistogramCdf {
+        HistogramCdf::from_spans(vec![
+            BucketSpan::new(0.0, 4.0, 4.0),
+            BucketSpan::new(4.0, 6.0, 8.0),
+            BucketSpan::new(8.0, 10.0, 4.0), // gap over [6, 8)
+        ])
+    }
+
+    #[test]
+    fn cdf_mass_below_walks_segments() {
+        let c = cdf();
+        assert_eq!(c.total(), 16.0);
+        assert_eq!(c.mass_below(0.0), 0.0);
+        assert_eq!(c.mass_below(2.0), 2.0);
+        assert_eq!(c.mass_below(4.0), 4.0);
+        assert_eq!(c.mass_below(5.0), 8.0);
+        assert_eq!(c.mass_below(7.0), 12.0); // inside the gap
+        assert_eq!(c.mass_below(9.0), 14.0);
+        assert_eq!(c.mass_below(42.0), 16.0);
+    }
+
+    #[test]
+    fn cdf_fraction_is_normalized_and_monotone() {
+        let c = cdf();
+        let mut prev = -1.0;
+        for i in 0..=110 {
+            let x = f64::from(i) * 0.1 - 0.5;
+            let f = c.fraction_le(x);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert_eq!(c.fraction_le(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_accepts_unsorted_spans() {
+        let a = HistogramCdf::from_spans(vec![
+            BucketSpan::new(4.0, 6.0, 8.0),
+            BucketSpan::new(0.0, 4.0, 4.0),
+        ]);
+        assert_eq!(a.mass_below(5.0), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn cdf_rejects_overlap() {
+        let _ = HistogramCdf::from_spans(vec![
+            BucketSpan::new(0.0, 5.0, 1.0),
+            BucketSpan::new(4.0, 6.0, 1.0),
+        ]);
+    }
+
+    #[test]
+    fn cdf_mass_in_range() {
+        let c = cdf();
+        assert_eq!(c.mass_in(0.0, 10.0), 16.0);
+        assert_eq!(c.mass_in(4.0, 6.0), 8.0);
+        assert_eq!(c.mass_in(6.0, 8.0), 0.0); // the gap
+        assert_eq!(c.mass_in(9.0, 3.0), 0.0); // reversed
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let c = HistogramCdf::from_spans(vec![]);
+        assert_eq!(c.total(), 0.0);
+        assert_eq!(c.fraction_le(3.0), 0.0);
+        assert!(c.breakpoints().is_empty());
+    }
+}

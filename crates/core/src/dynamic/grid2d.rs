@@ -1,0 +1,669 @@
+//! A two-dimensional extension of the DADO/DVO split-merge histogram —
+//! the paper's stated future-work direction ("the most important direction
+//! of our future work is the extension of the DC and DADO algorithms to
+//! more than one dimension").
+//!
+//! Buckets are axis-aligned rectangles organized in a binary partition
+//! tree (so merges are always well-defined: only *sibling* leaves merge,
+//! reconstituting their parent rectangle). Each leaf stores **four
+//! quadrant counters** — the 2-D analog of the paper's two sub-buckets —
+//! from which the deviation measure φ is computed:
+//!
+//! * **split** the leaf with the largest φ, along the axis with the larger
+//!   counter imbalance; each child deduces its quadrant counters from the
+//!   parent's piecewise-uniform density;
+//! * **merge** the sibling-leaf pair whose merged parent has the smallest
+//!   φ (Eq. 4 generalized to quadrant segments).
+//!
+//! A split-merge pair fires when it lowers φ, exactly as in one dimension.
+
+use crate::dynamic::deviation::DeviationPolicy;
+use std::marker::PhantomData;
+
+/// An axis-aligned rectangle `[x0, x1) x [y0, y1)` in the continuous
+/// embedding (integer point `(x, y)` occupies the unit square at
+/// `(x, y)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Inclusive lower x border.
+    pub x0: f64,
+    /// Exclusive upper x border.
+    pub x1: f64,
+    /// Inclusive lower y border.
+    pub y0: f64,
+    /// Exclusive upper y border.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    /// Panics if the borders are out of order.
+    pub fn new(x0: f64, x1: f64, y0: f64, y1: f64) -> Self {
+        assert!(x0 <= x1 && y0 <= y1, "malformed rect");
+        Self { x0, x1, y0, y1 }
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+
+    /// Whether the point lies inside.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Area of the intersection with another rectangle.
+    pub fn intersection_area(&self, o: &Rect) -> f64 {
+        let w = (self.x1.min(o.x1) - self.x0.max(o.x0)).max(0.0);
+        let h = (self.y1.min(o.y1) - self.y0.max(o.y0)).max(0.0);
+        w * h
+    }
+
+    fn mid_x(&self) -> f64 {
+        (self.x0 + self.x1) / 2.0
+    }
+
+    fn mid_y(&self) -> f64 {
+        (self.y0 + self.y1) / 2.0
+    }
+
+    /// The four quadrants (SW, SE, NW, NE).
+    fn quadrants(&self) -> [Rect; 4] {
+        let (mx, my) = (self.mid_x(), self.mid_y());
+        [
+            Rect::new(self.x0, mx, self.y0, my),
+            Rect::new(mx, self.x1, self.y0, my),
+            Rect::new(self.x0, mx, my, self.y1),
+            Rect::new(mx, self.x1, my, self.y1),
+        ]
+    }
+}
+
+/// A leaf bucket: a rectangle with four quadrant counters.
+#[derive(Debug, Clone, PartialEq)]
+struct Leaf {
+    rect: Rect,
+    /// Quadrant counts in SW, SE, NW, NE order.
+    counts: [f64; 4],
+    /// Index of the parent inner node in the tree arena (`usize::MAX` for
+    /// the root).
+    parent: usize,
+}
+
+impl Leaf {
+    fn count(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    fn quadrant_of(&self, x: f64, y: f64) -> usize {
+        let east = x >= self.rect.mid_x();
+        let north = y >= self.rect.mid_y();
+        match (north, east) {
+            (false, false) => 0,
+            (false, true) => 1,
+            (true, false) => 2,
+            (true, true) => 3,
+        }
+    }
+
+    /// φ over the quadrant densities (area-weighted deviation from the
+    /// leaf's average density).
+    fn phi<P: DeviationPolicy>(&self) -> f64 {
+        let area = self.rect.area();
+        if area <= 0.0 {
+            return 0.0;
+        }
+        let davg = self.count() / area;
+        self.rect
+            .quadrants()
+            .iter()
+            .zip(&self.counts)
+            .filter(|(q, _)| q.area() > 0.0)
+            .map(|(q, &c)| q.area() * P::dev(c / q.area() - davg))
+            .sum()
+    }
+
+    /// Mass of this leaf's density inside `target`.
+    fn mass_in(&self, target: &Rect) -> f64 {
+        self.rect
+            .quadrants()
+            .iter()
+            .zip(&self.counts)
+            .filter(|(q, _)| q.area() > 0.0)
+            .map(|(q, &c)| c * q.intersection_area(target) / q.area())
+            .sum()
+    }
+
+    /// Builds a leaf over `rect` by integrating the given leaves' density.
+    fn from_density(rect: Rect, parent: usize, sources: &[&Leaf]) -> Leaf {
+        let mut counts = [0.0f64; 4];
+        for (i, q) in rect.quadrants().iter().enumerate() {
+            counts[i] = sources.iter().map(|s| s.mass_in(q)).sum();
+        }
+        Leaf {
+            rect,
+            counts,
+            parent,
+        }
+    }
+}
+
+/// The binary partition tree over leaves.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Leaf),
+    Inner {
+        /// Children indices in the arena.
+        left: usize,
+        right: usize,
+        parent: usize,
+    },
+    /// Recycled slot.
+    Free,
+}
+
+/// A two-dimensional split/merge dynamic histogram.
+///
+/// # Examples
+/// ```
+/// use dh_core::dynamic::{AbsoluteDeviation, Grid2dHistogram};
+///
+/// let mut h = Grid2dHistogram::<AbsoluteDeviation>::new(32, (0, 100), (0, 100));
+/// for i in 0..5000i64 {
+///     h.insert(i % 100, (i * 7) % 100);
+/// }
+/// assert_eq!(h.total_count(), 5000.0);
+/// let est = h.estimate_range((0, 49), (0, 99));
+/// assert!((est - 2500.0).abs() < 500.0, "estimate {est}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Grid2dHistogram<P: DeviationPolicy> {
+    nodes: Vec<Node>,
+    root: usize,
+    capacity: usize,
+    leaves: usize,
+    total: f64,
+    _policy: PhantomData<P>,
+}
+
+impl<P: DeviationPolicy> Grid2dHistogram<P> {
+    /// Creates a histogram with at most `capacity` leaf buckets over the
+    /// inclusive integer domain `x_range` × `y_range`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or a range is empty.
+    pub fn new(capacity: usize, x_range: (i64, i64), y_range: (i64, i64)) -> Self {
+        assert!(capacity > 0, "need at least one bucket");
+        assert!(
+            x_range.1 >= x_range.0 && y_range.1 >= y_range.0,
+            "empty domain"
+        );
+        let rect = Rect::new(
+            x_range.0 as f64,
+            (x_range.1 + 1) as f64,
+            y_range.0 as f64,
+            (y_range.1 + 1) as f64,
+        );
+        Self {
+            nodes: vec![Node::Leaf(Leaf {
+                rect,
+                counts: [0.0; 4],
+                parent: usize::MAX,
+            })],
+            root: 0,
+            capacity,
+            leaves: 1,
+            total: 0.0,
+            _policy: PhantomData,
+        }
+    }
+
+    /// Number of leaf buckets currently in use.
+    pub fn num_buckets(&self) -> usize {
+        self.leaves
+    }
+
+    /// Total mass.
+    pub fn total_count(&self) -> f64 {
+        self.total
+    }
+
+    /// Leaf index containing the point (clamped into the root rectangle).
+    fn leaf_of(&self, x: f64, y: f64) -> usize {
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf(_) => return idx,
+                Node::Inner { left, right, .. } => {
+                    // Children tile the parent; descend into whichever
+                    // contains the point (right wins ties at the cut).
+                    let l = self.leaf_rect(*left);
+                    idx = if l.contains(x, y) { *left } else { *right };
+                }
+                Node::Free => unreachable!("descended into a free slot"),
+            }
+        }
+    }
+
+    /// Bounding rectangle of any node (leaf rect, or union for inner).
+    fn leaf_rect(&self, idx: usize) -> Rect {
+        match &self.nodes[idx] {
+            Node::Leaf(l) => l.rect,
+            Node::Inner { left, right, .. } => {
+                let a = self.leaf_rect(*left);
+                let b = self.leaf_rect(*right);
+                Rect::new(a.x0.min(b.x0), a.x1.max(b.x1), a.y0.min(b.y0), a.y1.max(b.y1))
+            }
+            Node::Free => unreachable!("rect of a free slot"),
+        }
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        if let Some(i) = self.nodes.iter().position(|n| matches!(n, Node::Free)) {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Observes the insertion of integer point `(x, y)`.
+    pub fn insert(&mut self, x: i64, y: i64) {
+        let (px, py) = self.clamped(x, y);
+        let idx = self.leaf_of(px, py);
+        let Node::Leaf(leaf) = &mut self.nodes[idx] else {
+            unreachable!()
+        };
+        let q = leaf.quadrant_of(px, py);
+        leaf.counts[q] += 1.0;
+        self.total += 1.0;
+        self.maybe_split_merge();
+    }
+
+    /// Observes the deletion of integer point `(x, y)`; removes mass from
+    /// the containing leaf, spilling to the closest-by-tree leaves when it
+    /// has run dry (the 2-D analog of Section 7.3's policy).
+    pub fn delete(&mut self, x: i64, y: i64) {
+        if self.total <= 0.0 {
+            return;
+        }
+        let (px, py) = self.clamped(x, y);
+        let idx = self.leaf_of(px, py);
+        let mut need = 1.0f64;
+        need -= self.take_from_leaf(idx, px, py, need);
+        if need > 1e-12 {
+            // Walk all leaves by tree order, nearest-first approximation.
+            let leaf_ids: Vec<usize> = self.leaf_indices();
+            for id in leaf_ids {
+                if need <= 1e-12 {
+                    break;
+                }
+                need -= self.take_from_leaf(id, px, py, need);
+            }
+        }
+        self.total -= 1.0 - need.max(0.0);
+        self.maybe_split_merge();
+    }
+
+    fn clamped(&self, x: i64, y: i64) -> (f64, f64) {
+        let r = self.leaf_rect(self.root);
+        (
+            (x as f64 + 0.5).clamp(r.x0, r.x1 - 1e-9),
+            (y as f64 + 0.5).clamp(r.y0, r.y1 - 1e-9),
+        )
+    }
+
+    fn take_from_leaf(&mut self, idx: usize, x: f64, y: f64, need: f64) -> f64 {
+        let Node::Leaf(leaf) = &mut self.nodes[idx] else {
+            return 0.0;
+        };
+        let start = leaf.quadrant_of(x, y);
+        let order = [start, start ^ 1, start ^ 2, start ^ 3];
+        let mut taken = 0.0;
+        for q in order {
+            if taken >= need {
+                break;
+            }
+            let t = leaf.counts[q].min(need - taken);
+            if t > 0.0 {
+                leaf.counts[q] -= t;
+                taken += t;
+            }
+        }
+        taken
+    }
+
+    /// All current leaf indices.
+    fn leaf_indices(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| matches!(n, Node::Leaf(_)).then_some(i))
+            .collect()
+    }
+
+    /// One split-merge attempt, exactly as in one dimension.
+    fn maybe_split_merge(&mut self) {
+        if self.capacity < 2 {
+            return;
+        }
+        // Best split: leaf with max φ, splittable (area allows halving).
+        let mut best_split: Option<(usize, f64)> = None;
+        for &i in &self.leaf_indices() {
+            let Node::Leaf(l) = &self.nodes[i] else {
+                continue;
+            };
+            if (l.rect.x1 - l.rect.x0) <= 1.0 + 1e-9 && (l.rect.y1 - l.rect.y0) <= 1.0 + 1e-9
+            {
+                continue; // unit cell: nothing to resolve
+            }
+            let phi = l.phi::<P>();
+            if best_split.is_none_or(|(_, bp)| phi > bp) {
+                best_split = Some((i, phi));
+            }
+        }
+        let Some((s, phi_s)) = best_split else {
+            return;
+        };
+
+        // Best merge: sibling-leaf pair with min merged φ. Exclude pairs
+        // touching the split candidate.
+        let mut best_merge: Option<(usize, f64)> = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let Node::Inner { left, right, .. } = n else {
+                continue;
+            };
+            let (Node::Leaf(a), Node::Leaf(b)) = (&self.nodes[*left], &self.nodes[*right])
+            else {
+                continue;
+            };
+            if *left == s || *right == s {
+                continue;
+            }
+            let parent_rect = Rect::new(
+                a.rect.x0.min(b.rect.x0),
+                a.rect.x1.max(b.rect.x1),
+                a.rect.y0.min(b.rect.y0),
+                a.rect.y1.max(b.rect.y1),
+            );
+            let area = parent_rect.area();
+            if area <= 0.0 {
+                continue;
+            }
+            let davg = (a.count() + b.count()) / area;
+            let phi: f64 = [a, b]
+                .iter()
+                .flat_map(|l| {
+                    l.rect
+                        .quadrants()
+                        .into_iter()
+                        .zip(l.counts)
+                        .collect::<Vec<_>>()
+                })
+                .filter(|(q, _)| q.area() > 0.0)
+                .map(|(q, c)| q.area() * P::dev(c / q.area() - davg))
+                .sum();
+            if best_merge.is_none_or(|(_, bp)| phi < bp) {
+                best_merge = Some((i, phi));
+            }
+        }
+
+        let over_capacity = self.leaves >= self.capacity;
+        match best_merge {
+            Some((m, phi_m)) if over_capacity && phi_s > phi_m => {
+                self.merge_children_of(m);
+                self.split_leaf(s);
+            }
+            _ if !over_capacity && phi_s > 0.0 => {
+                // Below capacity: split freely (grow to the budget).
+                self.split_leaf(s);
+            }
+            _ => {}
+        }
+    }
+
+    /// Replaces the inner node `m` (whose children are both leaves) by a
+    /// merged leaf.
+    fn merge_children_of(&mut self, m: usize) {
+        let Node::Inner {
+            left,
+            right,
+            parent,
+        } = self.nodes[m]
+        else {
+            return;
+        };
+        let (Node::Leaf(a), Node::Leaf(b)) = (self.nodes[left].clone(), self.nodes[right].clone())
+        else {
+            return;
+        };
+        let rect = Rect::new(
+            a.rect.x0.min(b.rect.x0),
+            a.rect.x1.max(b.rect.x1),
+            a.rect.y0.min(b.rect.y0),
+            a.rect.y1.max(b.rect.y1),
+        );
+        let merged = Leaf::from_density(rect, parent, &[&a, &b]);
+        // Preserve mass exactly (integration can round).
+        let mut merged = merged;
+        let scale = (a.count() + b.count()) / merged.count().max(1e-12);
+        if merged.count() > 0.0 {
+            for c in &mut merged.counts {
+                *c *= scale;
+            }
+        }
+        self.nodes[m] = Node::Leaf(merged);
+        self.nodes[left] = Node::Free;
+        self.nodes[right] = Node::Free;
+        self.leaves -= 1;
+    }
+
+    /// Splits leaf `s` along the axis with the larger quadrant imbalance.
+    fn split_leaf(&mut self, s: usize) {
+        let Node::Leaf(leaf) = self.nodes[s].clone() else {
+            return;
+        };
+        let [sw, se, nw, ne] = leaf.counts;
+        let x_imbalance = ((sw + nw) - (se + ne)).abs();
+        let y_imbalance = ((sw + se) - (nw + ne)).abs();
+        let wide = leaf.rect.x1 - leaf.rect.x0 > 1.0 + 1e-9;
+        let tall = leaf.rect.y1 - leaf.rect.y0 > 1.0 + 1e-9;
+        let split_x = match (wide, tall) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => x_imbalance >= y_imbalance,
+        };
+        let (ra, rb) = if split_x {
+            let mx = leaf.rect.mid_x();
+            (
+                Rect::new(leaf.rect.x0, mx, leaf.rect.y0, leaf.rect.y1),
+                Rect::new(mx, leaf.rect.x1, leaf.rect.y0, leaf.rect.y1),
+            )
+        } else {
+            let my = leaf.rect.mid_y();
+            (
+                Rect::new(leaf.rect.x0, leaf.rect.x1, leaf.rect.y0, my),
+                Rect::new(leaf.rect.x0, leaf.rect.x1, my, leaf.rect.y1),
+            )
+        };
+        let child_a = Leaf::from_density(ra, s, &[&leaf]);
+        let child_b = Leaf::from_density(rb, s, &[&leaf]);
+        let ia = self.alloc(Node::Leaf(child_a));
+        let ib = self.alloc(Node::Leaf(child_b));
+        self.nodes[s] = Node::Inner {
+            left: ia,
+            right: ib,
+            parent: leaf.parent,
+        };
+        self.leaves += 1;
+    }
+
+    /// Estimated number of points in the inclusive integer rectangle
+    /// `[x.0, x.1] x [y.0, y.1]`.
+    pub fn estimate_range(&self, x: (i64, i64), y: (i64, i64)) -> f64 {
+        if x.1 < x.0 || y.1 < y.0 {
+            return 0.0;
+        }
+        let target = Rect::new(
+            x.0 as f64,
+            (x.1 + 1) as f64,
+            y.0 as f64,
+            (y.1 + 1) as f64,
+        );
+        self.leaf_indices()
+            .into_iter()
+            .map(|i| match &self.nodes[i] {
+                Node::Leaf(l) => l.mass_in(&target),
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// The leaf rectangles and their counts (for inspection/rendering).
+    pub fn cells(&self) -> Vec<(Rect, f64)> {
+        self.leaf_indices()
+            .into_iter()
+            .filter_map(|i| match &self.nodes[i] {
+                Node::Leaf(l) => Some((l.rect, l.count())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::deviation::AbsoluteDeviation;
+
+    type H = Grid2dHistogram<AbsoluteDeviation>;
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect::new(0.0, 10.0, 0.0, 4.0);
+        assert_eq!(r.area(), 40.0);
+        assert!(r.contains(5.0, 2.0));
+        assert!(!r.contains(10.0, 2.0));
+        let o = Rect::new(5.0, 15.0, 2.0, 6.0);
+        assert_eq!(r.intersection_area(&o), 10.0);
+    }
+
+    #[test]
+    fn single_cell_counts() {
+        let mut h = H::new(16, (0, 9), (0, 9));
+        h.insert(3, 3);
+        h.insert(3, 3);
+        assert_eq!(h.total_count(), 2.0);
+        let est = h.estimate_range((0, 9), (0, 9));
+        assert!((est - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splits_up_to_capacity() {
+        let mut h = H::new(8, (0, 99), (0, 99));
+        for i in 0..2000i64 {
+            h.insert(i % 100, (i * 37) % 100);
+        }
+        assert!(h.num_buckets() <= 8);
+        assert!(h.num_buckets() > 1, "should have split at least once");
+        assert_eq!(h.total_count(), 2000.0);
+    }
+
+    #[test]
+    fn mass_is_partitioned_not_duplicated() {
+        let mut h = H::new(16, (0, 49), (0, 49));
+        for i in 0..3000i64 {
+            h.insert((i * 7) % 50, (i * 11) % 50);
+        }
+        let cell_mass: f64 = h.cells().iter().map(|(_, c)| c).sum();
+        assert!((cell_mass - 3000.0).abs() < 1e-6);
+        // Cells must not overlap: total pairwise intersection area == 0.
+        let cells = h.cells();
+        for (i, (a, _)) in cells.iter().enumerate() {
+            for (b, _) in cells.iter().skip(i + 1) {
+                assert!(
+                    a.intersection_area(b) < 1e-9,
+                    "overlapping cells {a:?} and {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concentrates_buckets_on_clusters() {
+        // Two tight clusters; the histogram should resolve them with small
+        // cells while leaving the empty space coarse.
+        let mut h = H::new(24, (0, 199), (0, 199));
+        for i in 0..5000i64 {
+            let (cx, cy) = if i % 2 == 0 { (30, 30) } else { (160, 170) };
+            h.insert(cx + i % 5, cy + (i / 2) % 5);
+        }
+        // Estimates around the clusters should capture most of the mass.
+        let near_a = h.estimate_range((25, 40), (25, 40));
+        let near_b = h.estimate_range((155, 170), (165, 180));
+        assert!(near_a > 1800.0, "cluster A estimate too low: {near_a}");
+        assert!(near_b > 1800.0, "cluster B estimate too low: {near_b}");
+        // The empty middle should be nearly empty.
+        let middle = h.estimate_range((80, 120), (80, 120));
+        assert!(middle < 300.0, "phantom mass in empty space: {middle}");
+    }
+
+    #[test]
+    fn range_estimates_reasonable_on_uniform_data() {
+        let mut h = H::new(32, (0, 99), (0, 99));
+        for x in 0..100i64 {
+            for y in 0..100i64 {
+                h.insert(x, y);
+            }
+        }
+        assert_eq!(h.total_count(), 10_000.0);
+        let quarter = h.estimate_range((0, 49), (0, 49));
+        assert!(
+            (quarter - 2500.0).abs() < 250.0,
+            "quarter estimate {quarter}"
+        );
+    }
+
+    #[test]
+    fn deletions_remove_mass() {
+        let mut h = H::new(16, (0, 19), (0, 19));
+        for x in 0..20i64 {
+            for y in 0..20i64 {
+                h.insert(x, y);
+            }
+        }
+        for x in 0..20i64 {
+            for y in 0..10i64 {
+                h.delete(x, y);
+            }
+        }
+        assert!((h.total_count() - 200.0).abs() < 1e-6);
+        let lower = h.estimate_range((0, 19), (0, 9));
+        let upper = h.estimate_range((0, 19), (10, 19));
+        assert!(
+            upper > lower,
+            "deleted half ({lower}) should hold less than kept half ({upper})"
+        );
+        // Never negative anywhere.
+        assert!(h.cells().iter().all(|&(_, c)| c >= -1e-9));
+    }
+
+    #[test]
+    fn delete_on_empty_is_noop() {
+        let mut h = H::new(4, (0, 9), (0, 9));
+        h.delete(5, 5);
+        assert_eq!(h.total_count(), 0.0);
+    }
+
+    #[test]
+    fn out_of_domain_points_clamp() {
+        let mut h = H::new(4, (0, 9), (0, 9));
+        h.insert(-5, 100);
+        assert_eq!(h.total_count(), 1.0);
+        assert!((h.estimate_range((0, 9), (0, 9)) - 1.0).abs() < 1e-9);
+    }
+}

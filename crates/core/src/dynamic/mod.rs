@@ -1,0 +1,36 @@
+//! The paper's dynamic histograms: incrementally maintained under
+//! insertions and deletions within a fixed memory budget.
+//!
+//! * [`DcHistogram`] — Dynamic Compressed (Section 3): relaxes the
+//!   Compressed partition constraint and repartitions when a chi-square
+//!   test rejects the bucket-count uniformity hypothesis.
+//! * [`DvoHistogram`] / [`DadoHistogram`] — Dynamic V-Optimal and Dynamic
+//!   Average-Deviation Optimal (Section 4): two sub-buckets per bucket and
+//!   split/merge repartitioning driven by the deviation measure φ
+//!   (squared deviations for DVO, absolute deviations for DADO).
+//!
+//! All three share the general idea of Section 3: *"relax histogram
+//! constraints up to a certain point, after which the histogram is
+//! reorganized in order to meet constraints."*
+
+pub mod dc;
+pub mod deviation;
+pub mod grid2d;
+pub mod multi;
+pub mod split_merge;
+
+pub use dc::DcHistogram;
+pub use deviation::{AbsoluteDeviation, DeviationPolicy, SquaredDeviation};
+pub use grid2d::{Grid2dHistogram, Rect};
+pub use multi::MultiSubHistogram;
+pub use split_merge::{DadoHistogram, DvoHistogram, SplitMergeHistogram};
+
+/// A histogram maintenance operation, decoupled from any particular
+/// workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateOp {
+    /// Insert one occurrence of the value.
+    Insert(i64),
+    /// Delete one occurrence of the value.
+    Delete(i64),
+}

@@ -1,0 +1,116 @@
+//! Histogram quality evaluation (Section 6.2 of the paper).
+//!
+//! The paper's metric of choice is the Kolmogorov–Smirnov statistic between
+//! the true data distribution and the distribution the histogram
+//! represents; Eq. (7)'s average relative error over a query workload is
+//! kept as a cross-check. Both are exposed here as one-call helpers.
+
+use crate::bucket::HistogramCdf;
+use crate::distribution::DataDistribution;
+use crate::histogram::ReadHistogram;
+use dh_stats::ks_at_integers;
+use dh_stats::metrics::{avg_relative_error, RangeQuery};
+
+/// KS statistic between a histogram and the exact data distribution.
+///
+/// This is Eq. (6) evaluated exactly: the maximum absolute difference
+/// between the true CDF and the histogram's CDF, both piecewise linear in
+/// the continuous embedding (each integer value occupies its unit
+/// interval). Its value is the maximum selectivity error of any one-sided
+/// range predicate, as a fraction of the relation size; a histogram that
+/// represents the distribution exactly scores 0.
+pub fn ks_error(histogram: &impl ReadHistogram, truth: &DataDistribution) -> f64 {
+    ks_at_integers(&truth.exact_cdf(), &histogram.cdf())
+}
+
+/// KS statistic between a histogram and a precomputed exact truth CDF.
+///
+/// Avoids rebuilding the truth CDF when many histograms are scored against
+/// the same data (every figure in the paper does exactly that).
+pub fn ks_error_against(histogram: &impl ReadHistogram, truth_cdf: &HistogramCdf) -> f64 {
+    ks_at_integers(truth_cdf, &histogram.cdf())
+}
+
+/// Eq. (7): average relative selectivity error (percent) of the histogram
+/// over a range-query workload, against the exact distribution.
+pub fn avg_relative_error_of(
+    histogram: &impl ReadHistogram,
+    truth: &DataDistribution,
+    queries: &[RangeQuery],
+) -> f64 {
+    avg_relative_error(&truth.exact_cdf(), &histogram.cdf(), queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::BucketSpan;
+
+    /// A histogram that represents `truth` perfectly: one unit-width bucket
+    /// per distinct value.
+    struct Exact(Vec<BucketSpan>);
+    impl ReadHistogram for Exact {
+        fn spans(&self) -> Vec<BucketSpan> {
+            self.0.clone()
+        }
+    }
+
+    fn exact_of(truth: &DataDistribution) -> Exact {
+        Exact(
+            truth
+                .iter()
+                .map(|(v, c)| BucketSpan::new(v as f64, v as f64 + 1.0, c as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn perfect_histogram_scores_zero() {
+        let truth = DataDistribution::from_values(&[1, 5, 5, 9, 9, 9]);
+        let h = exact_of(&truth);
+        assert!(ks_error(&h, &truth) < 1e-12);
+    }
+
+    #[test]
+    fn single_bucket_over_spike_scores_poorly() {
+        // All mass at value 0, histogram spreads it over [0, 100).
+        let truth = DataDistribution::from_values(&[0; 50]);
+        let h = Exact(vec![BucketSpan::new(0.0, 100.0, 50.0)]);
+        let ks = ks_error(&h, &truth);
+        assert!(ks > 0.9, "expected near-total error, got {ks}");
+    }
+
+    #[test]
+    fn equi_depth_error_bounded_by_bucket_fraction() {
+        // Uniform data split into 4 exact equi-depth buckets: the paper's
+        // 1/beta bound (Section 7.2.1).
+        let values: Vec<i64> = (0..1000).collect();
+        let truth = DataDistribution::from_values(&values);
+        let h = Exact(
+            (0..4)
+                .map(|i| BucketSpan::new(f64::from(i) * 250.0, f64::from(i + 1) * 250.0, 250.0))
+                .collect(),
+        );
+        let ks = ks_error(&h, &truth);
+        assert!(ks <= 0.25 + 1e-9, "1/beta bound violated: {ks}");
+        // For perfectly uniform data the error is in fact tiny.
+        assert!(ks < 0.01, "uniform data should be easy: {ks}");
+    }
+
+    #[test]
+    fn ks_error_against_matches_ks_error() {
+        let truth = DataDistribution::from_values(&[3, 3, 8, 12]);
+        let h = Exact(vec![BucketSpan::new(3.0, 13.0, 4.0)]);
+        let a = ks_error(&h, &truth);
+        let b = ks_error_against(&h, &truth.exact_cdf());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn relative_error_zero_for_exact_histogram() {
+        let truth = DataDistribution::from_values(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let h = exact_of(&truth);
+        let queries = dh_stats::metrics::uniform_range_workload(0.0, 10.0, 32);
+        assert!(avg_relative_error_of(&h, &truth, &queries) < 1e-9);
+    }
+}

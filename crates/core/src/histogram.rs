@@ -1,0 +1,134 @@
+//! The read and maintenance traits every histogram implements.
+//!
+//! [`ReadHistogram`] is the estimation interface a query optimizer would
+//! consume: selectivity of range and equality predicates under the uniform
+//! and continuous-value assumptions. [`Histogram`] adds the incremental
+//! maintenance operations that distinguish the paper's *dynamic* histograms
+//! (static histograms implement only `ReadHistogram` and are rebuilt from
+//! scratch).
+
+use crate::bucket::{BucketSpan, HistogramCdf};
+
+/// Read-side histogram interface: rendering as bucket spans and
+/// selectivity estimation.
+///
+/// Estimates use the continuous embedding (integer value `v` occupies
+/// `[v, v+1)`); see the crate-level documentation.
+pub trait ReadHistogram {
+    /// The buckets as sorted, non-overlapping spans on the continuous axis.
+    fn spans(&self) -> Vec<BucketSpan>;
+
+    /// Total mass (number of live data points represented).
+    fn total_count(&self) -> f64 {
+        self.spans().iter().map(|s| s.count).sum()
+    }
+
+    /// Number of buckets currently held.
+    fn num_buckets(&self) -> usize {
+        self.spans().len()
+    }
+
+    /// The piecewise-linear CDF of this histogram.
+    fn cdf(&self) -> HistogramCdf {
+        HistogramCdf::from_spans(self.spans())
+    }
+
+    /// Estimated number of data points with value `<= v`.
+    fn estimate_le(&self, v: i64) -> f64 {
+        self.cdf().mass_below(v as f64 + 1.0)
+    }
+
+    /// Estimated number of data points with value strictly below the
+    /// continuous coordinate `x` (for integer `x` this is `|{val < x}|`).
+    fn estimate_less_than(&self, x: f64) -> f64 {
+        self.cdf().mass_below(x)
+    }
+
+    /// Estimated number of data points with value in the inclusive integer
+    /// range `[a, b]`.
+    fn estimate_range(&self, a: i64, b: i64) -> f64 {
+        if a > b {
+            return 0.0;
+        }
+        self.cdf().mass_in(a as f64, b as f64 + 1.0)
+    }
+
+    /// Estimated number of data points equal to `v`.
+    fn estimate_eq(&self, v: i64) -> f64 {
+        self.estimate_range(v, v)
+    }
+}
+
+/// A histogram that is maintained incrementally as the data set evolves —
+/// the defining capability of the paper's dynamic histograms.
+pub trait Histogram: ReadHistogram {
+    /// Observes the insertion of one occurrence of `v` into the data set.
+    fn insert(&mut self, v: i64);
+
+    /// Observes the deletion of one occurrence of `v` from the data set.
+    ///
+    /// Deletion is "simply the inverse of insertion" (Section 7.3):
+    /// implementations decrement the appropriate counter, falling back to
+    /// the closest non-empty bucket when the target bucket has spilled.
+    fn delete(&mut self, v: i64);
+
+    /// Replays a stream of updates.
+    fn apply<I: IntoIterator<Item = crate::dynamic::UpdateOp>>(&mut self, updates: I)
+    where
+        Self: Sized,
+    {
+        for u in updates {
+            match u {
+                crate::dynamic::UpdateOp::Insert(v) => self.insert(v),
+                crate::dynamic::UpdateOp::Delete(v) => self.delete(v),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed two-bucket histogram for exercising the default estimators.
+    struct Fixed;
+    impl ReadHistogram for Fixed {
+        fn spans(&self) -> Vec<BucketSpan> {
+            vec![
+                BucketSpan::new(0.0, 10.0, 100.0),
+                BucketSpan::new(10.0, 20.0, 300.0),
+            ]
+        }
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        assert_eq!(Fixed.total_count(), 400.0);
+        assert_eq!(Fixed.num_buckets(), 2);
+    }
+
+    #[test]
+    fn estimate_le_uses_continuous_embedding() {
+        // Values 0..=9 live in [0,10): estimate_le(9) covers all of it.
+        assert!((Fixed.estimate_le(9) - 100.0).abs() < 1e-9);
+        // estimate_le(4) covers [0,5) = half the first bucket.
+        assert!((Fixed.estimate_le(4) - 50.0).abs() < 1e-9);
+        assert!((Fixed.estimate_le(19) - 400.0).abs() < 1e-9);
+        assert_eq!(Fixed.estimate_le(-1), 0.0);
+    }
+
+    #[test]
+    fn estimate_range_and_eq() {
+        // [10, 19] is the whole second bucket.
+        assert!((Fixed.estimate_range(10, 19) - 300.0).abs() < 1e-9);
+        // A single value in the second bucket gets 1/10 of its mass.
+        assert!((Fixed.estimate_eq(15) - 30.0).abs() < 1e-9);
+        assert_eq!(Fixed.estimate_range(5, 3), 0.0);
+    }
+
+    #[test]
+    fn estimate_less_than_fractional() {
+        assert!((Fixed.estimate_less_than(5.0) - 50.0).abs() < 1e-9);
+        assert!((Fixed.estimate_less_than(0.0)).abs() < 1e-9);
+    }
+}

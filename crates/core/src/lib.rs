@@ -1,0 +1,50 @@
+//! Core histogram framework and the dynamic histograms of *Dynamic
+//! Histograms: Capturing Evolving Data Sets* (ICDE 2000): Dynamic
+//! Compressed (DC), Dynamic V-Optimal (DVO) and Dynamic Average-Deviation
+//! Optimal (DADO).
+//!
+//! # The framework
+//!
+//! Following the histogram framework of Poosala et al. (reference [9] of
+//! the paper), a histogram partitions the value axis into contiguous,
+//! non-overlapping buckets and stores aggregate information per bucket.
+//! Approximate distributions are reconstructed under two assumptions:
+//!
+//! * **uniform distribution** — mass is spread evenly inside a bucket;
+//! * **continuous values** — every value in a bucket's range is assumed
+//!   present.
+//!
+//! # The integer-value embedding
+//!
+//! Datasets are multisets of `i64` values. Internally each integer value
+//! `v` occupies the unit interval `[v, v+1)` of a continuous axis, so that
+//! a "width one" bucket (the paper's *singular* bucket) is exactly the unit
+//! interval of a single value and bucket borders may sit at fractional
+//! positions (DC repartitioning places them there). All estimators convert
+//! back to integer semantics: [`ReadHistogram::estimate_le`] answers
+//! `|{x : x <= v}|` and so on.
+//!
+//! # Modules
+//!
+//! * [`bucket`] — bucket spans and the piecewise-linear [`HistogramCdf`].
+//! * [`distribution`] — exact [`DataDistribution`] ground truth.
+//! * [`memory`] — the paper's byte-budget model ([`MemoryBudget`]).
+//! * [`histogram`] — the [`ReadHistogram`]/[`Histogram`] traits.
+//! * [`dynamic`] — DC, DVO and DADO.
+//! * [`evaluate`] — KS-statistic evaluation glue (Section 6.2).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bucket;
+pub mod distribution;
+pub mod dynamic;
+pub mod evaluate;
+pub mod histogram;
+pub mod memory;
+
+pub use bucket::{BucketSpan, HistogramCdf};
+pub use distribution::DataDistribution;
+pub use evaluate::{avg_relative_error_of, ks_error};
+pub use histogram::{Histogram, ReadHistogram};
+pub use memory::{HistogramClass, MemoryBudget};

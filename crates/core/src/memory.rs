@@ -1,0 +1,191 @@
+//! The paper's memory-budget model.
+//!
+//! Section 7 compares every algorithm at equal amounts of *main memory*
+//! measured in bytes (sweeping 0.11 KB – 4 KB), with 4-byte numbers as was
+//! standard on 1999 hardware. Each histogram class converts a byte budget
+//! into a bucket count according to its per-bucket layout:
+//!
+//! * DC and all the static histograms store one left border and one count
+//!   per bucket, plus the closing right border:
+//!   `bytes = (n + 1) * 4 + n * 4` (Section 3.1).
+//! * DVO and DADO store one left border and **two** sub-bucket counters per
+//!   bucket: `bytes = (n + 1) * 4 + 2 * n * 4` (Section 4.4).
+//!
+//! The Approximate Compressed baseline additionally receives a *disk*
+//! budget of `disk_factor x memory` bytes for its backing sample, at 4
+//! bytes per sampled element.
+
+/// Size of one stored number (border or counter) in bytes, per the paper.
+pub const BYTES_PER_NUMBER: usize = 4;
+
+/// Per-bucket storage layout of a histogram class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistogramClass {
+    /// One border + one counter per bucket: DC, Equi-Width, Equi-Depth,
+    /// Compressed, V-Optimal, SADO, SSBM, and the in-memory part of AC.
+    BorderAndCount,
+    /// One border + two sub-bucket counters per bucket: DVO and DADO.
+    BorderAndTwoCounters,
+}
+
+impl HistogramClass {
+    /// Bytes consumed by `n` buckets of this class (including the closing
+    /// border).
+    pub fn bytes_for(self, buckets: usize) -> usize {
+        let numbers = match self {
+            HistogramClass::BorderAndCount => (buckets + 1) + buckets,
+            HistogramClass::BorderAndTwoCounters => (buckets + 1) + 2 * buckets,
+        };
+        numbers * BYTES_PER_NUMBER
+    }
+}
+
+/// A main-memory budget in bytes, convertible to bucket counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemoryBudget {
+    bytes: usize,
+}
+
+impl MemoryBudget {
+    /// A budget of exactly `bytes` bytes.
+    pub fn from_bytes(bytes: usize) -> Self {
+        Self { bytes }
+    }
+
+    /// A budget of `kb` kilobytes (1 KB = 1024 bytes), rounded down.
+    ///
+    /// # Panics
+    /// Panics if `kb` is negative or non-finite.
+    pub fn from_kb(kb: f64) -> Self {
+        assert!(kb.is_finite() && kb >= 0.0, "invalid KB budget: {kb}");
+        Self {
+            bytes: (kb * 1024.0).floor() as usize,
+        }
+    }
+
+    /// The budget in bytes.
+    pub fn bytes(self) -> usize {
+        self.bytes
+    }
+
+    /// The budget in kilobytes.
+    pub fn kb(self) -> f64 {
+        self.bytes as f64 / 1024.0
+    }
+
+    /// Largest bucket count of the given class that fits, but never fewer
+    /// than one bucket (a histogram must exist to be measured).
+    pub fn buckets(self, class: HistogramClass) -> usize {
+        let per_number = BYTES_PER_NUMBER;
+        let numbers = self.bytes / per_number;
+        let n = match class {
+            // numbers = 2n + 1  =>  n = (numbers - 1) / 2
+            HistogramClass::BorderAndCount => numbers.saturating_sub(1) / 2,
+            // numbers = 3n + 1  =>  n = (numbers - 1) / 3
+            HistogramClass::BorderAndTwoCounters => numbers.saturating_sub(1) / 3,
+        };
+        n.max(1)
+    }
+
+    /// Largest bucket count for a layout of one border plus `counters`
+    /// counters per bucket (generalizing [`Self::buckets`]): used by the
+    /// sub-bucket ablation of Section 4, where finer subdivisions pay for
+    /// themselves in lost buckets.
+    ///
+    /// # Panics
+    /// Panics if `counters == 0`.
+    pub fn buckets_with_counters(self, counters: usize) -> usize {
+        assert!(counters > 0, "buckets need at least one counter");
+        let numbers = self.bytes / BYTES_PER_NUMBER;
+        (numbers.saturating_sub(1) / (counters + 1)).max(1)
+    }
+
+    /// Number of 4-byte sample elements a disk allowance of
+    /// `factor x self` can hold — the backing-sample size of the AC
+    /// baseline ("disk space equal to twenty times the main memory").
+    pub fn sample_elements(self, disk_factor: usize) -> usize {
+        (self.bytes * disk_factor) / BYTES_PER_NUMBER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_kb_bucket_counts_match_paper_layouts() {
+        let m = MemoryBudget::from_kb(1.0);
+        assert_eq!(m.bytes(), 1024);
+        // (1024/4 - 1) / 2 = 127 buckets for border+count.
+        assert_eq!(m.buckets(HistogramClass::BorderAndCount), 127);
+        // (1024/4 - 1) / 3 = 85 buckets for border+2 counters.
+        assert_eq!(m.buckets(HistogramClass::BorderAndTwoCounters), 85);
+    }
+
+    #[test]
+    fn bytes_for_inverts_buckets() {
+        for &class in &[
+            HistogramClass::BorderAndCount,
+            HistogramClass::BorderAndTwoCounters,
+        ] {
+            for bytes in [100usize, 143, 512, 1024, 4096] {
+                let m = MemoryBudget::from_bytes(bytes);
+                let n = m.buckets(class);
+                assert!(
+                    class.bytes_for(n) <= bytes || n == 1,
+                    "{class:?} with {bytes}B gave {n} buckets needing {} bytes",
+                    class.bytes_for(n)
+                );
+                // One more bucket would not fit.
+                assert!(class.bytes_for(n + 1) > bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn small_budgets_still_give_one_bucket() {
+        let m = MemoryBudget::from_bytes(0);
+        assert_eq!(m.buckets(HistogramClass::BorderAndCount), 1);
+        assert_eq!(m.buckets(HistogramClass::BorderAndTwoCounters), 1);
+    }
+
+    #[test]
+    fn paper_static_figure_budget() {
+        // Figs 9-12 use M = 0.14 KB = 143 bytes.
+        let m = MemoryBudget::from_kb(0.14);
+        assert_eq!(m.bytes(), 143);
+        assert_eq!(m.buckets(HistogramClass::BorderAndCount), 17);
+        assert_eq!(m.buckets(HistogramClass::BorderAndTwoCounters), 11);
+    }
+
+    #[test]
+    fn generalized_counter_layout_matches_fixed_classes() {
+        let m = MemoryBudget::from_kb(1.0);
+        assert_eq!(
+            m.buckets_with_counters(1),
+            m.buckets(HistogramClass::BorderAndCount)
+        );
+        assert_eq!(
+            m.buckets_with_counters(2),
+            m.buckets(HistogramClass::BorderAndTwoCounters)
+        );
+        // More counters per bucket means fewer buckets.
+        assert!(m.buckets_with_counters(4) < m.buckets_with_counters(2));
+        assert_eq!(m.buckets_with_counters(4), 51);
+    }
+
+    #[test]
+    fn sample_elements_scale_with_disk_factor() {
+        let m = MemoryBudget::from_kb(1.0);
+        assert_eq!(m.sample_elements(20), 5120);
+        assert_eq!(m.sample_elements(40), 10240);
+        assert_eq!(m.sample_elements(60), 15360);
+    }
+
+    #[test]
+    fn kb_roundtrip() {
+        let m = MemoryBudget::from_kb(0.25);
+        assert_eq!(m.bytes(), 256);
+        assert!((m.kb() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Member-site data generation for the shared-nothing experiments.
+//!
+//! Per Section 8: every union member holds data distributed within some
+//! attribute range according to a Zipf law with parameter `Z_Freq`; the
+//! range of each member is uniformly and randomly placed in the global
+//! domain; the number of data points per member follows a Zipf law with
+//! parameter `Z_Site`. Defaults match the paper: 5 sites, 250 bytes of
+//! histogram memory, `Z_Freq = 1`, `Z_Site = 0`.
+
+use dh_core::{HistogramClass, MemoryBudget};
+use dh_gen::Zipf;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a shared-nothing histogram experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedConfig {
+    /// Number of member sites (paper default: 5).
+    pub sites: usize,
+    /// Global attribute domain, inclusive.
+    pub domain_min: i64,
+    /// Global attribute domain, inclusive.
+    pub domain_max: i64,
+    /// Total data points across all members.
+    pub total_points: u64,
+    /// Zipf skew of value frequencies within a member (paper default: 1).
+    pub z_freq: f64,
+    /// Zipf skew of member sizes (paper default: 0 = equal sites).
+    pub z_site: f64,
+    /// Main-memory budget for every histogram, member and global alike
+    /// (paper default: 250 bytes).
+    pub memory: MemoryBudget,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        Self {
+            sites: 5,
+            domain_min: 0,
+            domain_max: 5000,
+            total_points: 100_000,
+            z_freq: 1.0,
+            z_site: 0.0,
+            memory: MemoryBudget::from_bytes(250),
+        }
+    }
+}
+
+/// One member site's data.
+#[derive(Debug, Clone)]
+pub struct SiteData {
+    /// The member's attribute range (inclusive).
+    pub range: (i64, i64),
+    /// The member's data points.
+    pub values: Vec<i64>,
+}
+
+impl DistributedConfig {
+    /// Bucket count every histogram gets under the memory budget (SSBM
+    /// buckets store one border and one count).
+    pub fn buckets(&self) -> usize {
+        self.memory.buckets(HistogramClass::BorderAndCount)
+    }
+
+    /// Generates all member sites deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations.
+    pub fn generate_sites(&self, seed: u64) -> Vec<SiteData> {
+        assert!(self.sites > 0, "need at least one site");
+        assert!(self.domain_max > self.domain_min, "empty domain");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Member sizes: Zipf(Z_Site), randomly permuted across members.
+        let sizes_dist = Zipf::new(self.sites, self.z_site);
+        let mut sizes = sizes_dist.apportion(self.total_points);
+        sizes.shuffle(&mut rng);
+
+        (0..self.sites)
+            .map(|i| {
+                // Uniformly random attribute subrange (at least 32 values
+                // wide so a Zipf law has room to act).
+                let width = self.domain_max - self.domain_min;
+                let min_span = width.min(32);
+                let a = rng.gen_range(self.domain_min..=self.domain_max - min_span);
+                let b = rng.gen_range(a + min_span..=self.domain_max);
+                let span = (b - a + 1) as usize;
+
+                // Zipf(Z_Freq) frequencies over the member's values, with
+                // ranks randomly assigned to positions.
+                let zipf = Zipf::new(span, self.z_freq);
+                let mut counts = zipf.apportion(sizes[i]);
+                counts.shuffle(&mut rng);
+
+                let mut values = Vec::with_capacity(sizes[i] as usize);
+                for (offset, &c) in counts.iter().enumerate() {
+                    let v = a + offset as i64;
+                    values.extend(std::iter::repeat_n(v, c as usize));
+                }
+                values.shuffle(&mut rng);
+                SiteData {
+                    range: (a, b),
+                    values,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let cfg = DistributedConfig::default();
+        assert_eq!(cfg.sites, 5);
+        assert_eq!(cfg.memory.bytes(), 250);
+        assert_eq!(cfg.z_freq, 1.0);
+        assert_eq!(cfg.z_site, 0.0);
+    }
+
+    #[test]
+    fn sites_hold_all_points() {
+        let cfg = DistributedConfig {
+            total_points: 10_000,
+            ..DistributedConfig::default()
+        };
+        let sites = cfg.generate_sites(1);
+        assert_eq!(sites.len(), 5);
+        let total: usize = sites.iter().map(|s| s.values.len()).sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn values_stay_in_member_ranges() {
+        let cfg = DistributedConfig {
+            total_points: 5_000,
+            ..DistributedConfig::default()
+        };
+        for site in cfg.generate_sites(2) {
+            let (a, b) = site.range;
+            assert!(a >= 0 && b <= 5000 && a < b);
+            assert!(site.values.iter().all(|&v| (a..=b).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn z_site_zero_gives_equal_members() {
+        let cfg = DistributedConfig {
+            total_points: 10_000,
+            z_site: 0.0,
+            ..DistributedConfig::default()
+        };
+        let sites = cfg.generate_sites(3);
+        for s in &sites {
+            assert_eq!(s.values.len(), 2000);
+        }
+    }
+
+    #[test]
+    fn z_site_skews_member_sizes() {
+        let cfg = DistributedConfig {
+            total_points: 10_000,
+            z_site: 2.0,
+            ..DistributedConfig::default()
+        };
+        let sites = cfg.generate_sites(4);
+        let max = sites.iter().map(|s| s.values.len()).max().unwrap();
+        let min = sites.iter().map(|s| s.values.len()).min().unwrap();
+        assert!(max > 4 * min.max(1), "expected skewed sizes, {min}..{max}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = DistributedConfig {
+            total_points: 1000,
+            ..DistributedConfig::default()
+        };
+        let a = cfg.generate_sites(9);
+        let b = cfg.generate_sites(9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.range, y.range);
+            assert_eq!(x.values, y.values);
+        }
+    }
+
+    #[test]
+    fn default_buckets_match_memory_model() {
+        // 250 bytes / 4 = 62 numbers; (62 - 1) / 2 = 30 buckets.
+        assert_eq!(DistributedConfig::default().buckets(), 30);
+    }
+}

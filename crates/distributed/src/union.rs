@@ -1,0 +1,163 @@
+//! Histogram superposition and the two global-histogram strategies.
+//!
+//! Superposition is the lossless union of Section 8: the composite
+//! histogram has a bucket border wherever *any* member histogram has one,
+//! and each elementary interval carries the sum of the member densities
+//! over it. The composite can then be treated as a data set and re-reduced
+//! with any partitioning strategy — here SSBM, matching the paper's setup.
+
+use crate::site::{DistributedConfig, SiteData};
+use dh_core::dynamic::deviation::SquaredDeviation;
+use dh_core::{BucketSpan, DataDistribution, ReadHistogram};
+use dh_static::ssbm::ssbm_reduce;
+use dh_static::SsbmHistogram;
+
+/// How the global histogram is constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalStrategy {
+    /// Build an SSBM histogram per member, superimpose them, then reduce
+    /// the composite back to the memory budget with SSBM merging.
+    HistogramThenUnion,
+    /// Pool all member data and build a single SSBM histogram directly.
+    UnionThenHistogram,
+}
+
+/// Losslessly superimposes several span lists: output spans cover every
+/// elementary interval between consecutive borders of the union, each
+/// carrying the summed mass of all inputs over that interval.
+pub fn superimpose(histograms: &[Vec<BucketSpan>]) -> Vec<BucketSpan> {
+    let mut borders: Vec<f64> = histograms
+        .iter()
+        .flatten()
+        .flat_map(|s| [s.lo, s.hi])
+        .collect();
+    borders.sort_by(f64::total_cmp);
+    borders.dedup();
+    if borders.len() < 2 {
+        return Vec::new();
+    }
+
+    // Density sweep: +density at lo, -density at hi for every span.
+    let mut events: Vec<(f64, f64)> = Vec::new();
+    for s in histograms.iter().flatten() {
+        let d = s.density();
+        if d > 0.0 {
+            events.push((s.lo, d));
+            events.push((s.hi, -d));
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut out = Vec::with_capacity(borders.len() - 1);
+    let mut density = 0.0;
+    let mut ev = events.iter().peekable();
+    for w in borders.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        while let Some(&&(x, d)) = ev.peek() {
+            if x <= a {
+                density += d;
+                ev.next();
+            } else {
+                break;
+            }
+        }
+        let count = density.max(0.0) * (b - a);
+        out.push(BucketSpan::new(a, b, count));
+    }
+    out
+}
+
+/// Builds the global histogram for the given member sites under the
+/// configured memory budget.
+pub fn build_global(
+    cfg: &DistributedConfig,
+    sites: &[SiteData],
+    strategy: GlobalStrategy,
+) -> SsbmHistogram {
+    let buckets = cfg.buckets();
+    match strategy {
+        GlobalStrategy::HistogramThenUnion => {
+            let members: Vec<Vec<BucketSpan>> = sites
+                .iter()
+                .map(|s| {
+                    let dist = DataDistribution::from_values(&s.values);
+                    SsbmHistogram::build(&dist, buckets).spans()
+                })
+                .collect();
+            let composite = superimpose(&members);
+            SsbmHistogram::from_spans(ssbm_reduce::<SquaredDeviation>(
+                &composite, buckets,
+            ))
+        }
+        GlobalStrategy::UnionThenHistogram => {
+            let mut pooled = DataDistribution::new();
+            for s in sites {
+                for &v in &s.values {
+                    pooled.insert(v);
+                }
+            }
+            SsbmHistogram::build(&pooled, buckets)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superposition_preserves_mass() {
+        let a = vec![
+            BucketSpan::new(0.0, 10.0, 100.0),
+            BucketSpan::new(10.0, 20.0, 50.0),
+        ];
+        let b = vec![BucketSpan::new(5.0, 15.0, 60.0)];
+        let merged = superimpose(&[a, b]);
+        let mass: f64 = merged.iter().map(|s| s.count).sum();
+        assert!((mass - 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn superposition_has_borders_of_both_inputs() {
+        let a = vec![BucketSpan::new(0.0, 10.0, 10.0)];
+        let b = vec![BucketSpan::new(5.0, 15.0, 10.0)];
+        let merged = superimpose(&[a, b]);
+        let borders: Vec<f64> = merged.iter().map(|s| s.lo).collect();
+        assert_eq!(borders, vec![0.0, 5.0, 10.0]);
+        assert_eq!(merged.last().unwrap().hi, 15.0);
+    }
+
+    #[test]
+    fn superposition_is_lossless_for_disjoint_members() {
+        // Two members on disjoint ranges: superposition reproduces each
+        // member's density exactly.
+        let a = vec![BucketSpan::new(0.0, 4.0, 8.0)];
+        let b = vec![BucketSpan::new(100.0, 104.0, 4.0)];
+        let merged = superimpose(&[a.clone(), b.clone()]);
+        // Region [0,4): density 2; gap [4,100): 0; [100,104): density 1.
+        let at = |x: f64| {
+            merged
+                .iter()
+                .find(|s| x >= s.lo && x < s.hi)
+                .map(|s| s.density())
+                .unwrap_or(0.0)
+        };
+        assert!((at(1.0) - 2.0).abs() < 1e-12);
+        assert!((at(50.0) - 0.0).abs() < 1e-12);
+        assert!((at(101.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superposition_of_nothing_is_empty() {
+        assert!(superimpose(&[]).is_empty());
+        assert!(superimpose(&[vec![]]).is_empty());
+    }
+
+    #[test]
+    fn overlapping_identical_members_double_density() {
+        let a = vec![BucketSpan::new(0.0, 10.0, 10.0)];
+        let merged = superimpose(&[a.clone(), a]);
+        assert_eq!(merged.len(), 1);
+        assert!((merged[0].count - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Synthetic data distributions and update workloads for histogram
+//! evaluation — the substrate behind Sections 6.1 and 7 of *Dynamic
+//! Histograms: Capturing Evolving Data Sets*.
+//!
+//! The paper evaluates every algorithm on a parameterizable family of
+//! clustered integer distributions:
+//!
+//! * cluster **centers** spread over the domain with Zipf-skewed gaps
+//!   (parameter `S`),
+//! * cluster **sizes** Zipf-skewed (parameter `Z`),
+//! * per-cluster **shape** (normal by default) with standard deviation `SD`,
+//! * `C` clusters, 100,000 points over `[0, 5000]` by default,
+//! * random correlation between spreads and frequencies.
+//!
+//! On top of the datasets, [`workload`] builds the five update patterns of
+//! Section 7 (random inserts, sorted inserts, mixed inserts/deletes, inserts
+//! followed by deletes, sorted inserts followed by sorted deletes), and
+//! [`mailorder`] synthesizes a stand-in for the paper's proprietary
+//! mail-order trace (see DESIGN.md for the substitution rationale).
+//!
+//! Everything is seeded explicitly; the same seed always yields the same
+//! dataset and the same update stream.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod mailorder;
+pub mod synthetic;
+pub mod workload;
+pub mod zipf;
+
+pub use cluster::ClusterShape;
+pub use synthetic::{SyntheticConfig, SyntheticDataset};
+pub use workload::{Update, UpdateStream, WorkloadKind};
+pub use zipf::Zipf;
+
+/// Exact frequency table of a value multiset, sorted by value.
+///
+/// The "true distribution" side of every evaluation in the paper.
+pub fn frequency_table(values: &[i64]) -> Vec<(i64, u64)> {
+    use std::collections::BTreeMap;
+    let mut freq: BTreeMap<i64, u64> = BTreeMap::new();
+    for &v in values {
+        *freq.entry(v).or_insert(0) += 1;
+    }
+    freq.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_table_counts_and_sorts() {
+        let t = frequency_table(&[5, 3, 5, 5, 3, 1]);
+        assert_eq!(t, vec![(1, 1), (3, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn frequency_table_empty() {
+        assert!(frequency_table(&[]).is_empty());
+    }
+}

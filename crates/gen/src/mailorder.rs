@@ -1,0 +1,182 @@
+//! Synthetic stand-in for the paper's proprietary mail-order trace.
+//!
+//! Section 7.4 evaluates the histograms on 61,105 dollar amounts collected
+//! by a mail-order company over `[0, 500]`, describing the distribution as
+//! "very spiky": the density plot shows tall isolated spikes (catalog price
+//! points) over a decaying bulk. The trace itself is not available, so this
+//! module generates a distribution with the same statistical character:
+//!
+//! * a few hundred *price-point spikes* (multiples of $5 and the
+//!   psychological `x9` price endings) whose heights follow a Zipf law —
+//!   these carry most of the mass, exactly the feature that makes the
+//!   dataset hard for histograms without singular buckets;
+//! * an exponentially decaying *bulk* of arbitrary amounts, reproducing the
+//!   long right tail of typical order values.
+//!
+//! The record count (61,105) and domain (`[0, 500]`) match the paper, so
+//! Fig. 19's memory sweep runs on the same scale.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Number of records in the paper's trace.
+pub const MAILORDER_RECORDS: usize = 61_105;
+/// Inclusive upper bound of the dollar-amount domain.
+pub const MAILORDER_MAX: i64 = 500;
+
+/// Configuration of the synthetic mail-order generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MailOrderConfig {
+    /// Total number of records (default: the paper's 61,105).
+    pub records: usize,
+    /// Fraction of mass carried by price-point spikes (default 0.75).
+    pub spike_mass: f64,
+    /// Zipf skew of spike popularity (default 1.0).
+    pub spike_skew: f64,
+    /// Mean of the exponential bulk of order amounts (default $55).
+    pub bulk_mean: f64,
+}
+
+impl Default for MailOrderConfig {
+    fn default() -> Self {
+        Self {
+            records: MAILORDER_RECORDS,
+            spike_mass: 0.75,
+            spike_skew: 1.0,
+            bulk_mean: 55.0,
+        }
+    }
+}
+
+impl MailOrderConfig {
+    /// Generates the synthetic trace in random order (the paper notes the
+    /// real data arrives "in approximately random order").
+    pub fn generate(&self, seed: u64) -> Vec<i64> {
+        assert!(self.records > 0, "need at least one record");
+        assert!(
+            (0.0..=1.0).contains(&self.spike_mass),
+            "spike mass must be a fraction"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let spikes = price_points();
+        // Popularity ranks are a random permutation of the price points:
+        // cheap catalog staples are not necessarily the most frequent, and
+        // this avoids a monotone frequency/value correlation the real trace
+        // would not have.
+        let mut ranked = spikes.clone();
+        ranked.shuffle(&mut rng);
+        let zipf = Zipf::new(ranked.len(), self.spike_skew);
+
+        let spike_records = (self.records as f64 * self.spike_mass).round() as usize;
+        let bulk_records = self.records - spike_records;
+
+        let mut values = Vec::with_capacity(self.records);
+        let per_spike = zipf.apportion(spike_records as u64);
+        for (&value, &count) in ranked.iter().zip(&per_spike) {
+            values.extend(std::iter::repeat_n(value, count as usize));
+        }
+        for _ in 0..bulk_records {
+            values.push(sample_bulk(&mut rng, self.bulk_mean));
+        }
+        values.shuffle(&mut rng);
+        values
+    }
+}
+
+/// Generates the default synthetic mail-order trace.
+pub fn mailorder_trace(seed: u64) -> Vec<i64> {
+    MailOrderConfig::default().generate(seed)
+}
+
+/// Catalog-style price points in dollars: every multiple of 5 up to $100,
+/// every multiple of 10 up to $500, and the `x9` psychological endings
+/// ($9, $19, ..., $149) — a few hundred distinct spikes, like the paper's
+/// density plot.
+fn price_points() -> Vec<i64> {
+    let mut points: Vec<i64> = Vec::new();
+    points.extend((1..=20).map(|k| 5 * k)); // 5, 10, ..., 100
+    points.extend((11..=50).map(|k| 10 * k)); // 110, 120, ..., 500
+    points.extend((0..50).map(|k| 10 * k + 9)); // 9, 19, ..., 499
+    points.extend((0..40).map(|k| 5 * k + 4)); // 4, 9(dup), 14, ..., 199
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// One bulk (non-spike) order amount: exponential with the given mean,
+/// re-drawn until it lands in the domain, rounded to whole dollars.
+fn sample_bulk(rng: &mut StdRng, mean: f64) -> i64 {
+    loop {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let x = -mean * u.ln();
+        let v = x.round() as i64;
+        if (0..=MAILORDER_MAX).contains(&v) {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frequency_table;
+
+    #[test]
+    fn trace_has_paper_cardinality_and_domain() {
+        let t = mailorder_trace(1);
+        assert_eq!(t.len(), MAILORDER_RECORDS);
+        assert!(t.iter().all(|&v| (0..=MAILORDER_MAX).contains(&v)));
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        assert_eq!(mailorder_trace(5), mailorder_trace(5));
+        assert_ne!(mailorder_trace(5), mailorder_trace(6));
+    }
+
+    #[test]
+    fn trace_is_spiky() {
+        // The top-20 most frequent values should carry a large share of all
+        // records — the property that makes the paper call the data "spiky"
+        // and that stresses singular-bucket handling.
+        let t = mailorder_trace(2);
+        let mut freqs: Vec<u64> = frequency_table(&t).into_iter().map(|(_, c)| c).collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top20: u64 = freqs.iter().take(20).sum();
+        let share = top20 as f64 / t.len() as f64;
+        assert!(share > 0.3, "top-20 share too small: {share}");
+        // ...but the support is still wide (a bulk exists).
+        assert!(freqs.len() > 300, "support too narrow: {}", freqs.len());
+    }
+
+    #[test]
+    fn spike_mass_parameter_controls_spikiness() {
+        let heavy = MailOrderConfig {
+            spike_mass: 0.95,
+            ..MailOrderConfig::default()
+        }
+        .generate(3);
+        let light = MailOrderConfig {
+            spike_mass: 0.05,
+            ..MailOrderConfig::default()
+        }
+        .generate(3);
+        let top = |t: &[i64]| {
+            let mut f: Vec<u64> = frequency_table(t).into_iter().map(|(_, c)| c).collect();
+            f.sort_unstable_by(|a, b| b.cmp(a));
+            f.iter().take(10).sum::<u64>() as f64 / t.len() as f64
+        };
+        assert!(top(&heavy) > top(&light));
+    }
+
+    #[test]
+    fn price_points_are_distinct_and_in_domain() {
+        let p = price_points();
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+        assert!(p.iter().all(|&v| (0..=MAILORDER_MAX).contains(&v)));
+        assert!(p.len() > 100, "want a rich spike set, got {}", p.len());
+    }
+}

@@ -1,0 +1,334 @@
+//! The parameterized synthetic distribution family of Section 6.1.
+//!
+//! Data contains `C` clusters over an integer domain. Cluster centers are
+//! placed so the *gaps* between consecutive centers follow a Zipf law with
+//! parameter `S`; cluster sizes follow a Zipf law with parameter `Z`; both
+//! assignments are randomly permuted (the paper's "spread frequency
+//! correlation fixed to random"). Each cluster scatters its points with the
+//! configured [`ClusterShape`] and standard deviation `SD`.
+//!
+//! Reference configuration of the paper: `S = 1, Z = 1, SD = 2, C = 2000`,
+//! 100,000 points over `[0, 5000]`.
+
+use crate::cluster::ClusterShape;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic distribution family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Inclusive lower bound of the integer value domain.
+    pub domain_min: i64,
+    /// Inclusive upper bound of the integer value domain (paper: 5000).
+    pub domain_max: i64,
+    /// Total number of data points (paper: 100,000).
+    pub total_points: u64,
+    /// Number of clusters `C` (paper: 2000 for the dynamic sweeps, 50 for
+    /// the static comparison, 200/1000 elsewhere).
+    pub clusters: usize,
+    /// Zipf skew `S` of the spreads between cluster centers.
+    pub center_spread_skew: f64,
+    /// Zipf skew `Z` of cluster sizes.
+    pub size_skew: f64,
+    /// Standard deviation `SD` within a cluster; `0` collapses each cluster
+    /// to a single value.
+    pub cluster_sd: f64,
+    /// Within-cluster shape (paper: fixed to Normal).
+    pub shape: ClusterShape,
+}
+
+impl Default for SyntheticConfig {
+    /// The paper's reference distribution: `S = 1, Z = 1, SD = 2, C = 2000`,
+    /// 100,000 integers over `[0, 5000]`.
+    fn default() -> Self {
+        Self {
+            domain_min: 0,
+            domain_max: 5000,
+            total_points: 100_000,
+            clusters: 2000,
+            center_spread_skew: 1.0,
+            size_skew: 1.0,
+            cluster_sd: 2.0,
+            shape: ClusterShape::Normal,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// The reference configuration with a different cluster count, used by
+    /// the static-histogram figures (`C = 50`) and the timing/disk-space
+    /// figures (`C = 200`, `C = 1000`).
+    pub fn with_clusters(mut self, clusters: usize) -> Self {
+        self.clusters = clusters;
+        self
+    }
+
+    /// Sets the center-spread skew `S`.
+    pub fn with_spread_skew(mut self, s: f64) -> Self {
+        self.center_spread_skew = s;
+        self
+    }
+
+    /// Sets the cluster-size skew `Z`.
+    pub fn with_size_skew(mut self, z: f64) -> Self {
+        self.size_skew = z;
+        self
+    }
+
+    /// Sets the within-cluster standard deviation `SD`.
+    pub fn with_cluster_sd(mut self, sd: f64) -> Self {
+        self.cluster_sd = sd;
+        self
+    }
+
+    /// Sets the total number of points.
+    pub fn with_total_points(mut self, n: u64) -> Self {
+        self.total_points = n;
+        self
+    }
+
+    /// Generates a dataset from this configuration and a seed.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations (empty domain, zero clusters).
+    pub fn generate(&self, seed: u64) -> SyntheticDataset {
+        assert!(
+            self.domain_max > self.domain_min,
+            "domain must contain at least two values"
+        );
+        assert!(self.clusters > 0, "need at least one cluster");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let centers = self.cluster_centers(&mut rng);
+        let sizes = self.cluster_sizes(&mut rng);
+        debug_assert_eq!(centers.len(), sizes.len());
+
+        let mut values = Vec::with_capacity(self.total_points as usize);
+        for (&center, &size) in centers.iter().zip(&sizes) {
+            for _ in 0..size {
+                values.push(self.shape.sample(
+                    &mut rng,
+                    center,
+                    self.cluster_sd,
+                    self.domain_min,
+                    self.domain_max,
+                ));
+            }
+        }
+        SyntheticDataset {
+            values,
+            centers,
+            sizes,
+            config: self.clone(),
+        }
+    }
+
+    /// Places cluster centers so consecutive gaps are Zipf(`S`)-distributed,
+    /// randomly permuted across positions (random spread-frequency
+    /// correlation), scaled to span the domain.
+    fn cluster_centers(&self, rng: &mut StdRng) -> Vec<f64> {
+        let width = (self.domain_max - self.domain_min) as f64;
+        if self.clusters == 1 {
+            return vec![self.domain_min as f64 + width / 2.0];
+        }
+        let gaps_dist = Zipf::new(self.clusters, self.center_spread_skew);
+        // `clusters` gaps: before the first center and between consecutive
+        // centers; the sum of probabilities is 1 so the last center lands at
+        // domain_max after scaling by `width`.
+        let mut gaps: Vec<f64> = gaps_dist.probabilities().to_vec();
+        gaps.shuffle(rng);
+        let mut centers = Vec::with_capacity(self.clusters);
+        let mut pos = self.domain_min as f64;
+        for gap in gaps {
+            pos += gap * width;
+            centers.push(pos.min(self.domain_max as f64));
+        }
+        centers
+    }
+
+    /// Splits `total_points` into Zipf(`Z`)-proportioned cluster sizes,
+    /// randomly permuted across clusters.
+    fn cluster_sizes(&self, rng: &mut StdRng) -> Vec<u64> {
+        let sizes_dist = Zipf::new(self.clusters, self.size_skew);
+        let mut sizes = sizes_dist.apportion(self.total_points);
+        sizes.shuffle(rng);
+        sizes
+    }
+}
+
+/// A generated dataset together with its ground-truth structure.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The raw data points, grouped by cluster in generation order (callers
+    /// wanting a random or sorted stream should go through
+    /// [`crate::workload`]).
+    pub values: Vec<i64>,
+    /// Cluster centers actually used.
+    pub centers: Vec<f64>,
+    /// Number of points drawn per cluster.
+    pub sizes: Vec<u64>,
+    /// The configuration that produced this dataset.
+    pub config: SyntheticConfig,
+}
+
+impl SyntheticDataset {
+    /// Exact `(value, frequency)` table, sorted by value.
+    pub fn frequency_table(&self) -> Vec<(i64, u64)> {
+        crate::frequency_table(&self.values)
+    }
+
+    /// Number of data points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dataset contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// A uniformly shuffled copy of the values (random insertion order).
+    pub fn shuffled(&self, seed: u64) -> Vec<i64> {
+        let mut v = self.values.clone();
+        v.shuffle(&mut StdRng::seed_from_u64(seed));
+        v
+    }
+
+    /// A sorted copy of the values (sorted insertion order).
+    pub fn sorted(&self) -> Vec<i64> {
+        let mut v = self.values.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Draws `n` values i.i.d. from the dataset's empirical distribution —
+    /// used when an experiment needs "more data like this".
+    pub fn resample(&self, n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| self.values[rng.gen_range(0..self.values.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_reference() {
+        let c = SyntheticConfig::default();
+        assert_eq!(c.total_points, 100_000);
+        assert_eq!(c.clusters, 2000);
+        assert_eq!((c.domain_min, c.domain_max), (0, 5000));
+        assert_eq!(c.center_spread_skew, 1.0);
+        assert_eq!(c.size_skew, 1.0);
+        assert_eq!(c.cluster_sd, 2.0);
+    }
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig {
+            total_points: 5000,
+            clusters: 50,
+            ..SyntheticConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_exactly_total_points() {
+        let d = small().generate(1);
+        assert_eq!(d.len(), 5000);
+        assert_eq!(d.sizes.iter().sum::<u64>(), 5000);
+    }
+
+    #[test]
+    fn values_stay_in_domain() {
+        let d = small().generate(2);
+        assert!(d
+            .values
+            .iter()
+            .all(|&v| (0..=5000).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small().generate(7);
+        let b = small().generate(7);
+        assert_eq!(a.values, b.values);
+        let c = small().generate(8);
+        assert_ne!(a.values, c.values);
+    }
+
+    #[test]
+    fn centers_are_increasing_and_span_domain() {
+        let d = small().generate(3);
+        assert!(d.centers.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*d.centers.last().unwrap() <= 5000.0);
+        assert!(d.centers[0] >= 0.0);
+        // With S=1 and 50 clusters, the largest gap is half the... just
+        // check the last center is near the domain end (gaps sum to width).
+        assert!(*d.centers.last().unwrap() > 4999.0);
+    }
+
+    #[test]
+    fn sd_zero_gives_single_valued_clusters() {
+        let cfg = SyntheticConfig {
+            cluster_sd: 0.0,
+            total_points: 2000,
+            clusters: 20,
+            ..SyntheticConfig::default()
+        };
+        let d = cfg.generate(4);
+        let distinct = d.frequency_table().len();
+        assert!(
+            distinct <= 20,
+            "expected at most one value per cluster, got {distinct}"
+        );
+    }
+
+    #[test]
+    fn higher_size_skew_concentrates_mass() {
+        let base = small();
+        let flat = base.clone().with_size_skew(0.0).generate(5);
+        let skewed = base.with_size_skew(3.0).generate(5);
+        let max_flat = *flat.sizes.iter().max().unwrap() as f64 / 5000.0;
+        let max_skewed = *skewed.sizes.iter().max().unwrap() as f64 / 5000.0;
+        assert!(
+            max_skewed > 2.0 * max_flat,
+            "skewed max share {max_skewed} vs flat {max_flat}"
+        );
+    }
+
+    #[test]
+    fn spread_skew_zero_spaces_centers_evenly() {
+        let d = small().with_spread_skew(0.0).generate(6);
+        let gaps: Vec<f64> = d.centers.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        for g in gaps {
+            assert!((g - mean).abs() < 1e-6, "uneven gap {g} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn shuffled_and_sorted_preserve_multiset() {
+        let d = small().generate(9);
+        let mut a = d.shuffled(1);
+        let mut b = d.sorted();
+        a.sort_unstable();
+        assert_eq!(a, b);
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resample_draws_from_support() {
+        let d = small().generate(10);
+        use std::collections::HashSet;
+        let support: HashSet<i64> = d.values.iter().copied().collect();
+        for v in d.resample(1000, 11) {
+            assert!(support.contains(&v));
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The five update patterns of Section 7.
+//!
+//! Every evaluation in the paper feeds a histogram with a stream of
+//! insertions and deletions drawn from a dataset:
+//!
+//! 1. random insertions,
+//! 2. sorted insertions,
+//! 3. random insertions intermixed with random deletions,
+//! 4. random insertions followed by random deletions,
+//! 5. sorted insertions followed by sorted deletions.
+//!
+//! [`UpdateStream`] materializes each as a `Vec<Update>` so experiments can
+//! replay identical streams against every competing histogram.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A single histogram maintenance operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Update {
+    /// Insert one occurrence of the value.
+    Insert(i64),
+    /// Delete one previously inserted occurrence of the value.
+    Delete(i64),
+}
+
+impl Update {
+    /// The value carried by this update.
+    pub fn value(self) -> i64 {
+        match self {
+            Update::Insert(v) | Update::Delete(v) => v,
+        }
+    }
+
+    /// Whether this update is an insertion.
+    pub fn is_insert(self) -> bool {
+        matches!(self, Update::Insert(_))
+    }
+}
+
+/// The update patterns of the paper's Section 7 evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// 1(a): values inserted in uniformly random order.
+    RandomInsertions,
+    /// 1(b): values inserted in nondecreasing value order.
+    SortedInsertions,
+    /// 1(c): random insertions, each followed by a random deletion of a
+    /// still-live value with this probability (paper uses 0.25).
+    InsertionsWithRandomDeletions {
+        /// Probability that an insertion is followed by a deletion.
+        delete_probability: f64,
+    },
+    /// 1(d): all values inserted in random order, then this fraction of
+    /// them deleted in random order.
+    InsertionsThenRandomDeletions {
+        /// Fraction of the inserted values to delete afterwards, in `[0,1]`.
+        delete_fraction: f64,
+    },
+    /// 1(e): all values inserted sorted ascending, then this fraction
+    /// deleted sorted ascending (deletions eat the histogram from the left).
+    SortedInsertionsThenSortedDeletions {
+        /// Fraction of the inserted values to delete afterwards, in `[0,1]`.
+        delete_fraction: f64,
+    },
+}
+
+/// A replayable stream of updates with the live multiset they produce.
+#[derive(Debug, Clone)]
+pub struct UpdateStream {
+    updates: Vec<Update>,
+}
+
+impl UpdateStream {
+    /// Builds the update stream for `kind` over the dataset `values`.
+    ///
+    /// The same `(values, kind, seed)` triple always produces the same
+    /// stream, so competing histograms can be fed identical updates.
+    ///
+    /// # Panics
+    /// Panics if a probability/fraction parameter lies outside `[0, 1]`.
+    pub fn build(values: &[i64], kind: WorkloadKind, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let updates = match kind {
+            WorkloadKind::RandomInsertions => {
+                let mut v = values.to_vec();
+                v.shuffle(&mut rng);
+                v.into_iter().map(Update::Insert).collect()
+            }
+            WorkloadKind::SortedInsertions => {
+                let mut v = values.to_vec();
+                v.sort_unstable();
+                v.into_iter().map(Update::Insert).collect()
+            }
+            WorkloadKind::InsertionsWithRandomDeletions { delete_probability } => {
+                assert!(
+                    (0.0..=1.0).contains(&delete_probability),
+                    "delete probability must be in [0,1]"
+                );
+                let mut v = values.to_vec();
+                v.shuffle(&mut rng);
+                let mut live: Vec<i64> = Vec::with_capacity(v.len());
+                let mut updates = Vec::with_capacity(v.len() * 2);
+                for x in v {
+                    updates.push(Update::Insert(x));
+                    live.push(x);
+                    if !live.is_empty() && rng.gen::<f64>() < delete_probability {
+                        let idx = rng.gen_range(0..live.len());
+                        let victim = live.swap_remove(idx);
+                        updates.push(Update::Delete(victim));
+                    }
+                }
+                updates
+            }
+            WorkloadKind::InsertionsThenRandomDeletions { delete_fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(&delete_fraction),
+                    "delete fraction must be in [0,1]"
+                );
+                let mut v = values.to_vec();
+                v.shuffle(&mut rng);
+                let mut updates: Vec<Update> =
+                    v.iter().copied().map(Update::Insert).collect();
+                let k = (delete_fraction * v.len() as f64).round() as usize;
+                let mut victims = v;
+                victims.shuffle(&mut rng);
+                updates.extend(victims.into_iter().take(k).map(Update::Delete));
+                updates
+            }
+            WorkloadKind::SortedInsertionsThenSortedDeletions { delete_fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(&delete_fraction),
+                    "delete fraction must be in [0,1]"
+                );
+                let mut v = values.to_vec();
+                v.sort_unstable();
+                let k = (delete_fraction * v.len() as f64).round() as usize;
+                let mut updates: Vec<Update> =
+                    v.iter().copied().map(Update::Insert).collect();
+                updates.extend(v.into_iter().take(k).map(Update::Delete));
+                updates
+            }
+        };
+        Self { updates }
+    }
+
+    /// Wraps an explicit update sequence (used to splice custom insert and
+    /// delete phases together, e.g. the paper's Figs. 17–18). The caller
+    /// is responsible for deletions only targeting live values.
+    pub fn from_updates(updates: Vec<Update>) -> Self {
+        Self { updates }
+    }
+
+    /// The updates in replay order.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Number of updates (insertions plus deletions).
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Iterates over the updates.
+    pub fn iter(&self) -> impl Iterator<Item = Update> + '_ {
+        self.updates.iter().copied()
+    }
+
+    /// The multiset of values alive after replaying the whole stream,
+    /// sorted — the ground truth an evaluated histogram should approximate.
+    pub fn final_multiset(&self) -> Vec<i64> {
+        self.live_multiset_after(self.updates.len())
+    }
+
+    /// The live multiset after replaying only the first `n` updates.
+    ///
+    /// # Panics
+    /// Panics if `n > len()`, or if a deletion has no matching live value
+    /// (streams built by [`UpdateStream::build`] never do).
+    pub fn live_multiset_after(&self, n: usize) -> Vec<i64> {
+        use std::collections::BTreeMap;
+        assert!(n <= self.updates.len(), "prefix longer than stream");
+        let mut live: BTreeMap<i64, u64> = BTreeMap::new();
+        for &u in &self.updates[..n] {
+            match u {
+                Update::Insert(v) => *live.entry(v).or_insert(0) += 1,
+                Update::Delete(v) => {
+                    let c = live
+                        .get_mut(&v)
+                        .expect("deletion of value that is not live");
+                    *c -= 1;
+                    if *c == 0 {
+                        live.remove(&v);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (v, c) in live {
+            out.extend(std::iter::repeat_n(v, c as usize));
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a UpdateStream {
+    type Item = Update;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Update>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: [i64; 8] = [5, 1, 9, 1, 7, 3, 3, 3];
+
+    #[test]
+    fn random_insertions_preserve_multiset() {
+        let s = UpdateStream::build(&DATA, WorkloadKind::RandomInsertions, 1);
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|u| u.is_insert()));
+        let mut expect = DATA.to_vec();
+        expect.sort_unstable();
+        assert_eq!(s.final_multiset(), expect);
+    }
+
+    #[test]
+    fn sorted_insertions_are_sorted() {
+        let s = UpdateStream::build(&DATA, WorkloadKind::SortedInsertions, 1);
+        let vals: Vec<i64> = s.iter().map(Update::value).collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn mixed_deletions_only_delete_live_values() {
+        let data: Vec<i64> = (0..500).map(|i| i % 37).collect();
+        let s = UpdateStream::build(
+            &data,
+            WorkloadKind::InsertionsWithRandomDeletions {
+                delete_probability: 0.25,
+            },
+            42,
+        );
+        // live_multiset_after panics on an invalid delete; touching every
+        // prefix is O(n^2) so just replay the full stream.
+        let finals = s.final_multiset();
+        let deletes = s.iter().filter(|u| !u.is_insert()).count();
+        assert_eq!(finals.len(), data.len() - deletes);
+        assert!(deletes > 50, "expected roughly 25% deletions, got {deletes}");
+    }
+
+    #[test]
+    fn insert_then_delete_removes_requested_fraction() {
+        let data: Vec<i64> = (0..1000).collect();
+        let s = UpdateStream::build(
+            &data,
+            WorkloadKind::InsertionsThenRandomDeletions {
+                delete_fraction: 0.3,
+            },
+            7,
+        );
+        assert_eq!(s.len(), 1300);
+        assert_eq!(s.final_multiset().len(), 700);
+        // All insertions come first.
+        let first_delete = s.iter().position(|u| !u.is_insert()).unwrap();
+        assert_eq!(first_delete, 1000);
+    }
+
+    #[test]
+    fn sorted_insert_sorted_delete_eats_from_left() {
+        let data: Vec<i64> = (0..100).collect();
+        let s = UpdateStream::build(
+            &data,
+            WorkloadKind::SortedInsertionsThenSortedDeletions {
+                delete_fraction: 0.5,
+            },
+            7,
+        );
+        let remaining = s.final_multiset();
+        assert_eq!(remaining, (50..100).collect::<Vec<i64>>());
+        let deletes: Vec<i64> = s
+            .iter()
+            .filter(|u| !u.is_insert())
+            .map(Update::value)
+            .collect();
+        assert!(deletes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a = UpdateStream::build(&DATA, WorkloadKind::RandomInsertions, 3);
+        let b = UpdateStream::build(&DATA, WorkloadKind::RandomInsertions, 3);
+        assert_eq!(a.updates(), b.updates());
+        let c = UpdateStream::build(&DATA, WorkloadKind::RandomInsertions, 4);
+        assert_ne!(a.updates(), c.updates());
+    }
+
+    #[test]
+    fn prefix_replay_matches_incremental_state() {
+        let data: Vec<i64> = (0..50).map(|i| i % 11).collect();
+        let s = UpdateStream::build(
+            &data,
+            WorkloadKind::InsertionsWithRandomDeletions {
+                delete_probability: 0.4,
+            },
+            9,
+        );
+        let half = s.len() / 2;
+        let live = s.live_multiset_after(half);
+        let inserts = s
+            .iter()
+            .take(half)
+            .filter(|u| u.is_insert())
+            .count();
+        let deletes = half - inserts;
+        assert_eq!(live.len(), inserts - deletes);
+    }
+
+    #[test]
+    #[should_panic(expected = "delete fraction")]
+    fn invalid_fraction_rejected() {
+        let _ = UpdateStream::build(
+            &DATA,
+            WorkloadKind::InsertionsThenRandomDeletions {
+                delete_fraction: 1.5,
+            },
+            0,
+        );
+    }
+}

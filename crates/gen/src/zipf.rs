@@ -1,0 +1,220 @@
+//! Zipf distributions (reference [15] of the paper).
+//!
+//! The paper's generator uses Zipf laws in three places: the skew of cluster
+//! sizes (`Z`), the skew of the gaps between cluster centers (`S`), and, in
+//! the shared-nothing experiments, the intrasite value skew (`Z_Freq`) and
+//! the skew of member sizes (`Z_Site`). All follow
+//! `P(rank i) ∝ 1 / i^theta` with `theta = 0` degenerating to uniform.
+
+use rand::Rng;
+
+/// A finite Zipf distribution over ranks `1..=n` with exponent `theta`.
+///
+/// `theta = 0` is the uniform distribution; larger `theta` concentrates
+/// probability on low ranks. The paper sweeps `theta` in `[0, 3]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Probability of each rank (index 0 holds rank 1), summing to 1.
+    probabilities: Vec<f64>,
+    /// Cumulative probabilities for inverse-CDF sampling.
+    cumulative: Vec<f64>,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with skew `theta >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be finite and >= 0, got {theta}"
+        );
+        let mut probabilities: Vec<f64> = (1..=n)
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .collect();
+        let norm: f64 = probabilities.iter().sum();
+        for p in &mut probabilities {
+            *p /= norm;
+        }
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &p in &probabilities {
+            acc += p;
+            cumulative.push(acc);
+        }
+        // Guard against rounding: the last cumulative must reach 1.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self {
+            probabilities,
+            cumulative,
+            theta,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    /// True iff the distribution has no ranks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.probabilities.is_empty()
+    }
+
+    /// The skew parameter this distribution was built with.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability of rank `i` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `rank` is 0 or exceeds `len()`.
+    pub fn probability(&self, rank: usize) -> f64 {
+        assert!(
+            rank >= 1 && rank <= self.len(),
+            "rank {rank} out of 1..={}",
+            self.len()
+        );
+        self.probabilities[rank - 1]
+    }
+
+    /// All rank probabilities, highest rank (most probable) first.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Samples a 1-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u) + 1
+    }
+
+    /// Splits an integer `total` into `len()` parts proportional to the rank
+    /// probabilities, using largest-remainder apportionment so the parts sum
+    /// to exactly `total`.
+    ///
+    /// This is how the generator assigns 100,000 points to `C` clusters and
+    /// how the shared-nothing experiments size their member sites.
+    pub fn apportion(&self, total: u64) -> Vec<u64> {
+        let n = self.len();
+        let mut parts: Vec<u64> = Vec::with_capacity(n);
+        let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(n);
+        let mut assigned: u64 = 0;
+        for (i, &p) in self.probabilities.iter().enumerate() {
+            let exact = p * total as f64;
+            let floor = exact.floor() as u64;
+            parts.push(floor);
+            assigned += floor;
+            remainders.push((exact - floor as f64, i));
+        }
+        // Hand the leftover units to the largest remainders (ties broken by
+        // rank, so the result is deterministic).
+        let mut leftover = total - assigned;
+        remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, i) in &remainders {
+            if leftover == 0 {
+                break;
+            }
+            parts[i] += 1;
+            leftover -= 1;
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for rank in 1..=4 {
+            assert!((z.probability(rank) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for &theta in &[0.0, 0.5, 1.0, 2.0, 3.0] {
+            let z = Zipf::new(100, theta);
+            let sum: f64 = z.probabilities().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "theta={theta}: sum={sum}");
+        }
+    }
+
+    #[test]
+    fn higher_theta_concentrates_rank_one() {
+        let p1: Vec<f64> = [0.0, 1.0, 2.0, 3.0]
+            .iter()
+            .map(|&t| Zipf::new(50, t).probability(1))
+            .collect();
+        assert!(p1.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn probabilities_nonincreasing_in_rank() {
+        let z = Zipf::new(30, 1.5);
+        let p = z.probabilities();
+        assert!(p.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn apportion_sums_exactly() {
+        for &theta in &[0.0, 1.0, 2.7] {
+            let z = Zipf::new(7, theta);
+            for &total in &[0u64, 1, 10, 99, 100_000] {
+                let parts = z.apportion(total);
+                assert_eq!(parts.iter().sum::<u64>(), total);
+                assert_eq!(parts.len(), 7);
+            }
+        }
+    }
+
+    #[test]
+    fn apportion_respects_skew_ordering() {
+        let z = Zipf::new(5, 2.0);
+        let parts = z.apportion(1000);
+        assert!(parts.windows(2).all(|w| w[0] >= w[1]), "{parts:?}");
+        assert!(parts[0] > parts[4]);
+    }
+
+    #[test]
+    fn sampling_tracks_probabilities() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for rank in 1..=5 {
+            let expected = z.probability(rank);
+            let observed = counts[rank - 1] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {rank}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be finite")]
+    fn negative_theta_rejected() {
+        let _ = Zipf::new(3, -1.0);
+    }
+}

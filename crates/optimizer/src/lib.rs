@@ -1,0 +1,32 @@
+//! Histogram-backed cardinality estimation — the use case that motivates
+//! the paper.
+//!
+//! Section 1: *"The cost of executing a relational operator is a function
+//! of the sizes of the tuple streams that are input to the operator ...
+//! errors in the size estimates will grow intolerably (exponentially in
+//! the number of joins in the worst case), and the optimizer's estimates
+//! may be completely wrong."*
+//!
+//! This crate turns any [`dh_core::ReadHistogram`] into the estimator a
+//! cost-based optimizer needs:
+//!
+//! * [`estimate`] — selection cardinalities (range, equality) under the
+//!   uniform and continuous-value assumptions;
+//! * [`join`] — equi-join size estimation by integrating the product of
+//!   per-value frequency densities over the buckets of both histograms,
+//!   plus the histogram of the join *output*, enabling chained estimation;
+//! * [`propagation`] — the error-propagation experiment of the paper's
+//!   reference [2] (Ioannidis & Christodoulakis): relative error of a join
+//!   chain's size estimate as the chain deepens, comparing fresh dynamic
+//!   histograms against stale static ones.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod estimate;
+pub mod join;
+pub mod propagation;
+
+pub use estimate::{Predicate, Selectivity};
+pub use join::{estimate_equi_join, exact_equi_join, join_histogram, SpanHistogram};
+pub use propagation::{propagate_chain, ChainReport};

@@ -1,0 +1,24 @@
+//! Reservoir sampling and the Approximate Compressed (AC) histogram — the
+//! competing approach the paper evaluates against (Gibbons, Matias &
+//! Poosala, *Fast Incremental Maintenance of Approximate Histograms*,
+//! VLDB 1997; reference [10]).
+//!
+//! The AC approach keeps a large **backing sample** on disk (a reservoir
+//! sample, typically 20x the histogram's main-memory size) and a small
+//! approximate Compressed histogram in memory. The histogram is patched on
+//! the fly and recomputed from the backing sample when its constraints
+//! drift too far. The paper grants AC its best-quality configuration,
+//! `gamma = -1`, which recomputes at every update.
+//!
+//! Deletions shrink the backing sample (a reservoir cannot retroactively
+//! resample), which is exactly why AC degrades under heavy deletion in the
+//! paper's Fig. 17.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ac;
+pub mod reservoir;
+
+pub use ac::{AcHistogram, AcMaintenance};
+pub use reservoir::ReservoirSample;

@@ -1,0 +1,225 @@
+//! Reservoir sampling with deletions — the AC histogram's backing sample.
+//!
+//! Insertions follow Vitter's Algorithm R (reference [1] of the paper):
+//! the `i`-th inserted element enters a full reservoir of capacity `R` with
+//! probability `R / i`, evicting a uniformly random resident. The result is
+//! a uniform sample of the inserted stream.
+//!
+//! GMP's backing sample stores row ids, so a deleted tuple is removed from
+//! the sample exactly when *that tuple* was sampled. This implementation
+//! keys the sample by value instead and emulates row-id membership
+//! hypergeometrically: deleting one of the `c` live occurrences of `v`
+//! removes a sampled copy with probability `s/c`, where `s` is the number
+//! of sampled copies (the probability a uniformly chosen occurrence is one
+//! of the sampled ones). Either way the sample *shrinks* under deletions —
+//! a reservoir cannot conjure replacements without rescanning the relation
+//! — which is the faithful weakness the paper's deletion experiments
+//! (Fig. 17/18) exercise.
+
+use dh_core::DataDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fixed-capacity uniform reservoir sample over an insert/delete stream.
+#[derive(Debug, Clone)]
+pub struct ReservoirSample {
+    capacity: usize,
+    /// Slot array: the sample as stored (order is irrelevant).
+    slots: Vec<i64>,
+    /// The sample as a multiset distribution, kept in sync with `slots`
+    /// for cheap histogram rebuilds.
+    dist: DataDistribution,
+    /// Live occurrence counts of the underlying data set — bookkeeping
+    /// that emulates the row-id membership test of a disk-resident backing
+    /// sample (not charged against histogram memory).
+    live: DataDistribution,
+    /// Number of insertions offered since the reservoir was created.
+    offered: u64,
+    rng: StdRng,
+}
+
+impl ReservoirSample {
+    /// Creates an empty reservoir holding at most `capacity` elements.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+            dist: DataDistribution::new(),
+            live: DataDistribution::new(),
+            offered: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Capacity of the reservoir.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of sampled elements (can be below capacity early on
+    /// or after deletions).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of insertions offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Offers an inserted value to the reservoir. Returns `true` if the
+    /// sample changed.
+    pub fn insert(&mut self, v: i64) -> bool {
+        self.offered += 1;
+        self.live.insert(v);
+        if self.slots.len() < self.capacity {
+            self.slots.push(v);
+            self.dist.insert(v);
+            return true;
+        }
+        // Algorithm R: keep with probability capacity / offered.
+        let j = self.rng.gen_range(0..self.offered);
+        if (j as usize) < self.capacity {
+            let slot = self.rng.gen_range(0..self.slots.len());
+            let old = std::mem::replace(&mut self.slots[slot], v);
+            self.dist.delete(old);
+            self.dist.insert(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Processes the deletion of one occurrence of `v` from the data set.
+    ///
+    /// The deleted occurrence was sampled with probability
+    /// `sampled(v) / live(v)`; in that case a sampled copy is removed
+    /// (emulating row-id membership). Returns `true` if the sample changed
+    /// (shrank).
+    pub fn delete(&mut self, v: i64) -> bool {
+        let live = self.live.frequency(v);
+        if live == 0 {
+            return false; // deletion of a value this sample never saw
+        }
+        let sampled = self.dist.frequency(v);
+        self.live.delete(v);
+        if sampled == 0 {
+            return false;
+        }
+        if self.rng.gen_range(0..live) >= sampled {
+            return false; // the deleted occurrence was not the sampled one
+        }
+        let idx = self
+            .slots
+            .iter()
+            .position(|&s| s == v)
+            .expect("distribution and slots out of sync");
+        self.slots.swap_remove(idx);
+        self.dist.delete(v);
+        true
+    }
+
+    /// The sampled values (unordered).
+    pub fn values(&self) -> &[i64] {
+        &self.slots
+    }
+
+    /// The sample as an exact multiset distribution.
+    pub fn distribution(&self) -> &DataDistribution {
+        &self.dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_up_to_capacity_first() {
+        let mut r = ReservoirSample::new(5, 1);
+        for v in 0..5 {
+            assert!(r.insert(v));
+        }
+        assert_eq!(r.len(), 5);
+        let mut vals: Vec<i64> = r.values().to_vec();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut r = ReservoirSample::new(10, 2);
+        for v in 0..10_000 {
+            r.insert(v);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.offered(), 10_000);
+    }
+
+    #[test]
+    fn sample_is_approximately_uniform() {
+        // Insert 0..1000 into a 100-slot reservoir many times; each value's
+        // inclusion frequency should be ~10%.
+        let trials = 300;
+        let mut low_half = 0usize;
+        for seed in 0..trials {
+            let mut r = ReservoirSample::new(100, seed);
+            for v in 0..1000 {
+                r.insert(v);
+            }
+            low_half += r.values().iter().filter(|&&v| v < 500).count();
+        }
+        let frac = low_half as f64 / (trials as usize * 100) as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.03,
+            "low-half inclusion fraction {frac} far from 0.5"
+        );
+    }
+
+    #[test]
+    fn delete_shrinks_sample() {
+        let mut r = ReservoirSample::new(5, 3);
+        for v in [1, 2, 3] {
+            r.insert(v);
+        }
+        assert!(r.delete(2));
+        assert_eq!(r.len(), 2);
+        assert!(!r.delete(2), "2 is no longer sampled");
+        assert!(!r.delete(99), "never-seen value is a no-op");
+    }
+
+    #[test]
+    fn distribution_stays_in_sync() {
+        let mut r = ReservoirSample::new(50, 4);
+        for v in 0..500 {
+            r.insert(v % 20);
+        }
+        for v in 0..10 {
+            r.delete(v);
+        }
+        assert_eq!(r.distribution().total() as usize, r.len());
+        let mut from_slots: Vec<i64> = r.values().to_vec();
+        from_slots.sort_unstable();
+        assert_eq!(from_slots, r.distribution().to_values());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ReservoirSample::new(8, 7);
+        let mut b = ReservoirSample::new(8, 7);
+        for v in 0..1000 {
+            a.insert(v);
+            b.insert(v);
+        }
+        assert_eq!(a.values(), b.values());
+    }
+}

@@ -1,0 +1,252 @@
+//! The Compressed histogram (SC): Compressed(V, F) of Poosala et al.
+//!
+//! Values whose frequency exceeds `N / n` (total points over bucket count)
+//! are stored individually in *singular* (singleton) buckets; the remaining
+//! mass is partitioned equi-depth into *regular* buckets. This is the
+//! static counterpart that the Dynamic Compressed histogram of Section 3
+//! relaxes and maintains incrementally.
+
+use crate::equidepth::equi_depth_cut;
+use dh_core::{BucketSpan, DataDistribution, ReadHistogram};
+
+/// A static Compressed histogram: singleton buckets plus an equi-depth
+/// remainder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedHistogram {
+    /// All bucket spans, sorted by `lo`.
+    spans: Vec<BucketSpan>,
+    /// Number of singleton buckets among them.
+    singular: usize,
+}
+
+impl CompressedHistogram {
+    /// Builds a Compressed histogram with `buckets` total buckets.
+    ///
+    /// The singleton criterion is applied iteratively: extracting a heavy
+    /// value changes neither `N` nor `n`, so a single pass with threshold
+    /// `N / n` suffices (the paper's `f >= N/n` criterion). At most
+    /// `buckets - 1` singletons are created so at least one regular bucket
+    /// always remains.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn build(dist: &DataDistribution, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        if dist.is_empty() {
+            return Self {
+                spans: Vec::new(),
+                singular: 0,
+            };
+        }
+        let n = dist.total() as f64;
+        let threshold = n / buckets as f64;
+
+        // Heaviest-first selection of singleton values.
+        let mut by_weight: Vec<(i64, u64)> = dist.iter().collect();
+        by_weight.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut singles: Vec<(i64, u64)> = by_weight
+            .into_iter()
+            .take(buckets.saturating_sub(1))
+            .take_while(|&(_, c)| c as f64 >= threshold)
+            .collect();
+        singles.sort_by_key(|&(v, _)| v);
+
+        // The regular pool: every remaining value, as unit segments.
+        let single_set: std::collections::BTreeSet<i64> =
+            singles.iter().map(|&(v, _)| v).collect();
+        let regular_segments: Vec<BucketSpan> = dist
+            .iter()
+            .filter(|(v, _)| !single_set.contains(v))
+            .map(|(v, c)| BucketSpan::new(v as f64, (v + 1) as f64, c as f64))
+            .collect();
+
+        let regular_buckets = buckets - singles.len();
+        let mut spans: Vec<BucketSpan> = Vec::with_capacity(buckets);
+        if regular_segments.is_empty() {
+            // Everything is singular.
+            spans.extend(
+                singles
+                    .iter()
+                    .map(|&(v, c)| BucketSpan::new(v as f64, (v + 1) as f64, c as f64)),
+            );
+            let singular = spans.len();
+            return Self { spans, singular };
+        }
+
+        // Equi-depth the regular mass. Regular buckets may overlap the
+        // unit intervals of singleton values (they carry no regular mass
+        // there); carve the singleton intervals out afterwards so spans
+        // stay disjoint.
+        let cut = equi_depth_cut(&regular_segments, regular_buckets);
+        let singular = singles.len();
+        let mut singles_iter = singles.iter().peekable();
+        for span in cut {
+            // Emit singletons that lie before this span.
+            while let Some(&&(v, c)) = singles_iter.peek() {
+                if (v as f64) < span.lo {
+                    spans.push(BucketSpan::new(v as f64, (v + 1) as f64, c as f64));
+                    singles_iter.next();
+                } else {
+                    break;
+                }
+            }
+            // Carve out singleton intervals inside the span.
+            let mut cursor = span.lo;
+            let mut pieces: Vec<(f64, f64)> = Vec::new();
+            let mut inner = singles_iter.clone();
+            while let Some(&&(v, _)) = inner.peek() {
+                let s_lo = v as f64;
+                let s_hi = s_lo + 1.0;
+                if s_lo >= span.hi {
+                    break;
+                }
+                if s_lo > cursor {
+                    pieces.push((cursor, s_lo));
+                }
+                cursor = cursor.max(s_hi);
+                inner.next();
+            }
+            if cursor < span.hi {
+                pieces.push((cursor, span.hi));
+            }
+            // Distribute the span's mass across its pieces proportionally
+            // to the regular mass under them.
+            let piece_mass: Vec<f64> = pieces
+                .iter()
+                .map(|&(a, b)| {
+                    regular_segments
+                        .iter()
+                        .map(|s| s.mass_in(a, b))
+                        .sum::<f64>()
+                })
+                .collect();
+            let total_piece: f64 = piece_mass.iter().sum();
+            for (idx, &(a, b)) in pieces.iter().enumerate() {
+                let mass = if total_piece > 0.0 {
+                    span.count * piece_mass[idx] / total_piece
+                } else {
+                    span.count / pieces.len().max(1) as f64
+                };
+                // Emit singletons that lie before this piece.
+                while let Some(&&(v, c)) = singles_iter.peek() {
+                    if (v as f64) < a {
+                        spans.push(BucketSpan::new(v as f64, (v + 1) as f64, c as f64));
+                        singles_iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                if b > a {
+                    spans.push(BucketSpan::new(a, b, mass));
+                }
+            }
+        }
+        for &(v, c) in singles_iter {
+            spans.push(BucketSpan::new(v as f64, (v + 1) as f64, c as f64));
+        }
+        spans.sort_by(|a, b| a.lo.total_cmp(&b.lo));
+        Self { spans, singular }
+    }
+
+    /// Builds directly from raw values.
+    pub fn from_values(values: &[i64], buckets: usize) -> Self {
+        Self::build(&DataDistribution::from_values(values), buckets)
+    }
+
+    /// Number of singleton buckets.
+    pub fn singular_buckets(&self) -> usize {
+        self.singular
+    }
+
+    /// The bucket spans (regular buckets may be split into pieces around
+    /// singletons, so there can be slightly more spans than the nominal
+    /// bucket count; the memory model is unaffected since pieces share one
+    /// stored count).
+    pub fn buckets(&self) -> &[BucketSpan] {
+        &self.spans
+    }
+}
+
+impl ReadHistogram for CompressedHistogram {
+    fn spans(&self) -> Vec<BucketSpan> {
+        self.spans.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_core::ks_error;
+
+    #[test]
+    fn heavy_values_get_singleton_buckets() {
+        let mut values = vec![100i64; 500]; // huge spike
+        values.extend(0..50i64);
+        let dist = DataDistribution::from_values(&values);
+        let h = CompressedHistogram::build(&dist, 8);
+        assert!(h.singular_buckets() >= 1);
+        // The spike is captured exactly.
+        assert!((h.estimate_eq(100) - 500.0).abs() < 1e-6);
+        assert!((h.total_count() - 550.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_data_has_no_singletons() {
+        let values: Vec<i64> = (0..1000).collect();
+        let dist = DataDistribution::from_values(&values);
+        let h = CompressedHistogram::build(&dist, 10);
+        assert_eq!(h.singular_buckets(), 0);
+        let ks = ks_error(&h, &dist);
+        assert!(ks <= 0.1 + 1e-9, "should degrade to equi-depth, ks={ks}");
+    }
+
+    #[test]
+    fn compressed_beats_equidepth_on_spiky_data() {
+        use crate::equidepth::EquiDepthHistogram;
+        let mut values = Vec::new();
+        // Several spikes over a uniform background.
+        for v in 0..1000i64 {
+            values.push(v);
+        }
+        for &spike in &[100i64, 300, 500, 700, 900] {
+            values.extend(std::iter::repeat_n(spike, 400));
+        }
+        let dist = DataDistribution::from_values(&values);
+        let sc = CompressedHistogram::build(&dist, 12);
+        let ed = EquiDepthHistogram::build(&dist, 12);
+        let ks_sc = ks_error(&sc, &dist);
+        let ks_ed = ks_error(&ed, &dist);
+        assert!(
+            ks_sc <= ks_ed + 1e-9,
+            "Compressed ({ks_sc}) should not lose to Equi-Depth ({ks_ed})"
+        );
+    }
+
+    #[test]
+    fn spans_are_disjoint_and_sorted() {
+        let mut values = vec![5i64; 100];
+        values.extend(0..30i64);
+        values.extend(std::iter::repeat_n(17i64, 80));
+        let dist = DataDistribution::from_values(&values);
+        let h = CompressedHistogram::build(&dist, 6);
+        let spans = h.buckets();
+        for w in spans.windows(2) {
+            assert!(w[0].hi <= w[1].lo + 1e-9, "overlap: {w:?}");
+        }
+        let mass: f64 = spans.iter().map(|s| s.count).sum();
+        assert!((mass - 210.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_mass_in_one_value() {
+        let dist = DataDistribution::from_values(&[7i64; 42]);
+        let h = CompressedHistogram::build(&dist, 4);
+        assert!(ks_error(&h, &dist) < 1e-9);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let h = CompressedHistogram::build(&DataDistribution::new(), 4);
+        assert_eq!(h.num_buckets(), 0);
+    }
+}

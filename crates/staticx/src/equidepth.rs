@@ -1,0 +1,175 @@
+//! The Equi-Depth histogram: Equi-Sum(V, F) in the framework of [9].
+//!
+//! Partitions the value axis so every bucket carries the same mass. Borders
+//! are placed exactly (possibly inside a value's unit interval), so the
+//! bucket counts are *perfectly* equal and the KS error is bounded by
+//! `1/buckets` (Section 7.2.1 of the paper).
+
+use dh_core::{BucketSpan, DataDistribution, ReadHistogram};
+
+/// Cuts a sorted piecewise-uniform density into `k` equal-mass spans
+/// covering `[segments[0].lo, segments.last().hi)`.
+///
+/// Shared by Equi-Depth and the regular part of Compressed.
+pub(crate) fn equi_depth_cut(segments: &[BucketSpan], k: usize) -> Vec<BucketSpan> {
+    assert!(k > 0, "need at least one bucket");
+    if segments.is_empty() {
+        return Vec::new();
+    }
+    let lo = segments[0].lo;
+    let hi = segments.last().expect("nonempty").hi;
+    let total: f64 = segments.iter().map(|s| s.count).sum();
+    let target = total / k as f64;
+
+    let mut out = Vec::with_capacity(k);
+    let mut cursor = lo;
+    let mut seg_idx = 0usize;
+    let mut consumed = 0.0; // mass consumed from segments[seg_idx] so far
+    for j in 0..k {
+        let start = cursor;
+        if j + 1 == k {
+            out.push(BucketSpan::new(start, hi, target.max(0.0)));
+            break;
+        }
+        let mut need = target;
+        loop {
+            let seg = &segments[seg_idx];
+            let avail = seg.count - consumed;
+            if avail >= need && seg.count > 0.0 {
+                let frac_pos = seg.lo + (consumed + need) / seg.density();
+                consumed += need;
+                cursor = frac_pos;
+                break;
+            }
+            need -= avail.max(0.0);
+            seg_idx += 1;
+            consumed = 0.0;
+            if seg_idx >= segments.len() {
+                cursor = hi;
+                break;
+            }
+        }
+        out.push(BucketSpan::new(start, cursor.max(start), target.max(0.0)));
+    }
+    out
+}
+
+/// An equal-count static histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiDepthHistogram {
+    spans: Vec<BucketSpan>,
+}
+
+impl EquiDepthHistogram {
+    /// Builds an equi-depth histogram with `buckets` buckets.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn build(dist: &DataDistribution, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        let unit_spans: Vec<BucketSpan> = dist
+            .iter()
+            .map(|(v, c)| BucketSpan::new(v as f64, (v + 1) as f64, c as f64))
+            .collect();
+        Self {
+            spans: equi_depth_cut(&unit_spans, buckets),
+        }
+    }
+
+    /// Builds directly from raw values.
+    pub fn from_values(values: &[i64], buckets: usize) -> Self {
+        Self::build(&DataDistribution::from_values(values), buckets)
+    }
+
+    /// The bucket spans.
+    pub fn buckets(&self) -> &[BucketSpan] {
+        &self.spans
+    }
+}
+
+impl ReadHistogram for EquiDepthHistogram {
+    fn spans(&self) -> Vec<BucketSpan> {
+        self.spans.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_core::ks_error;
+
+    #[test]
+    fn counts_are_equal() {
+        let values: Vec<i64> = (0..97).collect(); // deliberately not divisible
+        let dist = DataDistribution::from_values(&values);
+        let h = EquiDepthHistogram::build(&dist, 8);
+        assert_eq!(h.num_buckets(), 8);
+        let expected = 97.0 / 8.0;
+        for s in h.buckets() {
+            assert!((s.count - expected).abs() < 1e-9, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn spans_tile_domain() {
+        let values: Vec<i64> = (0..50).map(|i| i * 3).collect();
+        let dist = DataDistribution::from_values(&values);
+        let h = EquiDepthHistogram::build(&dist, 7);
+        let spans = h.buckets();
+        assert_eq!(spans[0].lo, 0.0);
+        assert_eq!(spans.last().unwrap().hi, 148.0);
+        for w in spans.windows(2) {
+            assert!((w[0].hi - w[1].lo).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ks_error_bounded_by_one_over_beta() {
+        // The paper's bound: equi-depth KS error <= 1/beta.
+        let mut values = Vec::new();
+        for v in 0..200i64 {
+            for _ in 0..(1 + (v * v) % 17) {
+                values.push(v);
+            }
+        }
+        let dist = DataDistribution::from_values(&values);
+        for beta in [2usize, 5, 10, 25] {
+            let h = EquiDepthHistogram::build(&dist, beta);
+            let ks = ks_error(&h, &dist);
+            assert!(
+                ks <= 1.0 / beta as f64 + 1e-9,
+                "beta={beta}: ks={ks} exceeds bound"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_spike_consumes_multiple_buckets() {
+        let mut values = vec![500i64; 80];
+        values.extend(0..20i64);
+        let dist = DataDistribution::from_values(&values);
+        let h = EquiDepthHistogram::build(&dist, 5);
+        // Each bucket has 20 points; the spike (80 points) fills 4 buckets,
+        // all with borders inside [500, 501).
+        let inside = h
+            .buckets()
+            .iter()
+            .filter(|s| s.lo >= 500.0 && s.hi <= 501.0)
+            .count();
+        assert!(inside >= 3, "expected narrow buckets over the spike");
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let h = EquiDepthHistogram::build(&DataDistribution::new(), 4);
+        assert_eq!(h.num_buckets(), 0);
+    }
+
+    #[test]
+    fn more_buckets_than_points() {
+        let dist = DataDistribution::from_values(&[1, 9]);
+        let h = EquiDepthHistogram::build(&dist, 10);
+        assert!((h.total_count() - 2.0).abs() < 1e-9);
+        assert!(ks_error(&h, &dist) <= 0.1 + 1e-9);
+    }
+}

@@ -1,0 +1,112 @@
+//! The Equi-Width histogram: Equi-Sum(V, S) in the framework of [9].
+//!
+//! Partitions the value axis into buckets of equal range. The paper cites
+//! the classic result that Equi-Width is usually inferior to Equi-Depth,
+//! which is in turn inferior to Compressed and V-Optimal — reproduced in
+//! this workspace's `histogram_hierarchy` integration test.
+
+use dh_core::{BucketSpan, DataDistribution, ReadHistogram};
+
+/// An equal-range static histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiWidthHistogram {
+    spans: Vec<BucketSpan>,
+}
+
+impl EquiWidthHistogram {
+    /// Builds an equi-width histogram with (up to) `buckets` buckets.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn build(dist: &DataDistribution, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        let (Some(min), Some(max)) = (dist.min(), dist.max()) else {
+            return Self { spans: Vec::new() };
+        };
+        let lo = min as f64;
+        let hi = (max + 1) as f64;
+        let width = (hi - lo) / buckets as f64;
+        let truth = dist.exact_cdf();
+        let spans = (0..buckets)
+            .map(|i| {
+                let a = lo + width * i as f64;
+                let b = if i + 1 == buckets {
+                    hi
+                } else {
+                    lo + width * (i + 1) as f64
+                };
+                BucketSpan::new(a, b, truth.mass_in(a, b))
+            })
+            .collect();
+        Self { spans }
+    }
+
+    /// Builds directly from raw values.
+    pub fn from_values(values: &[i64], buckets: usize) -> Self {
+        Self::build(&DataDistribution::from_values(values), buckets)
+    }
+
+    /// The bucket spans.
+    pub fn buckets(&self) -> &[BucketSpan] {
+        &self.spans
+    }
+}
+
+impl ReadHistogram for EquiWidthHistogram {
+    fn spans(&self) -> Vec<BucketSpan> {
+        self.spans.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_are_equal() {
+        let dist = DataDistribution::from_values(&(0..100).collect::<Vec<_>>());
+        let h = EquiWidthHistogram::build(&dist, 10);
+        assert_eq!(h.num_buckets(), 10);
+        for s in h.buckets() {
+            assert!((s.width() - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn counts_are_exact_per_range() {
+        let dist = DataDistribution::from_values(&[0, 0, 0, 5, 9, 9]);
+        let h = EquiWidthHistogram::build(&dist, 2);
+        // [0,5): three 0s; [5,10): 5, 9, 9.
+        assert_eq!(h.buckets()[0].count, 3.0);
+        assert_eq!(h.buckets()[1].count, 3.0);
+        assert_eq!(h.total_count(), 6.0);
+    }
+
+    #[test]
+    fn skewed_data_hurts_equiwidth() {
+        use dh_core::ks_error;
+        // 90% of mass in one value at the far end.
+        let mut values = vec![0i64; 100];
+        values.extend(std::iter::repeat_n(999i64, 900));
+        let dist = DataDistribution::from_values(&values);
+        let h = EquiWidthHistogram::build(&dist, 4);
+        // The last bucket [750,1000) has 900 points smeared over 250
+        // values: large KS error expected.
+        assert!(ks_error(&h, &dist) > 0.5);
+    }
+
+    #[test]
+    fn empty_distribution_yields_empty_histogram() {
+        let h = EquiWidthHistogram::build(&DataDistribution::new(), 5);
+        assert_eq!(h.num_buckets(), 0);
+    }
+
+    #[test]
+    fn single_value_distribution() {
+        let dist = DataDistribution::from_values(&[42, 42]);
+        let h = EquiWidthHistogram::build(&dist, 3);
+        assert_eq!(h.total_count(), 2.0);
+        use dh_core::ks_error;
+        assert!(ks_error(&h, &dist) < 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! The exact histogram: one unit-width bucket per distinct value.
+//!
+//! Represents the data distribution with zero error. It is the starting
+//! point of the SSBM construction ("initially, load all the data in an
+//! exact histogram") and the reference against which the KS statistic of
+//! any other histogram can be sanity-checked.
+
+use dh_core::{BucketSpan, DataDistribution, ReadHistogram};
+
+/// A lossless histogram with one bucket per distinct value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactHistogram {
+    spans: Vec<BucketSpan>,
+}
+
+impl ExactHistogram {
+    /// Builds the exact histogram of a distribution.
+    pub fn build(dist: &DataDistribution) -> Self {
+        Self {
+            spans: dist
+                .iter()
+                .map(|(v, c)| BucketSpan::new(v as f64, (v + 1) as f64, c as f64))
+                .collect(),
+        }
+    }
+
+    /// Builds directly from raw values.
+    pub fn from_values(values: &[i64]) -> Self {
+        Self::build(&DataDistribution::from_values(values))
+    }
+
+    /// The bucket spans (sorted, one per distinct value).
+    pub fn buckets(&self) -> &[BucketSpan] {
+        &self.spans
+    }
+}
+
+impl ReadHistogram for ExactHistogram {
+    fn spans(&self) -> Vec<BucketSpan> {
+        self.spans.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_core::ks_error;
+
+    #[test]
+    fn exact_histogram_has_zero_error() {
+        let dist = DataDistribution::from_values(&[1, 1, 5, 9, 9, 9, 200]);
+        let h = ExactHistogram::build(&dist);
+        assert_eq!(h.num_buckets(), 4);
+        assert_eq!(h.total_count(), 7.0);
+        assert!(ks_error(&h, &dist) < 1e-12);
+    }
+
+    #[test]
+    fn estimates_are_exact() {
+        let dist = DataDistribution::from_values(&[2, 2, 2, 7, 11]);
+        let h = ExactHistogram::build(&dist);
+        assert_eq!(h.estimate_eq(2), 3.0);
+        assert_eq!(h.estimate_eq(3), 0.0);
+        assert_eq!(h.estimate_range(2, 7), 4.0);
+        assert_eq!(h.estimate_le(11), 5.0);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let h = ExactHistogram::build(&DataDistribution::new());
+        assert_eq!(h.num_buckets(), 0);
+        assert_eq!(h.total_count(), 0.0);
+    }
+}

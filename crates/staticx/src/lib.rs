@@ -1,0 +1,41 @@
+//! Static histograms: built from a complete scan of the data.
+//!
+//! These are the paper's static baselines and its two new static
+//! contributions:
+//!
+//! * [`EquiWidthHistogram`] — Equi-Sum(V, S): equal value ranges.
+//! * [`EquiDepthHistogram`] — Equi-Sum(V, F): equal counts.
+//! * [`CompressedHistogram`] (SC) — singleton buckets for high-frequency
+//!   values, equi-depth for the rest (Poosala et al.).
+//! * [`VOptimalHistogram`] (SVO) — minimizes the total weighted variance of
+//!   frequencies (Eq. 2/3), computed *exactly* by dynamic programming.
+//! * [`SadoHistogram`] (SADO, **new in the paper**) — minimizes the sum of
+//!   absolute deviations of frequencies from bucket means (Eq. 5), also
+//!   exact via DP.
+//! * [`SsbmHistogram`] (SSBM, **new in the paper**) — Successive Similar
+//!   Bucket Merge: starts from the exact histogram and repeatedly merges
+//!   the adjacent pair with the smallest merged deviation (Eq. 4),
+//!   approaching V-Optimal quality at a fraction of the cost.
+//! * [`ExactHistogram`] — one unit bucket per distinct value (zero error;
+//!   the SSBM starting point and a testing reference).
+//!
+//! All builders consume a [`dh_core::DataDistribution`] and a bucket count,
+//! and produce immutable histograms implementing
+//! [`dh_core::ReadHistogram`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compressed;
+pub mod equidepth;
+pub mod equiwidth;
+pub mod exact;
+pub mod optimal;
+pub mod ssbm;
+
+pub use compressed::CompressedHistogram;
+pub use equidepth::EquiDepthHistogram;
+pub use equiwidth::EquiWidthHistogram;
+pub use exact::ExactHistogram;
+pub use optimal::{SadoHistogram, VOptimalHistogram};
+pub use ssbm::SsbmHistogram;

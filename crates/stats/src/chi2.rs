@@ -1,0 +1,221 @@
+//! Chi-square statistic and the bucket-uniformity test of Section 3.
+//!
+//! The Dynamic Compressed histogram keeps the null hypothesis *"counts in
+//! regular buckets are uniformly distributed"* and repartitions only when
+//! the hypothesis is rejected at significance `alpha_min` (the paper uses
+//! `1e-6`). The statistic is Eq. (1):
+//!
+//! ```text
+//! chi2 = sum_i (c_i - e_i)^2 / e_i
+//! ```
+//!
+//! with `e_i` the average regular-bucket count.
+
+use crate::gamma::gamma_q;
+
+/// Chi-square statistic of observed counts against explicit expected counts.
+///
+/// Terms with non-positive expectation are skipped (they carry no
+/// information under the null hypothesis and would otherwise divide by
+/// zero).
+///
+/// # Examples
+/// ```
+/// let chi2 = dh_stats::chi2::chi2_statistic(&[8.0, 12.0], &[10.0, 10.0]);
+/// assert!((chi2 - 0.8).abs() < 1e-12);
+/// ```
+pub fn chi2_statistic(observed: &[f64], expected: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed/expected length mismatch"
+    );
+    observed
+        .iter()
+        .zip(expected)
+        .filter(|(_, &e)| e > 0.0)
+        .map(|(&o, &e)| {
+            let d = o - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Chi-square statistic of counts against the uniform expectation (their
+/// mean), exactly as DC applies Eq. (1) to its regular buckets.
+///
+/// Returns `0.0` for fewer than two counts or when all counts are zero
+/// (a uniform — indeed empty — configuration cannot violate uniformity).
+pub fn chi2_statistic_uniform(observed: &[f64]) -> f64 {
+    if observed.len() < 2 {
+        return 0.0;
+    }
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    observed
+        .iter()
+        .map(|&o| {
+            let d = o - mean;
+            d * d / mean
+        })
+        .sum()
+}
+
+/// Survival function of the chi-square distribution: the probability that a
+/// chi-square variable with `df` degrees of freedom exceeds `chi2`.
+///
+/// This is the "Chi-square probability function" of the paper (via [7],
+/// *Numerical Recipes*): `Q(df/2, chi2/2)`.
+///
+/// # Panics
+/// Panics if `df <= 0` or `chi2 < 0`.
+pub fn chi2_pvalue(chi2: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+    assert!(chi2 >= 0.0, "chi2 must be nonnegative, got {chi2}");
+    gamma_q(df / 2.0, chi2 / 2.0)
+}
+
+/// The repartitioning trigger used by the Dynamic Compressed histogram.
+///
+/// `alpha_min` is the lower bound on the significance level: the test
+/// reports a violation (and DC repartitions) when the p-value of the
+/// observed counts falls to `alpha_min` or below. Setting `alpha_min = 0`
+/// freezes the histogram forever; `alpha_min = 1` repartitions after every
+/// insertion (Section 3). The paper's default is `1e-6`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformityTest {
+    /// Lower bound on the significance level below which the null
+    /// hypothesis (uniform bucket counts) is rejected.
+    pub alpha_min: f64,
+}
+
+impl Default for UniformityTest {
+    /// The paper's experimental setting, `alpha_min = 1e-6`.
+    fn default() -> Self {
+        Self { alpha_min: 1e-6 }
+    }
+}
+
+impl UniformityTest {
+    /// Creates a test with the given significance floor.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= alpha_min <= 1`.
+    pub fn new(alpha_min: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha_min),
+            "alpha_min must lie in [0, 1], got {alpha_min}"
+        );
+        Self { alpha_min }
+    }
+
+    /// The p-value of the uniformity hypothesis for these bucket counts,
+    /// using `len - 1` degrees of freedom.
+    pub fn pvalue(&self, counts: &[f64]) -> f64 {
+        if counts.len() < 2 {
+            return 1.0;
+        }
+        let chi2 = chi2_statistic_uniform(counts);
+        if chi2 == 0.0 {
+            return 1.0;
+        }
+        chi2_pvalue(chi2, (counts.len() - 1) as f64)
+    }
+
+    /// Whether the uniformity hypothesis is rejected, i.e. whether DC should
+    /// repartition now.
+    pub fn is_violated(&self, counts: &[f64]) -> bool {
+        if self.alpha_min <= 0.0 {
+            return false; // frozen histogram
+        }
+        if self.alpha_min >= 1.0 {
+            return counts.len() >= 2; // repartition on every update
+        }
+        self.pvalue(counts) <= self.alpha_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistic_zero_for_uniform_counts() {
+        assert_eq!(chi2_statistic_uniform(&[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn statistic_grows_with_imbalance() {
+        let mild = chi2_statistic_uniform(&[9.0, 11.0, 10.0, 10.0]);
+        let wild = chi2_statistic_uniform(&[1.0, 19.0, 10.0, 10.0]);
+        assert!(wild > mild);
+        assert!(mild > 0.0);
+    }
+
+    #[test]
+    fn statistic_empty_and_singleton() {
+        assert_eq!(chi2_statistic_uniform(&[]), 0.0);
+        assert_eq!(chi2_statistic_uniform(&[42.0]), 0.0);
+        assert_eq!(chi2_statistic_uniform(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn explicit_expected_matches_uniform_path() {
+        let obs = [3.0, 7.0, 5.0, 9.0];
+        let mean = 6.0;
+        let expected = [mean; 4];
+        assert!(
+            (chi2_statistic(&obs, &expected) - chi2_statistic_uniform(&obs)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn pvalue_near_one_for_balanced_counts() {
+        let t = UniformityTest::default();
+        assert!(t.pvalue(&[100.0, 101.0, 99.0, 100.0]) > 0.9);
+        assert!(!t.is_violated(&[100.0, 101.0, 99.0, 100.0]));
+    }
+
+    #[test]
+    fn pvalue_tiny_for_extreme_imbalance() {
+        let t = UniformityTest::default();
+        let counts = vec![1000.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        assert!(t.pvalue(&counts) < 1e-6);
+        assert!(t.is_violated(&counts));
+    }
+
+    #[test]
+    fn alpha_zero_freezes() {
+        let t = UniformityTest::new(0.0);
+        assert!(!t.is_violated(&[1000.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn alpha_one_always_fires() {
+        let t = UniformityTest::new(1.0);
+        assert!(t.is_violated(&[10.0, 10.0]));
+        assert!(!t.is_violated(&[10.0])); // a single bucket can't violate
+    }
+
+    #[test]
+    fn pvalue_decreases_as_imbalance_grows() {
+        let t = UniformityTest::default();
+        let mut prev = 1.0;
+        for k in 0..10 {
+            let hot = 10.0 + 30.0 * f64::from(k);
+            let counts = [hot, 10.0, 10.0, 10.0, 10.0];
+            let p = t.pvalue(&counts);
+            assert!(p <= prev + 1e-12, "p-value should fall as skew rises");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn pvalue_matches_table_df3() {
+        // chi2 = 7.815 at df = 3 has p = 0.05.
+        let p = chi2_pvalue(7.815, 3.0);
+        assert!((p - 0.05).abs() < 5e-4, "got {p}");
+    }
+}

@@ -1,0 +1,358 @@
+//! Kolmogorov–Smirnov statistic between data distributions (Eq. 6).
+//!
+//! The paper evaluates every histogram by the KS statistic
+//! `D = max_x |F1(x) - F2(x)|` between the *true* cumulative distribution of
+//! the data and the cumulative distribution the histogram represents
+//! (Section 6.2). `D` has the intuitive interpretation of the maximum
+//! possible selectivity error of a one-sided range predicate.
+//!
+//! The true CDF is a step function (data values are discrete); histogram
+//! CDFs are continuous and piecewise linear (uniform-distribution
+//! assumption). The supremum of their difference is therefore attained at a
+//! step point of the true CDF — approached from the left or evaluated at the
+//! point — or at a breakpoint of the histogram CDF. [`ks_between`] evaluates
+//! all of these candidate points, so the returned statistic is exact, not a
+//! grid approximation.
+
+/// A normalized cumulative distribution function.
+///
+/// Implementors return the *fraction* of total mass at or below `x`
+/// (`fraction_le`), and strictly below `x` (`fraction_lt`, which defaults to
+/// `fraction_le` for continuous distributions).
+pub trait Cdf {
+    /// Fraction of mass `<= x`, in `[0, 1]`.
+    fn fraction_le(&self, x: f64) -> f64;
+
+    /// Fraction of mass `< x`. Continuous CDFs keep the default.
+    fn fraction_lt(&self, x: f64) -> f64 {
+        self.fraction_le(x)
+    }
+
+    /// Points at which `|self - other|` can attain its supremum: jump points
+    /// for step CDFs, segment borders for piecewise-linear CDFs. May be
+    /// empty for smooth CDFs.
+    fn breakpoints(&self) -> Vec<f64>;
+}
+
+/// An empirical step CDF over discrete `(value, count)` mass points.
+///
+/// This is the "true data distribution" side of every KS comparison in the
+/// paper's evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepCdf {
+    /// Distinct values in strictly increasing order.
+    values: Vec<f64>,
+    /// `cumulative[i]` = total mass at values `<= values[i]`.
+    cumulative: Vec<f64>,
+    /// Total mass.
+    total: f64,
+}
+
+impl StepCdf {
+    /// Builds a step CDF from `(value, count)` pairs.
+    ///
+    /// Pairs may arrive unsorted and may repeat values; counts must be
+    /// nonnegative and zero-count values are dropped.
+    ///
+    /// # Panics
+    /// Panics if any count is negative or not finite.
+    pub fn from_counts(pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let mut pts: Vec<(f64, f64)> = pairs
+            .into_iter()
+            .inspect(|&(v, c)| {
+                assert!(v.is_finite(), "value must be finite, got {v}");
+                assert!(c.is_finite() && c >= 0.0, "count must be >= 0, got {c}");
+            })
+            .filter(|&(_, c)| c > 0.0)
+            .collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut values = Vec::with_capacity(pts.len());
+        let mut cumulative = Vec::with_capacity(pts.len());
+        let mut running = 0.0;
+        for (v, c) in pts {
+            if values.last().is_some_and(|&last: &f64| last == v) {
+                running += c;
+                *cumulative.last_mut().expect("nonempty") = running;
+            } else {
+                running += c;
+                values.push(v);
+                cumulative.push(running);
+            }
+        }
+        Self {
+            values,
+            cumulative,
+            total: running,
+        }
+    }
+
+    /// Builds a step CDF from raw integer observations (each with mass 1).
+    pub fn from_values(values: impl IntoIterator<Item = i64>) -> Self {
+        use std::collections::BTreeMap;
+        let mut freq: BTreeMap<i64, f64> = BTreeMap::new();
+        for v in values {
+            *freq.entry(v).or_insert(0.0) += 1.0;
+        }
+        Self::from_counts(freq.into_iter().map(|(v, c)| (v as f64, c)))
+    }
+
+    /// Total mass (number of data points for unit-mass observations).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Whether the distribution carries no mass.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0.0
+    }
+
+    /// Number of distinct mass points.
+    pub fn distinct(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Unnormalized cumulative mass at values `<= x`.
+    pub fn mass_le(&self, x: f64) -> f64 {
+        match self.values.partition_point(|&v| v <= x) {
+            0 => 0.0,
+            i => self.cumulative[i - 1],
+        }
+    }
+
+    /// Unnormalized cumulative mass at values `< x`.
+    pub fn mass_lt(&self, x: f64) -> f64 {
+        match self.values.partition_point(|&v| v < x) {
+            0 => 0.0,
+            i => self.cumulative[i - 1],
+        }
+    }
+
+    /// The distinct values carrying mass, in increasing order.
+    pub fn support(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Cdf for StepCdf {
+    fn fraction_le(&self, x: f64) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        self.mass_le(x) / self.total
+    }
+
+    fn fraction_lt(&self, x: f64) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        self.mass_lt(x) / self.total
+    }
+
+    fn breakpoints(&self) -> Vec<f64> {
+        self.values.clone()
+    }
+}
+
+/// Exact KS statistic `max_x |a(x) - b(x)|` between two CDFs.
+///
+/// Evaluates both one-sided limits at every breakpoint of either CDF. For a
+/// step function against a piecewise-linear function (the paper's setting)
+/// and for step-vs-step or linear-vs-linear comparisons this is exact,
+/// because between consecutive candidate points both functions are monotone
+/// (indeed linear or constant), so the difference is extremized at the
+/// candidates.
+///
+/// Returns a value in `[0, 1]`; returns `0.0` when both CDFs have no
+/// breakpoints.
+pub fn ks_between(a: &impl Cdf, b: &impl Cdf) -> f64 {
+    let mut points = a.breakpoints();
+    points.extend(b.breakpoints());
+    points.sort_by(f64::total_cmp);
+    points.dedup();
+
+    let mut d: f64 = 0.0;
+    for &x in &points {
+        let at = (a.fraction_le(x) - b.fraction_le(x)).abs();
+        let before = (a.fraction_lt(x) - b.fraction_lt(x)).abs();
+        d = d.max(at).max(before);
+    }
+    d.min(1.0)
+}
+
+/// KS statistic restricted to the integer grid:
+/// `max_{x integer} |a(x) - b(x)|`.
+///
+/// For integer-valued data embedded in continuous space (each value `v`
+/// occupying `[v, v+1)`), range predicates have integer endpoints, so this
+/// is exactly the paper's "maximum error in selectivity of a range
+/// predicate" interpretation of the KS statistic. It does not penalize a
+/// histogram for distributing a value's mass non-uniformly *within* its
+/// unit interval (no integer-endpoint query can observe that).
+///
+/// Between two consecutive candidate integers both CDFs are monotone, so
+/// it suffices to evaluate at the integers adjacent to every breakpoint of
+/// either CDF.
+pub fn ks_at_integers(a: &impl Cdf, b: &impl Cdf) -> f64 {
+    let mut points: Vec<i64> = Vec::new();
+    for x in a.breakpoints().into_iter().chain(b.breakpoints()) {
+        points.push(x.floor() as i64);
+        points.push(x.ceil() as i64);
+    }
+    points.sort_unstable();
+    points.dedup();
+
+    let mut d: f64 = 0.0;
+    for &p in &points {
+        let x = p as f64;
+        let at = (a.fraction_le(x) - b.fraction_le(x)).abs();
+        let before = (a.fraction_lt(x) - b.fraction_lt(x)).abs();
+        d = d.max(at).max(before);
+    }
+    d.min(1.0)
+}
+
+/// Classic two-sample KS statistic between two empirical step CDFs.
+///
+/// Convenience wrapper over [`ks_between`] for raw samples.
+pub fn ks_two_sample(xs: &[i64], ys: &[i64]) -> f64 {
+    let a = StepCdf::from_values(xs.iter().copied());
+    let b = StepCdf::from_values(ys.iter().copied());
+    ks_between(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_cdf_basic_lookup() {
+        let c = StepCdf::from_counts([(1.0, 2.0), (3.0, 1.0), (5.0, 1.0)]);
+        assert_eq!(c.total(), 4.0);
+        assert_eq!(c.fraction_le(0.0), 0.0);
+        assert_eq!(c.fraction_le(1.0), 0.5);
+        assert_eq!(c.fraction_lt(1.0), 0.0);
+        assert_eq!(c.fraction_le(2.9), 0.5);
+        assert_eq!(c.fraction_le(3.0), 0.75);
+        assert_eq!(c.fraction_le(100.0), 1.0);
+    }
+
+    #[test]
+    fn step_cdf_merges_duplicate_values() {
+        let c = StepCdf::from_counts([(2.0, 1.0), (2.0, 3.0), (4.0, 1.0)]);
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.fraction_le(2.0), 0.8);
+    }
+
+    #[test]
+    fn step_cdf_drops_zero_counts() {
+        let c = StepCdf::from_counts([(1.0, 0.0), (2.0, 5.0)]);
+        assert_eq!(c.distinct(), 1);
+        assert_eq!(c.total(), 5.0);
+    }
+
+    #[test]
+    fn step_cdf_from_values_counts_multiplicity() {
+        let c = StepCdf::from_values([7, 7, 7, 9]);
+        assert_eq!(c.fraction_le(7.0), 0.75);
+        assert_eq!(c.fraction_le(9.0), 1.0);
+    }
+
+    #[test]
+    fn ks_identical_distributions_is_zero() {
+        let a = StepCdf::from_values([1, 2, 3, 4, 5]);
+        let b = StepCdf::from_values([1, 2, 3, 4, 5]);
+        assert_eq!(ks_between(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_supports_is_one() {
+        let a = StepCdf::from_values([1, 2, 3]);
+        let b = StepCdf::from_values([10, 11, 12]);
+        assert!((ks_between(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_single_point_shift() {
+        // a has all mass at 0, b has half at 0 and half at 10.
+        let a = StepCdf::from_counts([(0.0, 4.0)]);
+        let b = StepCdf::from_counts([(0.0, 2.0), (10.0, 2.0)]);
+        assert!((ks_between(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_is_symmetric() {
+        let a = StepCdf::from_values([1, 1, 2, 8]);
+        let b = StepCdf::from_values([2, 3, 4]);
+        assert_eq!(ks_between(&a, &b), ks_between(&b, &a));
+    }
+
+    #[test]
+    fn ks_against_piecewise_linear() {
+        /// Linear CDF rising from 0 at x=0 to 1 at x=10.
+        struct Ramp;
+        impl Cdf for Ramp {
+            fn fraction_le(&self, x: f64) -> f64 {
+                (x / 10.0).clamp(0.0, 1.0)
+            }
+            fn breakpoints(&self) -> Vec<f64> {
+                vec![0.0, 10.0]
+            }
+        }
+        // All true mass at x = 0: the worst deviation is just below the jump
+        // at 0? No: F_true jumps to 1 at 0 while the ramp is 0 there -> D=1.
+        let spike = StepCdf::from_counts([(0.0, 1.0)]);
+        assert!((ks_between(&spike, &Ramp) - 1.0).abs() < 1e-12);
+
+        // Uniform mass over 0..10 sampled at integer midpoints tracks the
+        // ramp within 1/10 + rounding.
+        let unif = StepCdf::from_values((0..10).collect::<Vec<_>>());
+        let d = ks_between(&unif, &Ramp);
+        assert!(d <= 0.11, "got {d}");
+    }
+
+    #[test]
+    fn integer_grid_ks_ignores_subunit_placement() {
+        // Truth: 1 unit of mass uniform over [5, 6). Histogram: the same
+        // mass squeezed into [5.3, 5.7). Indistinguishable by any
+        // integer-endpoint range predicate.
+        struct Seg(f64, f64);
+        impl Cdf for Seg {
+            fn fraction_le(&self, x: f64) -> f64 {
+                ((x - self.0) / (self.1 - self.0)).clamp(0.0, 1.0)
+            }
+            fn breakpoints(&self) -> Vec<f64> {
+                vec![self.0, self.1]
+            }
+        }
+        let truth = Seg(5.0, 6.0);
+        let squeezed = Seg(5.3, 5.7);
+        assert_eq!(ks_at_integers(&truth, &squeezed), 0.0);
+        // The continuous-space statistic does see it.
+        assert!(ks_between(&truth, &squeezed) > 0.2);
+    }
+
+    #[test]
+    fn integer_grid_ks_matches_full_ks_on_integer_breakpoints() {
+        let a = StepCdf::from_values([1, 2, 3, 4]);
+        let b = StepCdf::from_values([3, 4, 5, 6]);
+        assert_eq!(ks_at_integers(&a, &b), ks_between(&a, &b));
+    }
+
+    #[test]
+    fn two_sample_helper_matches_manual() {
+        let xs = [1, 2, 3, 4];
+        let ys = [3, 4, 5, 6];
+        let d = ks_two_sample(&xs, &ys);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cdf_is_all_zero() {
+        let e = StepCdf::from_counts(std::iter::empty::<(f64, f64)>());
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_le(3.0), 0.0);
+        let a = StepCdf::from_values([1]);
+        assert!((ks_between(&a, &e) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,33 @@
+//! Statistical machinery used throughout the dynamic-histograms reproduction.
+//!
+//! This crate is a dependency-free substrate providing:
+//!
+//! * [`gamma`] — the log-gamma function and the regularized incomplete gamma
+//!   functions `P(a, x)` / `Q(a, x)` (Numerical Recipes style series and
+//!   continued-fraction evaluations). These back the chi-square probability
+//!   function that the Dynamic Compressed histogram uses to decide when to
+//!   repartition (Section 3 of the paper).
+//! * [`chi2`] — the chi-square statistic of Eq. (1) and its survival
+//!   function / p-value, plus the uniformity test used by DC.
+//! * [`ks`] — the Kolmogorov–Smirnov statistic of Eq. (6), the paper's
+//!   histogram quality metric (Section 6.2), computed *exactly* between a
+//!   stepwise empirical CDF and any other CDF.
+//! * [`metrics`] — the average-relative-error metric of Eq. (7), kept for
+//!   cross-checking the KS results exactly as the authors did.
+//!
+//! All functions are deterministic and allocation-light; the chi-square
+//! p-value is evaluated on every insertion by the DC histogram, so the hot
+//! paths here matter.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chi2;
+pub mod gamma;
+pub mod ks;
+pub mod metrics;
+
+pub use chi2::{chi2_pvalue, chi2_statistic_uniform, UniformityTest};
+pub use gamma::{gamma_p, gamma_q, ln_gamma};
+pub use ks::{ks_at_integers, ks_between, Cdf, StepCdf};
+pub use metrics::{avg_relative_error, RangeQuery};

@@ -1,0 +1,215 @@
+//! The average-relative-error metric of Eq. (7).
+//!
+//! The paper prefers the KS statistic but cross-checks with
+//!
+//! ```text
+//! E = (100 / |Q|) * sum_{q in Q} |S_q - S'_q| / S_q
+//! ```
+//!
+//! over a workload `Q` of range queries, where `S_q` is the true result size
+//! and `S'_q` the histogram estimate. As the authors note, the value of this
+//! metric depends on how the query workload is drawn; this module provides
+//! the standard choices (uniform endpoints, data-distributed endpoints, and
+//! one-sided open ranges) so that the dependency itself can be reproduced.
+
+use crate::ks::{Cdf, StepCdf};
+
+/// A half-open range predicate `lo <= X < hi` (or one-sided `X < hi`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeQuery {
+    /// Inclusive lower endpoint; `None` for an open lower side.
+    pub lo: Option<f64>,
+    /// Exclusive upper endpoint.
+    pub hi: f64,
+}
+
+impl RangeQuery {
+    /// A closed-below, open-above range `lo <= X < hi`.
+    pub fn between(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "range endpoints out of order: [{lo}, {hi})");
+        Self { lo: Some(lo), hi }
+    }
+
+    /// A one-sided range `X < hi`.
+    pub fn less_than(hi: f64) -> Self {
+        Self { lo: None, hi }
+    }
+
+    /// The fraction of a distribution's mass selected by this query.
+    pub fn selectivity(&self, cdf: &impl Cdf) -> f64 {
+        let upper = cdf.fraction_lt(self.hi);
+        match self.lo {
+            None => upper,
+            Some(lo) => (upper - cdf.fraction_lt(lo)).max(0.0),
+        }
+    }
+}
+
+/// Eq. (7): mean relative selectivity error (in percent) of `estimate`
+/// against `truth` over the query workload.
+///
+/// Queries whose true selectivity is zero are skipped (the metric is
+/// undefined for them, and the paper's formulation divides by `S_q`).
+/// Returns `0.0` when no query has positive true selectivity.
+pub fn avg_relative_error(
+    truth: &impl Cdf,
+    estimate: &impl Cdf,
+    queries: &[RangeQuery],
+) -> f64 {
+    let mut total = 0.0;
+    let mut used = 0usize;
+    for q in queries {
+        let s_true = q.selectivity(truth);
+        if s_true <= 0.0 {
+            continue;
+        }
+        let s_est = q.selectivity(estimate);
+        total += (s_true - s_est).abs() / s_true;
+        used += 1;
+    }
+    if used == 0 {
+        0.0
+    } else {
+        100.0 * total / used as f64
+    }
+}
+
+/// Deterministic workload of `n` closed ranges with endpoints uniform over
+/// `[min, max]` (low-discrepancy lattice, so results are reproducible
+/// without threading an RNG through the metric).
+pub fn uniform_range_workload(min: f64, max: f64, n: usize) -> Vec<RangeQuery> {
+    assert!(max > min, "domain must be nonempty");
+    assert!(n > 0, "workload must contain at least one query");
+    let width = max - min;
+    let mut queries = Vec::with_capacity(n);
+    // Weyl sequence on the unit square: equidistributed endpoint pairs.
+    let (mut u, mut v) = (0.5f64, 0.5f64);
+    const A: f64 = 0.754_877_666_246_693; // plastic-number based
+    const B: f64 = 0.569_840_290_998_053_1;
+    for _ in 0..n {
+        u = (u + A) % 1.0;
+        v = (v + B) % 1.0;
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        queries.push(RangeQuery::between(min + a * width, min + b * width));
+    }
+    queries
+}
+
+/// Workload of `n` one-sided ranges `X < hi` with `hi` swept uniformly
+/// across the domain — the open-range flavor discussed in Section 6.2.
+pub fn open_range_workload(min: f64, max: f64, n: usize) -> Vec<RangeQuery> {
+    assert!(max > min, "domain must be nonempty");
+    assert!(n > 0, "workload must contain at least one query");
+    (0..n)
+        .map(|i| {
+            let t = (i as f64 + 1.0) / (n as f64 + 1.0);
+            RangeQuery::less_than(min + t * (max - min))
+        })
+        .collect()
+}
+
+/// Workload whose endpoints are drawn from the data distribution itself:
+/// ranges between consecutive-ish support points, the second endpoint
+/// distribution the paper mentions.
+pub fn data_distributed_workload(truth: &StepCdf, n: usize) -> Vec<RangeQuery> {
+    let support = truth.support();
+    if support.len() < 2 || n == 0 {
+        return Vec::new();
+    }
+    let m = support.len();
+    let mut queries = Vec::with_capacity(n);
+    let mut u = 0.5f64;
+    let mut v = 0.25f64;
+    const A: f64 = 0.754_877_666_246_693;
+    const B: f64 = 0.569_840_290_998_053_1;
+    for _ in 0..n {
+        u = (u + A) % 1.0;
+        v = (v + B) % 1.0;
+        let i = ((u * m as f64) as usize).min(m - 1);
+        let j = ((v * m as f64) as usize).min(m - 1);
+        let (a, b) = if support[i] <= support[j] {
+            (support[i], support[j])
+        } else {
+            (support[j], support[i])
+        };
+        // Nudge the upper endpoint past the value so the closed point is in.
+        queries.push(RangeQuery::between(a, b + 0.5));
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ks::StepCdf;
+
+    fn truth() -> StepCdf {
+        StepCdf::from_values([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+    }
+
+    #[test]
+    fn selectivity_of_full_range_is_one() {
+        let t = truth();
+        let q = RangeQuery::between(0.0, 10.0);
+        assert!((q.selectivity(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selectivity_of_half_range() {
+        let t = truth();
+        let q = RangeQuery::between(0.0, 5.0); // values 0..=4
+        assert!((q.selectivity(&t) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_range_selectivity() {
+        let t = truth();
+        assert!((RangeQuery::less_than(3.0).selectivity(&t) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_estimator_has_zero_error() {
+        let t = truth();
+        let queries = uniform_range_workload(0.0, 10.0, 64);
+        assert_eq!(avg_relative_error(&t, &t, &queries), 0.0);
+    }
+
+    #[test]
+    fn error_is_positive_for_wrong_estimator() {
+        let t = truth();
+        let wrong = StepCdf::from_values([0, 0, 0, 0, 0, 9, 9, 9, 9, 9]);
+        let queries = uniform_range_workload(0.0, 10.0, 64);
+        assert!(avg_relative_error(&t, &wrong, &queries) > 0.0);
+    }
+
+    #[test]
+    fn zero_selectivity_queries_are_skipped() {
+        let t = truth();
+        let queries = vec![RangeQuery::between(100.0, 200.0)];
+        assert_eq!(avg_relative_error(&t, &t, &queries), 0.0);
+    }
+
+    #[test]
+    fn workload_generators_produce_requested_sizes() {
+        assert_eq!(uniform_range_workload(0.0, 1.0, 17).len(), 17);
+        assert_eq!(open_range_workload(0.0, 1.0, 9).len(), 9);
+        assert_eq!(data_distributed_workload(&truth(), 12).len(), 12);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = uniform_range_workload(0.0, 50.0, 8);
+        let b = uniform_range_workload(0.0, 50.0, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_endpoints_stay_in_domain() {
+        for q in uniform_range_workload(10.0, 20.0, 100) {
+            let lo = q.lo.expect("closed ranges");
+            assert!((10.0..=20.0).contains(&lo));
+            assert!((10.0..=20.0).contains(&q.hi));
+            assert!(lo <= q.hi);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Global histograms over a shared-nothing union (Section 8).
+//!
+//! Five member sites each hold Zipf-skewed data over their own attribute
+//! subrange and maintain a local SSBM histogram in 250 bytes. A
+//! coordinator builds the global histogram two ways and compares quality:
+//!
+//! * histogram + union: superimpose the members' histograms (lossless),
+//!   then SSBM-reduce back to the memory budget;
+//! * union + histogram: pool the raw data and build one SSBM directly.
+//!
+//! ```text
+//! cargo run --release --example distributed_union
+//! ```
+
+use dynamic_histograms::core::ks_error;
+use dynamic_histograms::distributed::{
+    build_global, superimpose, DistributedConfig, GlobalStrategy,
+};
+use dynamic_histograms::prelude::*;
+use dynamic_histograms::statics::SsbmHistogram as Ssbm;
+
+fn main() {
+    let cfg = DistributedConfig::default(); // 5 sites, 250 B, Z_Freq = 1
+    println!(
+        "{} sites, {} points total, {} buckets per histogram ({} bytes)\n",
+        cfg.sites,
+        cfg.total_points,
+        cfg.buckets(),
+        cfg.memory.bytes()
+    );
+
+    let sites = cfg.generate_sites(7);
+    let mut pooled = DataDistribution::new();
+    for (i, site) in sites.iter().enumerate() {
+        println!(
+            "site {i}: {:>6} points over [{}, {}]",
+            site.values.len(),
+            site.range.0,
+            site.range.1
+        );
+        for &v in &site.values {
+            pooled.insert(v);
+        }
+    }
+
+    // Member histograms and their lossless superposition.
+    let members: Vec<Vec<_>> = sites
+        .iter()
+        .map(|s| Ssbm::build(&DataDistribution::from_values(&s.values), cfg.buckets()).spans())
+        .collect();
+    let composite = superimpose(&members);
+    println!(
+        "\nsuperposition of 5 member histograms: {} elementary buckets",
+        composite.len()
+    );
+
+    let hu = build_global(&cfg, &sites, GlobalStrategy::HistogramThenUnion);
+    let uh = build_global(&cfg, &sites, GlobalStrategy::UnionThenHistogram);
+
+    let ks_hu = ks_error(&hu, &pooled);
+    let ks_uh = ks_error(&uh, &pooled);
+    println!("histogram + union : {} buckets, KS = {ks_hu:.5}", hu.num_buckets());
+    println!("union + histogram : {} buckets, KS = {ks_uh:.5}", uh.num_buckets());
+    println!(
+        "\nthe two strategies are within {:.5} of each other — the paper's\n\
+         conclusion: merging local histograms loses almost nothing, so\n\
+         there is no need to ship raw data to build a global histogram.",
+        (ks_hu - ks_uh).abs()
+    );
+}

@@ -1,0 +1,95 @@
+//! The paper's opening motivation, end to end: selectivity-estimation
+//! errors propagate through join plans, so a histogram that goes stale
+//! poisons the optimizer's cardinality estimates — while a dynamic
+//! histogram keeps them sharp at negligible maintenance cost.
+//!
+//! Four relations join on a shared key. After the static histograms are
+//! built, the data keeps evolving (new keys arrive, old ones retire). We
+//! then ask both kinds of histograms to estimate the join-chain sizes.
+//!
+//! ```text
+//! cargo run --release --example join_cardinality
+//! ```
+
+use dynamic_histograms::core::{DataDistribution, Histogram, ReadHistogram};
+use dynamic_histograms::optimizer::{propagate_chain, SpanHistogram};
+use dynamic_histograms::prelude::*;
+
+fn main() {
+    const RELATIONS: usize = 4;
+    const BUCKETS: usize = 64;
+
+    // Phase 1: initial data. Keys clustered in [0, 600).
+    let mut truths: Vec<DataDistribution> = vec![DataDistribution::new(); RELATIONS];
+    let mut dynamics: Vec<DadoHistogram> = (0..RELATIONS)
+        .map(|_| DadoHistogram::new(BUCKETS))
+        .collect();
+    for (r, (truth, dynh)) in truths.iter_mut().zip(&mut dynamics).enumerate() {
+        for i in 0..20_000i64 {
+            let v = ((i * (7 + r as i64 * 2)) % 600 + (i % 13) * 3) % 600;
+            truth.insert(v);
+            dynh.insert(v);
+        }
+    }
+
+    // The DBA builds Compressed histograms now... and never again.
+    let statics: Vec<CompressedHistogram> = truths
+        .iter()
+        .map(|t| CompressedHistogram::build(t, BUCKETS))
+        .collect();
+
+    // Phase 2: the workload drifts — old keys retire and a *hot* key (777)
+    // emerges, carrying 30% of each relation. Hot keys are what make join
+    // sizes explode, so a histogram that missed the drift will be
+    // catastrophically wrong about the plan.
+    for (r, (truth, dynh)) in truths.iter_mut().zip(&mut dynamics).enumerate() {
+        for i in 0..20_000i64 {
+            let old = ((i * (7 + r as i64 * 2)) % 600 + (i % 13) * 3) % 600;
+            truth.delete(old);
+            dynh.delete(old);
+            let new = if i % 10 < 3 {
+                777
+            } else {
+                600 + ((i * (11 + r as i64 * 3)) % 600)
+            };
+            truth.insert(new);
+            dynh.insert(new);
+        }
+    }
+
+    // Phase 3: estimate join-chain cardinalities R1 ⋈ R2 ⋈ R3 ⋈ R4.
+    let dyn_report = propagate_chain(&dynamics, &truths);
+    let static_spans: Vec<SpanHistogram> =
+        statics.iter().map(|h| SpanHistogram::new(h.spans())).collect();
+    let static_report = propagate_chain(&static_spans, &truths);
+
+    println!("join-chain cardinality estimation after data drift\n");
+    println!(
+        "{:<10} {:>16} {:>16} {:>16}",
+        "depth", "exact", "DADO (fresh)", "SC (stale)"
+    );
+    for k in 0..dyn_report.exact.len() {
+        println!(
+            "{:<10} {:>16.3e} {:>16.3e} {:>16.3e}",
+            format!("{}-way", k + 2),
+            dyn_report.exact[k],
+            dyn_report.estimated[k],
+            static_report.estimated[k],
+        );
+    }
+    println!(
+        "\nrelative error at depth {}: DADO {:.1}%, stale static {:.1}%",
+        RELATIONS,
+        100.0 * dyn_report.final_error(),
+        100.0 * static_report.final_error()
+    );
+    assert!(
+        dyn_report.final_error() < 0.5,
+        "dynamic histograms should stay usable"
+    );
+    assert!(
+        static_report.final_error() > 0.9,
+        "the stale static plan should be badly wrong"
+    );
+    println!("the dynamic histograms kept the optimizer honest; the stale ones did not.");
+}

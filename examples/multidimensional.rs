@@ -1,0 +1,99 @@
+//! The paper's future-work direction, working: a two-dimensional dynamic
+//! histogram over an evolving spatial data set.
+//!
+//! Scenario: a delivery service tracks active orders by (zone_x, zone_y).
+//! Demand hot-spots move during the day; the 2-D split-merge histogram
+//! follows them without rebuilds, answering the 2-D range counts a spatial
+//! optimizer needs.
+//!
+//! ```text
+//! cargo run --release --example multidimensional
+//! ```
+
+use dynamic_histograms::core::dynamic::{AbsoluteDeviation, Grid2dHistogram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gaussian_point(rng: &mut StdRng, cx: f64, cy: f64, sd: f64) -> (i64, i64) {
+    let mut sample = |c: f64| loop {
+        let u: f64 = rng.gen_range(-1.0f64..1.0);
+        let v: f64 = rng.gen_range(-1.0f64..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            let z = u * (-2.0 * s.ln() / s).sqrt();
+            return ((c + sd * z).round() as i64).clamp(0, 255);
+        }
+    };
+    (sample(cx), sample(cy))
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut h = Grid2dHistogram::<AbsoluteDeviation>::new(64, (0, 255), (0, 255));
+
+    // Morning: downtown hot-spot at (60, 60), suburbs at (200, 180).
+    let mut live: Vec<(i64, i64)> = Vec::new();
+    println!("morning: 20,000 orders, hot-spot downtown (60, 60)");
+    for i in 0..20_000 {
+        let p = if i % 4 != 0 {
+            gaussian_point(&mut rng, 60.0, 60.0, 12.0)
+        } else {
+            gaussian_point(&mut rng, 200.0, 180.0, 25.0)
+        };
+        h.insert(p.0, p.1);
+        live.push(p);
+    }
+    report(&h, &live);
+
+    // Evening: downtown orders complete (deleted); stadium district
+    // (220, 40) lights up.
+    println!("\nevening: morning orders complete, stadium (220, 40) surges");
+    for &(x, y) in &live {
+        h.delete(x, y);
+    }
+    let mut evening: Vec<(i64, i64)> = Vec::new();
+    for _ in 0..15_000 {
+        let p = gaussian_point(&mut rng, 220.0, 40.0, 10.0);
+        h.insert(p.0, p.1);
+        evening.push(p);
+    }
+    report(&h, &evening);
+
+    // Spatial range queries an optimizer would ask.
+    println!("\n2-D range estimates (evening state):");
+    for (label, x, y) in [
+        ("stadium box (200..240, 20..60)", (200i64, 240i64), (20i64, 60i64)),
+        ("downtown box (40..80, 40..80)", (40, 80), (40, 80)),
+        ("whole city", (0, 255), (0, 255)),
+    ] {
+        let est = h.estimate_range(x, y);
+        let act = evening
+            .iter()
+            .filter(|&&(px, py)| px >= x.0 && px <= x.1 && py >= y.0 && py <= y.1)
+            .count();
+        println!("  {label:36} estimate {est:>8.0}, actual {act:>8}");
+    }
+}
+
+fn report(h: &Grid2dHistogram<AbsoluteDeviation>, live: &[(i64, i64)]) {
+    println!(
+        "  {} buckets over {} live points",
+        h.num_buckets(),
+        h.total_count()
+    );
+    // Max relative error over a fixed probe grid of quadrant queries.
+    let mut worst = 0.0f64;
+    for qx in 0..4i64 {
+        for qy in 0..4i64 {
+            let x = (qx * 64, qx * 64 + 63);
+            let y = (qy * 64, qy * 64 + 63);
+            let est = h.estimate_range(x, y);
+            let act = live
+                .iter()
+                .filter(|&&(px, py)| px >= x.0 && px <= x.1 && py >= y.0 && py <= y.1)
+                .count() as f64;
+            worst = worst.max((est - act).abs() / live.len() as f64);
+        }
+    }
+    println!("  worst 64x64-block selectivity error: {:.3}% of N", worst * 100.0);
+}

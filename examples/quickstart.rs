@@ -1,0 +1,83 @@
+//! Quickstart: maintain a dynamic histogram over an evolving stream and
+//! use it for selectivity estimation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dynamic_histograms::prelude::*;
+
+fn main() {
+    // A DADO histogram — the paper's best dynamic histogram — with 64
+    // buckets (each stores a left border and two sub-bucket counters).
+    let mut histogram = DadoHistogram::new(64);
+
+    // Ground truth tracker, only for demonstration / error reporting.
+    let mut truth = DataDistribution::new();
+
+    // Phase 1: a bimodal stream of "order amounts".
+    println!("phase 1: inserting 50,000 points around $40 and $180 ...");
+    for i in 0..50_000i64 {
+        let v = if i % 2 == 0 {
+            30 + (i * 7919) % 21 // $30..$50
+        } else {
+            150 + (i * 104_729) % 61 // $150..$210
+        };
+        histogram.insert(v);
+        truth.insert(v);
+    }
+    report(&histogram, &truth);
+
+    // Phase 2: the data set evolves — a flash sale at exactly $99.
+    println!("\nphase 2: a spike of 30,000 orders at exactly $99 ...");
+    for _ in 0..30_000 {
+        histogram.insert(99);
+        truth.insert(99);
+    }
+    report(&histogram, &truth);
+
+    // Phase 3: old data is rolled out (deletions), no rebuild needed.
+    println!("\nphase 3: deleting 25,000 of the phase-1 points ...");
+    for i in 0..25_000i64 {
+        let v = if i % 2 == 0 {
+            30 + (i * 7919) % 21
+        } else {
+            150 + (i * 104_729) % 61
+        };
+        histogram.delete(v);
+        truth.delete(v);
+    }
+    report(&histogram, &truth);
+
+    // The histogram answers the estimates a query optimizer needs.
+    println!("\nselectivity estimates (predicate -> estimate vs truth):");
+    for (label, lo, hi) in [
+        ("amount <= 50", i64::MIN, 50),
+        ("amount BETWEEN 90 AND 110", 90, 110),
+        ("amount BETWEEN 150 AND 210", 150, 210),
+    ] {
+        let est = if lo == i64::MIN {
+            histogram.estimate_le(hi)
+        } else {
+            histogram.estimate_range(lo, hi)
+        };
+        let act = if lo == i64::MIN {
+            truth.count_le(hi)
+        } else {
+            truth.count_range(lo, hi)
+        } as f64;
+        println!("  {label:28} {est:10.0} vs {act:10.0}");
+    }
+}
+
+fn report(h: &DadoHistogram, truth: &DataDistribution) {
+    let ks = dynamic_histograms::core::ks_error(h, truth);
+    println!(
+        "  {} buckets over {} live points, reorganizations: {}, KS error: {:.4}",
+        h.num_buckets(),
+        truth.total(),
+        h.reorganization_count(),
+        ks
+    );
+    assert!(ks < 0.05, "histogram lost track of the distribution");
+}

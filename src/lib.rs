@@ -1,0 +1,69 @@
+//! # dynamic-histograms
+//!
+//! A faithful, from-scratch Rust reproduction of *Dynamic Histograms:
+//! Capturing Evolving Data Sets* (Donjerkovic, Ioannidis & Ramakrishnan,
+//! ICDE 2000).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`core`] — the histogram framework and the paper's dynamic histograms
+//!   (DC, DVO, DADO).
+//! * [`statics`] — static histograms: Equi-Width, Equi-Depth, Compressed,
+//!   V-Optimal, SADO and SSBM.
+//! * [`sample`] — reservoir sampling and the Approximate Compressed (AC)
+//!   baseline of Gibbons–Matias–Poosala.
+//! * [`distributed`] — global histograms in a shared-nothing environment
+//!   (Section 8).
+//! * [`gen`] — the parameterized synthetic data generator and update
+//!   workloads of the paper's evaluation.
+//! * [`stats`] — chi-square machinery, KS statistic and error metrics.
+//! * [`optimizer`] — histogram-backed cardinality estimation for
+//!   selections and equi-join chains (the paper's motivating use case).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dynamic_histograms::prelude::*;
+//!
+//! // Maintain a 32-bucket DADO histogram over a stream of integers.
+//! let mut h = DadoHistogram::new(32);
+//! for v in 0..10_000i64 {
+//!     h.insert((v * v) % 997);
+//! }
+//!
+//! // Estimate the selectivity of `X < 250`.
+//! let est = h.estimate_less_than(250.0);
+//! let truth = (0..10_000i64).filter(|v| (v * v) % 997 < 250).count() as f64;
+//! assert!((est - truth).abs() / truth < 0.15);
+//! ```
+
+pub use dh_core as core;
+pub use dh_distributed as distributed;
+pub use dh_gen as gen;
+pub use dh_optimizer as optimizer;
+pub use dh_sample as sample;
+pub use dh_static as statics;
+pub use dh_stats as stats;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use dh_core::dynamic::{
+        AbsoluteDeviation, DadoHistogram, DcHistogram, DvoHistogram, Grid2dHistogram,
+        MultiSubHistogram, SquaredDeviation,
+    };
+    pub use dh_core::{
+        DataDistribution, Histogram, HistogramCdf, HistogramClass, MemoryBudget, ReadHistogram,
+    };
+    pub use dh_gen::{
+        cluster::ClusterShape,
+        synthetic::{SyntheticConfig, SyntheticDataset},
+        workload::{Update, UpdateStream, WorkloadKind},
+    };
+    pub use dh_sample::{AcHistogram, ReservoirSample};
+    pub use dh_static::{
+        CompressedHistogram, EquiDepthHistogram, EquiWidthHistogram, SadoHistogram,
+        SsbmHistogram, VOptimalHistogram,
+    };
+    pub use dh_stats::{ks_between, Cdf, StepCdf};
+}

@@ -1,0 +1,189 @@
+//! Integration tests for the shared-nothing layer (Section 8) and the 2-D
+//! extension.
+
+use dynamic_histograms::core::dynamic::{AbsoluteDeviation, Grid2dHistogram};
+use dynamic_histograms::core::{ks_error, DataDistribution, MemoryBudget};
+use dynamic_histograms::distributed::{
+    build_global, superimpose, DistributedConfig, GlobalStrategy,
+};
+use dynamic_histograms::prelude::*;
+use dynamic_histograms::statics::SsbmHistogram as Ssbm;
+
+fn pooled(sites: &[dynamic_histograms::distributed::SiteData]) -> DataDistribution {
+    let mut d = DataDistribution::new();
+    for s in sites {
+        for &v in &s.values {
+            d.insert(v);
+        }
+    }
+    d
+}
+
+#[test]
+fn superposition_of_exact_members_is_lossless() {
+    // The paper: "this process does not involve any loss of information".
+    let cfg = DistributedConfig {
+        total_points: 10_000,
+        ..DistributedConfig::default()
+    };
+    let sites = cfg.generate_sites(3);
+    let members: Vec<_> = sites
+        .iter()
+        .map(|s| {
+            dynamic_histograms::statics::ExactHistogram::from_values(&s.values).spans()
+        })
+        .collect();
+    let composite = superimpose(&members);
+    let truth = pooled(&sites);
+    let h = Ssbm::from_spans(composite);
+    assert!(
+        ks_error(&h, &truth) < 1e-9,
+        "superimposing exact members must be exact"
+    );
+}
+
+#[test]
+fn more_memory_helps_both_strategies() {
+    let sites_cfg = DistributedConfig {
+        total_points: 20_000,
+        ..DistributedConfig::default()
+    };
+    let sites = sites_cfg.generate_sites(5);
+    let truth = pooled(&sites);
+    let mut prev = (f64::INFINITY, f64::INFINITY);
+    for bytes in [100usize, 400, 1600] {
+        let cfg = DistributedConfig {
+            memory: MemoryBudget::from_bytes(bytes),
+            ..sites_cfg.clone()
+        };
+        let hu = ks_error(
+            &build_global(&cfg, &sites, GlobalStrategy::HistogramThenUnion),
+            &truth,
+        );
+        let uh = ks_error(
+            &build_global(&cfg, &sites, GlobalStrategy::UnionThenHistogram),
+            &truth,
+        );
+        assert!(
+            hu <= prev.0 + 0.02 && uh <= prev.1 + 0.02,
+            "quality regressed with more memory: {prev:?} -> ({hu}, {uh})"
+        );
+        prev = (hu, uh);
+    }
+    assert!(prev.0 < 0.05 && prev.1 < 0.05);
+}
+
+#[test]
+fn single_site_reduces_to_local_histogram() {
+    let cfg = DistributedConfig {
+        sites: 1,
+        total_points: 5_000,
+        ..DistributedConfig::default()
+    };
+    let sites = cfg.generate_sites(9);
+    let truth = pooled(&sites);
+    let hu = build_global(&cfg, &sites, GlobalStrategy::HistogramThenUnion);
+    let uh = build_global(&cfg, &sites, GlobalStrategy::UnionThenHistogram);
+    // With one member, both strategies build SSBM on the same data; the
+    // superposition+re-reduction path may cut borders differently but the
+    // quality must agree closely.
+    let d = (ks_error(&hu, &truth) - ks_error(&uh, &truth)).abs();
+    assert!(d < 0.02, "single-site strategies diverged: {d}");
+}
+
+#[test]
+fn grid2d_tracks_moving_hotspot() {
+    let mut h = Grid2dHistogram::<AbsoluteDeviation>::new(48, (0, 127), (0, 127));
+    // Hot-spot phase 1 at (20, 20).
+    let mut live: Vec<(i64, i64)> = Vec::new();
+    for i in 0..4000i64 {
+        let p = (20 + i % 8, 20 + (i / 8) % 8);
+        h.insert(p.0, p.1);
+        live.push(p);
+    }
+    // It moves: delete phase 1, insert at (100, 100).
+    for &(x, y) in &live {
+        h.delete(x, y);
+    }
+    for i in 0..4000i64 {
+        h.insert(100 + i % 8, 100 + (i / 8) % 8);
+    }
+    let old = h.estimate_range((16, 31), (16, 31));
+    let new = h.estimate_range((96, 111), (96, 111));
+    assert!(
+        old < 400.0,
+        "old hot-spot should have drained, estimate {old}"
+    );
+    assert!(
+        new > 3200.0,
+        "new hot-spot should be captured, estimate {new}"
+    );
+}
+
+#[test]
+fn grid2d_full_domain_estimate_equals_total() {
+    let mut h = Grid2dHistogram::<AbsoluteDeviation>::new(16, (0, 63), (0, 63));
+    for i in 0..3000i64 {
+        h.insert((i * 17) % 64, (i * 29) % 64);
+    }
+    let all = h.estimate_range((0, 63), (0, 63));
+    assert!((all - 3000.0).abs() < 1e-6);
+    assert!((h.total_count() - 3000.0).abs() < 1e-6);
+}
+
+#[test]
+fn multisub_histogram_matches_two_sub_engine_quality() {
+    // K = 2 MultiSub should be in the same quality league as the dedicated
+    // two-counter DADO engine on the same stream.
+    use dynamic_histograms::core::dynamic::MultiSubHistogram;
+    use dynamic_histograms::core::Histogram as _;
+    let cfg = SyntheticConfig::default().with_total_points(15_000);
+    let data = cfg.generate(11);
+    let values = data.shuffled(11);
+    let truth = DataDistribution::from_values(&values);
+
+    let mut dado = DadoHistogram::new(40);
+    let mut multi2 = MultiSubHistogram::<AbsoluteDeviation>::new(40, 2);
+    for &v in &values {
+        dado.insert(v);
+        multi2.insert(v);
+    }
+    let ks_dado = ks_error(&dado, &truth);
+    let ks_multi = ks_error(&multi2, &truth);
+    assert!(
+        ks_multi < ks_dado * 3.0 + 0.01,
+        "K=2 MultiSub ({ks_multi}) should track DADO ({ks_dado})"
+    );
+}
+
+#[test]
+fn finer_subdivisions_cost_quality_at_equal_memory() {
+    // The Section 4 ablation as a regression test: at equal bytes, K = 8
+    // sub-buckets should not beat K = 2 (and typically loses) because each
+    // counter costs buckets.
+    use dynamic_histograms::core::dynamic::MultiSubHistogram;
+    use dynamic_histograms::core::Histogram as _;
+    let memory = MemoryBudget::from_kb(0.5);
+    let cfg = SyntheticConfig::default().with_total_points(15_000);
+    let mut ks2_total = 0.0;
+    let mut ks8_total = 0.0;
+    for seed in 0..3 {
+        let data = cfg.generate(seed);
+        let values = data.shuffled(seed);
+        let truth = DataDistribution::from_values(&values);
+        let mut h2 =
+            MultiSubHistogram::<AbsoluteDeviation>::new(memory.buckets_with_counters(2), 2);
+        let mut h8 =
+            MultiSubHistogram::<AbsoluteDeviation>::new(memory.buckets_with_counters(8), 8);
+        for &v in &values {
+            h2.insert(v);
+            h8.insert(v);
+        }
+        ks2_total += ks_error(&h2, &truth);
+        ks8_total += ks_error(&h8, &truth);
+    }
+    assert!(
+        ks2_total <= ks8_total * 1.2,
+        "K=2 ({ks2_total}) should not lose clearly to K=8 ({ks8_total})"
+    );
+}

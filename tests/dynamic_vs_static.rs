@@ -1,0 +1,166 @@
+//! Integration tests for the paper's headline dynamic-histogram claims.
+
+use dynamic_histograms::core::{
+    ks_error, DataDistribution, Histogram, HistogramClass, MemoryBudget,
+};
+use dynamic_histograms::prelude::*;
+
+const MEMORY_KB: f64 = 1.0;
+const POINTS: u64 = 30_000;
+
+fn reference_data(seed: u64) -> (Vec<i64>, DataDistribution) {
+    let cfg = SyntheticConfig::default().with_total_points(POINTS);
+    let data = cfg.generate(seed);
+    let truth = DataDistribution::from_values(&data.values);
+    (data.shuffled(seed ^ 0xABCD), truth)
+}
+
+fn run_dynamic<H: Histogram>(mut h: H, values: &[i64]) -> H {
+    for &v in values {
+        h.insert(v);
+    }
+    h
+}
+
+#[test]
+fn dado_beats_dvo_on_average() {
+    // Section 4.1: absolute deviations are more robust to arrival-order
+    // outliers than squared deviations.
+    let memory = MemoryBudget::from_kb(MEMORY_KB);
+    let n = memory.buckets(HistogramClass::BorderAndTwoCounters);
+    let mut dado_total = 0.0;
+    let mut dvo_total = 0.0;
+    for seed in 0..5 {
+        let (values, truth) = reference_data(seed);
+        dado_total += ks_error(&run_dynamic(DadoHistogram::new(n), &values), &truth);
+        dvo_total += ks_error(&run_dynamic(DvoHistogram::new(n), &values), &truth);
+    }
+    assert!(
+        dado_total < dvo_total,
+        "DADO ({dado_total}) should beat DVO ({dvo_total}) averaged over seeds"
+    );
+}
+
+#[test]
+fn dado_beats_ac_despite_acs_disk_space() {
+    let memory = MemoryBudget::from_kb(MEMORY_KB);
+    let n2 = memory.buckets(HistogramClass::BorderAndTwoCounters);
+    let n1 = memory.buckets(HistogramClass::BorderAndCount);
+    let mut dado_total = 0.0;
+    let mut ac_total = 0.0;
+    for seed in 0..5 {
+        let (values, truth) = reference_data(seed);
+        dado_total += ks_error(&run_dynamic(DadoHistogram::new(n2), &values), &truth);
+        let ac = run_dynamic(
+            AcHistogram::new(n1, memory.sample_elements(20), seed),
+            &values,
+        );
+        ac_total += ks_error(&ac, &truth);
+    }
+    assert!(
+        dado_total < ac_total,
+        "DADO ({dado_total}) should beat AC with 20x disk ({ac_total})"
+    );
+}
+
+#[test]
+fn dado_comes_close_to_static_quality() {
+    // "The DADO histogram ... came very close to the best static
+    // histograms" — allow a modest factor at equal memory.
+    let memory = MemoryBudget::from_kb(0.25);
+    let n2 = memory.buckets(HistogramClass::BorderAndTwoCounters);
+    let n1 = memory.buckets(HistogramClass::BorderAndCount);
+    let mut dynamic_total = 0.0;
+    let mut static_total = 0.0;
+    for seed in 0..5 {
+        let (values, truth) = reference_data(seed);
+        dynamic_total += ks_error(&run_dynamic(DadoHistogram::new(n2), &values), &truth);
+        static_total += ks_error(&CompressedHistogram::build(&truth, n1), &truth);
+    }
+    assert!(
+        dynamic_total < 3.0 * static_total,
+        "DADO ({dynamic_total}) should be in the same league as SC ({static_total})"
+    );
+}
+
+#[test]
+fn dynamic_histograms_absorb_deletions() {
+    // Section 7.3: random deletions do not significantly hurt DADO or DC.
+    let memory = MemoryBudget::from_kb(MEMORY_KB);
+    let n2 = memory.buckets(HistogramClass::BorderAndTwoCounters);
+    let (values, _) = reference_data(11);
+
+    let mut h = DadoHistogram::new(n2);
+    let mut truth = DataDistribution::new();
+    for &v in &values {
+        h.insert(v);
+        truth.insert(v);
+    }
+    let ks_before = ks_error(&h, &truth);
+
+    // Randomly delete half the data (deterministic pseudo-random pick).
+    let mut deleted = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if i % 2 == 0 {
+            h.delete(v);
+            truth.delete(v);
+            deleted += 1;
+        }
+    }
+    assert_eq!(deleted, values.len() / 2);
+    let ks_after = ks_error(&h, &truth);
+    assert!(
+        ks_after < ks_before * 3.0 + 0.01,
+        "deletions degraded DADO too much: {ks_before} -> {ks_after}"
+    );
+    assert_eq!(h.total_count(), truth.total() as f64);
+}
+
+#[test]
+fn ac_degrades_under_heavy_deletions_while_dado_does_not() {
+    // The Fig. 17 effect, as a regression test.
+    let memory = MemoryBudget::from_kb(MEMORY_KB);
+    let n2 = memory.buckets(HistogramClass::BorderAndTwoCounters);
+    let n1 = memory.buckets(HistogramClass::BorderAndCount);
+    let (values, _) = reference_data(13);
+
+    let mut dado = DadoHistogram::new(n2);
+    let mut ac = AcHistogram::new(n1, memory.sample_elements(20), 13);
+    let mut truth = DataDistribution::new();
+    for &v in &values {
+        dado.insert(v);
+        ac.insert(v);
+        truth.insert(v);
+    }
+    // Delete 85% of the data.
+    let cutoff = values.len() * 85 / 100;
+    for &v in &values[..cutoff] {
+        dado.delete(v);
+        ac.delete(v);
+        truth.delete(v);
+    }
+    let ks_dado = ks_error(&dado, &truth);
+    let ks_ac = ks_error(&ac, &truth);
+    assert!(
+        ks_dado < 0.06,
+        "DADO should stay accurate under deletions: {ks_dado}"
+    );
+    // AC's backing sample shrank; it should now be clearly behind DADO.
+    assert!(
+        ks_ac > ks_dado,
+        "AC ({ks_ac}) should trail DADO ({ks_dado}) after heavy deletions"
+    );
+}
+
+#[test]
+fn sorted_insertions_are_harder_but_survivable() {
+    // Section 7.2: sorted input worsens DADO but it remains comparable to
+    // AC. Verify DADO's error stays bounded under sorted arrival.
+    let memory = MemoryBudget::from_kb(MEMORY_KB);
+    let n2 = memory.buckets(HistogramClass::BorderAndTwoCounters);
+    let (mut values, truth) = reference_data(17);
+    values.sort_unstable();
+    let h = run_dynamic(DadoHistogram::new(n2), &values);
+    let ks = ks_error(&h, &truth);
+    assert!(ks < 0.1, "sorted insertions blew up DADO: {ks}");
+}

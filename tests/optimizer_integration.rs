@@ -1,0 +1,123 @@
+//! Integration tests: cardinality estimation with real histograms from
+//! every family, over the paper's data generator.
+
+use dynamic_histograms::core::{DataDistribution, Histogram, ReadHistogram};
+use dynamic_histograms::optimizer::{
+    estimate_equi_join, exact_equi_join, propagate_chain, Predicate, Selectivity,
+    SpanHistogram,
+};
+use dynamic_histograms::prelude::*;
+
+fn clustered(seed: u64) -> (Vec<i64>, DataDistribution) {
+    let cfg = SyntheticConfig::default()
+        .with_clusters(100)
+        .with_total_points(20_000);
+    let data = cfg.generate(seed);
+    let truth = DataDistribution::from_values(&data.values);
+    (data.shuffled(seed), truth)
+}
+
+#[test]
+fn dado_selection_estimates_are_accurate() {
+    let (values, truth) = clustered(1);
+    let mut h = DadoHistogram::new(64);
+    for &v in &values {
+        h.insert(v);
+    }
+    // Probe a spread of range predicates; all should be within a few
+    // percent of the relation size.
+    for lo in (0..4500).step_by(375) {
+        let p = Predicate::Between(lo, lo + 500);
+        let s = Selectivity::of(p, &h, &truth);
+        let abs_err = (s.estimated - s.exact).abs() / truth.total() as f64;
+        assert!(
+            abs_err < 0.03,
+            "{p:?}: est {} vs exact {} (abs err {abs_err})",
+            s.estimated,
+            s.exact
+        );
+    }
+}
+
+#[test]
+fn equi_join_estimates_from_good_histograms_are_close() {
+    let (va, ta) = clustered(2);
+    let (vb, tb) = clustered(3);
+    let mut ha = DadoHistogram::new(64);
+    let mut hb = DadoHistogram::new(64);
+    for &v in &va {
+        ha.insert(v);
+    }
+    for &v in &vb {
+        hb.insert(v);
+    }
+    let est = estimate_equi_join(&ha, &hb);
+    let exact = exact_equi_join(&ta, &tb) as f64;
+    assert!(exact > 0.0);
+    let ratio = est / exact;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "join estimate off by more than 2x: est {est}, exact {exact}"
+    );
+}
+
+#[test]
+fn static_histograms_also_estimate_joins() {
+    let (_, ta) = clustered(4);
+    let (_, tb) = clustered(5);
+    let ha = SsbmHistogram::build(&ta, 64);
+    let hb = CompressedHistogram::build(&tb, 64);
+    let est = estimate_equi_join(&ha, &hb);
+    let exact = exact_equi_join(&ta, &tb) as f64;
+    let ratio = est / exact;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "static join estimate off: est {est}, exact {exact}"
+    );
+}
+
+#[test]
+fn chain_errors_grow_but_stay_bounded_for_fresh_histograms() {
+    let rels: Vec<(Vec<i64>, DataDistribution)> =
+        (10..14).map(clustered).collect();
+    let hists: Vec<SpanHistogram> = rels
+        .iter()
+        .map(|(values, _)| {
+            let mut h = DadoHistogram::new(64);
+            for &v in values {
+                h.insert(v);
+            }
+            SpanHistogram::new(h.spans())
+        })
+        .collect();
+    let truths: Vec<DataDistribution> = rels.iter().map(|(_, t)| t.clone()).collect();
+    let report = propagate_chain(&hists, &truths);
+    let errs = report.relative_errors();
+    assert_eq!(errs.len(), 3);
+    // Fresh, well-fitted histograms keep even the 4-way join usable.
+    assert!(
+        errs.last().unwrap() < &1.0,
+        "4-way join error should stay under 100%: {errs:?}"
+    );
+}
+
+#[test]
+fn empty_relation_joins_to_zero() {
+    let (_, ta) = clustered(6);
+    let ha = SsbmHistogram::build(&ta, 32);
+    let empty = SpanHistogram::new(vec![]);
+    assert_eq!(estimate_equi_join(&ha, &empty), 0.0);
+}
+
+#[test]
+fn predicate_estimates_respect_totals() {
+    let (values, _) = clustered(7);
+    let mut h = DcHistogram::new(64);
+    for &v in &values {
+        h.insert(v);
+    }
+    let all = Predicate::Between(i64::MIN / 4, i64::MAX / 4).cardinality(&h);
+    assert!((all - 20_000.0).abs() < 1e-6);
+    let none = Predicate::Between(100_000, 200_000).cardinality(&h);
+    assert_eq!(none, 0.0);
+}

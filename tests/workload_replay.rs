@@ -1,0 +1,158 @@
+//! Integration test: every update pattern of Section 7 replayed through
+//! every dynamic histogram, checking structural invariants.
+
+use dynamic_histograms::core::{
+    ks_error, DataDistribution, Histogram, HistogramClass, MemoryBudget, ReadHistogram,
+};
+use dynamic_histograms::prelude::*;
+
+fn workloads() -> Vec<(&'static str, WorkloadKind)> {
+    vec![
+        ("random inserts", WorkloadKind::RandomInsertions),
+        ("sorted inserts", WorkloadKind::SortedInsertions),
+        (
+            "mixed inserts/deletes",
+            WorkloadKind::InsertionsWithRandomDeletions {
+                delete_probability: 0.25,
+            },
+        ),
+        (
+            "inserts then deletes",
+            WorkloadKind::InsertionsThenRandomDeletions {
+                delete_fraction: 0.5,
+            },
+        ),
+        (
+            "sorted inserts then sorted deletes",
+            WorkloadKind::SortedInsertionsThenSortedDeletions {
+                delete_fraction: 0.5,
+            },
+        ),
+    ]
+}
+
+fn replay<H: Histogram>(h: &mut H, stream: &UpdateStream) -> DataDistribution {
+    let mut truth = DataDistribution::new();
+    for u in stream.iter() {
+        match u {
+            Update::Insert(v) => {
+                h.insert(v);
+                truth.insert(v);
+            }
+            Update::Delete(v) => {
+                h.delete(v);
+                truth.delete(v);
+            }
+        }
+    }
+    truth
+}
+
+fn check_invariants(name: &str, wl: &str, h: &impl ReadHistogram, truth: &DataDistribution) {
+    // 1. Mass conservation.
+    assert!(
+        (h.total_count() - truth.total() as f64).abs() < 1e-6,
+        "{name} on '{wl}': mass drift {} vs {}",
+        h.total_count(),
+        truth.total()
+    );
+    // 2. Spans sorted, non-overlapping, nonnegative.
+    let spans = h.spans();
+    for w in spans.windows(2) {
+        assert!(
+            w[0].hi <= w[1].lo + 1e-9,
+            "{name} on '{wl}': overlapping spans {w:?}"
+        );
+    }
+    assert!(
+        spans.iter().all(|s| s.count >= -1e-9 && s.lo <= s.hi),
+        "{name} on '{wl}': malformed span"
+    );
+    // 3. KS is a valid statistic and not catastrophic.
+    let ks = ks_error(h, truth);
+    assert!(
+        (0.0..=1.0).contains(&ks),
+        "{name} on '{wl}': KS out of range {ks}"
+    );
+    assert!(ks < 0.30, "{name} on '{wl}': KS implausibly bad: {ks}");
+}
+
+#[test]
+fn all_dynamic_histograms_survive_all_workloads() {
+    let cfg = SyntheticConfig::default().with_total_points(10_000);
+    let memory = MemoryBudget::from_kb(1.0);
+    let n1 = memory.buckets(HistogramClass::BorderAndCount);
+    let n2 = memory.buckets(HistogramClass::BorderAndTwoCounters);
+
+    for seed in [3u64, 19] {
+        let data = cfg.generate(seed);
+        for (wl_name, wl) in workloads() {
+            let stream = UpdateStream::build(&data.values, wl, seed);
+
+            let mut dc = DcHistogram::new(n1);
+            let truth = replay(&mut dc, &stream);
+            check_invariants("DC", wl_name, &dc, &truth);
+
+            let mut dvo = DvoHistogram::new(n2);
+            let truth = replay(&mut dvo, &stream);
+            check_invariants("DVO", wl_name, &dvo, &truth);
+
+            let mut dado = DadoHistogram::new(n2);
+            let truth = replay(&mut dado, &stream);
+            check_invariants("DADO", wl_name, &dado, &truth);
+
+            let mut ac = AcHistogram::new(n1, memory.sample_elements(20), seed);
+            let truth = replay(&mut ac, &stream);
+            check_invariants("AC", wl_name, &ac, &truth);
+        }
+    }
+}
+
+#[test]
+fn empty_then_refill_cycle() {
+    // Drain a histogram completely, then refill with a different
+    // distribution; it must recover.
+    let memory = MemoryBudget::from_kb(0.5);
+    let n = memory.buckets(HistogramClass::BorderAndTwoCounters);
+    let mut h = DadoHistogram::new(n);
+    let mut truth = DataDistribution::new();
+
+    for v in 0..2000i64 {
+        h.insert(v % 100);
+        truth.insert(v % 100);
+    }
+    for v in 0..2000i64 {
+        h.delete(v % 100);
+        truth.delete(v % 100);
+    }
+    assert_eq!(h.total_count(), 0.0);
+
+    for v in 0..3000i64 {
+        let x = 500 + (v * 17) % 200;
+        h.insert(x);
+        truth.insert(x);
+    }
+    let ks = ks_error(&h, &truth);
+    assert!(ks < 0.15, "failed to recover after drain/refill: {ks}");
+}
+
+#[test]
+fn identical_streams_yield_identical_histograms() {
+    // Dynamic histograms are deterministic functions of the update stream
+    // (AC additionally depends on its sampling seed).
+    let cfg = SyntheticConfig::default().with_total_points(5_000);
+    let data = cfg.generate(23);
+    let stream = UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, 23);
+
+    let mut a = DadoHistogram::new(32);
+    let mut b = DadoHistogram::new(32);
+    replay(&mut a, &stream);
+    replay(&mut b, &stream);
+    assert_eq!(a.spans(), b.spans());
+
+    let mut c = AcHistogram::new(32, 1024, 99);
+    let mut d = AcHistogram::new(32, 1024, 99);
+    replay(&mut c, &stream);
+    replay(&mut d, &stream);
+    assert_eq!(c.spans(), d.spans());
+}
