@@ -132,8 +132,14 @@ fn ssbm_policy_ablation(c: &mut Criterion) {
 
     eprintln!(
         "ssbm policy ablation: squared KS = {:.5}, absolute KS = {:.5}",
-        ks_error(&SsbmHistogram::build_with_policy::<SquaredDeviation>(&truth, n), &truth),
-        ks_error(&SsbmHistogram::build_with_policy::<AbsoluteDeviation>(&truth, n), &truth),
+        ks_error(
+            &SsbmHistogram::build_with_policy::<SquaredDeviation>(&truth, n),
+            &truth
+        ),
+        ks_error(
+            &SsbmHistogram::build_with_policy::<AbsoluteDeviation>(&truth, n),
+            &truth
+        ),
     );
     let mut group = c.benchmark_group("ssbm_policy");
     group.sample_size(10);

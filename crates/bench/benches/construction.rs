@@ -2,12 +2,12 @@
 //!
 //! The paper's claim: SVO is by far the most expensive to build
 //! (exponential there, exact DP here), SSBM is far cheaper at comparable
-//! quality, SC cheaper still. Run with `cargo bench -p dh-bench`.
+//! quality, SC cheaper still. Run with `cargo bench -p dh_bench`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dh_bench::StaticAlgo;
 use dh_core::{DataDistribution, MemoryBudget};
 use dh_gen::SyntheticConfig;
-use dh_bench::StaticAlgo;
 
 fn construction(c: &mut Criterion) {
     let cfg = SyntheticConfig::default()

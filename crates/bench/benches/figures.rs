@@ -3,7 +3,7 @@
 //! end to end and tracks its cost over time.
 //!
 //! Full-scale figure data comes from the `repro` binary
-//! (`cargo run --release -p dh-bench --bin repro -- all`).
+//! (`cargo run --release -p dh_bench --bin repro -- all`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dh_bench::{all_figure_ids, run_figure, RunOptions};

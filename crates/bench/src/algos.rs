@@ -2,14 +2,12 @@
 //! model.
 
 use dh_core::dynamic::{DadoHistogram, DcHistogram, DvoHistogram};
-use dh_core::{
-    ks_error, DataDistribution, Histogram, HistogramClass, MemoryBudget,
-};
+use dh_core::{ks_error, DataDistribution, Histogram, HistogramClass, MemoryBudget};
 use dh_gen::workload::{Update, UpdateStream};
 use dh_sample::AcHistogram;
 use dh_static::{
-    CompressedHistogram, EquiDepthHistogram, EquiWidthHistogram, SadoHistogram,
-    SsbmHistogram, VOptimalHistogram,
+    CompressedHistogram, EquiDepthHistogram, EquiWidthHistogram, SadoHistogram, SsbmHistogram,
+    VOptimalHistogram,
 };
 
 /// The incrementally maintained histograms of the evaluation.
@@ -94,11 +92,7 @@ impl DynamicAlgo {
 
 /// Replays the stream, scoring KS against the incrementally maintained
 /// exact distribution at each checkpoint.
-fn drive<H: Histogram>(
-    mut h: H,
-    updates: &UpdateStream,
-    checkpoints: &[usize],
-) -> Vec<f64> {
+fn drive<H: Histogram>(mut h: H, updates: &UpdateStream, checkpoints: &[usize]) -> Vec<f64> {
     debug_assert!(checkpoints.windows(2).all(|w| w[0] <= w[1]));
     let mut truth = DataDistribution::new();
     let mut out = Vec::with_capacity(checkpoints.len());
@@ -242,12 +236,7 @@ mod tests {
     fn checkpoints_are_monotone_in_count() {
         let memory = MemoryBudget::from_kb(1.0);
         let stream = small_stream();
-        let ks = DynamicAlgo::Dado.ks_at_checkpoints(
-            memory,
-            1,
-            &stream,
-            &[1000, 2000, 3000],
-        );
+        let ks = DynamicAlgo::Dado.ks_at_checkpoints(memory, 1, &stream, &[1000, 2000, 3000]);
         assert_eq!(ks.len(), 3);
         assert!(ks.iter().all(|&k| (0.0..=1.0).contains(&k)));
     }

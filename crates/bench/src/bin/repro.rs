@@ -3,7 +3,8 @@
 //! ```text
 //! repro all                      # every figure, paper-scale (slow)
 //! repro fig5 fig8                # selected figures
-//! repro all --quick              # 10% scale, 2 seeds (smoke test)
+//! repro --quick                  # 10% scale, 2 seeds (smoke test);
+//!                                # omitting the figure list means "all"
 //! repro all --seeds 5 --scale 0.5
 //! repro all --out results        # write CSVs + summary.md to a directory
 //! repro --list                   # list figure ids
@@ -15,7 +16,9 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seeds N] [--scale F] [--out DIR] [--list] <figN...|all>"
+        "usage: repro [--quick] [--seeds N] [--scale F] [--out DIR] [--list] [figN...|all]\n\
+         (no figure list means all figures; beware that without --quick this\n\
+         is the paper-scale run)"
     );
     std::process::exit(2);
 }
@@ -26,20 +29,22 @@ fn main() {
         usage();
     }
 
-    let mut opts = RunOptions::default();
+    let mut quick = false;
+    let mut seeds: Option<u64> = None;
+    let mut scale: Option<f64> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut figures: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--quick" => opts = RunOptions::quick(),
+            "--quick" => quick = true,
             "--seeds" => {
                 let v = it.next().unwrap_or_else(|| usage());
-                opts.seeds = v.parse().unwrap_or_else(|_| usage());
+                seeds = Some(v.parse().unwrap_or_else(|_| usage()));
             }
             "--scale" => {
                 let v = it.next().unwrap_or_else(|| usage());
-                opts.scale = v.parse().unwrap_or_else(|_| usage());
+                scale = Some(v.parse().unwrap_or_else(|_| usage()));
             }
             "--out" => {
                 out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
@@ -55,10 +60,27 @@ fn main() {
             _ => usage(),
         }
     }
-    if figures.is_empty() {
-        usage();
+    // `--quick` is a base profile; explicit --seeds/--scale win regardless
+    // of the order the flags appeared in.
+    let mut opts = if quick {
+        RunOptions::quick()
+    } else {
+        RunOptions::default()
+    };
+    if let Some(s) = seeds {
+        opts.seeds = s;
     }
-    figures.dedup();
+    if let Some(s) = scale {
+        opts.scale = s;
+    }
+
+    // Flags without an explicit figure list mean "all figures".
+    if figures.is_empty() {
+        figures.extend(all_figure_ids().iter().map(|s| s.to_string()));
+    }
+    // Drop repeats while keeping first-mention (paper) order.
+    let mut seen = std::collections::HashSet::new();
+    figures.retain(|f| seen.insert(f.clone()));
 
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");

@@ -8,19 +8,18 @@
 
 use crate::algos::{DynamicAlgo, StaticAlgo};
 use crate::harness::{mean, FigureResult, RunOptions, Series};
+use dh_core::ks_error;
 use dh_core::{DataDistribution, HistogramClass, MemoryBudget};
 use dh_distributed::{build_global, DistributedConfig, GlobalStrategy};
 use dh_gen::mailorder::MailOrderConfig;
 use dh_gen::workload::{UpdateStream, WorkloadKind};
 use dh_gen::SyntheticConfig;
-use dh_core::ks_error;
 
 /// All reproducible figure ids, in paper order.
 pub fn all_figure_ids() -> Vec<&'static str> {
     vec![
-        "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-        "fig22", "fig23",
+        "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
     ]
 }
 
@@ -182,7 +181,9 @@ pub fn fig8(opts: RunOptions) -> FigureResult {
 
 /// The static-comparison configuration of Figs. 9–12: C=50, SD=1.
 fn static_config(opts: RunOptions) -> SyntheticConfig {
-    reference_config(opts).with_clusters(50).with_cluster_sd(1.0)
+    reference_config(opts)
+        .with_clusters(50)
+        .with_cluster_sd(1.0)
 }
 
 /// Static-vs-DADO sweep engine for Figs. 9–12.
@@ -418,8 +419,7 @@ pub fn fig16(opts: RunOptions) -> FigureResult {
     let mut series: Vec<Series> = dynamics.iter().map(|a| Series::new(a.label())).collect();
     series.push(Series::new("SC"));
 
-    let mut per: Vec<Vec<Vec<f64>>> =
-        vec![vec![Vec::new(); fractions.len()]; dynamics.len() + 1];
+    let mut per: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); fractions.len()]; dynamics.len() + 1];
     for seed in opts.seed_values() {
         let data = cfg.generate(seed);
         let stream =

@@ -13,8 +13,8 @@
 //! markdown summary:
 //!
 //! ```text
-//! cargo run --release -p dh-bench --bin repro -- all --out results
-//! cargo run --release -p dh-bench --bin repro -- fig5 fig8 --seeds 10
+//! cargo run --release -p dh_bench --bin repro -- all --out results
+//! cargo run --release -p dh_bench --bin repro -- fig5 fig8 --seeds 10
 //! ```
 
 #![warn(missing_docs)]

@@ -134,9 +134,7 @@ impl DataDistribution {
     pub fn exact_cdf(&self) -> crate::bucket::HistogramCdf {
         crate::bucket::HistogramCdf::from_spans(
             self.iter()
-                .map(|(v, c)| {
-                    crate::bucket::BucketSpan::new(v as f64, (v + 1) as f64, c as f64)
-                })
+                .map(|(v, c)| crate::bucket::BucketSpan::new(v as f64, (v + 1) as f64, c as f64))
                 .collect(),
         )
     }

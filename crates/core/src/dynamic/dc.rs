@@ -66,7 +66,10 @@ pub struct DcHistogram {
 #[derive(Debug, Clone)]
 enum State {
     /// Exact per-value counts until `capacity` distinct values are seen.
-    Loading { counts: BTreeMap<i64, u64>, total: u64 },
+    Loading {
+        counts: BTreeMap<i64, u64>,
+        total: u64,
+    },
     /// The bucketized histogram.
     Active(Active),
 }
@@ -358,7 +361,10 @@ impl Active {
                     singular: true,
                 })
                 .collect();
-            self.hi = pinned.last().map(|p| (p.value + 1) as f64).unwrap_or(domain_hi);
+            self.hi = pinned
+                .last()
+                .map(|p| (p.value + 1) as f64)
+                .unwrap_or(domain_hi);
             self.rebuild_chi2();
             return;
         }
@@ -429,8 +435,7 @@ impl Active {
                 cut = if j + 1 == k {
                     b
                 } else if mass > 0.0 {
-                    cut_position(&segments, a, lo, target)
-                        .clamp(lo, b)
+                    cut_position(&segments, a, lo, target).clamp(lo, b)
                 } else {
                     a + (b - a) * (j + 1) as f64 / k as f64
                 };

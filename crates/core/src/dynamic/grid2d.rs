@@ -255,7 +255,12 @@ impl<P: DeviationPolicy> Grid2dHistogram<P> {
             Node::Inner { left, right, .. } => {
                 let a = self.leaf_rect(*left);
                 let b = self.leaf_rect(*right);
-                Rect::new(a.x0.min(b.x0), a.x1.max(b.x1), a.y0.min(b.y0), a.y1.max(b.y1))
+                Rect::new(
+                    a.x0.min(b.x0),
+                    a.x1.max(b.x1),
+                    a.y0.min(b.y0),
+                    a.y1.max(b.y1),
+                )
             }
             Node::Free => unreachable!("rect of a free slot"),
         }
@@ -357,8 +362,7 @@ impl<P: DeviationPolicy> Grid2dHistogram<P> {
             let Node::Leaf(l) = &self.nodes[i] else {
                 continue;
             };
-            if (l.rect.x1 - l.rect.x0) <= 1.0 + 1e-9 && (l.rect.y1 - l.rect.y0) <= 1.0 + 1e-9
-            {
+            if (l.rect.x1 - l.rect.x0) <= 1.0 + 1e-9 && (l.rect.y1 - l.rect.y0) <= 1.0 + 1e-9 {
                 continue; // unit cell: nothing to resolve
             }
             let phi = l.phi::<P>();
@@ -377,8 +381,7 @@ impl<P: DeviationPolicy> Grid2dHistogram<P> {
             let Node::Inner { left, right, .. } = n else {
                 continue;
             };
-            let (Node::Leaf(a), Node::Leaf(b)) = (&self.nodes[*left], &self.nodes[*right])
-            else {
+            let (Node::Leaf(a), Node::Leaf(b)) = (&self.nodes[*left], &self.nodes[*right]) else {
                 continue;
             };
             if *left == s || *right == s {
@@ -508,12 +511,7 @@ impl<P: DeviationPolicy> Grid2dHistogram<P> {
         if x.1 < x.0 || y.1 < y.0 {
             return 0.0;
         }
-        let target = Rect::new(
-            x.0 as f64,
-            (x.1 + 1) as f64,
-            y.0 as f64,
-            (y.1 + 1) as f64,
-        );
+        let target = Rect::new(x.0 as f64, (x.1 + 1) as f64, y.0 as f64, (y.1 + 1) as f64);
         self.leaf_indices()
             .into_iter()
             .map(|i| match &self.nodes[i] {

@@ -159,8 +159,14 @@ pub struct MultiSubHistogram<P: DeviationPolicy> {
 
 #[derive(Debug, Clone)]
 enum MState {
-    Loading { counts: BTreeMap<i64, u64>, total: u64 },
-    Active { buckets: Vec<MBucket>, total: f64 },
+    Loading {
+        counts: BTreeMap<i64, u64>,
+        total: u64,
+    },
+    Active {
+        buckets: Vec<MBucket>,
+        total: f64,
+    },
 }
 
 impl<P: DeviationPolicy> MultiSubHistogram<P> {
@@ -276,9 +282,7 @@ impl<P: DeviationPolicy> ReadHistogram for MultiSubHistogram<P> {
                 .iter()
                 .map(|(&v, &c)| BucketSpan::new(v as f64, (v + 1) as f64, c as f64))
                 .collect(),
-            MState::Active { buckets, .. } => {
-                buckets.iter().flat_map(|b| b.segments()).collect()
-            }
+            MState::Active { buckets, .. } => buckets.iter().flat_map(|b| b.segments()).collect(),
         }
     }
 
@@ -332,8 +336,7 @@ impl<P: DeviationPolicy> Histogram for MultiSubHistogram<P> {
                     if buckets.len() > self.capacity {
                         let mut best: Option<(usize, f64)> = None;
                         for i in 0..buckets.len() - 1 {
-                            let phi =
-                                MBucket::merged_phi::<P>(&buckets[i], &buckets[i + 1]);
+                            let phi = MBucket::merged_phi::<P>(&buckets[i], &buckets[i + 1]);
                             if best.is_none_or(|(_, bp)| phi < bp) {
                                 best = Some((i, phi));
                             }

@@ -168,8 +168,14 @@ pub type DadoHistogram = SplitMergeHistogram<AbsoluteDeviation>;
 
 #[derive(Debug, Clone)]
 enum State {
-    Loading { counts: BTreeMap<i64, u64>, total: u64 },
-    Active { buckets: Vec<SmBucket>, total: f64 },
+    Loading {
+        counts: BTreeMap<i64, u64>,
+        total: u64,
+    },
+    Active {
+        buckets: Vec<SmBucket>,
+        total: f64,
+    },
 }
 
 impl<P: DeviationPolicy> SplitMergeHistogram<P> {
@@ -275,10 +281,7 @@ impl<P: DeviationPolicy> SplitMergeHistogram<P> {
     /// Linear scan for the best merge candidate: the adjacent pair `(i,
     /// i+1)` minimizing the merged φ of Eq. (4). `exclude` removes pairs
     /// touching a bucket that is about to be split.
-    fn find_best_to_merge(
-        buckets: &[SmBucket],
-        exclude: Option<usize>,
-    ) -> Option<(usize, f64)> {
+    fn find_best_to_merge(buckets: &[SmBucket], exclude: Option<usize>) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
         for i in 0..buckets.len().saturating_sub(1) {
             if exclude.is_some_and(|s| i == s || i + 1 == s) {

@@ -85,9 +85,7 @@ pub fn build_global(
                 })
                 .collect();
             let composite = superimpose(&members);
-            SsbmHistogram::from_spans(ssbm_reduce::<SquaredDeviation>(
-                &composite, buckets,
-            ))
+            SsbmHistogram::from_spans(ssbm_reduce::<SquaredDeviation>(&composite, buckets))
         }
         GlobalStrategy::UnionThenHistogram => {
             let mut pooled = DataDistribution::new();

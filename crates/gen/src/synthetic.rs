@@ -246,10 +246,7 @@ mod tests {
     #[test]
     fn values_stay_in_domain() {
         let d = small().generate(2);
-        assert!(d
-            .values
-            .iter()
-            .all(|&v| (0..=5000).contains(&v)));
+        assert!(d.values.iter().all(|&v| (0..=5000).contains(&v)));
     }
 
     #[test]

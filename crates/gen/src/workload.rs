@@ -120,8 +120,7 @@ impl UpdateStream {
                 );
                 let mut v = values.to_vec();
                 v.shuffle(&mut rng);
-                let mut updates: Vec<Update> =
-                    v.iter().copied().map(Update::Insert).collect();
+                let mut updates: Vec<Update> = v.iter().copied().map(Update::Insert).collect();
                 let k = (delete_fraction * v.len() as f64).round() as usize;
                 let mut victims = v;
                 victims.shuffle(&mut rng);
@@ -136,8 +135,7 @@ impl UpdateStream {
                 let mut v = values.to_vec();
                 v.sort_unstable();
                 let k = (delete_fraction * v.len() as f64).round() as usize;
-                let mut updates: Vec<Update> =
-                    v.iter().copied().map(Update::Insert).collect();
+                let mut updates: Vec<Update> = v.iter().copied().map(Update::Insert).collect();
                 updates.extend(v.into_iter().take(k).map(Update::Delete));
                 updates
             }
@@ -256,7 +254,10 @@ mod tests {
         let finals = s.final_multiset();
         let deletes = s.iter().filter(|u| !u.is_insert()).count();
         assert_eq!(finals.len(), data.len() - deletes);
-        assert!(deletes > 50, "expected roughly 25% deletions, got {deletes}");
+        assert!(
+            deletes > 50,
+            "expected roughly 25% deletions, got {deletes}"
+        );
     }
 
     #[test]
@@ -317,11 +318,7 @@ mod tests {
         );
         let half = s.len() / 2;
         let live = s.live_multiset_after(half);
-        let inserts = s
-            .iter()
-            .take(half)
-            .filter(|u| u.is_insert())
-            .count();
+        let inserts = s.iter().take(half).filter(|u| u.is_insert()).count();
         let deletes = half - inserts;
         assert_eq!(live.len(), inserts - deletes);
     }

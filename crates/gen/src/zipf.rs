@@ -32,9 +32,7 @@ impl Zipf {
             theta.is_finite() && theta >= 0.0,
             "theta must be finite and >= 0, got {theta}"
         );
-        let mut probabilities: Vec<f64> = (1..=n)
-            .map(|i| 1.0 / (i as f64).powf(theta))
-            .collect();
+        let mut probabilities: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
         let norm: f64 = probabilities.iter().sum();
         for p in &mut probabilities {
             *p /= norm;

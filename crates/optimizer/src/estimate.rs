@@ -67,11 +67,7 @@ pub struct Selectivity {
 
 impl Selectivity {
     /// Computes both sides for one predicate.
-    pub fn of(
-        p: Predicate,
-        h: &impl ReadHistogram,
-        truth: &dh_core::DataDistribution,
-    ) -> Self {
+    pub fn of(p: Predicate, h: &impl ReadHistogram, truth: &dh_core::DataDistribution) -> Self {
         Self {
             estimated: p.cardinality(h),
             exact: p.exact(truth) as f64,
@@ -126,10 +122,7 @@ mod tests {
         ];
         for p in cases {
             let s = Selectivity::of(p, &h, &truth);
-            assert!(
-                (s.estimated - s.exact).abs() < 1e-9,
-                "{p:?}: {s:?}"
-            );
+            assert!((s.estimated - s.exact).abs() < 1e-9, "{p:?}: {s:?}");
             assert_eq!(s.relative_error(), 0.0);
         }
     }

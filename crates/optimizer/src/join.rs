@@ -43,11 +43,7 @@ fn rasterize(spans: &[BucketSpan]) -> Vec<BucketSpan> {
 
 /// Elementary-interval sweep over two span lists, calling `f(lo, hi, d1,
 /// d2)` for every interval where either side has density.
-fn sweep_products(
-    a: &[BucketSpan],
-    b: &[BucketSpan],
-    mut f: impl FnMut(f64, f64, f64, f64),
-) {
+fn sweep_products(a: &[BucketSpan], b: &[BucketSpan], mut f: impl FnMut(f64, f64, f64, f64)) {
     let mut borders: Vec<f64> = a
         .iter()
         .chain(b.iter())
@@ -118,10 +114,7 @@ pub fn exact_equi_join(r: &DataDistribution, s: &DataDistribution) -> u64 {
     } else {
         (s, r)
     };
-    small
-        .iter()
-        .map(|(v, c)| c * large.frequency(v))
-        .sum()
+    small.iter().map(|(v, c)| c * large.frequency(v)).sum()
 }
 
 /// A plain spans-backed histogram, for chaining join outputs.
@@ -190,9 +183,7 @@ mod tests {
         let rh = Exact(r.clone());
         let sh = Exact(s.clone());
         let out = SpanHistogram::new(join_histogram(&rh, &sh));
-        assert!(
-            (out.total_count() - exact_equi_join(&r, &s) as f64).abs() < 1e-9
-        );
+        assert!((out.total_count() - exact_equi_join(&r, &s) as f64).abs() < 1e-9);
         // The output histogram reflects per-value contributions exactly
         // for lossless inputs: value 5 contributes 2*1 = 2 tuples.
         assert!((out.estimate_eq(5) - 2.0).abs() < 1e-9);
@@ -211,7 +202,10 @@ mod tests {
             .iter()
             .map(|&v| r.frequency(v) * s.frequency(v) * t.frequency(v))
             .sum();
-        assert!((est - exact as f64).abs() < 1e-9, "est {est}, exact {exact}");
+        assert!(
+            (est - exact as f64).abs() < 1e-9,
+            "est {est}, exact {exact}"
+        );
     }
 
     #[test]
@@ -235,6 +229,9 @@ mod tests {
         let coarse_r = SpanHistogram::new(vec![BucketSpan::new(0.0, 100.0, 100.0)]);
         let est = estimate_equi_join(&coarse_r, &coarse_r);
         let exact = exact_equi_join(&r, &r) as f64;
-        assert!((est - exact).abs() < 1e-9, "uniform data is estimated exactly");
+        assert!(
+            (est - exact).abs() < 1e-9,
+            "uniform data is estimated exactly"
+        );
     }
 }

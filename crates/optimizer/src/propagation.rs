@@ -73,8 +73,7 @@ pub fn propagate_chain<H: ReadHistogram>(
     // Estimated side: fold join_histogram left-deep.
     let mut acc_est = SpanHistogram::new(histograms[0].spans());
     // Exact side: fold the true per-value product frequencies.
-    let mut acc_truth: Vec<(i64, f64)> =
-        truths[0].iter().map(|(v, c)| (v, c as f64)).collect();
+    let mut acc_truth: Vec<(i64, f64)> = truths[0].iter().map(|(v, c)| (v, c as f64)).collect();
 
     for (h, t) in histograms.iter().zip(truths).skip(1) {
         estimated.push(estimate_equi_join(&acc_est, h));
@@ -138,7 +137,10 @@ mod tests {
     fn exact_sizes_match_pairwise_formula() {
         let r = DataDistribution::from_values(&[1, 1, 2]);
         let s = DataDistribution::from_values(&[1, 2, 2]);
-        let report = propagate_chain(&[Exact(r.clone()), Exact(s.clone())], &[r.clone(), s.clone()]);
+        let report = propagate_chain(
+            &[Exact(r.clone()), Exact(s.clone())],
+            &[r.clone(), s.clone()],
+        );
         assert_eq!(report.exact, vec![exact_join_size(&r, &s) as f64]);
     }
 
@@ -151,11 +153,7 @@ mod tests {
         values.extend(1..=99i64); // heavy spike at 0 plus a tail
         let rel = DataDistribution::from_values(&values);
         let coarse = |d: &DataDistribution| {
-            crate::join::SpanHistogram::new(vec![BucketSpan::new(
-                0.0,
-                100.0,
-                d.total() as f64,
-            )])
+            crate::join::SpanHistogram::new(vec![BucketSpan::new(0.0, 100.0, d.total() as f64)])
         };
         let rels = vec![rel.clone(), rel.clone(), rel.clone(), rel.clone()];
         let hists: Vec<_> = rels.iter().map(coarse).collect();

@@ -76,7 +76,12 @@ impl AcHistogram {
     /// backing sample of `sample_capacity` elements, using the paper's
     /// `gamma = -1` policy.
     pub fn new(buckets: usize, sample_capacity: usize, seed: u64) -> Self {
-        Self::with_maintenance(buckets, sample_capacity, seed, AcMaintenance::RecomputeAlways)
+        Self::with_maintenance(
+            buckets,
+            sample_capacity,
+            seed,
+            AcMaintenance::RecomputeAlways,
+        )
     }
 
     /// Creates an AC histogram with an explicit maintenance policy.
@@ -200,8 +205,7 @@ impl AcHistogram {
         }
         match best {
             Some((m, sum)) if sum <= t => {
-                let merged =
-                    BucketSpan::new(self.mem[m].lo, self.mem[m + 1].hi, sum);
+                let merged = BucketSpan::new(self.mem[m].lo, self.mem[m + 1].hi, sum);
                 self.mem[m] = merged;
                 self.mem.remove(m + 1);
                 // Re-locate the split bucket (index may have shifted).
@@ -297,9 +301,7 @@ impl Histogram for AcHistogram {
                 } else {
                     // Patch: decrement the containing bucket.
                     let x = v as f64 + 0.5;
-                    if let Some(b) =
-                        self.mem.iter_mut().find(|s| x >= s.lo && x < s.hi)
-                    {
+                    if let Some(b) = self.mem.iter_mut().find(|s| x >= s.lo && x < s.hi) {
                         b.count = (b.count - 1.0).max(0.0);
                     }
                 }
@@ -399,12 +401,8 @@ mod tests {
 
     #[test]
     fn split_merge_mode_maintains_mass() {
-        let mut ac = AcHistogram::with_maintenance(
-            12,
-            512,
-            5,
-            AcMaintenance::SplitMerge { gamma: 0.5 },
-        );
+        let mut ac =
+            AcHistogram::with_maintenance(12, 512, 5, AcMaintenance::SplitMerge { gamma: 0.5 });
         for i in 0..5000i64 {
             ac.insert((i * 13) % 400);
         }
@@ -422,12 +420,8 @@ mod tests {
     fn split_merge_quality_close_to_recompute() {
         let mut truth = DataDistribution::new();
         let mut always = AcHistogram::new(16, 1024, 6);
-        let mut sm = AcHistogram::with_maintenance(
-            16,
-            1024,
-            6,
-            AcMaintenance::SplitMerge { gamma: 1.0 },
-        );
+        let mut sm =
+            AcHistogram::with_maintenance(16, 1024, 6, AcMaintenance::SplitMerge { gamma: 1.0 });
         for i in 0..10_000i64 {
             let v = (i * 17) % 800;
             truth.insert(v);

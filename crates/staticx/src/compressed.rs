@@ -52,8 +52,7 @@ impl CompressedHistogram {
         singles.sort_by_key(|&(v, _)| v);
 
         // The regular pool: every remaining value, as unit segments.
-        let single_set: std::collections::BTreeSet<i64> =
-            singles.iter().map(|&(v, _)| v).collect();
+        let single_set: std::collections::BTreeSet<i64> = singles.iter().map(|&(v, _)| v).collect();
         let regular_segments: Vec<BucketSpan> = dist
             .iter()
             .filter(|(v, _)| !single_set.contains(v))

@@ -208,11 +208,7 @@ fn optimal_partition(freqs: &[f64], n: usize, oracle: &mut impl WindowCost) -> V
 }
 
 /// Shared builder: grid extraction, DP, span construction.
-fn build_optimal(
-    dist: &DataDistribution,
-    buckets: usize,
-    absolute: bool,
-) -> Vec<BucketSpan> {
+fn build_optimal(dist: &DataDistribution, buckets: usize, absolute: bool) -> Vec<BucketSpan> {
     assert!(buckets > 0, "need at least one bucket");
     let (Some(min), Some(max)) = (dist.min(), dist.max()) else {
         return Vec::new();
@@ -351,8 +347,7 @@ mod tests {
             // First bucket takes freqs[..k], k >= 1, leaving enough for
             // the remaining n-1 buckets.
             for k in 1..=(freqs.len() - (n - 1)) {
-                let c = window_cost(&freqs[..k], absolute)
-                    + rec(&freqs[k..], n - 1, absolute);
+                let c = window_cost(&freqs[..k], absolute) + rec(&freqs[k..], n - 1, absolute);
                 best = best.min(c);
             }
             best

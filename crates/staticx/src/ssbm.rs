@@ -82,10 +82,7 @@ fn merged_phi<P: DeviationPolicy>(a: &Node, b: &Node) -> f64 {
 /// smallest-`φ_M` merges. The generic entry point, also used to re-reduce
 /// superimposed global histograms in the shared-nothing experiments
 /// (Section 8).
-pub fn ssbm_reduce<P: DeviationPolicy>(
-    spans: &[BucketSpan],
-    target: usize,
-) -> Vec<BucketSpan> {
+pub fn ssbm_reduce<P: DeviationPolicy>(spans: &[BucketSpan], target: usize) -> Vec<BucketSpan> {
     assert!(target > 0, "need at least one bucket");
     if spans.len() <= target {
         return spans.to_vec();
@@ -109,8 +106,7 @@ pub fn ssbm_reduce<P: DeviationPolicy>(
         .collect();
 
     // Min-heap of (phi, left index, left version, right version).
-    let mut heap: BinaryHeap<Reverse<(OrdF64, usize, u32, u32)>> =
-        BinaryHeap::with_capacity(n * 2);
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize, u32, u32)>> = BinaryHeap::with_capacity(n * 2);
     for i in 0..n - 1 {
         let phi = merged_phi::<P>(&nodes[i], &nodes[i + 1]);
         heap.push(Reverse((OrdF64(phi), i, 0, 0)));
@@ -146,7 +142,12 @@ pub fn ssbm_reduce<P: DeviationPolicy>(
         if merged.prev != NIL {
             let p = nodes[merged.prev];
             let phi = merged_phi::<P>(&p, &merged);
-            heap.push(Reverse((OrdF64(phi), merged.prev, p.version, merged.version)));
+            heap.push(Reverse((
+                OrdF64(phi),
+                merged.prev,
+                p.version,
+                merged.version,
+            )));
         }
         if merged.next != NIL {
             let nx = nodes[merged.next];
@@ -180,10 +181,7 @@ impl SsbmHistogram {
 
     /// Builds an SSBM histogram under an explicit deviation policy
     /// (absolute deviations give the AD-flavored variant).
-    pub fn build_with_policy<P: DeviationPolicy>(
-        dist: &DataDistribution,
-        buckets: usize,
-    ) -> Self {
+    pub fn build_with_policy<P: DeviationPolicy>(dist: &DataDistribution, buckets: usize) -> Self {
         assert!(buckets > 0, "need at least one bucket");
         let exact: Vec<BucketSpan> = dist
             .iter()

@@ -166,9 +166,7 @@ mod tests {
         let obs = [3.0, 7.0, 5.0, 9.0];
         let mean = 6.0;
         let expected = [mean; 4];
-        assert!(
-            (chi2_statistic(&obs, &expected) - chi2_statistic_uniform(&obs)).abs() < 1e-12
-        );
+        assert!((chi2_statistic(&obs, &expected) - chi2_statistic_uniform(&obs)).abs() < 1e-12);
     }
 
     #[test]

@@ -51,11 +51,7 @@ impl RangeQuery {
 /// Queries whose true selectivity is zero are skipped (the metric is
 /// undefined for them, and the paper's formulation divides by `S_q`).
 /// Returns `0.0` when no query has positive true selectivity.
-pub fn avg_relative_error(
-    truth: &impl Cdf,
-    estimate: &impl Cdf,
-    queries: &[RangeQuery],
-) -> f64 {
+pub fn avg_relative_error(truth: &impl Cdf, estimate: &impl Cdf, queries: &[RangeQuery]) -> f64 {
     let mut total = 0.0;
     let mut used = 0usize;
     for q in queries {

@@ -59,8 +59,14 @@ fn main() {
 
     let ks_hu = ks_error(&hu, &pooled);
     let ks_uh = ks_error(&uh, &pooled);
-    println!("histogram + union : {} buckets, KS = {ks_hu:.5}", hu.num_buckets());
-    println!("union + histogram : {} buckets, KS = {ks_uh:.5}", uh.num_buckets());
+    println!(
+        "histogram + union : {} buckets, KS = {ks_hu:.5}",
+        hu.num_buckets()
+    );
+    println!(
+        "union + histogram : {} buckets, KS = {ks_uh:.5}",
+        uh.num_buckets()
+    );
     println!(
         "\nthe two strategies are within {:.5} of each other — the paper's\n\
          conclusion: merging local histograms loses almost nothing, so\n\

@@ -59,8 +59,10 @@ fn main() {
 
     // Phase 3: estimate join-chain cardinalities R1 ⋈ R2 ⋈ R3 ⋈ R4.
     let dyn_report = propagate_chain(&dynamics, &truths);
-    let static_spans: Vec<SpanHistogram> =
-        statics.iter().map(|h| SpanHistogram::new(h.spans())).collect();
+    let static_spans: Vec<SpanHistogram> = statics
+        .iter()
+        .map(|h| SpanHistogram::new(h.spans()))
+        .collect();
     let static_report = propagate_chain(&static_spans, &truths);
 
     println!("join-chain cardinality estimation after data drift\n");

@@ -62,7 +62,11 @@ fn main() {
     // Spatial range queries an optimizer would ask.
     println!("\n2-D range estimates (evening state):");
     for (label, x, y) in [
-        ("stadium box (200..240, 20..60)", (200i64, 240i64), (20i64, 60i64)),
+        (
+            "stadium box (200..240, 20..60)",
+            (200i64, 240i64),
+            (20i64, 60i64),
+        ),
         ("downtown box (40..80, 40..80)", (40, 80), (40, 80)),
         ("whole city", (0, 255), (0, 255)),
     ] {
@@ -95,5 +99,8 @@ fn report(h: &Grid2dHistogram<AbsoluteDeviation>, live: &[(i64, i64)]) {
             worst = worst.max((est - act).abs() / live.len() as f64);
         }
     }
-    println!("  worst 64x64-block selectivity error: {:.3}% of N", worst * 100.0);
+    println!(
+        "  worst 64x64-block selectivity error: {:.3}% of N",
+        worst * 100.0
+    );
 }

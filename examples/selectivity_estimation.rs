@@ -42,8 +42,13 @@ fn main() {
     }
 
     // Range predicates of varying selectivity.
-    let predicates: Vec<(i64, i64)> =
-        vec![(0, 500), (1000, 1200), (2400, 2600), (4000, 5000), (100, 4900)];
+    let predicates: Vec<(i64, i64)> = vec![
+        (0, 500),
+        (1000, 1200),
+        (2400, 2600),
+        (4000, 5000),
+        (100, 4900),
+    ];
 
     println!(
         "{:<24} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -67,5 +72,8 @@ fn main() {
     println!("  EquiDepth : {:.5}", ks_error(&equi_depth, &truth));
     println!("  SC        : {:.5}", ks_error(&compressed, &truth));
     println!("  SSBM      : {:.5}", ks_error(&ssbm, &truth));
-    println!("  DADO      : {:.5} (built incrementally!)", ks_error(&dado, &truth));
+    println!(
+        "  DADO      : {:.5} (built incrementally!)",
+        ks_error(&dado, &truth)
+    );
 }

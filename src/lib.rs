@@ -62,8 +62,8 @@ pub mod prelude {
     };
     pub use dh_sample::{AcHistogram, ReservoirSample};
     pub use dh_static::{
-        CompressedHistogram, EquiDepthHistogram, EquiWidthHistogram, SadoHistogram,
-        SsbmHistogram, VOptimalHistogram,
+        CompressedHistogram, EquiDepthHistogram, EquiWidthHistogram, SadoHistogram, SsbmHistogram,
+        VOptimalHistogram,
     };
     pub use dh_stats::{ks_between, Cdf, StepCdf};
 }

@@ -29,9 +29,7 @@ fn superposition_of_exact_members_is_lossless() {
     let sites = cfg.generate_sites(3);
     let members: Vec<_> = sites
         .iter()
-        .map(|s| {
-            dynamic_histograms::statics::ExactHistogram::from_values(&s.values).spans()
-        })
+        .map(|s| dynamic_histograms::statics::ExactHistogram::from_values(&s.values).spans())
         .collect();
     let composite = superimpose(&members);
     let truth = pooled(&sites);

@@ -3,8 +3,7 @@
 
 use dynamic_histograms::core::{DataDistribution, Histogram, ReadHistogram};
 use dynamic_histograms::optimizer::{
-    estimate_equi_join, exact_equi_join, propagate_chain, Predicate, Selectivity,
-    SpanHistogram,
+    estimate_equi_join, exact_equi_join, propagate_chain, Predicate, Selectivity, SpanHistogram,
 };
 use dynamic_histograms::prelude::*;
 
@@ -78,8 +77,7 @@ fn static_histograms_also_estimate_joins() {
 
 #[test]
 fn chain_errors_grow_but_stay_bounded_for_fresh_histograms() {
-    let rels: Vec<(Vec<i64>, DataDistribution)> =
-        (10..14).map(clustered).collect();
+    let rels: Vec<(Vec<i64>, DataDistribution)> = (10..14).map(clustered).collect();
     let hists: Vec<SpanHistogram> = rels
         .iter()
         .map(|(values, _)| {

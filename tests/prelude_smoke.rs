@@ -1,0 +1,48 @@
+//! Workspace-level smoke test: the `src/lib.rs` quickstart must work as a
+//! plain `#[test]`, not only as a doctest, so a doctest-runner regression can
+//! never mask a broken prelude.
+
+use dynamic_histograms::prelude::*;
+
+#[test]
+fn prelude_quickstart_estimates_within_fifteen_percent() {
+    // Maintain a 32-bucket DADO histogram over a stream of integers.
+    let mut h = DadoHistogram::new(32);
+    for v in 0..10_000i64 {
+        h.insert((v * v) % 997);
+    }
+
+    // Estimate the selectivity of `X < 250` and compare with ground truth.
+    let est = h.estimate_less_than(250.0);
+    let truth = (0..10_000i64).filter(|v| (v * v) % 997 < 250).count() as f64;
+    assert!(
+        (est - truth).abs() / truth < 0.15,
+        "DADO estimate {est} deviates more than 15% from ground truth {truth}"
+    );
+}
+
+#[test]
+fn prelude_exports_cover_every_paper_family() {
+    // One construction per re-exported family proves the facade wiring.
+    let values: Vec<i64> = (0..500).map(|v| (v * 13) % 97).collect();
+    let truth = DataDistribution::from_values(&values);
+
+    let _ = EquiWidthHistogram::build(&truth, 8);
+    let _ = EquiDepthHistogram::build(&truth, 8);
+    let _ = CompressedHistogram::build(&truth, 8);
+    let _ = VOptimalHistogram::build(&truth, 8);
+    let _ = SadoHistogram::build(&truth, 8);
+    let _ = SsbmHistogram::build(&truth, 8);
+
+    let mut dc = DcHistogram::new(8);
+    let mut dvo = DvoHistogram::new(8);
+    let mut ac = AcHistogram::new(8, 64, 7);
+    for &v in &values {
+        dc.insert(v);
+        dvo.insert(v);
+        ac.insert(v);
+    }
+    assert!(dc.total_count() > 0.0);
+    assert!(dvo.total_count() > 0.0);
+    assert!(ac.total_count() > 0.0);
+}

@@ -3,8 +3,8 @@
 
 use dynamic_histograms::core::{ks_error, DataDistribution, Histogram, ReadHistogram};
 use dynamic_histograms::prelude::*;
-use dynamic_histograms::stats::Cdf;
 use dynamic_histograms::statics::ExactHistogram;
+use dynamic_histograms::stats::Cdf;
 use proptest::prelude::*;
 
 /// A small random multiset of values in a narrow domain (provokes

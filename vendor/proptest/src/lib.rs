@@ -1,0 +1,323 @@
+//! Vendored, dependency-free stand-in for the subset of the `proptest` API
+//! used by this workspace's property tests.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the pieces the tests rely on: the [`proptest!`] macro (including the
+//! `#![proptest_config(..)]` header), [`Strategy`] with `prop_map`, tuple and
+//! range strategies, [`any`], `prop::collection::vec`, and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Unlike real proptest there is no shrinking: failures report the panic from
+//! the failing case directly. Case generation is fully deterministic — the
+//! RNG is seeded from the test name — so failures are reproducible.
+
+use std::ops::Range;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test body is executed with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic SplitMix64 generator used to drive value generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name so each test has a fixed,
+    /// independent stream.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)` (as i128 bounds, for shared impls).
+    fn next_in(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "cannot sample empty range");
+        let span = (hi - lo) as u128;
+        lo + ((self.next_u64() as u128) % span) as i128
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Produces one value using `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_in(self.start as i128, self.end as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Produces one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: each element from `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+    /// Alias of the crate root so `prop::collection::vec(..)` works.
+    pub use crate as prop;
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let ($($arg,)*) = ($( $crate::Strategy::generate(&($strat), &mut rng) ,)*);
+                let run = || -> () { $body };
+                if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest case {}/{} failed in {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name)
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = (i64, usize)> {
+        (-10i64..10, 0usize..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(0i64..100, 1..40)) {
+            prop_assert!((1..40).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0..100).contains(x)));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(x in pairs().prop_map(|(a, b)| a * b as i64)) {
+            prop_assert!((-50..=50).contains(&x));
+        }
+
+        #[test]
+        fn any_generates(seed in any::<u64>()) {
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::deterministic("t");
+        let mut b = crate::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
