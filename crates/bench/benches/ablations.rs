@@ -13,7 +13,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dh_core::dynamic::{AbsoluteDeviation, DcHistogram, MultiSubHistogram, SquaredDeviation};
-use dh_core::{ks_error, DataDistribution, Histogram, MemoryBudget};
+use dh_core::{ks_error, DataDistribution, DynHistogram, MemoryBudget};
 use dh_gen::SyntheticConfig;
 use dh_sample::{AcHistogram, AcMaintenance};
 use dh_static::SsbmHistogram;

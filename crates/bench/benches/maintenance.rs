@@ -3,82 +3,71 @@
 //! Backs the paper's cost analyses: DC is `O(log n)` per point (Section
 //! 3.1), DVO/DADO are `O(n)` per point (Section 4.4), and AC with
 //! `gamma = -1` pays for reservoir bookkeeping plus recomputation.
+//!
+//! Every competitor is built through the `AlgoSpec` registry and driven
+//! as a `Box<dyn DynHistogram>` — the bench measures the same object-safe
+//! path a serving catalog pays, dynamic dispatch included.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dh_core::dynamic::{DadoHistogram, DcHistogram, DvoHistogram};
-use dh_core::{Histogram, HistogramClass, MemoryBudget};
-use dh_gen::workload::{Update, UpdateStream, WorkloadKind};
+use dh_catalog::AlgoSpec;
+use dh_core::{DynHistogram, MemoryBudget, UpdateOp};
+use dh_gen::workload::{UpdateStream, WorkloadKind};
 use dh_gen::SyntheticConfig;
-use dh_sample::AcHistogram;
 
-fn stream(points: u64) -> UpdateStream {
+fn stream_ops(points: u64, kind: WorkloadKind, seed: u64) -> Vec<UpdateOp> {
     let cfg = SyntheticConfig::default().with_total_points(points);
-    let data = cfg.generate(7);
-    UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, 7)
+    let data = cfg.generate(seed);
+    UpdateStream::build(&data.values, kind, seed).ops()
 }
 
-fn run<H: Histogram>(mut h: H, s: &UpdateStream) -> H {
-    for u in s.iter() {
-        match u {
-            Update::Insert(v) => h.insert(v),
-            Update::Delete(v) => h.delete(v),
-        }
-    }
+fn run(
+    spec: AlgoSpec,
+    memory: MemoryBudget,
+    ops: &[UpdateOp],
+) -> Box<dyn DynHistogram + Send + Sync> {
+    let mut h = spec.build(memory, 7);
+    h.apply_slice(ops);
     h
 }
 
 fn insert_throughput(c: &mut Criterion) {
-    let s = stream(20_000);
+    let ops = stream_ops(20_000, WorkloadKind::RandomInsertions, 7);
     let memory = MemoryBudget::from_kb(1.0);
-    let n_bc = memory.buckets(HistogramClass::BorderAndCount);
-    let n_b2 = memory.buckets(HistogramClass::BorderAndTwoCounters);
 
     let mut group = c.benchmark_group("insert_throughput_1kb");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(s.len() as u64));
-    group.bench_function(BenchmarkId::from_parameter("DC"), |b| {
-        b.iter(|| std::hint::black_box(run(DcHistogram::new(n_bc), &s)))
-    });
-    group.bench_function(BenchmarkId::from_parameter("DVO"), |b| {
-        b.iter(|| std::hint::black_box(run(DvoHistogram::new(n_b2), &s)))
-    });
-    group.bench_function(BenchmarkId::from_parameter("DADO"), |b| {
-        b.iter(|| std::hint::black_box(run(DadoHistogram::new(n_b2), &s)))
-    });
-    group.bench_function(BenchmarkId::from_parameter("AC20X"), |b| {
-        b.iter(|| {
-            std::hint::black_box(run(
-                AcHistogram::new(n_bc, memory.sample_elements(20), 7),
-                &s,
-            ))
-        })
-    });
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    for spec in [
+        AlgoSpec::Dc,
+        AlgoSpec::Dvo,
+        AlgoSpec::Dado,
+        AlgoSpec::Ac { disk_factor: 20 },
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
+            b.iter(|| std::hint::black_box(run(spec, memory, &ops)))
+        });
+    }
     group.finish();
 }
 
 fn mixed_workload(c: &mut Criterion) {
-    let cfg = SyntheticConfig::default().with_total_points(10_000);
-    let data = cfg.generate(9);
-    let s = UpdateStream::build(
-        &data.values,
+    let ops = stream_ops(
+        10_000,
         WorkloadKind::InsertionsWithRandomDeletions {
             delete_probability: 0.25,
         },
         9,
     );
     let memory = MemoryBudget::from_kb(1.0);
-    let n_b2 = memory.buckets(HistogramClass::BorderAndTwoCounters);
-    let n_bc = memory.buckets(HistogramClass::BorderAndCount);
 
     let mut group = c.benchmark_group("mixed_updates_25pct_deletes");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(s.len() as u64));
-    group.bench_function("DADO", |b| {
-        b.iter(|| std::hint::black_box(run(DadoHistogram::new(n_b2), &s)))
-    });
-    group.bench_function("DC", |b| {
-        b.iter(|| std::hint::black_box(run(DcHistogram::new(n_bc), &s)))
-    });
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    for spec in [AlgoSpec::Dado, AlgoSpec::Dc] {
+        group.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
+            b.iter(|| std::hint::black_box(run(spec, memory, &ops)))
+        });
+    }
     group.finish();
 }
 

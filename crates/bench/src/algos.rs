@@ -1,14 +1,16 @@
 //! Uniform runners for all histogram algorithms under the paper's memory
-//! model.
+//! model — thin wrappers over the [`AlgoSpec`] registry.
+//!
+//! Historically this module dispatched on concrete histogram types; it now
+//! builds every competitor through [`AlgoSpec::build`] and drives it as a
+//! `Box<dyn DynHistogram>`, so the benches and the `repro` binary exercise
+//! exactly the object-safe path a production catalog uses. Labels come
+//! from [`AlgoSpec::label`], the single source of truth for the paper's
+//! legend strings.
 
-use dh_core::dynamic::{DadoHistogram, DcHistogram, DvoHistogram};
-use dh_core::{ks_error, DataDistribution, Histogram, HistogramClass, MemoryBudget};
-use dh_gen::workload::{Update, UpdateStream};
-use dh_sample::AcHistogram;
-use dh_static::{
-    CompressedHistogram, EquiDepthHistogram, EquiWidthHistogram, SadoHistogram, SsbmHistogram,
-    VOptimalHistogram,
-};
+use dh_catalog::AlgoSpec;
+use dh_core::{ks_error, DataDistribution, DynHistogram, MemoryBudget, UpdateOp};
+use dh_gen::workload::UpdateStream;
 
 /// The incrementally maintained histograms of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,14 +31,19 @@ pub enum DynamicAlgo {
 }
 
 impl DynamicAlgo {
+    /// The registry entry behind this runner.
+    pub fn spec(&self) -> AlgoSpec {
+        match *self {
+            DynamicAlgo::Dc => AlgoSpec::Dc,
+            DynamicAlgo::Dvo => AlgoSpec::Dvo,
+            DynamicAlgo::Dado => AlgoSpec::Dado,
+            DynamicAlgo::Ac { disk_factor } => AlgoSpec::Ac { disk_factor },
+        }
+    }
+
     /// Legend label matching the paper's figures.
     pub fn label(&self) -> String {
-        match self {
-            DynamicAlgo::Dc => "DC".into(),
-            DynamicAlgo::Dvo => "DVO".into(),
-            DynamicAlgo::Dado => "DADO".into(),
-            DynamicAlgo::Ac { disk_factor } => format!("AC{disk_factor}X"),
-        }
+        self.spec().label()
     }
 
     /// The four dynamic algorithms of Figs. 5–8 with the default AC disk
@@ -68,54 +75,36 @@ impl DynamicAlgo {
         updates: &UpdateStream,
         checkpoints: &[usize],
     ) -> Vec<f64> {
-        match self {
-            DynamicAlgo::Dc => {
-                let n = memory.buckets(HistogramClass::BorderAndCount);
-                drive(DcHistogram::new(n), updates, checkpoints)
-            }
-            DynamicAlgo::Dvo => {
-                let n = memory.buckets(HistogramClass::BorderAndTwoCounters);
-                drive(DvoHistogram::new(n), updates, checkpoints)
-            }
-            DynamicAlgo::Dado => {
-                let n = memory.buckets(HistogramClass::BorderAndTwoCounters);
-                drive(DadoHistogram::new(n), updates, checkpoints)
-            }
-            DynamicAlgo::Ac { disk_factor } => {
-                let n = memory.buckets(HistogramClass::BorderAndCount);
-                let sample = memory.sample_elements(*disk_factor).max(1);
-                drive(AcHistogram::new(n, sample, seed), updates, checkpoints)
-            }
-        }
+        let mut h = self.spec().build(memory, seed);
+        drive(&mut *h, updates, checkpoints)
     }
 }
 
-/// Replays the stream, scoring KS against the incrementally maintained
-/// exact distribution at each checkpoint.
-fn drive<H: Histogram>(mut h: H, updates: &UpdateStream, checkpoints: &[usize]) -> Vec<f64> {
+/// Replays the stream in checkpoint-sized batches through the object-safe
+/// maintenance API, scoring KS against the incrementally maintained exact
+/// distribution at each checkpoint.
+fn drive(h: &mut dyn DynHistogram, updates: &UpdateStream, checkpoints: &[usize]) -> Vec<f64> {
     debug_assert!(checkpoints.windows(2).all(|w| w[0] <= w[1]));
+    let ops = updates.ops();
     let mut truth = DataDistribution::new();
     let mut out = Vec::with_capacity(checkpoints.len());
-    let mut next = 0usize;
-    for (i, u) in updates.iter().enumerate() {
-        match u {
-            Update::Insert(v) => {
-                h.insert(v);
-                truth.insert(v);
+    let mut applied = 0usize;
+    for &cp in checkpoints {
+        let cp = cp.min(ops.len());
+        if cp > applied {
+            let batch = &ops[applied..cp];
+            h.apply_slice(batch);
+            for &op in batch {
+                match op {
+                    UpdateOp::Insert(v) => truth.insert(v),
+                    UpdateOp::Delete(v) => {
+                        truth.delete(v);
+                    }
+                }
             }
-            Update::Delete(v) => {
-                h.delete(v);
-                truth.delete(v);
-            }
+            applied = cp;
         }
-        while next < checkpoints.len() && checkpoints[next] == i + 1 {
-            out.push(ks_error(&h, &truth));
-            next += 1;
-        }
-    }
-    while next < checkpoints.len() {
-        out.push(ks_error(&h, &truth));
-        next += 1;
+        out.push(ks_error(&h.as_read(), &truth));
     }
     out
 }
@@ -138,16 +127,21 @@ pub enum StaticAlgo {
 }
 
 impl StaticAlgo {
-    /// Legend label matching the paper's figures.
-    pub fn label(&self) -> &'static str {
-        match self {
-            StaticAlgo::Sc => "SC",
-            StaticAlgo::Svo => "SVO",
-            StaticAlgo::Sado => "SADO",
-            StaticAlgo::Ssbm => "SSBM",
-            StaticAlgo::EquiDepth => "EquiDepth",
-            StaticAlgo::EquiWidth => "EquiWidth",
+    /// The registry entry behind this runner.
+    pub fn spec(&self) -> AlgoSpec {
+        match *self {
+            StaticAlgo::Sc => AlgoSpec::Compressed,
+            StaticAlgo::Svo => AlgoSpec::VOptimal,
+            StaticAlgo::Sado => AlgoSpec::Sado,
+            StaticAlgo::Ssbm => AlgoSpec::Ssbm,
+            StaticAlgo::EquiDepth => AlgoSpec::EquiDepth,
+            StaticAlgo::EquiWidth => AlgoSpec::EquiWidth,
         }
+    }
+
+    /// Legend label matching the paper's figures.
+    pub fn label(&self) -> String {
+        self.spec().label()
     }
 
     /// The static set compared against DADO in Figs. 9–12.
@@ -163,42 +157,17 @@ impl StaticAlgo {
     /// Builds the histogram from the full distribution under `memory`
     /// bytes and returns its KS error.
     pub fn final_ks(&self, memory: MemoryBudget, truth: &DataDistribution) -> f64 {
-        let n = memory.buckets(HistogramClass::BorderAndCount);
-        match self {
-            StaticAlgo::Sc => ks_error(&CompressedHistogram::build(truth, n), truth),
-            StaticAlgo::Svo => ks_error(&VOptimalHistogram::build(truth, n), truth),
-            StaticAlgo::Sado => ks_error(&SadoHistogram::build(truth, n), truth),
-            StaticAlgo::Ssbm => ks_error(&SsbmHistogram::build(truth, n), truth),
-            StaticAlgo::EquiDepth => ks_error(&EquiDepthHistogram::build(truth, n), truth),
-            StaticAlgo::EquiWidth => ks_error(&EquiWidthHistogram::build(truth, n), truth),
-        }
+        let h = self.spec().build_seeded(memory, 0, truth.clone());
+        ks_error(&h, truth)
     }
 
     /// Builds the histogram and returns construction wall-clock seconds
-    /// (Fig. 13).
+    /// (Fig. 13). The distribution copy happens before the clock starts,
+    /// so only the build itself is measured.
     pub fn build_seconds(&self, memory: MemoryBudget, truth: &DataDistribution) -> f64 {
-        let n = memory.buckets(HistogramClass::BorderAndCount);
+        let owned = truth.clone();
         let t0 = std::time::Instant::now();
-        match self {
-            StaticAlgo::Sc => {
-                std::hint::black_box(CompressedHistogram::build(truth, n));
-            }
-            StaticAlgo::Svo => {
-                std::hint::black_box(VOptimalHistogram::build(truth, n));
-            }
-            StaticAlgo::Sado => {
-                std::hint::black_box(SadoHistogram::build(truth, n));
-            }
-            StaticAlgo::Ssbm => {
-                std::hint::black_box(SsbmHistogram::build(truth, n));
-            }
-            StaticAlgo::EquiDepth => {
-                std::hint::black_box(EquiDepthHistogram::build(truth, n));
-            }
-            StaticAlgo::EquiWidth => {
-                std::hint::black_box(EquiWidthHistogram::build(truth, n));
-            }
-        }
+        std::hint::black_box(self.spec().build_seeded(memory, 0, owned));
         t0.elapsed().as_secs_f64()
     }
 }
@@ -277,5 +246,32 @@ mod tests {
         assert_eq!(DynamicAlgo::Ac { disk_factor: 20 }.label(), "AC20X");
         assert_eq!(DynamicAlgo::Dado.label(), "DADO");
         assert_eq!(StaticAlgo::Svo.label(), "SVO");
+        // One source of truth: the runner labels are the registry labels.
+        for algo in DynamicAlgo::standard_set() {
+            assert_eq!(algo.label(), algo.spec().label());
+        }
+        for algo in StaticAlgo::standard_set() {
+            assert_eq!(algo.label(), algo.spec().label());
+        }
+    }
+
+    #[test]
+    fn registry_and_runner_agree_on_final_ks() {
+        // The runner is a thin wrapper: driving the spec's boxed histogram
+        // by hand must give the same number.
+        let memory = MemoryBudget::from_kb(1.0);
+        let stream = small_stream();
+        for algo in DynamicAlgo::standard_set() {
+            let mut h = algo.spec().build(memory, 7);
+            h.apply_slice(&stream.ops());
+            let truth = DataDistribution::from_values(&stream.final_multiset());
+            let direct = ks_error(&h, &truth);
+            let wrapped = algo.final_ks(memory, 7, &stream);
+            assert!(
+                (direct - wrapped).abs() < 1e-12,
+                "{}: {direct} != {wrapped}",
+                algo.label()
+            );
+        }
     }
 }

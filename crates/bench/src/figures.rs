@@ -8,8 +8,9 @@
 
 use crate::algos::{DynamicAlgo, StaticAlgo};
 use crate::harness::{mean, FigureResult, RunOptions, Series};
+use dh_catalog::AlgoSpec;
 use dh_core::ks_error;
-use dh_core::{DataDistribution, HistogramClass, MemoryBudget};
+use dh_core::{DataDistribution, DynHistogram, MemoryBudget};
 use dh_distributed::{build_global, DistributedConfig, GlobalStrategy};
 use dh_gen::mailorder::MailOrderConfig;
 use dh_gen::workload::{UpdateStream, WorkloadKind};
@@ -319,18 +320,14 @@ pub fn fig13(opts: RunOptions) -> FigureResult {
             for (ai, algo) in statics.iter().enumerate() {
                 per[ai].push(algo.build_seconds(memory, &truth));
             }
-            // DADO: time to stream all points through the histogram.
+            // DADO: time to stream all points through the registry-built
+            // histogram (incremental maintenance *is* its construction).
             let stream =
                 UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
-            let n = memory.buckets(HistogramClass::BorderAndTwoCounters);
+            let ops = stream.ops();
             let t0 = std::time::Instant::now();
-            let mut h = dh_core::dynamic::DadoHistogram::new(n);
-            for u in stream.iter() {
-                match u {
-                    dh_gen::workload::Update::Insert(v) => dh_core::Histogram::insert(&mut h, v),
-                    dh_gen::workload::Update::Delete(v) => dh_core::Histogram::delete(&mut h, v),
-                }
-            }
+            let mut h = DynamicAlgo::Dado.spec().build(memory, seed);
+            h.apply_slice(&ops);
             std::hint::black_box(&h);
             per[statics.len()].push(t0.elapsed().as_secs_f64());
         }
@@ -682,6 +679,46 @@ pub fn fig23(opts: RunOptions) -> FigureResult {
     )
 }
 
+/// A registry-driven experiment outside the paper's fixed figures: final
+/// KS error vs available memory for *any* mix of algorithms, selected by
+/// name on the `repro` CLI (`repro custom --algos DC,SVO,AC40X`).
+///
+/// Every competitor — dynamic or static — is built through
+/// [`AlgoSpec::build`] and driven as a `Box<dyn DynHistogram>` over the
+/// identical update stream, exactly the path a serving catalog uses
+/// (static algorithms rebuild-on-read behind the same interface).
+pub fn run_custom(specs: &[AlgoSpec], workload: WorkloadKind, opts: RunOptions) -> FigureResult {
+    let memories = [0.25, 0.5, 1.0, 2.0, 3.0, 4.0];
+    let cfg = reference_config(opts);
+    let mut series: Vec<Series> = specs.iter().map(|s| Series::new(s.label())).collect();
+    for &mkb in &memories {
+        let memory = MemoryBudget::from_kb(mkb);
+        let mut per: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
+        for seed in opts.seed_values() {
+            let data = cfg.generate(seed);
+            let stream = UpdateStream::build(&data.values, workload, seed ^ 0x5EED);
+            let ops = stream.ops();
+            let truth = DataDistribution::from_values(&stream.final_multiset());
+            for (si, spec) in specs.iter().enumerate() {
+                let mut h = spec.build(memory, seed);
+                h.apply_slice(&ops);
+                per[si].push(ks_error(&h, &truth));
+            }
+        }
+        for (si, ks) in per.into_iter().enumerate() {
+            series[si].push(mkb, mean(ks));
+        }
+    }
+    let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
+    FigureResult {
+        id: "custom".into(),
+        title: format!("Custom registry run: {}", labels.join(", ")),
+        x_label: "Memory [KB]".into(),
+        y_label: "KS statistic".into(),
+        series,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,6 +759,25 @@ mod tests {
         let s = f.series_named("DADO").unwrap();
         assert_eq!(s.points.first().unwrap().0, 0.05);
         assert_eq!(s.points.last().unwrap().0, 1.0);
+    }
+
+    #[test]
+    fn custom_runs_mixed_dynamic_and_static_specs() {
+        let f = run_custom(
+            &[
+                AlgoSpec::Dc,
+                AlgoSpec::VOptimal,
+                AlgoSpec::Ac { disk_factor: 20 },
+            ],
+            WorkloadKind::RandomInsertions,
+            tiny(),
+        );
+        assert_eq!(f.series.len(), 3);
+        assert!(f.series_named("SVO").is_some());
+        for s in &f.series {
+            assert_eq!(s.points.len(), 6);
+            assert!(s.points.iter().all(|&(_, y)| (0.0..=1.0).contains(&y)));
+        }
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! The multi-column [`Catalog`]: histograms maintained in place while
+//! readers estimate off shared snapshots.
+//!
+//! One `Catalog` owns a histogram per registered column (any mix of
+//! [`AlgoSpec`]s), ingests batched [`UpdateOp`] streams per column, and
+//! hands out [`Snapshot`]s — immutable, `Arc`-shared views that implement
+//! [`ReadHistogram`] — so estimation (including cross-column joins
+//! through `dh_optimizer`) runs off shared, cached state between batches.
+//! The first read after a batch renders the column under its write lock;
+//! for dynamic specs that is one span copy, while a static spec pays its
+//! rebuild there (the cost static histograms owe *somewhere* — choose a
+//! dynamic spec for write-hot columns).
+
+use crate::spec::AlgoSpec;
+use dh_core::{BoxedHistogram, BucketSpan, HistogramCdf, MemoryBudget, ReadHistogram, UpdateOp};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Errors surfaced by [`Catalog`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The named column has not been registered.
+    UnknownColumn(String),
+    /// The column name is already taken.
+    DuplicateColumn(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            CatalogError::DuplicateColumn(c) => write!(f, "column '{c}' already registered"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// Per-column mutable state, guarded by the column's `RwLock`.
+struct ColumnState {
+    histogram: BoxedHistogram,
+    /// Number of batches applied so far; strictly monotone.
+    checkpoint: u64,
+    /// Number of individual updates applied so far.
+    updates: u64,
+    /// Cached snapshot of the current state; invalidated by every batch.
+    snapshot: Option<Snapshot>,
+    /// Scratch buffer for snapshot rendering (allocation reuse).
+    scratch: Vec<BucketSpan>,
+}
+
+struct Column {
+    name: String,
+    spec: AlgoSpec,
+    state: RwLock<ColumnState>,
+}
+
+/// A thread-safe, multi-column histogram store.
+///
+/// Writers call [`Catalog::apply`] with batches of updates; readers call
+/// [`Catalog::snapshot`] (or the `estimate_*` conveniences) at any time
+/// from any thread. Columns are independent: ingestion on one column
+/// never blocks estimation on another.
+#[derive(Default)]
+pub struct Catalog {
+    columns: RwLock<BTreeMap<String, Arc<Column>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `column` with a fresh histogram built from `spec` under
+    /// `memory` bytes (`seed` feeds sampling algorithms, see
+    /// [`AlgoSpec::build`]).
+    ///
+    /// # Errors
+    /// [`CatalogError::DuplicateColumn`] if the name is taken.
+    pub fn register(
+        &self,
+        column: impl Into<String>,
+        spec: AlgoSpec,
+        memory: MemoryBudget,
+        seed: u64,
+    ) -> Result<(), CatalogError> {
+        let name = column.into();
+        let mut columns = write_lock(&self.columns);
+        if columns.contains_key(&name) {
+            return Err(CatalogError::DuplicateColumn(name));
+        }
+        let histogram = spec.build(memory, seed);
+        columns.insert(
+            name.clone(),
+            Arc::new(Column {
+                name,
+                spec,
+                state: RwLock::new(ColumnState {
+                    histogram,
+                    checkpoint: 0,
+                    updates: 0,
+                    snapshot: None,
+                    scratch: Vec::new(),
+                }),
+            }),
+        );
+        Ok(())
+    }
+
+    /// The registered column names, sorted.
+    pub fn columns(&self) -> Vec<String> {
+        read_lock(&self.columns).keys().cloned().collect()
+    }
+
+    /// Whether `column` is registered.
+    pub fn contains(&self, column: &str) -> bool {
+        read_lock(&self.columns).contains_key(column)
+    }
+
+    /// Number of registered columns.
+    pub fn len(&self) -> usize {
+        read_lock(&self.columns).len()
+    }
+
+    /// Whether no columns are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The algorithm a column was registered with.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn spec(&self, column: &str) -> Result<AlgoSpec, CatalogError> {
+        Ok(self.column(column)?.spec)
+    }
+
+    /// Applies one batch of updates to `column`'s histogram and returns
+    /// the new checkpoint count (strictly monotone per column; an empty
+    /// batch still advances it, marking an explicit sync point).
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn apply(&self, column: &str, batch: &[UpdateOp]) -> Result<u64, CatalogError> {
+        let col = self.column(column)?;
+        let mut state = write_lock(&col.state);
+        state.histogram.apply_slice(batch);
+        state.updates += batch.len() as u64;
+        state.checkpoint += 1;
+        state.snapshot = None;
+        Ok(state.checkpoint)
+    }
+
+    /// An immutable snapshot of `column`'s current histogram.
+    ///
+    /// Snapshots are cached per checkpoint: between batches, every call
+    /// clones one `Arc`. The first read after a batch renders the spans
+    /// once (under the column's write lock, reusing a scratch buffer).
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn snapshot(&self, column: &str) -> Result<Snapshot, CatalogError> {
+        let col = self.column(column)?;
+        if let Some(s) = &read_lock(&col.state).snapshot {
+            return Ok(s.clone());
+        }
+        let mut state = write_lock(&col.state);
+        if let Some(s) = &state.snapshot {
+            return Ok(s.clone()); // another reader rendered it first
+        }
+        let ColumnState {
+            histogram, scratch, ..
+        } = &mut *state;
+        histogram.spans_into(scratch);
+        let snapshot = Snapshot {
+            inner: Arc::new(SnapshotInner {
+                column: col.name.clone(),
+                label: col.spec.label(),
+                checkpoint: state.checkpoint,
+                updates: state.updates,
+                total: state.scratch.iter().map(|s| s.count).sum(),
+                cdf: HistogramCdf::from_spans(state.scratch.clone()),
+                spans: state.scratch.clone(),
+            }),
+        };
+        state.snapshot = Some(snapshot.clone());
+        Ok(snapshot)
+    }
+
+    /// The number of batches applied to `column` so far.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn checkpoint(&self, column: &str) -> Result<u64, CatalogError> {
+        Ok(read_lock(&self.column(column)?.state).checkpoint)
+    }
+
+    /// Estimated number of values in `[a, b]` on `column`.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn estimate_range(&self, column: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
+        Ok(self.snapshot(column)?.estimate_range(a, b))
+    }
+
+    /// Estimated number of values equal to `v` on `column`.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn estimate_eq(&self, column: &str, v: i64) -> Result<f64, CatalogError> {
+        Ok(self.snapshot(column)?.estimate_eq(v))
+    }
+
+    /// Total live mass on `column`.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn total_count(&self, column: &str) -> Result<f64, CatalogError> {
+        Ok(self.snapshot(column)?.total_count())
+    }
+
+    fn column(&self, column: &str) -> Result<Arc<Column>, CatalogError> {
+        read_lock(&self.columns)
+            .get(column)
+            .cloned()
+            .ok_or_else(|| CatalogError::UnknownColumn(column.into()))
+    }
+}
+
+impl fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Catalog")
+            .field("columns", &self.columns())
+            .finish()
+    }
+}
+
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+struct SnapshotInner {
+    column: String,
+    label: String,
+    checkpoint: u64,
+    updates: u64,
+    total: f64,
+    spans: Vec<BucketSpan>,
+    cdf: HistogramCdf,
+}
+
+/// A cheap, immutable view of one column's histogram at a checkpoint.
+///
+/// Cloning is one `Arc` bump; the snapshot implements [`ReadHistogram`]
+/// (with a precomputed CDF, so estimates don't re-render spans) and can be
+/// fed anywhere a histogram is expected — including `dh_optimizer`'s
+/// join estimators, which is how mixed-algorithm joins run straight off a
+/// catalog.
+#[derive(Clone)]
+pub struct Snapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+impl Snapshot {
+    /// The column this snapshot was taken from.
+    pub fn column(&self) -> &str {
+        &self.inner.column
+    }
+
+    /// The algorithm label of the owning column (paper legend string).
+    pub fn label(&self) -> &str {
+        &self.inner.label
+    }
+
+    /// The batch count at the time of the snapshot.
+    pub fn checkpoint(&self) -> u64 {
+        self.inner.checkpoint
+    }
+
+    /// The update count at the time of the snapshot.
+    pub fn updates(&self) -> u64 {
+        self.inner.updates
+    }
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("column", &self.inner.column)
+            .field("label", &self.inner.label)
+            .field("checkpoint", &self.inner.checkpoint)
+            .field("buckets", &self.inner.spans.len())
+            .finish()
+    }
+}
+
+impl ReadHistogram for Snapshot {
+    fn spans(&self) -> Vec<BucketSpan> {
+        self.inner.spans.clone()
+    }
+
+    fn for_each_span(&self, f: &mut dyn FnMut(&BucketSpan)) {
+        for s in &self.inner.spans {
+            f(s);
+        }
+    }
+
+    fn total_count(&self) -> f64 {
+        self.inner.total
+    }
+
+    fn num_buckets(&self) -> usize {
+        self.inner.spans.len()
+    }
+
+    fn cdf(&self) -> HistogramCdf {
+        self.inner.cdf.clone()
+    }
+
+    fn estimate_less_than(&self, x: f64) -> f64 {
+        self.inner.cdf.mass_below(x)
+    }
+
+    fn estimate_le(&self, v: i64) -> f64 {
+        self.inner.cdf.mass_below(v as f64 + 1.0)
+    }
+
+    fn estimate_range(&self, a: i64, b: i64) -> f64 {
+        if a > b {
+            return 0.0;
+        }
+        self.inner.cdf.mass_in(a as f64, b as f64 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inserts(range: std::ops::Range<i64>) -> Vec<UpdateOp> {
+        range.map(UpdateOp::Insert).collect()
+    }
+
+    #[test]
+    fn register_apply_snapshot_round_trip() {
+        let cat = Catalog::new();
+        let memory = MemoryBudget::from_kb(1.0);
+        cat.register("a", AlgoSpec::Dado, memory, 1).unwrap();
+        assert_eq!(
+            cat.register("a", AlgoSpec::Dc, memory, 1),
+            Err(CatalogError::DuplicateColumn("a".into()))
+        );
+        let cp = cat.apply("a", &inserts(0..5000)).unwrap();
+        assert_eq!(cp, 1);
+        let snap = cat.snapshot("a").unwrap();
+        assert_eq!(snap.checkpoint(), 1);
+        assert_eq!(snap.updates(), 5000);
+        assert_eq!(snap.column(), "a");
+        assert_eq!(snap.label(), "DADO");
+        assert!((snap.total_count() - 5000.0).abs() < 1e-9);
+        assert!((snap.estimate_range(0, 4999) - 5000.0).abs() / 5000.0 < 0.02);
+    }
+
+    #[test]
+    fn snapshots_are_cached_and_invalidate_on_write() {
+        let cat = Catalog::new();
+        cat.register("a", AlgoSpec::Dc, MemoryBudget::from_kb(0.5), 1)
+            .unwrap();
+        cat.apply("a", &inserts(0..1000)).unwrap();
+        let s1 = cat.snapshot("a").unwrap();
+        let s2 = cat.snapshot("a").unwrap();
+        assert!(Arc::ptr_eq(&s1.inner, &s2.inner), "cached between writes");
+        cat.apply("a", &inserts(0..10)).unwrap();
+        let s3 = cat.snapshot("a").unwrap();
+        assert!(!Arc::ptr_eq(&s1.inner, &s3.inner), "invalidated by write");
+        assert_eq!(s3.checkpoint(), 2);
+        // The old snapshot still reads consistently at its checkpoint.
+        assert!((s1.total_count() - 1000.0).abs() < 1e-9);
+        assert!((s3.total_count() - 1010.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let cat = Catalog::new();
+        assert_eq!(
+            cat.apply("ghost", &[]).unwrap_err(),
+            CatalogError::UnknownColumn("ghost".into())
+        );
+        assert!(cat.snapshot("ghost").is_err());
+        assert!(cat.estimate_eq("ghost", 1).is_err());
+        assert!(!cat.contains("ghost"));
+        assert!(cat.is_empty());
+        let msg = CatalogError::UnknownColumn("ghost".into()).to_string();
+        assert!(msg.contains("ghost"));
+    }
+
+    #[test]
+    fn mixed_specs_per_column() {
+        let cat = Catalog::new();
+        let memory = MemoryBudget::from_kb(0.5);
+        for (name, spec) in [
+            ("dc", AlgoSpec::Dc),
+            ("svo", AlgoSpec::VOptimal),
+            ("ac", AlgoSpec::Ac { disk_factor: 20 }),
+        ] {
+            cat.register(name, spec, memory, 7).unwrap();
+            cat.apply(name, &inserts(0..2000)).unwrap();
+        }
+        assert_eq!(cat.columns(), ["ac", "dc", "svo"]);
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.spec("svo").unwrap(), AlgoSpec::VOptimal);
+        for name in ["dc", "svo", "ac"] {
+            let est = cat.estimate_range(name, 0, 1999).unwrap();
+            assert!((est - 2000.0).abs() / 2000.0 < 0.05, "{name}: {est}");
+            assert_eq!(cat.checkpoint(name).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_batches_advance_checkpoints() {
+        let cat = Catalog::new();
+        cat.register("a", AlgoSpec::EquiDepth, MemoryBudget::from_kb(0.25), 0)
+            .unwrap();
+        assert_eq!(cat.apply("a", &[]).unwrap(), 1);
+        assert_eq!(cat.apply("a", &[]).unwrap(), 2);
+        assert_eq!(cat.snapshot("a").unwrap().num_buckets(), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! The estimation *serving layer*: one registry for every histogram
+//! algorithm in the workspace, and a multi-column [`Catalog`] that keeps
+//! boxed histograms maintained in place while readers estimate off cheap
+//! snapshots — the deployment the paper argues for (Section 1: the
+//! optimizer keeps reading size estimates while the data set, and hence
+//! the histogram, evolves underneath it).
+//!
+//! * [`spec`] — [`AlgoSpec`], the unified configuration enum covering the
+//!   dynamic histograms (DC, DVO, DADO, AC), the static baselines
+//!   (Equi-Width, Equi-Depth, Compressed) and the paper's static
+//!   contributions (V-Optimal, SADO, SSBM). `AlgoSpec::build` turns a
+//!   spec plus a [`dh_core::MemoryBudget`] into a ready-to-stream
+//!   [`dh_core::BoxedHistogram`]; `FromStr`/`Display` round-trip the
+//!   paper's legend labels so CLIs can select algorithms by name.
+//! * [`adapter`] — [`StaticRebuild`], the wrapper that gives
+//!   scan-and-rebuild static histograms the same maintained-in-place
+//!   [`dh_core::DynHistogram`] face as the dynamic ones.
+//! * [`catalog`] — the [`Catalog`] itself: per-column histograms behind
+//!   `RwLock`, batched [`dh_core::UpdateOp`] ingestion with monotone
+//!   checkpoint counts, and `Arc`-shared read [`Snapshot`]s.
+//!
+//! This crate (not `dh_core`) hosts `AlgoSpec` because building AC and
+//! the static baselines requires `dh_sample` and `dh_static`, which both
+//! sit *above* `dh_core` in the crate DAG.
+//!
+//! # Example: mixed algorithms behind one API
+//!
+//! ```
+//! use dh_catalog::{AlgoSpec, Catalog};
+//! use dh_core::{MemoryBudget, ReadHistogram, UpdateOp};
+//!
+//! let catalog = Catalog::new();
+//! let memory = MemoryBudget::from_kb(1.0);
+//! catalog.register("orders.amount", AlgoSpec::Dc, memory, 1).unwrap();
+//! catalog.register("orders.qty", "SVO".parse().unwrap(), memory, 1).unwrap();
+//!
+//! let batch: Vec<UpdateOp> = (0..4000).map(|i| UpdateOp::Insert(i % 120)).collect();
+//! catalog.apply("orders.amount", &batch).unwrap();
+//! catalog.apply("orders.qty", &batch).unwrap();
+//!
+//! let snap = catalog.snapshot("orders.amount").unwrap();
+//! assert_eq!(snap.checkpoint(), 1);
+//! assert!(snap.estimate_range(0, 119) > 3900.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adapter;
+pub mod catalog;
+pub mod spec;
+
+pub use adapter::StaticRebuild;
+pub use catalog::{Catalog, CatalogError, Snapshot};
+pub use spec::{AlgoSpec, ParseAlgoSpecError};

@@ -1,0 +1,362 @@
+//! [`AlgoSpec`]: every histogram algorithm of the paper as one
+//! configuration value with a uniform build path.
+
+use crate::adapter::{StaticKind, StaticRebuild};
+use dh_core::dynamic::{DadoHistogram, DcHistogram, DvoHistogram};
+use dh_core::{BoxedHistogram, DataDistribution, DynHistogram, HistogramClass, MemoryBudget};
+use dh_sample::AcHistogram;
+use std::fmt;
+use std::str::FromStr;
+
+/// A histogram algorithm plus its configuration — the single source of
+/// truth for dispatch, labels and memory layout across the workspace
+/// (benches, `repro`, catalogs).
+///
+/// Dynamic variants are maintained in place; static variants are adapted
+/// through [`StaticRebuild`] so the whole registry builds the same
+/// [`BoxedHistogram`] currency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoSpec {
+    /// Dynamic Compressed (Section 3).
+    Dc,
+    /// Dynamic V-Optimal (Section 4).
+    Dvo,
+    /// Dynamic Average-Deviation Optimal (Section 4.1).
+    Dado,
+    /// Approximate Compressed over a backing sample `disk_factor` times
+    /// the main memory (Gibbons–Matias–Poosala; `gamma = -1`).
+    Ac {
+        /// Disk-space multiple granted to the backing sample (paper
+        /// default 20).
+        disk_factor: usize,
+    },
+    /// Equi-Width (classic static baseline).
+    EquiWidth,
+    /// Equi-Depth (classic static baseline).
+    EquiDepth,
+    /// Static Compressed (SC).
+    Compressed,
+    /// Static V-Optimal (SVO), exact DP.
+    VOptimal,
+    /// Static Average-Deviation Optimal (SADO), exact DP.
+    Sado,
+    /// Successive Similar Bucket Merge (SSBM).
+    Ssbm,
+}
+
+impl AlgoSpec {
+    /// The paper's default AC disk factor ("disk space equal to twenty
+    /// times the main memory").
+    pub const DEFAULT_AC_DISK_FACTOR: usize = 20;
+
+    /// Every algorithm of the registry, with AC at its paper-default disk
+    /// factor.
+    pub fn all() -> [AlgoSpec; 10] {
+        [
+            AlgoSpec::Dc,
+            AlgoSpec::Dvo,
+            AlgoSpec::Dado,
+            AlgoSpec::Ac {
+                disk_factor: Self::DEFAULT_AC_DISK_FACTOR,
+            },
+            AlgoSpec::EquiWidth,
+            AlgoSpec::EquiDepth,
+            AlgoSpec::Compressed,
+            AlgoSpec::VOptimal,
+            AlgoSpec::Sado,
+            AlgoSpec::Ssbm,
+        ]
+    }
+
+    /// Whether this histogram is incrementally maintained (the paper's
+    /// dynamic histograms) rather than rebuilt from a full scan.
+    pub fn is_dynamic(self) -> bool {
+        matches!(
+            self,
+            AlgoSpec::Dc | AlgoSpec::Dvo | AlgoSpec::Dado | AlgoSpec::Ac { .. }
+        )
+    }
+
+    /// The per-bucket storage layout this algorithm pays for under the
+    /// paper's memory model.
+    pub fn class(self) -> HistogramClass {
+        match self {
+            AlgoSpec::Dvo | AlgoSpec::Dado => HistogramClass::BorderAndTwoCounters,
+            _ => HistogramClass::BorderAndCount,
+        }
+    }
+
+    /// Bucket count granted by `memory` under this algorithm's layout.
+    pub fn buckets(self, memory: MemoryBudget) -> usize {
+        memory.buckets(self.class())
+    }
+
+    /// The static builder behind this spec, `None` for dynamic specs.
+    fn static_kind(self) -> Option<StaticKind> {
+        match self {
+            AlgoSpec::EquiWidth => Some(StaticKind::EquiWidth),
+            AlgoSpec::EquiDepth => Some(StaticKind::EquiDepth),
+            AlgoSpec::Compressed => Some(StaticKind::Compressed),
+            AlgoSpec::VOptimal => Some(StaticKind::VOptimal),
+            AlgoSpec::Sado => Some(StaticKind::Sado),
+            AlgoSpec::Ssbm => Some(StaticKind::Ssbm),
+            AlgoSpec::Dc | AlgoSpec::Dvo | AlgoSpec::Dado | AlgoSpec::Ac { .. } => None,
+        }
+    }
+
+    /// Legend label, bit-identical to the paper's figures ("DC", "DVO",
+    /// "DADO", "AC20X", "EquiWidth", "EquiDepth", "SC", "SVO", "SADO",
+    /// "SSBM").
+    pub fn label(self) -> String {
+        match self {
+            AlgoSpec::Dc => "DC".into(),
+            AlgoSpec::Dvo => "DVO".into(),
+            AlgoSpec::Dado => "DADO".into(),
+            AlgoSpec::Ac { disk_factor } => format!("AC{disk_factor}X"),
+            AlgoSpec::EquiWidth => "EquiWidth".into(),
+            AlgoSpec::EquiDepth => "EquiDepth".into(),
+            AlgoSpec::Compressed => "SC".into(),
+            AlgoSpec::VOptimal => "SVO".into(),
+            AlgoSpec::Sado => "SADO".into(),
+            AlgoSpec::Ssbm => "SSBM".into(),
+        }
+    }
+
+    /// Builds an empty histogram of this algorithm under `memory` bytes,
+    /// ready to ingest an update stream through the object-safe
+    /// [`DynHistogram`] interface.
+    ///
+    /// `seed` feeds AC's reservoir sample; the other algorithms are
+    /// deterministic and ignore it.
+    pub fn build(self, memory: MemoryBudget, seed: u64) -> BoxedHistogram {
+        let n = self.buckets(memory);
+        if let Some(kind) = self.static_kind() {
+            return Box::new(StaticRebuild::new(kind, n));
+        }
+        match self {
+            AlgoSpec::Dc => Box::new(DcHistogram::new(n)),
+            AlgoSpec::Dvo => Box::new(DvoHistogram::new(n)),
+            AlgoSpec::Dado => Box::new(DadoHistogram::new(n)),
+            AlgoSpec::Ac { disk_factor } => Box::new(AcHistogram::new(
+                n,
+                memory.sample_elements(disk_factor).max(1),
+                seed,
+            )),
+            _ => unreachable!("static specs handled above"),
+        }
+    }
+
+    /// Builds a histogram of this algorithm already loaded with `truth`.
+    ///
+    /// Static algorithms construct directly (and eagerly) from the
+    /// distribution — this is the registry face of the paper's
+    /// build-from-a-full-scan protocol, and what construction-time
+    /// experiments should measure. Dynamic algorithms replay the
+    /// distribution as insertions in ascending value order.
+    ///
+    /// `truth` is taken by value so timing call sites can hoist the clone
+    /// out of the measured region; pass `dist.clone()` to keep the
+    /// original.
+    pub fn build_seeded(
+        self,
+        memory: MemoryBudget,
+        seed: u64,
+        truth: DataDistribution,
+    ) -> BoxedHistogram {
+        match self.static_kind() {
+            Some(kind) => Box::new(StaticRebuild::with_distribution(
+                kind,
+                self.buckets(memory),
+                truth,
+            )),
+            None => {
+                let mut h = self.build(memory, seed);
+                for (v, c) in truth.iter() {
+                    for _ in 0..c {
+                        h.insert(v);
+                    }
+                }
+                h
+            }
+        }
+    }
+}
+
+impl fmt::Display for AlgoSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error parsing an [`AlgoSpec`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlgoSpecError {
+    input: String,
+}
+
+impl fmt::Display for ParseAlgoSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown algorithm '{}'; known: DC, DVO, DADO, AC<k>X (e.g. AC20X), \
+             EquiWidth, EquiDepth, SC, SVO, SADO, SSBM",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseAlgoSpecError {}
+
+impl FromStr for AlgoSpec {
+    type Err = ParseAlgoSpecError;
+
+    /// Parses the paper's legend labels, case-insensitively. `AC` without
+    /// a factor means the paper default (`AC20X`); `AC40X` and `AC40`
+    /// both select a disk factor of 40.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseAlgoSpecError { input: s.into() };
+        let t = s.trim().to_ascii_uppercase();
+        let spec = match t.as_str() {
+            "DC" => AlgoSpec::Dc,
+            "DVO" => AlgoSpec::Dvo,
+            "DADO" => AlgoSpec::Dado,
+            "EQUIWIDTH" | "EQUI-WIDTH" => AlgoSpec::EquiWidth,
+            "EQUIDEPTH" | "EQUI-DEPTH" => AlgoSpec::EquiDepth,
+            "SC" | "COMPRESSED" => AlgoSpec::Compressed,
+            "SVO" | "VOPTIMAL" | "V-OPTIMAL" => AlgoSpec::VOptimal,
+            "SADO" => AlgoSpec::Sado,
+            "SSBM" => AlgoSpec::Ssbm,
+            "AC" => AlgoSpec::Ac {
+                disk_factor: Self::DEFAULT_AC_DISK_FACTOR,
+            },
+            _ => {
+                let digits = t.strip_prefix("AC").ok_or_else(err)?;
+                let digits = digits.strip_suffix('X').unwrap_or(digits);
+                let disk_factor: usize = digits.parse().map_err(|_| err())?;
+                if disk_factor == 0 {
+                    return Err(err());
+                }
+                AlgoSpec::Ac { disk_factor }
+            }
+        };
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_core::{Histogram, ReadHistogram, UpdateOp};
+
+    #[test]
+    fn labels_match_paper_legends() {
+        let labels: Vec<String> = AlgoSpec::all().iter().map(|a| a.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "DC",
+                "DVO",
+                "DADO",
+                "AC20X",
+                "EquiWidth",
+                "EquiDepth",
+                "SC",
+                "SVO",
+                "SADO",
+                "SSBM"
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for spec in AlgoSpec::all() {
+            let parsed: AlgoSpec = spec.label().parse().expect("label parses");
+            assert_eq!(parsed, spec);
+        }
+        assert_eq!(
+            "ac".parse::<AlgoSpec>().unwrap(),
+            AlgoSpec::Ac { disk_factor: 20 }
+        );
+        assert_eq!(
+            "AC40".parse::<AlgoSpec>().unwrap(),
+            AlgoSpec::Ac { disk_factor: 40 }
+        );
+        assert_eq!("sado".parse::<AlgoSpec>().unwrap(), AlgoSpec::Sado);
+        assert!("AC0X".parse::<AlgoSpec>().is_err());
+        assert!("DVOO".parse::<AlgoSpec>().is_err());
+        let msg = "nope".parse::<AlgoSpec>().unwrap_err().to_string();
+        assert!(msg.contains("nope") && msg.contains("SSBM"), "{msg}");
+    }
+
+    #[test]
+    fn memory_layout_matches_paper_classes() {
+        assert_eq!(AlgoSpec::Dvo.class(), HistogramClass::BorderAndTwoCounters);
+        assert_eq!(AlgoSpec::Dado.class(), HistogramClass::BorderAndTwoCounters);
+        for spec in [
+            AlgoSpec::Dc,
+            AlgoSpec::Ac { disk_factor: 20 },
+            AlgoSpec::Compressed,
+            AlgoSpec::VOptimal,
+        ] {
+            assert_eq!(spec.class(), HistogramClass::BorderAndCount);
+        }
+    }
+
+    #[test]
+    fn every_spec_builds_and_streams() {
+        let memory = MemoryBudget::from_kb(0.5);
+        let updates: Vec<UpdateOp> = (0..2000)
+            .map(|i| {
+                if i % 7 == 3 {
+                    UpdateOp::Delete((i - 1) % 90)
+                } else {
+                    UpdateOp::Insert(i % 90)
+                }
+            })
+            .collect();
+        let live = updates.iter().fold(0.0, |acc, u| match u {
+            UpdateOp::Insert(_) => acc + 1.0,
+            UpdateOp::Delete(_) => acc - 1.0,
+        });
+        for spec in AlgoSpec::all() {
+            let mut h = spec.build(memory, 9);
+            h.apply_slice(&updates);
+            assert!(
+                (h.total_count() - live).abs() < 1e-6,
+                "{}: total {} != {live}",
+                spec.label(),
+                h.total_count()
+            );
+            let est = h.estimate_range(0, 89);
+            assert!(
+                (est - live).abs() / live < 0.05,
+                "{}: full-range estimate {est} far from {live}",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn build_seeded_matches_direct_static_construction() {
+        let values: Vec<i64> = (0..3000).map(|i| (i * 13) % 250).collect();
+        let truth = DataDistribution::from_values(&values);
+        let memory = MemoryBudget::from_kb(0.25);
+        let h = AlgoSpec::Ssbm.build_seeded(memory, 0, truth.clone());
+        let direct = dh_static::SsbmHistogram::build(&truth, AlgoSpec::Ssbm.buckets(memory));
+        assert_eq!(h.spans(), direct.spans());
+        // Dynamic specs replay the distribution as sorted insertions.
+        let h = AlgoSpec::Dado.build_seeded(memory, 0, truth.clone());
+        assert!((h.total_count() - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generic_extension_works_through_the_box() {
+        let memory = MemoryBudget::from_kb(0.25);
+        let mut h = AlgoSpec::Dc.build(memory, 0);
+        // `apply` (the generic extension) and `apply_slice` both reach the
+        // boxed histogram.
+        h.apply((0..500).map(|i| UpdateOp::Insert(i % 40)));
+        assert_eq!(h.total_count(), 500.0);
+    }
+}

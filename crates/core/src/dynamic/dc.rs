@@ -20,7 +20,7 @@
 //! paper's `O(N log n)` total.
 
 use crate::bucket::BucketSpan;
-use crate::histogram::{Histogram, ReadHistogram};
+use crate::histogram::{DynHistogram, ReadHistogram};
 use dh_stats::chi2::chi2_pvalue;
 use std::collections::BTreeMap;
 
@@ -41,7 +41,7 @@ struct DcBucket {
 /// # Examples
 /// ```
 /// use dh_core::dynamic::DcHistogram;
-/// use dh_core::{Histogram, ReadHistogram};
+/// use dh_core::{DynHistogram, ReadHistogram};
 ///
 /// let mut h = DcHistogram::new(16);
 /// for v in 0..1000 {
@@ -513,7 +513,11 @@ impl ReadHistogram for DcHistogram {
     }
 }
 
-impl Histogram for DcHistogram {
+impl DynHistogram for DcHistogram {
+    fn as_read(&self) -> &dyn ReadHistogram {
+        self
+    }
+
     fn insert(&mut self, v: i64) {
         match &mut self.state {
             State::Loading { counts, total } => {

@@ -16,7 +16,7 @@
 
 use crate::bucket::BucketSpan;
 use crate::dynamic::deviation::DeviationPolicy;
-use crate::histogram::{Histogram, ReadHistogram};
+use crate::histogram::{DynHistogram, ReadHistogram};
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
@@ -140,7 +140,7 @@ impl MBucket {
 /// # Examples
 /// ```
 /// use dh_core::dynamic::{AbsoluteDeviation, MultiSubHistogram};
-/// use dh_core::{Histogram, ReadHistogram};
+/// use dh_core::{DynHistogram, ReadHistogram};
 ///
 /// // A DADO-flavored histogram with 4 sub-buckets per bucket.
 /// let mut h = MultiSubHistogram::<AbsoluteDeviation>::new(16, 4);
@@ -301,7 +301,11 @@ impl<P: DeviationPolicy> ReadHistogram for MultiSubHistogram<P> {
     }
 }
 
-impl<P: DeviationPolicy> Histogram for MultiSubHistogram<P> {
+impl<P: DeviationPolicy> DynHistogram for MultiSubHistogram<P> {
+    fn as_read(&self) -> &dyn ReadHistogram {
+        self
+    }
+
     fn insert(&mut self, v: i64) {
         match &mut self.state {
             MState::Loading { counts, total } => {

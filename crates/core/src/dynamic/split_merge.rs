@@ -21,7 +21,7 @@
 
 use crate::bucket::BucketSpan;
 use crate::dynamic::deviation::{AbsoluteDeviation, DeviationPolicy, SquaredDeviation};
-use crate::histogram::{Histogram, ReadHistogram};
+use crate::histogram::{DynHistogram, ReadHistogram};
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
@@ -141,7 +141,7 @@ impl SmBucket {
 /// # Examples
 /// ```
 /// use dh_core::dynamic::DadoHistogram;
-/// use dh_core::{Histogram, ReadHistogram};
+/// use dh_core::{DynHistogram, ReadHistogram};
 ///
 /// let mut h = DadoHistogram::new(24);
 /// for i in 0..5000i64 {
@@ -368,7 +368,11 @@ impl<P: DeviationPolicy> ReadHistogram for SplitMergeHistogram<P> {
     }
 }
 
-impl<P: DeviationPolicy> Histogram for SplitMergeHistogram<P> {
+impl<P: DeviationPolicy> DynHistogram for SplitMergeHistogram<P> {
+    fn as_read(&self) -> &dyn ReadHistogram {
+        self
+    }
+
     fn insert(&mut self, v: i64) {
         match &mut self.state {
             State::Loading { counts, total } => {

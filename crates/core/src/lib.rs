@@ -5,7 +5,7 @@
 //!
 //! # The framework
 //!
-//! Following the histogram framework of Poosala et al. (reference [9] of
+//! Following the histogram framework of Poosala et al. (reference \[9\] of
 //! the paper), a histogram partitions the value axis into contiguous,
 //! non-overlapping buckets and stores aggregate information per bucket.
 //! Approximate distributions are reconstructed under two assumptions:
@@ -29,7 +29,8 @@
 //! * [`bucket`] — bucket spans and the piecewise-linear [`HistogramCdf`].
 //! * [`distribution`] — exact [`DataDistribution`] ground truth.
 //! * [`memory`] — the paper's byte-budget model ([`MemoryBudget`]).
-//! * [`histogram`] — the [`ReadHistogram`]/[`Histogram`] traits.
+//! * [`histogram`] — the [`ReadHistogram`]/[`DynHistogram`] traits (and
+//!   the [`Histogram`] extension trait); see its migration notes.
 //! * [`dynamic`] — DC, DVO and DADO.
 //! * [`evaluate`] — KS-statistic evaluation glue (Section 6.2).
 
@@ -45,6 +46,7 @@ pub mod memory;
 
 pub use bucket::{BucketSpan, HistogramCdf};
 pub use distribution::DataDistribution;
+pub use dynamic::UpdateOp;
 pub use evaluate::{avg_relative_error_of, ks_error};
-pub use histogram::{Histogram, ReadHistogram};
+pub use histogram::{BoxedHistogram, DynHistogram, Histogram, ReadHistogram};
 pub use memory::{HistogramClass, MemoryBudget};

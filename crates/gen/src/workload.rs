@@ -39,6 +39,27 @@ impl Update {
     }
 }
 
+impl From<Update> for dh_core::UpdateOp {
+    /// Workload updates and histogram maintenance ops are the same
+    /// two-armed enum; this bridge lets generated streams feed the
+    /// object-safe `DynHistogram::apply_slice` directly.
+    fn from(u: Update) -> Self {
+        match u {
+            Update::Insert(v) => dh_core::UpdateOp::Insert(v),
+            Update::Delete(v) => dh_core::UpdateOp::Delete(v),
+        }
+    }
+}
+
+impl From<dh_core::UpdateOp> for Update {
+    fn from(op: dh_core::UpdateOp) -> Self {
+        match op {
+            dh_core::UpdateOp::Insert(v) => Update::Insert(v),
+            dh_core::UpdateOp::Delete(v) => Update::Delete(v),
+        }
+    }
+}
+
 /// The update patterns of the paper's Section 7 evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WorkloadKind {
@@ -168,6 +189,12 @@ impl UpdateStream {
     /// Iterates over the updates.
     pub fn iter(&self) -> impl Iterator<Item = Update> + '_ {
         self.updates.iter().copied()
+    }
+
+    /// The stream rendered as histogram maintenance ops, ready for
+    /// `DynHistogram::apply_slice` (batched replay through trait objects).
+    pub fn ops(&self) -> Vec<dh_core::UpdateOp> {
+        self.updates.iter().map(|&u| u.into()).collect()
     }
 
     /// The multiset of values alive after replaying the whole stream,

@@ -1,4 +1,4 @@
-//! Zipf distributions (reference [15] of the paper).
+//! Zipf distributions (reference \[15\] of the paper).
 //!
 //! The paper's generator uses Zipf laws in three places: the skew of cluster
 //! sizes (`Z`), the skew of the gaps between cluster centers (`S`), and, in

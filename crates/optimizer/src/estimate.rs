@@ -21,7 +21,7 @@ pub enum Predicate {
 
 impl Predicate {
     /// Estimated number of qualifying tuples under the histogram.
-    pub fn cardinality(&self, h: &impl ReadHistogram) -> f64 {
+    pub fn cardinality(&self, h: &dyn ReadHistogram) -> f64 {
         match *self {
             Predicate::Eq(v) => h.estimate_eq(v),
             Predicate::Le(v) => h.estimate_le(v),
@@ -33,7 +33,7 @@ impl Predicate {
     }
 
     /// Estimated selectivity (fraction of the relation qualifying).
-    pub fn selectivity(&self, h: &impl ReadHistogram) -> f64 {
+    pub fn selectivity(&self, h: &dyn ReadHistogram) -> f64 {
         let total = h.total_count();
         if total <= 0.0 {
             return 0.0;
@@ -67,7 +67,7 @@ pub struct Selectivity {
 
 impl Selectivity {
     /// Computes both sides for one predicate.
-    pub fn of(p: Predicate, h: &impl ReadHistogram, truth: &dh_core::DataDistribution) -> Self {
+    pub fn of(p: Predicate, h: &dyn ReadHistogram, truth: &dh_core::DataDistribution) -> Self {
         Self {
             estimated: p.cardinality(h),
             exact: p.exact(truth) as f64,

@@ -82,7 +82,7 @@ fn sweep_products(a: &[BucketSpan], b: &[BucketSpan], mut f: impl FnMut(f64, f64
 
 /// Estimated equi-join result size from two histograms over the join
 /// attribute.
-pub fn estimate_equi_join(r: &impl ReadHistogram, s: &impl ReadHistogram) -> f64 {
+pub fn estimate_equi_join(r: &dyn ReadHistogram, s: &dyn ReadHistogram) -> f64 {
     let (ra, sb) = (rasterize(&r.spans()), rasterize(&s.spans()));
     let mut size = 0.0;
     sweep_products(&ra, &sb, |lo, hi, d1, d2| {
@@ -94,7 +94,7 @@ pub fn estimate_equi_join(r: &impl ReadHistogram, s: &impl ReadHistogram) -> f64
 /// Histogram (as spans) of the join output's attribute values: the product
 /// density over elementary intervals. Feeding this into
 /// [`estimate_equi_join`] again estimates a deeper join.
-pub fn join_histogram(r: &impl ReadHistogram, s: &impl ReadHistogram) -> Vec<BucketSpan> {
+pub fn join_histogram(r: &dyn ReadHistogram, s: &dyn ReadHistogram) -> Vec<BucketSpan> {
     let (ra, sb) = (rasterize(&r.spans()), rasterize(&s.spans()));
     let mut out = Vec::new();
     sweep_products(&ra, &sb, |lo, hi, d1, d2| {
@@ -131,9 +131,7 @@ impl SpanHistogram {
 }
 
 impl ReadHistogram for SpanHistogram {
-    fn spans(&self) -> Vec<BucketSpan> {
-        self.spans.clone()
-    }
+    dh_core::span_backed_reads!();
 }
 
 #[cfg(test)]

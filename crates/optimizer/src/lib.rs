@@ -16,7 +16,7 @@
 //!   per-value frequency densities over the buckets of both histograms,
 //!   plus the histogram of the join *output*, enabling chained estimation;
 //! * [`propagation`] — the error-propagation experiment of the paper's
-//!   reference [2] (Ioannidis & Christodoulakis): relative error of a join
+//!   reference \[2\] (Ioannidis & Christodoulakis): relative error of a join
 //!   chain's size estimate as the chain deepens, comparing fresh dynamic
 //!   histograms against stale static ones.
 

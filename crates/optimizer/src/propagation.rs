@@ -1,7 +1,7 @@
 //! Error propagation through join chains.
 //!
 //! The paper's introduction cites Ioannidis & Christodoulakis (its
-//! reference [2]): selectivity estimation errors propagate through join
+//! reference \[2\]): selectivity estimation errors propagate through join
 //! plans, in the worst case exponentially in the number of joins. This
 //! module runs that experiment on any set of histograms: estimate the size
 //! of `R1 ⋈ R2 ⋈ ... ⋈ Rk` (all on one attribute) by chaining
@@ -51,13 +51,16 @@ impl ChainReport {
 /// histograms, comparing against the exact sizes computed from the true
 /// distributions.
 ///
-/// `histograms[i]` must approximate `truths[i]`. Returns one entry per
+/// `histograms[i]` must approximate `truths[i]`. The relations are plain
+/// `&dyn ReadHistogram`, so every position in the chain may use a
+/// different algorithm (e.g. a maintained DC build side joining a
+/// V-Optimal probe side, or catalog snapshots). Returns one entry per
 /// join (chain depth 2..=n).
 ///
 /// # Panics
 /// Panics if fewer than two relations are supplied or the lengths differ.
-pub fn propagate_chain<H: ReadHistogram>(
-    histograms: &[H],
+pub fn propagate_chain(
+    histograms: &[&dyn ReadHistogram],
     truths: &[DataDistribution],
 ) -> ChainReport {
     assert!(histograms.len() >= 2, "a join chain needs >= 2 relations");
@@ -125,7 +128,8 @@ mod tests {
             })
             .collect();
         let hists: Vec<Exact> = rels.iter().cloned().map(Exact).collect();
-        let report = propagate_chain(&hists, &rels);
+        let refs: Vec<&dyn ReadHistogram> = hists.iter().map(|h| h as _).collect();
+        let report = propagate_chain(&refs, &rels);
         assert_eq!(report.estimated.len(), 3);
         for (e, x) in report.estimated.iter().zip(&report.exact) {
             assert!((e - x).abs() < 1e-6, "est {e} vs exact {x}");
@@ -137,10 +141,8 @@ mod tests {
     fn exact_sizes_match_pairwise_formula() {
         let r = DataDistribution::from_values(&[1, 1, 2]);
         let s = DataDistribution::from_values(&[1, 2, 2]);
-        let report = propagate_chain(
-            &[Exact(r.clone()), Exact(s.clone())],
-            &[r.clone(), s.clone()],
-        );
+        let (hr, hs) = (Exact(r.clone()), Exact(s.clone()));
+        let report = propagate_chain(&[&hr, &hs], &[r.clone(), s.clone()]);
         assert_eq!(report.exact, vec![exact_join_size(&r, &s) as f64]);
     }
 
@@ -157,7 +159,8 @@ mod tests {
         };
         let rels = vec![rel.clone(), rel.clone(), rel.clone(), rel.clone()];
         let hists: Vec<_> = rels.iter().map(coarse).collect();
-        let report = propagate_chain(&hists, &rels);
+        let refs: Vec<&dyn ReadHistogram> = hists.iter().map(|h| h as _).collect();
+        let report = propagate_chain(&refs, &rels);
         let errs = report.relative_errors();
         assert!(
             errs.windows(2).all(|w| w[1] >= w[0] * 0.99),
@@ -173,6 +176,7 @@ mod tests {
     #[should_panic(expected = ">= 2 relations")]
     fn chain_needs_two_relations() {
         let r = DataDistribution::from_values(&[1]);
-        let _ = propagate_chain(&[Exact(r.clone())], &[r]);
+        let h = Exact(r.clone());
+        let _ = propagate_chain(&[&h], &[r]);
     }
 }

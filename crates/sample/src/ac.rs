@@ -20,7 +20,7 @@
 //! counts are scaled by `N / |sample|`.
 
 use crate::reservoir::ReservoirSample;
-use dh_core::{BucketSpan, DataDistribution, Histogram, ReadHistogram};
+use dh_core::{BucketSpan, DataDistribution, DynHistogram, ReadHistogram};
 use dh_static::CompressedHistogram;
 
 /// Maintenance policy for the in-memory approximate histogram.
@@ -43,7 +43,7 @@ pub enum AcMaintenance {
 /// # Examples
 /// ```
 /// use dh_sample::AcHistogram;
-/// use dh_core::{Histogram, ReadHistogram, MemoryBudget, HistogramClass};
+/// use dh_core::{DynHistogram, ReadHistogram, MemoryBudget, HistogramClass};
 ///
 /// let memory = MemoryBudget::from_kb(1.0);
 /// let mut ac = AcHistogram::new(
@@ -263,7 +263,11 @@ impl ReadHistogram for AcHistogram {
     }
 }
 
-impl Histogram for AcHistogram {
+impl DynHistogram for AcHistogram {
+    fn as_read(&self) -> &dyn ReadHistogram {
+        self
+    }
+
     fn insert(&mut self, v: i64) {
         self.population += 1;
         let changed = self.reservoir.insert(v);

@@ -1,7 +1,7 @@
 //! Reservoir sampling and the Approximate Compressed (AC) histogram — the
 //! competing approach the paper evaluates against (Gibbons, Matias &
 //! Poosala, *Fast Incremental Maintenance of Approximate Histograms*,
-//! VLDB 1997; reference [10]).
+//! VLDB 1997; reference \[10\]).
 //!
 //! The AC approach keeps a large **backing sample** on disk (a reservoir
 //! sample, typically 20x the histogram's main-memory size) and a small

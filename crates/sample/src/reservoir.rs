@@ -1,6 +1,6 @@
 //! Reservoir sampling with deletions — the AC histogram's backing sample.
 //!
-//! Insertions follow Vitter's Algorithm R (reference [1] of the paper):
+//! Insertions follow Vitter's Algorithm R (reference \[1\] of the paper):
 //! the `i`-th inserted element enters a full reservoir of capacity `R` with
 //! probability `R / i`, evicting a uniformly random resident. The result is
 //! a uniform sample of the inserted stream.

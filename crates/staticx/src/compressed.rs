@@ -167,9 +167,7 @@ impl CompressedHistogram {
 }
 
 impl ReadHistogram for CompressedHistogram {
-    fn spans(&self) -> Vec<BucketSpan> {
-        self.spans.clone()
-    }
+    dh_core::span_backed_reads!();
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! The Equi-Depth histogram: Equi-Sum(V, F) in the framework of [9].
+//! The Equi-Depth histogram: Equi-Sum(V, F) in the framework of \[9\].
 //!
 //! Partitions the value axis so every bucket carries the same mass. Borders
 //! are placed exactly (possibly inside a value's unit interval), so the
@@ -88,9 +88,7 @@ impl EquiDepthHistogram {
 }
 
 impl ReadHistogram for EquiDepthHistogram {
-    fn spans(&self) -> Vec<BucketSpan> {
-        self.spans.clone()
-    }
+    dh_core::span_backed_reads!();
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! The Equi-Width histogram: Equi-Sum(V, S) in the framework of [9].
+//! The Equi-Width histogram: Equi-Sum(V, S) in the framework of \[9\].
 //!
 //! Partitions the value axis into buckets of equal range. The paper cites
 //! the classic result that Equi-Width is usually inferior to Equi-Depth,
@@ -53,9 +53,7 @@ impl EquiWidthHistogram {
 }
 
 impl ReadHistogram for EquiWidthHistogram {
-    fn spans(&self) -> Vec<BucketSpan> {
-        self.spans.clone()
-    }
+    dh_core::span_backed_reads!();
 }
 
 #[cfg(test)]

@@ -36,9 +36,7 @@ impl ExactHistogram {
 }
 
 impl ReadHistogram for ExactHistogram {
-    fn spans(&self) -> Vec<BucketSpan> {
-        self.spans.clone()
-    }
+    dh_core::span_backed_reads!();
 }
 
 #[cfg(test)]

@@ -28,28 +28,103 @@ trait WindowCost {
     fn extend(&mut self, f: f64) -> f64;
 }
 
-/// Squared-deviation window cost via running sum and sum of squares:
-/// `cost = Σf² - (Σf)²/len`.
-#[derive(Debug, Default)]
-struct VarianceCost {
-    sum: f64,
-    sumsq: f64,
-    len: usize,
+/// Memoized error matrix for the squared measure: prefix sums of `f` and
+/// `f²` give any window's cost `Σf² - (Σf)²/len` in O(1), instead of the
+/// O(D) oracle re-scan per right endpoint the generic DP pays.
+struct SsePrefix {
+    sum: Vec<f64>,
+    sumsq: Vec<f64>,
 }
 
-impl WindowCost for VarianceCost {
-    fn begin(&mut self) {
-        self.sum = 0.0;
-        self.sumsq = 0.0;
-        self.len = 0;
+impl SsePrefix {
+    fn new(freqs: &[f64]) -> Self {
+        let mut sum = Vec::with_capacity(freqs.len() + 1);
+        let mut sumsq = Vec::with_capacity(freqs.len() + 1);
+        sum.push(0.0);
+        sumsq.push(0.0);
+        for &f in freqs {
+            sum.push(sum.last().expect("nonempty") + f);
+            sumsq.push(sumsq.last().expect("nonempty") + f * f);
+        }
+        Self { sum, sumsq }
     }
 
-    fn extend(&mut self, f: f64) -> f64 {
-        self.sum += f;
-        self.sumsq += f * f;
-        self.len += 1;
-        (self.sumsq - self.sum * self.sum / self.len as f64).max(0.0)
+    /// Squared-deviation cost of the window `i..=j`.
+    #[inline]
+    fn cost(&self, i: usize, j: usize) -> f64 {
+        let len = (j - i + 1) as f64;
+        let s = self.sum[j + 1] - self.sum[i];
+        let q = self.sumsq[j + 1] - self.sumsq[i];
+        (q - s * s / len).max(0.0)
     }
+}
+
+/// The V-Optimal DP specialized to the squared measure: O(1) window costs
+/// from [`SsePrefix`] and a monotonicity cut in the inner scan.
+///
+/// The cut is exact, not heuristic: scanning candidate left borders `i`
+/// downward, the window cost `cost(i, j)` can only grow (the squared
+/// deviation of a window dominates that of any sub-window, since the mean
+/// minimizes it), and the prefix term `e[i-1][b-1]` is non-negative — so
+/// once `cost(i, j)` alone reaches the best split found, no smaller `i`
+/// can win and the scan stops. On the paper's skewed distributions the
+/// scan collapses from O(D) to a short constant, which is what makes the
+/// exact DP usable inside test suites and the `Catalog` rebuild path.
+fn optimal_partition_sse(freqs: &[f64], n: usize) -> Vec<usize> {
+    let d = freqs.len();
+    debug_assert!(d > 0);
+    let n = n.min(d).max(1);
+    let stride = n + 1;
+    let inf = f64::INFINITY;
+    let prefix = SsePrefix::new(freqs);
+    let mut choice = vec![0u32; d * stride];
+    // Rolling layers: e_cur[j] = minimal cost of covering 0..=j with b
+    // buckets.
+    let mut e_prev = vec![inf; d];
+    let mut e_cur: Vec<f64> = (0..d).map(|j| prefix.cost(0, j)).collect();
+    for b in 2..=n {
+        std::mem::swap(&mut e_prev, &mut e_cur);
+        e_cur.fill(inf);
+        for j in (b - 1)..d {
+            let mut best = inf;
+            let mut best_i = b - 1;
+            for i in ((b - 1)..=j).rev() {
+                let c = prefix.cost(i, j);
+                if c >= best {
+                    break; // monotone window cost: no smaller i can win
+                }
+                let prev = e_prev[i - 1];
+                if prev == inf {
+                    continue;
+                }
+                let cand = prev + c;
+                if cand < best {
+                    best = cand;
+                    best_i = i;
+                }
+            }
+            e_cur[j] = best;
+            choice[j * stride + b] = best_i as u32;
+        }
+    }
+    reconstruct_starts(&choice, d, n)
+}
+
+/// Walks a `choice` table (bucket start per `(j, b)`) back into the start
+/// index of each bucket, increasing.
+fn reconstruct_starts(choice: &[u32], d: usize, n: usize) -> Vec<usize> {
+    let stride = n + 1;
+    let mut starts = vec![0usize; n];
+    let mut j = d - 1;
+    for b in (1..=n).rev() {
+        let i = choice[j * stride + b] as usize;
+        starts[b - 1] = i;
+        if i == 0 {
+            break;
+        }
+        j = i - 1;
+    }
+    starts
 }
 
 /// Epoch-stamped Fenwick tree over integer frequency values, answering
@@ -152,8 +227,11 @@ impl WindowCost for AbsDevCost {
 }
 
 /// Runs the optimal-partition DP over `freqs` (the frequency of every
-/// domain value on the grid) into at most `n` buckets. Returns the start
-/// index of each bucket, increasing.
+/// domain value on the grid) into at most `n` buckets, for costs only
+/// available through an incremental [`WindowCost`] oracle (the absolute
+/// measure; the squared measure takes the faster
+/// [`optimal_partition_sse`] path). Returns the start index of each
+/// bucket, increasing.
 fn optimal_partition(freqs: &[f64], n: usize, oracle: &mut impl WindowCost) -> Vec<usize> {
     let d = freqs.len();
     debug_assert!(d > 0);
@@ -194,17 +272,7 @@ fn optimal_partition(freqs: &[f64], n: usize, oracle: &mut impl WindowCost) -> V
 
     // The optimum may use fewer than n buckets only if d < n (handled by
     // the clamp); reconstruct the n-bucket solution.
-    let mut starts = vec![0usize; n];
-    let mut j = d - 1;
-    for b in (1..=n).rev() {
-        let i = choice[j * stride + b] as usize;
-        starts[b - 1] = i;
-        if i == 0 {
-            break;
-        }
-        j = i - 1;
-    }
-    starts
+    reconstruct_starts(&choice, d, n)
 }
 
 /// Shared builder: grid extraction, DP, span construction.
@@ -223,7 +291,7 @@ fn build_optimal(dist: &DataDistribution, buckets: usize, absolute: bool) -> Vec
     let starts = if absolute {
         optimal_partition(&freqs, buckets, &mut AbsDevCost::new(max_freq as usize))
     } else {
-        optimal_partition(&freqs, buckets, &mut VarianceCost::default())
+        optimal_partition_sse(&freqs, buckets)
     };
 
     let mut spans = Vec::with_capacity(starts.len());
@@ -278,9 +346,7 @@ impl VOptimalHistogram {
 }
 
 impl ReadHistogram for VOptimalHistogram {
-    fn spans(&self) -> Vec<BucketSpan> {
-        self.spans.clone()
-    }
+    dh_core::span_backed_reads!();
 }
 
 /// The Static Average-Deviation Optimal histogram (SADO), proposed by the
@@ -314,9 +380,7 @@ impl SadoHistogram {
 }
 
 impl ReadHistogram for SadoHistogram {
-    fn spans(&self) -> Vec<BucketSpan> {
-        self.spans.clone()
-    }
+    dh_core::span_backed_reads!();
 }
 
 #[cfg(test)]
@@ -360,7 +424,7 @@ mod tests {
             let maxf = freqs.iter().fold(0.0f64, |a, &b| a.max(b)) as usize;
             optimal_partition(freqs, n, &mut AbsDevCost::new(maxf))
         } else {
-            optimal_partition(freqs, n, &mut VarianceCost::default())
+            optimal_partition_sse(freqs, n)
         };
         let mut total = 0.0;
         for (b, &s) in starts.iter().enumerate() {

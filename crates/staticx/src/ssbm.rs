@@ -209,9 +209,7 @@ impl SsbmHistogram {
 }
 
 impl ReadHistogram for SsbmHistogram {
-    fn spans(&self) -> Vec<BucketSpan> {
-        self.spans.clone()
-    }
+    dh_core::span_backed_reads!();
 }
 
 #[cfg(test)]

@@ -66,7 +66,7 @@ pub fn chi2_statistic_uniform(observed: &[f64]) -> f64 {
 /// Survival function of the chi-square distribution: the probability that a
 /// chi-square variable with `df` degrees of freedom exceeds `chi2`.
 ///
-/// This is the "Chi-square probability function" of the paper (via [7],
+/// This is the "Chi-square probability function" of the paper (via \[7\],
 /// *Numerical Recipes*): `Q(df/2, chi2/2)`.
 ///
 /// # Panics

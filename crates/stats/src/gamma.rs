@@ -5,7 +5,7 @@
 //! significance level is `Q(df/2, chi2/2)` where `Q` is the regularized upper
 //! incomplete gamma function. The implementations below follow the classic
 //! *Numerical Recipes in C* treatment (`gammln`, `gser`, `gcf`) that the
-//! paper itself cites ([7]), with f64-appropriate iteration limits.
+//! paper itself cites (\[7\]), with f64-appropriate iteration limits.
 
 /// Maximum number of series / continued-fraction iterations.
 const ITMAX: usize = 500;

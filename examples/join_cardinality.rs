@@ -11,7 +11,7 @@
 //! cargo run --release --example join_cardinality
 //! ```
 
-use dynamic_histograms::core::{DataDistribution, Histogram, ReadHistogram};
+use dynamic_histograms::core::{DataDistribution, ReadHistogram};
 use dynamic_histograms::optimizer::{propagate_chain, SpanHistogram};
 use dynamic_histograms::prelude::*;
 
@@ -58,12 +58,16 @@ fn main() {
     }
 
     // Phase 3: estimate join-chain cardinalities R1 ⋈ R2 ⋈ R3 ⋈ R4.
-    let dyn_report = propagate_chain(&dynamics, &truths);
+    // `propagate_chain` takes `&dyn ReadHistogram`, so a chain may mix
+    // algorithms freely; here each side is homogeneous for the comparison.
+    let dyn_refs: Vec<&dyn ReadHistogram> = dynamics.iter().map(|h| h as _).collect();
+    let dyn_report = propagate_chain(&dyn_refs, &truths);
     let static_spans: Vec<SpanHistogram> = statics
         .iter()
         .map(|h| SpanHistogram::new(h.spans()))
         .collect();
-    let static_report = propagate_chain(&static_spans, &truths);
+    let static_refs: Vec<&dyn ReadHistogram> = static_spans.iter().map(|h| h as _).collect();
+    let static_report = propagate_chain(&static_refs, &truths);
 
     println!("join-chain cardinality estimation after data drift\n");
     println!(

@@ -19,7 +19,11 @@
 //!   workloads of the paper's evaluation.
 //! * [`stats`] — chi-square machinery, KS statistic and error metrics.
 //! * [`optimizer`] — histogram-backed cardinality estimation for
-//!   selections and equi-join chains (the paper's motivating use case).
+//!   selections and equi-join chains (the paper's motivating use case),
+//!   over plain `&dyn ReadHistogram` so chains may mix algorithms.
+//! * [`catalog`] — the `AlgoSpec` algorithm registry and the multi-column
+//!   `Catalog` serving layer (boxed histograms maintained in place,
+//!   `Arc`-shared read snapshots).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +42,7 @@
 //! assert!((est - truth).abs() / truth < 0.15);
 //! ```
 
+pub use dh_catalog as catalog;
 pub use dh_core as core;
 pub use dh_distributed as distributed;
 pub use dh_gen as gen;
@@ -48,12 +53,14 @@ pub use dh_stats as stats;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use dh_catalog::{AlgoSpec, Catalog, Snapshot};
     pub use dh_core::dynamic::{
         AbsoluteDeviation, DadoHistogram, DcHistogram, DvoHistogram, Grid2dHistogram,
         MultiSubHistogram, SquaredDeviation,
     };
     pub use dh_core::{
-        DataDistribution, Histogram, HistogramCdf, HistogramClass, MemoryBudget, ReadHistogram,
+        BoxedHistogram, DataDistribution, DynHistogram, Histogram, HistogramCdf, HistogramClass,
+        MemoryBudget, ReadHistogram, UpdateOp,
     };
     pub use dh_gen::{
         cluster::ClusterShape,

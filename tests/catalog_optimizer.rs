@@ -1,0 +1,109 @@
+//! Estimation straight off a `Catalog`: mixed-algorithm equi-joins over
+//! column snapshots, through `dh_optimizer`'s `&dyn ReadHistogram` API.
+//!
+//! The build side and the probe side deliberately use *different*
+//! algorithms (a maintained DC histogram against a rebuilt V-Optimal
+//! one) — the deployment the unified registry exists for.
+
+use dynamic_histograms::core::{DataDistribution, ReadHistogram, UpdateOp};
+use dynamic_histograms::optimizer::{
+    estimate_equi_join, exact_equi_join, propagate_chain, Predicate,
+};
+use dynamic_histograms::prelude::*;
+
+/// Clustered values for one relation, plus the stream that produces them.
+fn relation(seed: u64) -> (Vec<UpdateOp>, DataDistribution) {
+    let cfg = SyntheticConfig::default()
+        .with_clusters(80)
+        .with_total_points(15_000);
+    let data = cfg.generate(seed);
+    let stream = UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed);
+    let truth = DataDistribution::from_values(&data.values);
+    (stream.ops(), truth)
+}
+
+#[test]
+fn mixed_algo_join_through_catalog_snapshots() {
+    let catalog = Catalog::new();
+    let memory = MemoryBudget::from_kb(1.0);
+    catalog.register("r.key", AlgoSpec::Dc, memory, 2).unwrap();
+    catalog
+        .register("s.key", AlgoSpec::VOptimal, memory, 3)
+        .unwrap();
+
+    let (r_ops, r_truth) = relation(2);
+    let (s_ops, s_truth) = relation(3);
+    catalog.apply("r.key", &r_ops).unwrap();
+    catalog.apply("s.key", &s_ops).unwrap();
+
+    let r = catalog.snapshot("r.key").unwrap();
+    let s = catalog.snapshot("s.key").unwrap();
+    assert_eq!(r.label(), "DC");
+    assert_eq!(s.label(), "SVO");
+
+    let est = estimate_equi_join(&r, &s);
+    let exact = exact_equi_join(&r_truth, &s_truth) as f64;
+    assert!(exact > 0.0);
+    let ratio = est / exact;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "mixed DC ⋈ SVO estimate off: est {est}, exact {exact}"
+    );
+}
+
+#[test]
+fn mixed_algo_chain_propagates_through_catalog() {
+    let catalog = Catalog::new();
+    let memory = MemoryBudget::from_kb(1.0);
+    // Three relations, three different algorithms in one chain.
+    let specs = [
+        ("r1", AlgoSpec::Dado),
+        ("r2", AlgoSpec::Ssbm),
+        ("r3", AlgoSpec::Dc),
+    ];
+    let mut truths = Vec::new();
+    for (i, (col, spec)) in specs.iter().enumerate() {
+        catalog
+            .register(*col, *spec, memory, 10 + i as u64)
+            .unwrap();
+        let (ops, truth) = relation(10 + i as u64);
+        catalog.apply(col, &ops).unwrap();
+        truths.push(truth);
+    }
+    let snaps: Vec<Snapshot> = specs
+        .iter()
+        .map(|(col, _)| catalog.snapshot(col).unwrap())
+        .collect();
+    let refs: Vec<&dyn ReadHistogram> = snaps.iter().map(|s| s as _).collect();
+    let report = propagate_chain(&refs, &truths);
+    assert_eq!(report.estimated.len(), 2);
+    assert!(
+        report.final_error() < 1.0,
+        "fresh mixed-algo chain should stay usable: {:?}",
+        report.relative_errors()
+    );
+}
+
+#[test]
+fn selection_predicates_read_off_snapshots() {
+    let catalog = Catalog::new();
+    catalog
+        .register("t.v", AlgoSpec::Dado, MemoryBudget::from_kb(1.0), 5)
+        .unwrap();
+    let (ops, truth) = relation(5);
+    catalog.apply("t.v", &ops).unwrap();
+    let snap = catalog.snapshot("t.v").unwrap();
+    for p in [
+        Predicate::Le(1000),
+        Predicate::Between(500, 2500),
+        Predicate::Gt(4000),
+    ] {
+        let est = p.cardinality(&snap);
+        let exact = p.exact(&truth) as f64;
+        let abs_err = (est - exact).abs() / truth.total() as f64;
+        assert!(
+            abs_err < 0.05,
+            "{p:?}: est {est} vs exact {exact} (rel-to-total {abs_err})"
+        );
+    }
+}

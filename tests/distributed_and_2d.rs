@@ -134,7 +134,6 @@ fn multisub_histogram_matches_two_sub_engine_quality() {
     // K = 2 MultiSub should be in the same quality league as the dedicated
     // two-counter DADO engine on the same stream.
     use dynamic_histograms::core::dynamic::MultiSubHistogram;
-    use dynamic_histograms::core::Histogram as _;
     let cfg = SyntheticConfig::default().with_total_points(15_000);
     let data = cfg.generate(11);
     let values = data.shuffled(11);
@@ -160,7 +159,6 @@ fn finer_subdivisions_cost_quality_at_equal_memory() {
     // sub-buckets should not beat K = 2 (and typically loses) because each
     // counter costs buckets.
     use dynamic_histograms::core::dynamic::MultiSubHistogram;
-    use dynamic_histograms::core::Histogram as _;
     let memory = MemoryBudget::from_kb(0.5);
     let cfg = SyntheticConfig::default().with_total_points(15_000);
     let mut ks2_total = 0.0;

@@ -4,48 +4,86 @@
 //! Equi-Width is usually inferior to Equi-Depth, which is inferior to
 //! Compressed and V-Optimal; the paper adds SADO ≈ SVO ≈ SSBM. This test
 //! verifies the full hierarchy on the paper's own data generator.
+//!
+//! The per-algorithm average KS errors are computed once and shared by
+//! every test through a `OnceLock` (several tests compare the same
+//! algorithms, and the exact-DP builds are the expensive part), with the
+//! per-seed dataset and exact distribution also built once per seed.
 
 use dynamic_histograms::core::{ks_error, DataDistribution, HistogramClass, MemoryBudget};
 use dynamic_histograms::prelude::*;
+use std::sync::OnceLock;
 
-fn average_ks<F>(build: F) -> f64
-where
-    F: Fn(&DataDistribution, usize) -> f64,
-{
-    let memory = MemoryBudget::from_kb(0.25);
-    let n = memory.buckets(HistogramClass::BorderAndCount);
-    let cfg = SyntheticConfig::default()
-        .with_clusters(50)
-        .with_cluster_sd(1.0)
-        .with_size_skew(1.5)
-        .with_total_points(20_000);
-    let mut total = 0.0;
-    let seeds = 5;
-    for seed in 0..seeds {
-        let data = cfg.generate(seed);
-        let truth = DataDistribution::from_values(&data.values);
-        total += build(&truth, n);
-    }
-    total / seeds as f64
+/// Average KS error per static algorithm over the shared configuration.
+struct Metrics {
+    ew: f64,
+    ed: f64,
+    sc: f64,
+    svo: f64,
+    sado: f64,
+    ssbm: f64,
+}
+
+fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let memory = MemoryBudget::from_kb(0.25);
+        let n = memory.buckets(HistogramClass::BorderAndCount);
+        let cfg = SyntheticConfig::default()
+            .with_clusters(50)
+            .with_cluster_sd(1.0)
+            .with_size_skew(1.5)
+            .with_total_points(20_000);
+        let seeds = 5;
+        let mut sums = [0.0f64; 6];
+        for seed in 0..seeds {
+            let data = cfg.generate(seed);
+            let truth = DataDistribution::from_values(&data.values);
+            let builds: [f64; 6] = [
+                ks_error(&EquiWidthHistogram::build(&truth, n), &truth),
+                ks_error(&EquiDepthHistogram::build(&truth, n), &truth),
+                ks_error(&CompressedHistogram::build(&truth, n), &truth),
+                ks_error(&VOptimalHistogram::build(&truth, n), &truth),
+                ks_error(&SadoHistogram::build(&truth, n), &truth),
+                ks_error(&SsbmHistogram::build(&truth, n), &truth),
+            ];
+            for (s, b) in sums.iter_mut().zip(builds) {
+                *s += b;
+            }
+        }
+        for s in &mut sums {
+            *s /= seeds as f64;
+        }
+        Metrics {
+            ew: sums[0],
+            ed: sums[1],
+            sc: sums[2],
+            svo: sums[3],
+            sado: sums[4],
+            ssbm: sums[5],
+        }
+    })
 }
 
 #[test]
 fn equi_width_is_worst() {
-    let ew = average_ks(|t, n| ks_error(&EquiWidthHistogram::build(t, n), t));
-    let ed = average_ks(|t, n| ks_error(&EquiDepthHistogram::build(t, n), t));
+    let m = metrics();
     assert!(
-        ed < ew,
-        "Equi-Depth ({ed}) should beat Equi-Width ({ew}) on skewed data"
+        m.ed < m.ew,
+        "Equi-Depth ({}) should beat Equi-Width ({}) on skewed data",
+        m.ed,
+        m.ew
     );
 }
 
 #[test]
 fn compressed_at_least_matches_equi_depth() {
-    let ed = average_ks(|t, n| ks_error(&EquiDepthHistogram::build(t, n), t));
-    let sc = average_ks(|t, n| ks_error(&CompressedHistogram::build(t, n), t));
+    let m = metrics();
     assert!(
-        sc <= ed * 1.05 + 1e-6,
-        "Compressed ({sc}) should not lose to Equi-Depth ({ed})"
+        m.sc <= m.ed * 1.05 + 1e-6,
+        "Compressed ({}) should not lose to Equi-Depth ({})",
+        m.sc,
+        m.ed
     );
 }
 
@@ -55,31 +93,43 @@ fn voptimal_family_is_in_the_same_league_as_compressed() {
     // can win on particular data (the paper's Figs. 9-12 show the SC and
     // SVO curves crossing). The robust claim is that all of them sit in
     // the same quality band, well ahead of Equi-Width.
-    let ew = average_ks(|t, n| ks_error(&EquiWidthHistogram::build(t, n), t));
-    let sc = average_ks(|t, n| ks_error(&CompressedHistogram::build(t, n), t));
-    let svo = average_ks(|t, n| ks_error(&VOptimalHistogram::build(t, n), t));
-    let sado = average_ks(|t, n| ks_error(&SadoHistogram::build(t, n), t));
+    let m = metrics();
     assert!(
-        svo <= sc * 2.5 + 0.01,
-        "V-Optimal ({svo}) drifted out of Compressed's league ({sc})"
+        m.svo <= m.sc * 2.5 + 0.01,
+        "V-Optimal ({}) drifted out of Compressed's league ({})",
+        m.svo,
+        m.sc
     );
     assert!(
-        sado <= sc * 2.5 + 0.01,
-        "SADO ({sado}) drifted out of Compressed's league ({sc})"
+        m.sado <= m.sc * 2.5 + 0.01,
+        "SADO ({}) drifted out of Compressed's league ({})",
+        m.sado,
+        m.sc
     );
-    assert!(svo < ew, "V-Optimal ({svo}) should beat Equi-Width ({ew})");
-    assert!(sado < ew, "SADO ({sado}) should beat Equi-Width ({ew})");
+    assert!(
+        m.svo < m.ew,
+        "V-Optimal ({}) should beat Equi-Width ({})",
+        m.svo,
+        m.ew
+    );
+    assert!(
+        m.sado < m.ew,
+        "SADO ({}) should beat Equi-Width ({})",
+        m.sado,
+        m.ew
+    );
 }
 
 #[test]
 fn ssbm_is_close_to_voptimal() {
     // The paper's headline SSBM claim (Section 5): quality comparable to
     // SVO at far lower construction cost.
-    let svo = average_ks(|t, n| ks_error(&VOptimalHistogram::build(t, n), t));
-    let ssbm = average_ks(|t, n| ks_error(&SsbmHistogram::build(t, n), t));
+    let m = metrics();
     assert!(
-        ssbm <= 1.8 * svo + 0.005,
-        "SSBM ({ssbm}) should be comparable to SVO ({svo})"
+        m.ssbm <= 1.8 * m.svo + 0.005,
+        "SSBM ({}) should be comparable to SVO ({})",
+        m.ssbm,
+        m.svo
     );
 }
 
@@ -87,11 +137,12 @@ fn ssbm_is_close_to_voptimal() {
 fn sado_and_svo_are_equivalent_statically() {
     // Section 4.1: "there is essentially no difference between the static
     // V-optimal and the static Average-Deviation optimal histograms".
-    let svo = average_ks(|t, n| ks_error(&VOptimalHistogram::build(t, n), t));
-    let sado = average_ks(|t, n| ks_error(&SadoHistogram::build(t, n), t));
-    let ratio = (sado / svo).max(svo / sado);
+    let m = metrics();
+    let ratio = (m.sado / m.svo).max(m.svo / m.sado);
     assert!(
         ratio < 1.6,
-        "SADO ({sado}) and SVO ({svo}) should be close statically"
+        "SADO ({}) and SVO ({}) should be close statically",
+        m.sado,
+        m.svo
     );
 }

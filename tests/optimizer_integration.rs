@@ -1,7 +1,7 @@
 //! Integration tests: cardinality estimation with real histograms from
 //! every family, over the paper's data generator.
 
-use dynamic_histograms::core::{DataDistribution, Histogram, ReadHistogram};
+use dynamic_histograms::core::{DataDistribution, ReadHistogram};
 use dynamic_histograms::optimizer::{
     estimate_equi_join, exact_equi_join, propagate_chain, Predicate, Selectivity, SpanHistogram,
 };
@@ -89,7 +89,8 @@ fn chain_errors_grow_but_stay_bounded_for_fresh_histograms() {
         })
         .collect();
     let truths: Vec<DataDistribution> = rels.iter().map(|(_, t)| t.clone()).collect();
-    let report = propagate_chain(&hists, &truths);
+    let refs: Vec<&dyn ReadHistogram> = hists.iter().map(|h| h as _).collect();
+    let report = propagate_chain(&refs, &truths);
     let errs = report.relative_errors();
     assert_eq!(errs.len(), 3);
     // Fresh, well-fitted histograms keep even the 4-way join usable.
