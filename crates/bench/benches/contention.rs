@@ -1,0 +1,58 @@
+//! Multi-writer ingestion contention: single-`RwLock` `Catalog` vs the
+//! per-shard-locked `ShardedCatalog` vs its MPSC-worker variant.
+//!
+//! All three designs ingest the identical pre-routed batch list with the
+//! same number of concurrent writer threads and the same total histogram
+//! memory (the sharded designs divide it across shards), so the measured
+//! difference is the cost of the ingestion design alone. Throughput
+//! numbers from this comparison (via `repro serve`, which shares the
+//! engine) are quoted in `ARCHITECTURE.md`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use dh_bench::{ingest, ServeDesign, Serving};
+use dh_catalog::AlgoSpec;
+use dh_core::{MemoryBudget, UpdateOp};
+use dh_gen::workload::{UpdateStream, WorkloadKind};
+use dh_gen::SyntheticConfig;
+
+const SHARDS: usize = 8;
+const DOMAIN: (i64, i64) = (0, 5000);
+const BATCH: usize = 256;
+
+fn batches(points: u64, seed: u64) -> Vec<Vec<UpdateOp>> {
+    let cfg = SyntheticConfig::default().with_total_points(points);
+    let data = cfg.generate(seed);
+    let ops = UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed).ops();
+    ops.chunks(BATCH).map(<[UpdateOp]>::to_vec).collect()
+}
+
+fn multi_writer_ingest(c: &mut Criterion) {
+    let batches = batches(40_000, 7);
+    let updates: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let memory = MemoryBudget::from_kb(1.0);
+
+    for writers in [1usize, 4] {
+        let mut group = c.benchmark_group(format!("ingest_contention_{writers}writers"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(updates));
+        for design in ServeDesign::all() {
+            // Construction (k histogram builds, and worker-thread spawns
+            // in channel mode) happens in the setup closure so only the
+            // ingestion itself is timed.
+            group.bench_function(BenchmarkId::from_parameter(design.label()), |b| {
+                b.iter_batched(
+                    || Serving::build(design, AlgoSpec::Dc, memory, SHARDS, DOMAIN, 7),
+                    |serving| {
+                        ingest(&serving, &batches, writers);
+                        serving
+                    },
+                    BatchSize::PerIteration,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, multi_writer_ingest);
+criterion_main!(benches);

@@ -12,9 +12,14 @@
 //!                                # KS-vs-memory for any algorithm mix,
 //!                                # selected by name through the AlgoSpec
 //!                                # registry
+//! repro serve [--shards N] [--writers 1,2,4,8] [--algos DC]
+//!                                # multi-writer catalog replay: ingestion
+//!                                # throughput + final KS for the
+//!                                # single-RwLock, sharded-locks and
+//!                                # sharded-channels serving designs
 //! ```
 
-use dh_bench::{all_figure_ids, run_custom, run_figure, RunOptions};
+use dh_bench::{all_figure_ids, run_custom, run_figure, run_serve, RunOptions, ServeConfig};
 use dh_catalog::AlgoSpec;
 use dh_gen::workload::WorkloadKind;
 use std::io::Write;
@@ -24,6 +29,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--seeds N] [--scale F] [--out DIR] [--list] [figN...|all]\n\
          \x20      repro custom --algos LIST [--workload random|sorted] [options]\n\
+         \x20      repro serve [--shards N] [--writers LIST] [--algos SPEC] [options]\n\
          (no figure list means all figures; beware that without --quick this\n\
          is the paper-scale run. --algos takes paper legend names, e.g.\n\
          DC,DVO,DADO,AC20X,EquiWidth,EquiDepth,SC,SVO,SADO,SSBM)"
@@ -43,6 +49,9 @@ fn main() {
     let mut out_dir: Option<PathBuf> = None;
     let mut figures: Vec<String> = Vec::new();
     let mut custom = false;
+    let mut serve = false;
+    let mut shards: Option<usize> = None;
+    let mut writers: Option<Vec<usize>> = None;
     let mut algos: Vec<AlgoSpec> = Vec::new();
     let mut workload: Option<WorkloadKind> = None;
     let mut it = args.into_iter();
@@ -50,6 +59,19 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "custom" => custom = true,
+            "serve" => serve = true,
+            "--shards" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                shards = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--writers" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                writers = Some(
+                    list.split(',')
+                        .map(|w| w.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
             "--algos" => {
                 let list = it.next().unwrap_or_else(|| usage());
                 for name in list.split(',') {
@@ -103,6 +125,51 @@ fn main() {
     }
     if let Some(s) = scale {
         opts.scale = s;
+    }
+
+    // `serve` replays a generated workload through the three catalog
+    // ingestion designs with concurrent writers.
+    if serve {
+        if custom || !figures.is_empty() {
+            eprintln!("serve mode and custom/figure runs are mutually exclusive");
+            usage();
+        }
+        if algos.len() > 1 {
+            eprintln!("serve mode takes a single --algos spec");
+            usage();
+        }
+        if workload.is_some() {
+            eprintln!("--workload only applies to custom mode (serve replays random insertions)");
+            usage();
+        }
+        let mut cfg = ServeConfig::default();
+        if let Some(s) = shards {
+            cfg.shards = s.max(1);
+        }
+        if let Some(&spec) = algos.first() {
+            cfg.spec = spec;
+        }
+        let writers = writers.unwrap_or_else(|| vec![1, 2, 4, 8]);
+        let t0 = std::time::Instant::now();
+        eprint!("running serve ... ");
+        std::io::stderr().flush().ok();
+        let report = run_serve(cfg, &writers, opts);
+        eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+        println!("{}", report.to_markdown());
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create output directory");
+            for fig in [&report.throughput, &report.accuracy] {
+                let path = dir.join(format!("{}.csv", fig.id));
+                std::fs::write(&path, fig.to_csv())
+                    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        return;
+    }
+    if shards.is_some() || writers.is_some() {
+        eprintln!("--shards/--writers only apply to serve mode");
+        usage();
     }
 
     // `custom` bypasses the figure registry: any algorithm mix, selected

@@ -11,6 +11,12 @@
 //!   `repro` binary and the Criterion benches, and the free-form
 //!   [`run_custom`] experiment.
 //!
+//! * [`serve`] — catalog-level workload replay: multi-writer ingestion
+//!   through the single-lock `Catalog`, the per-shard-locked
+//!   `ShardedCatalog` and its MPSC-worker variant, reporting throughput
+//!   and final estimation error (the `repro serve` mode and the
+//!   `contention` bench).
+//!
 //! The `repro` binary regenerates any or all figures as CSV files and a
 //! markdown summary, and runs custom algorithm mixes selected by name
 //! through the registry:
@@ -19,6 +25,7 @@
 //! cargo run --release -p dh_bench --bin repro -- all --out results
 //! cargo run --release -p dh_bench --bin repro -- fig5 fig8 --seeds 10
 //! cargo run --release -p dh_bench --bin repro -- custom --algos DC,SVO,AC40X
+//! cargo run --release -p dh_bench --bin repro -- serve --shards 8 --writers 1,2,4,8
 //! ```
 
 #![warn(missing_docs)]
@@ -27,7 +34,9 @@
 pub mod algos;
 pub mod figures;
 pub mod harness;
+pub mod serve;
 
 pub use algos::{DynamicAlgo, StaticAlgo};
 pub use figures::{all_figure_ids, run_custom, run_figure};
 pub use harness::{FigureResult, RunOptions, Series};
+pub use serve::{ingest, run_serve, ServeConfig, ServeDesign, ServeReport, Serving};

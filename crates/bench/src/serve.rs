@@ -1,0 +1,332 @@
+//! Catalog-level workload replay: multi-writer ingestion through every
+//! serving design, driven end to end into the figure harness.
+//!
+//! This is the `repro serve` mode and the engine behind the `contention`
+//! bench: a `dh_gen` update stream is chopped into batches, the batches
+//! are dealt round-robin to `W` concurrent writer threads, and the same
+//! replay is pushed through each [`ServeDesign`] — the single-`RwLock`
+//! [`Catalog`], the per-shard-locked [`ShardedCatalog`], and the
+//! MPSC-worker [`ShardedCatalog`]. The harness reports multi-writer
+//! ingestion throughput *and* the final estimation quality (KS against
+//! the exact live distribution), so the contention story and the paper's
+//! accuracy story stay on one page.
+
+use crate::harness::{mean, FigureResult, RunOptions, Series};
+use dh_catalog::{AlgoSpec, Catalog, ShardPlan, ShardedCatalog, Snapshot};
+use dh_core::{ks_error, DataDistribution, MemoryBudget, UpdateOp};
+use dh_gen::workload::{UpdateStream, WorkloadKind};
+use dh_gen::SyntheticConfig;
+
+/// The column name every serve replay ingests into.
+const COLUMN: &str = "serve";
+
+/// An ingestion design under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeDesign {
+    /// One `dh_catalog::Catalog` column: every writer serializes on the
+    /// column's single `RwLock`.
+    SingleLock,
+    /// A `ShardedCatalog` column with locked ingestion: writers apply
+    /// routed sub-batches under independent per-shard locks.
+    ShardedLock,
+    /// A `ShardedCatalog` column with channel ingestion: writers enqueue
+    /// to per-shard MPSC workers and never lock.
+    ShardedChannel,
+}
+
+impl ServeDesign {
+    /// All designs, in the order they appear in figures and tables.
+    pub fn all() -> [ServeDesign; 3] {
+        [
+            ServeDesign::SingleLock,
+            ServeDesign::ShardedLock,
+            ServeDesign::ShardedChannel,
+        ]
+    }
+
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeDesign::SingleLock => "single-RwLock",
+            ServeDesign::ShardedLock => "sharded-locks",
+            ServeDesign::ShardedChannel => "sharded-channels",
+        }
+    }
+}
+
+/// A live serving instance of one design — the uniform face the replay
+/// drives (also used by the `contention` bench).
+pub enum Serving {
+    /// Unsharded single-lock catalog.
+    Single(Catalog),
+    /// Sharded catalog (either ingestion mode).
+    Sharded(ShardedCatalog),
+}
+
+impl Serving {
+    /// Builds a one-column serving instance of `design` over the
+    /// inclusive value `domain`.
+    ///
+    /// # Panics
+    /// Panics on registration failure (fresh instance, cannot collide).
+    pub fn build(
+        design: ServeDesign,
+        spec: AlgoSpec,
+        memory: MemoryBudget,
+        shards: usize,
+        domain: (i64, i64),
+        seed: u64,
+    ) -> Self {
+        match design {
+            ServeDesign::SingleLock => {
+                let catalog = Catalog::new();
+                catalog
+                    .register(COLUMN, spec, memory, seed)
+                    .expect("fresh catalog");
+                Serving::Single(catalog)
+            }
+            ServeDesign::ShardedLock | ServeDesign::ShardedChannel => {
+                let mut plan = ShardPlan::new(domain.0, domain.1, shards);
+                if design == ServeDesign::ShardedChannel {
+                    plan = plan.channel();
+                }
+                let catalog = ShardedCatalog::new();
+                catalog
+                    .register(COLUMN, spec, memory, seed, plan)
+                    .expect("fresh catalog");
+                Serving::Sharded(catalog)
+            }
+        }
+    }
+
+    /// Applies one batch (thread-safe).
+    ///
+    /// # Panics
+    /// Panics if the serve column is missing (never happens after
+    /// [`Serving::build`]).
+    pub fn apply(&self, batch: &[UpdateOp]) {
+        match self {
+            Serving::Single(c) => c.apply(COLUMN, batch).expect("column registered"),
+            Serving::Sharded(c) => c.apply(COLUMN, batch).expect("column registered"),
+        };
+    }
+
+    /// Barrier: returns once every accepted batch is applied.
+    pub fn flush(&self) {
+        if let Serving::Sharded(c) = self {
+            c.flush(COLUMN).expect("column registered");
+        }
+    }
+
+    /// A read snapshot of the ingested column.
+    ///
+    /// # Panics
+    /// Panics if the serve column is missing (never happens after
+    /// [`Serving::build`]).
+    pub fn snapshot(&self) -> Snapshot {
+        match self {
+            Serving::Single(c) => c.snapshot(COLUMN).expect("column registered"),
+            Serving::Sharded(c) => c.snapshot(COLUMN).expect("column registered"),
+        }
+    }
+}
+
+/// Replays pre-routed `batches` through a serving instance with
+/// `writers` concurrent writer threads (batch `i` goes to writer
+/// `i % writers`, so per-writer order is preserved), then flushes.
+/// Returns the wall-clock seconds of ingest + flush.
+pub fn ingest(serving: &Serving, batches: &[Vec<UpdateOp>], writers: usize) -> f64 {
+    let writers = writers.max(1);
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let serving = &serving;
+            scope.spawn(move || {
+                for batch in batches.iter().skip(w).step_by(writers) {
+                    serving.apply(batch);
+                }
+            });
+        }
+    });
+    serving.flush();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Configuration of a serve replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Histogram algorithm every design serves.
+    pub spec: AlgoSpec,
+    /// Total histogram memory per design (the sharded designs divide it
+    /// across shards, so all three spend the same bytes).
+    pub memory: MemoryBudget,
+    /// Shard count of the sharded designs.
+    pub shards: usize,
+    /// Updates per ingestion batch.
+    pub batch_size: usize,
+}
+
+impl Default for ServeConfig {
+    /// 8 shards, 1 KB total, DC, 256-update batches.
+    fn default() -> Self {
+        Self {
+            spec: AlgoSpec::Dc,
+            memory: MemoryBudget::from_kb(1.0),
+            shards: 8,
+            batch_size: 256,
+        }
+    }
+}
+
+/// The two figures a serve replay produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Ingestion throughput (million updates/s) vs writer count, one
+    /// series per design.
+    pub throughput: FigureResult,
+    /// Final estimation error (KS vs the exact live distribution) vs
+    /// writer count, one series per design.
+    pub accuracy: FigureResult,
+}
+
+impl ServeReport {
+    /// Both figures as one markdown document.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "{}{}",
+            self.throughput.to_markdown(),
+            self.accuracy.to_markdown()
+        )
+    }
+}
+
+/// Runs the serve replay: for every writer count in `writers`, ingest an
+/// identical `dh_gen` random-insertion stream through all three designs
+/// and record throughput and final KS, averaged over `opts` seeds.
+pub fn run_serve(cfg: ServeConfig, writers: &[usize], opts: RunOptions) -> ServeReport {
+    let domain_max = opts.domain_max.unwrap_or(5000);
+    let mut gen_cfg = SyntheticConfig::default().with_total_points(opts.scaled(100_000));
+    gen_cfg.domain_max = domain_max;
+    let designs = ServeDesign::all();
+    let mut tp_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+    let mut ks_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+
+    // per[wi][di] accumulates seeds; the stream/truth/batch setup is
+    // writer-count independent, so it is built once per seed.
+    let mut per_tp: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; writers.len()];
+    let mut per_ks: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; writers.len()];
+    for seed in opts.seed_values() {
+        let data = gen_cfg.generate(seed);
+        let stream =
+            UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
+        let ops = stream.ops();
+        let truth = DataDistribution::from_values(&stream.final_multiset());
+        let batches: Vec<Vec<UpdateOp>> = ops
+            .chunks(cfg.batch_size)
+            .map(<[UpdateOp]>::to_vec)
+            .collect();
+        for (wi, &w) in writers.iter().enumerate() {
+            for (di, &design) in designs.iter().enumerate() {
+                let serving = Serving::build(
+                    design,
+                    cfg.spec,
+                    cfg.memory,
+                    cfg.shards,
+                    (0, domain_max),
+                    seed,
+                );
+                let secs = ingest(&serving, &batches, w);
+                per_tp[wi][di].push(ops.len() as f64 / secs / 1e6);
+                per_ks[wi][di].push(ks_error(&serving.snapshot(), &truth));
+            }
+        }
+    }
+    for (wi, &w) in writers.iter().enumerate() {
+        for di in 0..designs.len() {
+            tp_series[di].push(w as f64, mean(per_tp[wi][di].drain(..)));
+            ks_series[di].push(w as f64, mean(per_ks[wi][di].drain(..)));
+        }
+    }
+
+    let subtitle = format!(
+        "{} · {} shards · {:.2} KB · {}-update batches",
+        cfg.spec.label(),
+        cfg.shards,
+        cfg.memory.kb(),
+        cfg.batch_size
+    );
+    ServeReport {
+        throughput: FigureResult {
+            id: "serve-throughput".into(),
+            title: format!("Multi-writer ingestion throughput ({subtitle})"),
+            x_label: "Writers".into(),
+            y_label: "Throughput [M updates/s]".into(),
+            series: tp_series,
+        },
+        accuracy: FigureResult {
+            id: "serve-accuracy".into(),
+            title: format!("Estimation error after replay ({subtitle})"),
+            x_label: "Writers".into(),
+            y_label: "KS statistic".into(),
+            series: ks_series,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_core::ReadHistogram;
+
+    #[test]
+    fn every_design_ingests_and_reads_back() {
+        let batches: Vec<Vec<UpdateOp>> = (0..20)
+            .map(|b| {
+                (0..100)
+                    .map(|i| UpdateOp::Insert((b * 100 + i) % 1000))
+                    .collect()
+            })
+            .collect();
+        for design in ServeDesign::all() {
+            let serving = Serving::build(
+                design,
+                AlgoSpec::Dc,
+                MemoryBudget::from_kb(1.0),
+                4,
+                (0, 999),
+                7,
+            );
+            let secs = ingest(&serving, &batches, 3);
+            assert!(secs > 0.0);
+            let snap = serving.snapshot();
+            assert!(
+                (snap.total_count() - 2000.0).abs() < 1e-9,
+                "{}: total {}",
+                design.label(),
+                snap.total_count()
+            );
+        }
+    }
+
+    #[test]
+    fn serve_report_covers_all_designs_and_writer_counts() {
+        let opts = RunOptions {
+            seeds: 1,
+            scale: 0.02,
+            domain_max: Some(500),
+        };
+        let report = run_serve(ServeConfig::default(), &[1, 2], opts);
+        for fig in [&report.throughput, &report.accuracy] {
+            assert_eq!(fig.series.len(), 3);
+            for s in &fig.series {
+                assert_eq!(s.points.len(), 2);
+                assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y >= 0.0));
+            }
+        }
+        for design in ServeDesign::all() {
+            assert!(report.throughput.series_named(design.label()).is_some());
+        }
+        let md = report.to_markdown();
+        assert!(md.contains("serve-throughput") && md.contains("serve-accuracy"));
+    }
+}

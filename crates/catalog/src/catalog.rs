@@ -174,17 +174,13 @@ impl Catalog {
             histogram, scratch, ..
         } = &mut *state;
         histogram.spans_into(scratch);
-        let snapshot = Snapshot {
-            inner: Arc::new(SnapshotInner {
-                column: col.name.clone(),
-                label: col.spec.label(),
-                checkpoint: state.checkpoint,
-                updates: state.updates,
-                total: state.scratch.iter().map(|s| s.count).sum(),
-                cdf: HistogramCdf::from_spans(state.scratch.clone()),
-                spans: state.scratch.clone(),
-            }),
-        };
+        let snapshot = Snapshot::from_parts(
+            col.name.clone(),
+            col.spec.label(),
+            state.checkpoint,
+            state.updates,
+            state.scratch.clone(),
+        );
         state.snapshot = Some(snapshot.clone());
         Ok(snapshot)
     }
@@ -237,11 +233,13 @@ impl fmt::Debug for Catalog {
     }
 }
 
-fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+/// Poison-tolerant read lock (shared with the sharded serving layer).
+pub(crate) fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     lock.read().unwrap_or_else(|e| e.into_inner())
 }
 
-fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+/// Poison-tolerant write lock (shared with the sharded serving layer).
+pub(crate) fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -268,6 +266,45 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Assembles a snapshot from rendered spans (shared by [`Catalog`] and
+    /// the sharded serving layer, which composes spans from many shards).
+    pub(crate) fn from_parts(
+        column: String,
+        label: String,
+        checkpoint: u64,
+        updates: u64,
+        spans: Vec<BucketSpan>,
+    ) -> Self {
+        Snapshot {
+            inner: Arc::new(SnapshotInner {
+                column,
+                label,
+                checkpoint,
+                updates,
+                total: spans.iter().map(|s| s.count).sum(),
+                cdf: HistogramCdf::from_spans(spans.clone()),
+                spans,
+            }),
+        }
+    }
+
+    /// The same rendered spans under a newer checkpoint/update stamp —
+    /// used by the sharded layer when a version-matched cache hit raced
+    /// with a checkpoint bump (spans identical, counter ahead).
+    pub(crate) fn restamped(&self, checkpoint: u64, updates: u64) -> Snapshot {
+        Snapshot {
+            inner: Arc::new(SnapshotInner {
+                column: self.inner.column.clone(),
+                label: self.inner.label.clone(),
+                checkpoint,
+                updates,
+                total: self.inner.total,
+                cdf: self.inner.cdf.clone(),
+                spans: self.inner.spans.clone(),
+            }),
+        }
+    }
+
     /// The column this snapshot was taken from.
     pub fn column(&self) -> &str {
         &self.inner.column

@@ -18,6 +18,11 @@
 //! * [`catalog`] — the [`Catalog`] itself: per-column histograms behind
 //!   `RwLock`, batched [`dh_core::UpdateOp`] ingestion with monotone
 //!   checkpoint counts, and `Arc`-shared read [`Snapshot`]s.
+//! * [`sharded`] — the [`ShardedCatalog`]: a column's value domain
+//!   partitioned across independently locked shards (or per-shard MPSC
+//!   ingestion workers), with snapshots composed back into one histogram
+//!   through `dh_distributed`'s lossless superposition — multi-writer
+//!   ingestion without a global lock, same read API.
 //!
 //! This crate (not `dh_core`) hosts `AlgoSpec` because building AC and
 //! the static baselines requires `dh_sample` and `dh_static`, which both
@@ -48,8 +53,10 @@
 
 pub mod adapter;
 pub mod catalog;
+pub mod sharded;
 pub mod spec;
 
 pub use adapter::StaticRebuild;
 pub use catalog::{Catalog, CatalogError, Snapshot};
+pub use sharded::{IngestMode, ShardPlan, ShardedCatalog};
 pub use spec::{AlgoSpec, ParseAlgoSpecError};

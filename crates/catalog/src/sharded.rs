@@ -1,0 +1,758 @@
+//! The sharded serving layer: one column's domain partitioned across
+//! independently locked shards, composed back into a single histogram
+//! through `dh_distributed`'s lossless superposition.
+//!
+//! A [`Catalog`](crate::Catalog) column serializes every writer behind one
+//! `RwLock`. A [`ShardedCatalog`] column instead splits its value domain
+//! into `k` contiguous subranges, each owning a private histogram (built
+//! from the same [`AlgoSpec`], with the memory budget divided evenly), so
+//! concurrent writers whose batches land on different shards never touch
+//! the same lock. Readers still see *one* histogram: snapshot composition
+//! superimposes the per-shard spans ([`dh_distributed::superimpose`], the
+//! Section 8 union estimator — shards are "member sites" of a degenerate
+//! shared-nothing union whose members happen to be disjoint), so a
+//! [`Snapshot`] of a sharded column feeds `dh_optimizer` exactly like an
+//! unsharded one.
+//!
+//! Two ingestion designs are available per column ([`IngestMode`]):
+//!
+//! * **`Locked`** — writers partition their batch by shard and apply each
+//!   piece under that shard's own `RwLock`. Writers on different shards
+//!   proceed in parallel; writers on the same shard contend only there.
+//! * **`Channel`** — each shard owns an MPSC ingestion worker; writers
+//!   only enqueue, never lock. Apply order per writer is preserved (MPSC
+//!   is FIFO per sender), and [`ShardedCatalog::flush`] provides the
+//!   barrier that makes reads deterministic.
+//!
+//! The `contention` bench and `repro serve` compare both designs against
+//! the single-lock `Catalog` under multi-writer replay; `ARCHITECTURE.md`
+//! quotes the numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use dh_catalog::{AlgoSpec, ShardPlan, ShardedCatalog};
+//! use dh_core::{MemoryBudget, ReadHistogram, UpdateOp};
+//!
+//! let catalog = ShardedCatalog::new();
+//! let plan = ShardPlan::new(0, 999, 4); // domain [0, 999], 4 shards
+//! catalog
+//!     .register("orders.amount", AlgoSpec::Dc, MemoryBudget::from_kb(1.0), 1, plan)
+//!     .unwrap();
+//!
+//! let batch: Vec<UpdateOp> = (0..4000).map(|i| UpdateOp::Insert(i % 1000)).collect();
+//! catalog.apply("orders.amount", &batch).unwrap();
+//!
+//! let snap = catalog.snapshot("orders.amount").unwrap();
+//! assert!((snap.total_count() - 4000.0).abs() < 1e-9);
+//! assert!(snap.estimate_range(0, 999) > 3900.0);
+//! ```
+
+use crate::catalog::{read_lock, write_lock, CatalogError};
+use crate::spec::AlgoSpec;
+use crate::Snapshot;
+use dh_core::{BoxedHistogram, BucketSpan, MemoryBudget, UpdateOp};
+use dh_distributed::superimpose;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// How a sharded column ingests update batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IngestMode {
+    /// Writers apply their (routed) sub-batches directly, under each
+    /// shard's own lock. Synchronous: when [`ShardedCatalog::apply`]
+    /// returns, the batch is in the histograms.
+    #[default]
+    Locked,
+    /// Writers enqueue sub-batches to one MPSC ingestion worker per shard
+    /// and return immediately; the worker alone takes the shard's write
+    /// lock. Asynchronous: use [`ShardedCatalog::flush`] as a barrier
+    /// before reads that must observe every prior `apply`.
+    Channel,
+}
+
+/// How a column is sharded: its value domain, the shard count, and the
+/// ingestion design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardPlan {
+    /// Inclusive value domain `[lo, hi]` partitioned across shards.
+    /// Values outside the domain route to the nearest edge shard.
+    pub domain: (i64, i64),
+    /// Number of shards (>= 1).
+    pub shards: usize,
+    /// Ingestion design.
+    pub mode: IngestMode,
+}
+
+impl ShardPlan {
+    /// A locked-ingestion plan over the inclusive domain `[lo, hi]` with
+    /// `shards` equal-width shards.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `shards == 0`.
+    pub fn new(lo: i64, hi: i64, shards: usize) -> Self {
+        assert!(lo <= hi, "empty shard domain");
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            domain: (lo, hi),
+            shards,
+            mode: IngestMode::Locked,
+        }
+    }
+
+    /// The same plan with channel (MPSC worker) ingestion.
+    pub fn channel(mut self) -> Self {
+        self.mode = IngestMode::Channel;
+        self
+    }
+
+    /// The invariants [`ShardPlan::new`] establishes, re-checked because
+    /// the fields are public and a literal can bypass the constructor.
+    fn validate(&self) {
+        assert!(self.shards > 0, "need at least one shard");
+        assert!(self.domain.0 <= self.domain.1, "empty shard domain");
+    }
+
+    /// The shard index a value routes to: equal-width partition of the
+    /// domain, clamped at the edges.
+    ///
+    /// # Panics
+    /// Panics on an invalid plan (`shards == 0` or an inverted domain —
+    /// constructible only by building the struct literally, since
+    /// [`ShardPlan::new`] validates).
+    pub fn route(&self, v: i64) -> usize {
+        self.validate();
+        let (lo, hi) = self.domain;
+        let v = v.clamp(lo, hi);
+        // Equal-width cells; widen before subtracting so domains spanning
+        // the full i64 range can't overflow.
+        let width = (hi as i128 - lo as i128) as u128 + 1;
+        let off = (v as i128 - lo as i128) as u128;
+        ((off * self.shards as u128 / width) as usize).min(self.shards - 1)
+    }
+
+    /// The inclusive value subrange owned by shard `i`. With more shards
+    /// than domain values some shards own nothing; their range comes back
+    /// inverted (`b == a - 1`), consistent with an empty inclusive range.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.shards` or on an invalid plan (see
+    /// [`ShardPlan::route`]).
+    pub fn shard_range(&self, i: usize) -> (i64, i64) {
+        self.validate();
+        assert!(i < self.shards, "shard index out of range");
+        let (lo, hi) = self.domain;
+        let width = (hi as i128 - lo as i128) as u128 + 1;
+        let k = self.shards as u128;
+        // Inverse of `route`: value offset `off` lands in shard i iff
+        // off * k / width == i, i.e. off in [ceil(i*width/k), ceil((i+1)*width/k) - 1].
+        // Offsets fit in i128 (width <= 2^64), so the lo + offset sums
+        // stay exact even on full-i64 domains.
+        let start = |i: u128| (i * width).div_ceil(k) as i128;
+        let a = (lo as i128 + start(i as u128)) as i64;
+        let b = (lo as i128 + start(i as u128 + 1) - 1) as i64;
+        (a, b)
+    }
+}
+
+/// Messages a shard's ingestion worker consumes.
+enum ShardMsg {
+    /// Apply one routed sub-batch.
+    Batch(Vec<UpdateOp>),
+    /// Ack once everything enqueued before this message is applied.
+    Flush(mpsc::Sender<()>),
+}
+
+/// One shard's mutable state, behind the shard's own lock.
+struct ShardState {
+    histogram: BoxedHistogram,
+    /// Bumps on every applied sub-batch; keys the composed-snapshot cache.
+    version: u64,
+    /// Cached span rendering, invalidated by every applied sub-batch.
+    spans: Option<Vec<BucketSpan>>,
+    scratch: Vec<BucketSpan>,
+}
+
+struct Shard {
+    state: RwLock<ShardState>,
+}
+
+impl Shard {
+    /// The shard's current version (cheap: one read lock, no rendering).
+    fn version(&self) -> u64 {
+        read_lock(&self.state).version
+    }
+
+    fn apply(&self, batch: &[UpdateOp]) {
+        let mut state = write_lock(&self.state);
+        state.histogram.apply_slice(batch);
+        state.version += 1;
+        state.spans = None;
+    }
+
+    /// The shard's `(version, spans)`, rendering and caching on demand.
+    fn versioned_spans(&self) -> (u64, Vec<BucketSpan>) {
+        {
+            let state = read_lock(&self.state);
+            if let Some(s) = &state.spans {
+                return (state.version, s.clone());
+            }
+        }
+        let mut state = write_lock(&self.state);
+        if state.spans.is_none() {
+            let ShardState {
+                histogram, scratch, ..
+            } = &mut *state;
+            histogram.spans_into(scratch);
+            let spans = scratch.clone();
+            state.spans = Some(spans);
+        }
+        (
+            state.version,
+            state.spans.clone().expect("rendered just above"),
+        )
+    }
+}
+
+/// The composed-snapshot cache: valid while every shard still has the
+/// version it was rendered from.
+#[derive(Default)]
+struct ComposedCache {
+    versions: Vec<u64>,
+    snapshot: Option<Snapshot>,
+}
+
+/// Per-column channel-mode machinery: one sender per shard plus the
+/// worker handles (joined on drop).
+struct Workers {
+    senders: Vec<mpsc::Sender<ShardMsg>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+struct ShardedColumn {
+    name: String,
+    spec: AlgoSpec,
+    plan: ShardPlan,
+    shards: Vec<Arc<Shard>>,
+    /// Batches accepted so far (strictly monotone; counts `apply` calls).
+    checkpoint: AtomicU64,
+    /// Individual updates accepted so far.
+    updates: AtomicU64,
+    /// `Some` iff `plan.mode == IngestMode::Channel`.
+    workers: Option<Workers>,
+    composed: Mutex<ComposedCache>,
+}
+
+impl ShardedColumn {
+    /// Routes a batch into per-shard sub-batches (indices align with
+    /// `self.shards`; untouched shards get an empty vec).
+    fn route_batch(&self, batch: &[UpdateOp]) -> Vec<Vec<UpdateOp>> {
+        let mut routed: Vec<Vec<UpdateOp>> = vec![Vec::new(); self.plan.shards];
+        for &op in batch {
+            let v = match op {
+                UpdateOp::Insert(v) | UpdateOp::Delete(v) => v,
+            };
+            routed[self.plan.route(v)].push(op);
+        }
+        routed
+    }
+}
+
+impl Drop for ShardedColumn {
+    fn drop(&mut self) {
+        if let Some(workers) = self.workers.take() {
+            drop(workers.senders); // disconnect: workers drain and exit
+            for h in workers.handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// A thread-safe, multi-column histogram store whose columns are
+/// partitioned across shards — the distributed cousin of
+/// [`Catalog`](crate::Catalog).
+///
+/// Writers call [`ShardedCatalog::apply`] from any number of threads;
+/// batches are routed by value range so writers touching different shards
+/// never contend. Readers call [`ShardedCatalog::snapshot`] and get the
+/// same [`Snapshot`] type a `Catalog` serves, so estimation and
+/// `dh_optimizer` joins are oblivious to the sharding.
+#[derive(Default)]
+pub struct ShardedCatalog {
+    columns: RwLock<BTreeMap<String, Arc<ShardedColumn>>>,
+}
+
+impl ShardedCatalog {
+    /// An empty sharded catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `column`, sharded per `plan`, each shard holding a fresh
+    /// `spec` histogram. The `memory` budget is divided evenly across the
+    /// shards (a `k`-sharded column spends the same total bytes as an
+    /// unsharded one); `seed` feeds sampling algorithms, salted per shard.
+    ///
+    /// With [`IngestMode::Channel`] this also spawns one ingestion worker
+    /// thread per shard (joined when the column is dropped).
+    ///
+    /// # Errors
+    /// [`CatalogError::DuplicateColumn`] if the name is taken.
+    pub fn register(
+        &self,
+        column: impl Into<String>,
+        spec: AlgoSpec,
+        memory: MemoryBudget,
+        seed: u64,
+        plan: ShardPlan,
+    ) -> Result<(), CatalogError> {
+        assert!(plan.shards > 0, "need at least one shard");
+        assert!(plan.domain.0 <= plan.domain.1, "empty shard domain");
+        let name = column.into();
+        let mut columns = write_lock(&self.columns);
+        if columns.contains_key(&name) {
+            return Err(CatalogError::DuplicateColumn(name));
+        }
+        let per_shard = MemoryBudget::from_bytes((memory.bytes() / plan.shards).max(1));
+        let shards: Vec<Arc<Shard>> = (0..plan.shards)
+            .map(|i| {
+                Arc::new(Shard {
+                    state: RwLock::new(ShardState {
+                        histogram: spec.build(per_shard, seed.wrapping_add(i as u64)),
+                        version: 0,
+                        spans: None,
+                        scratch: Vec::new(),
+                    }),
+                })
+            })
+            .collect();
+        let workers = match plan.mode {
+            IngestMode::Locked => None,
+            IngestMode::Channel => {
+                let mut senders = Vec::with_capacity(plan.shards);
+                let mut handles = Vec::with_capacity(plan.shards);
+                for shard in &shards {
+                    let (tx, rx) = mpsc::channel::<ShardMsg>();
+                    let shard = Arc::clone(shard);
+                    handles.push(std::thread::spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                ShardMsg::Batch(batch) => shard.apply(&batch),
+                                ShardMsg::Flush(ack) => {
+                                    let _ = ack.send(());
+                                }
+                            }
+                        }
+                    }));
+                    senders.push(tx);
+                }
+                Some(Workers { senders, handles })
+            }
+        };
+        columns.insert(
+            name.clone(),
+            Arc::new(ShardedColumn {
+                name,
+                spec,
+                plan,
+                shards,
+                checkpoint: AtomicU64::new(0),
+                updates: AtomicU64::new(0),
+                workers,
+                composed: Mutex::new(ComposedCache::default()),
+            }),
+        );
+        Ok(())
+    }
+
+    /// The registered column names, sorted.
+    pub fn columns(&self) -> Vec<String> {
+        read_lock(&self.columns).keys().cloned().collect()
+    }
+
+    /// Whether `column` is registered.
+    pub fn contains(&self, column: &str) -> bool {
+        read_lock(&self.columns).contains_key(column)
+    }
+
+    /// Number of registered columns.
+    pub fn len(&self) -> usize {
+        read_lock(&self.columns).len()
+    }
+
+    /// Whether no columns are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The algorithm a column was registered with.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn spec(&self, column: &str) -> Result<AlgoSpec, CatalogError> {
+        Ok(self.column(column)?.spec)
+    }
+
+    /// The shard plan a column was registered with.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn plan(&self, column: &str) -> Result<ShardPlan, CatalogError> {
+        Ok(self.column(column)?.plan)
+    }
+
+    /// Routes one batch of updates to `column`'s shards and returns the
+    /// new accepted-batch checkpoint (strictly monotone per column).
+    ///
+    /// With [`IngestMode::Locked`] the batch is applied before returning;
+    /// with [`IngestMode::Channel`] it is enqueued (FIFO per caller
+    /// thread) and applied by the shard workers — [`ShardedCatalog::flush`]
+    /// is the barrier.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn apply(&self, column: &str, batch: &[UpdateOp]) -> Result<u64, CatalogError> {
+        let col = self.column(column)?;
+        match &col.workers {
+            None => {
+                for (i, sub) in col.route_batch(batch).into_iter().enumerate() {
+                    if !sub.is_empty() {
+                        col.shards[i].apply(&sub);
+                    }
+                }
+            }
+            Some(workers) => {
+                for (i, sub) in col.route_batch(batch).into_iter().enumerate() {
+                    if !sub.is_empty() {
+                        workers.senders[i]
+                            .send(ShardMsg::Batch(sub))
+                            .expect("shard ingestion worker lives as long as the column");
+                    }
+                }
+            }
+        }
+        col.updates.fetch_add(batch.len() as u64, Ordering::AcqRel);
+        Ok(col.checkpoint.fetch_add(1, Ordering::AcqRel) + 1)
+    }
+
+    /// Blocks until every batch enqueued to `column` before this call has
+    /// been applied. A no-op for [`IngestMode::Locked`] columns.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn flush(&self, column: &str) -> Result<(), CatalogError> {
+        let col = self.column(column)?;
+        if let Some(workers) = &col.workers {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            let mut pending = 0usize;
+            for tx in &workers.senders {
+                if tx.send(ShardMsg::Flush(ack_tx.clone())).is_ok() {
+                    pending += 1;
+                }
+            }
+            drop(ack_tx);
+            for _ in 0..pending {
+                let _ = ack_rx.recv();
+            }
+        }
+        Ok(())
+    }
+
+    /// An immutable snapshot of `column`: the per-shard spans composed by
+    /// lossless superposition into one histogram.
+    ///
+    /// Snapshots are cached against the per-shard version vector — between
+    /// writes, every call is one `Arc` clone. The snapshot's spans reflect
+    /// what has been *applied* (call [`ShardedCatalog::flush`] on a
+    /// channel-mode column first to observe every accepted batch); its
+    /// [`Snapshot::checkpoint`] reports the accepted-batch counter at the
+    /// time of the call, so at rest (and after a flush) it equals the
+    /// batches the spans contain.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn snapshot(&self, column: &str) -> Result<Snapshot, CatalogError> {
+        let col = self.column(column)?;
+        // The composed cache's mutex serializes rendering (and hands
+        // cache hits out quickly); shard locks nest inside it, never the
+        // reverse, so writers can't deadlock against readers.
+        let mut cache = col.composed.lock().unwrap_or_else(|e| e.into_inner());
+        // Monotone because the counter is and renders are serialized here.
+        let checkpoint = col.checkpoint.load(Ordering::Acquire);
+        let updates = col.updates.load(Ordering::Acquire);
+        // Probe the cache on versions alone — a hit must not pay for
+        // cloning every shard's spans.
+        let hit = cache.snapshot.is_some()
+            && cache.versions.len() == col.shards.len()
+            && col
+                .shards
+                .iter()
+                .zip(&cache.versions)
+                .all(|(s, &v)| s.version() == v);
+        if hit {
+            let snap = cache.snapshot.as_ref().expect("checked above");
+            if snap.checkpoint() == checkpoint && snap.updates() == updates {
+                return Ok(snap.clone());
+            }
+            // Identical spans but the counters moved on (a writer bumped
+            // them mid-render, or an empty batch advanced the checkpoint):
+            // re-stamp the cached rendering instead of claiming the past.
+            let snapshot = snap.restamped(checkpoint, updates);
+            cache.snapshot = Some(snapshot.clone());
+            return Ok(snapshot);
+        }
+        let mut versions = Vec::with_capacity(col.shards.len());
+        let mut members = Vec::with_capacity(col.shards.len());
+        for shard in &col.shards {
+            let (version, spans) = shard.versioned_spans();
+            versions.push(version);
+            members.push(spans);
+        }
+        let composed = superimpose(&members);
+        let snapshot = Snapshot::from_parts(
+            col.name.clone(),
+            col.spec.label(),
+            checkpoint,
+            updates,
+            composed,
+        );
+        cache.versions = versions;
+        cache.snapshot = Some(snapshot.clone());
+        Ok(snapshot)
+    }
+
+    /// The number of batches accepted for `column` so far.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn checkpoint(&self, column: &str) -> Result<u64, CatalogError> {
+        Ok(self.column(column)?.checkpoint.load(Ordering::Acquire))
+    }
+
+    /// Estimated number of values in `[a, b]` on `column`.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn estimate_range(&self, column: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
+        use dh_core::ReadHistogram;
+        Ok(self.snapshot(column)?.estimate_range(a, b))
+    }
+
+    /// Estimated number of values equal to `v` on `column`.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn estimate_eq(&self, column: &str, v: i64) -> Result<f64, CatalogError> {
+        use dh_core::ReadHistogram;
+        Ok(self.snapshot(column)?.estimate_eq(v))
+    }
+
+    /// Total live mass on `column`.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn total_count(&self, column: &str) -> Result<f64, CatalogError> {
+        use dh_core::ReadHistogram;
+        Ok(self.snapshot(column)?.total_count())
+    }
+
+    fn column(&self, column: &str) -> Result<Arc<ShardedColumn>, CatalogError> {
+        read_lock(&self.columns)
+            .get(column)
+            .cloned()
+            .ok_or_else(|| CatalogError::UnknownColumn(column.into()))
+    }
+}
+
+impl fmt::Debug for ShardedCatalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedCatalog")
+            .field("columns", &self.columns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_core::ReadHistogram;
+
+    fn inserts(range: std::ops::Range<i64>) -> Vec<UpdateOp> {
+        range.map(UpdateOp::Insert).collect()
+    }
+
+    #[test]
+    fn routing_partitions_the_domain() {
+        let plan = ShardPlan::new(0, 999, 4);
+        assert_eq!(plan.route(0), 0);
+        assert_eq!(plan.route(249), 0);
+        assert_eq!(plan.route(250), 1);
+        assert_eq!(plan.route(999), 3);
+        // Outside the domain: clamped to the edge shards.
+        assert_eq!(plan.route(-5), 0);
+        assert_eq!(plan.route(10_000), 3);
+        // Ranges tile the domain exactly.
+        let mut next = 0i64;
+        for i in 0..4 {
+            let (a, b) = plan.shard_range(i);
+            assert_eq!(
+                a,
+                next,
+                "shard {i} starts where {} ended",
+                i.wrapping_sub(1)
+            );
+            assert!(b >= a);
+            next = b + 1;
+        }
+        assert_eq!(next, 1000);
+        // Every value routes into its own shard's range.
+        for v in 0..1000 {
+            let s = plan.route(v);
+            let (a, b) = plan.shard_range(s);
+            assert!((a..=b).contains(&v), "{v} outside shard {s} [{a},{b}]");
+        }
+    }
+
+    #[test]
+    fn full_i64_domain_does_not_overflow() {
+        let plan = ShardPlan::new(i64::MIN, i64::MAX, 4);
+        assert_eq!(plan.route(i64::MIN), 0);
+        assert_eq!(plan.route(-1), 1);
+        assert_eq!(plan.route(0), 2);
+        assert_eq!(plan.route(i64::MAX), 3);
+        let mut next = i64::MIN;
+        for i in 0..4 {
+            let (a, b) = plan.shard_range(i);
+            assert_eq!(a, next);
+            assert_eq!(plan.route(a), i);
+            assert_eq!(plan.route(b), i);
+            next = b.wrapping_add(1);
+        }
+        assert_eq!(plan.shard_range(3).1, i64::MAX);
+    }
+
+    #[test]
+    fn uneven_domains_still_tile() {
+        let plan = ShardPlan::new(-7, 9, 3); // width 17, not divisible
+        let mut covered = 0i64;
+        for i in 0..3 {
+            let (a, b) = plan.shard_range(i);
+            covered += b - a + 1;
+            for v in a..=b {
+                assert_eq!(plan.route(v), i);
+            }
+        }
+        assert_eq!(covered, 17);
+    }
+
+    #[test]
+    fn sharded_round_trip_and_caching() {
+        let cat = ShardedCatalog::new();
+        let plan = ShardPlan::new(0, 4999, 8);
+        cat.register("a", AlgoSpec::Dado, MemoryBudget::from_kb(2.0), 1, plan)
+            .unwrap();
+        assert_eq!(
+            cat.register("a", AlgoSpec::Dc, MemoryBudget::from_kb(1.0), 1, plan),
+            Err(CatalogError::DuplicateColumn("a".into()))
+        );
+        let cp = cat.apply("a", &inserts(0..5000)).unwrap();
+        assert_eq!(cp, 1);
+        let s1 = cat.snapshot("a").unwrap();
+        assert_eq!(s1.checkpoint(), 1);
+        assert_eq!(s1.updates(), 5000);
+        assert_eq!(s1.label(), "DADO");
+        assert!((s1.total_count() - 5000.0).abs() < 1e-9);
+        assert!((s1.estimate_range(0, 4999) - 5000.0).abs() / 5000.0 < 0.02);
+        // Cached between writes, invalidated by a write.
+        let s2 = cat.snapshot("a").unwrap();
+        assert!((s1.total_count() - s2.total_count()).abs() < 1e-12);
+        cat.apply("a", &inserts(0..10)).unwrap();
+        let s3 = cat.snapshot("a").unwrap();
+        assert_eq!(s3.checkpoint(), 2);
+        assert!((s3.total_count() - 5010.0).abs() < 1e-9);
+        // The old snapshot still reads consistently.
+        assert!((s1.total_count() - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shard_aligned_ranges_are_exact() {
+        // Mass conservation per shard makes estimates over whole shard
+        // subranges *exact* — sharding strictly sharpens those reads.
+        let cat = ShardedCatalog::new();
+        let plan = ShardPlan::new(0, 99, 5);
+        cat.register("a", AlgoSpec::Dc, MemoryBudget::from_kb(0.25), 3, plan)
+            .unwrap();
+        let batch: Vec<UpdateOp> = (0..3000).map(|i| UpdateOp::Insert((i * 7) % 100)).collect();
+        cat.apply("a", &batch).unwrap();
+        let mut counts = [0f64; 100];
+        for &op in &batch {
+            if let UpdateOp::Insert(v) = op {
+                counts[v as usize] += 1.0;
+            }
+        }
+        for i in 0..5 {
+            let (a, b) = plan.shard_range(i);
+            let exact: f64 = (a..=b).map(|v| counts[v as usize]).sum();
+            let est = cat.estimate_range("a", a, b).unwrap();
+            assert!(
+                (est - exact).abs() < 1e-6,
+                "shard {i} [{a},{b}]: est {est} != exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn channel_mode_applies_after_flush() {
+        let cat = ShardedCatalog::new();
+        let plan = ShardPlan::new(0, 999, 4).channel();
+        cat.register("a", AlgoSpec::Dc, MemoryBudget::from_kb(1.0), 1, plan)
+            .unwrap();
+        for b in 0..10i64 {
+            let batch: Vec<UpdateOp> = (0..500)
+                .map(|i| UpdateOp::Insert((b * 37 + i) % 1000))
+                .collect();
+            cat.apply("a", &batch).unwrap();
+        }
+        cat.flush("a").unwrap();
+        let snap = cat.snapshot("a").unwrap();
+        assert!((snap.total_count() - 5000.0).abs() < 1e-9);
+        assert_eq!(cat.checkpoint("a").unwrap(), 10);
+        // Dropping the catalog joins the workers (must not hang).
+        drop(cat);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let cat = ShardedCatalog::new();
+        assert_eq!(
+            cat.apply("ghost", &[]).unwrap_err(),
+            CatalogError::UnknownColumn("ghost".into())
+        );
+        assert!(cat.snapshot("ghost").is_err());
+        assert!(cat.flush("ghost").is_err());
+        assert!(cat.estimate_eq("ghost", 1).is_err());
+        assert!(!cat.contains("ghost"));
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn empty_batches_advance_checkpoints() {
+        let cat = ShardedCatalog::new();
+        cat.register(
+            "a",
+            AlgoSpec::EquiDepth,
+            MemoryBudget::from_kb(0.25),
+            0,
+            ShardPlan::new(0, 9, 2),
+        )
+        .unwrap();
+        assert_eq!(cat.apply("a", &[]).unwrap(), 1);
+        assert_eq!(cat.apply("a", &[]).unwrap(), 2);
+        assert_eq!(cat.checkpoint("a").unwrap(), 2);
+        assert_eq!(cat.snapshot("a").unwrap().num_buckets(), 0);
+    }
+}

@@ -25,6 +25,23 @@ pub enum GlobalStrategy {
 /// Losslessly superimposes several span lists: output spans cover every
 /// elementary interval between consecutive borders of the union, each
 /// carrying the summed mass of all inputs over that interval.
+///
+/// This is also the composition operator of `dh_catalog`'s sharded
+/// serving layer: disjoint per-shard spans superimpose into one
+/// histogram with no loss.
+///
+/// ```
+/// use dh_core::BucketSpan;
+/// use dh_distributed::superimpose;
+///
+/// let a = vec![BucketSpan::new(0.0, 10.0, 100.0)];
+/// let b = vec![BucketSpan::new(5.0, 15.0, 60.0)];
+/// let merged = superimpose(&[a, b]);
+/// // Borders of both members survive; total mass is preserved.
+/// assert_eq!(merged.len(), 3);
+/// let total: f64 = merged.iter().map(|s| s.count).sum();
+/// assert!((total - 160.0).abs() < 1e-9);
+/// ```
 pub fn superimpose(histograms: &[Vec<BucketSpan>]) -> Vec<BucketSpan> {
     let mut borders: Vec<f64> = histograms
         .iter()

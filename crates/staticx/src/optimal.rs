@@ -12,21 +12,15 @@
 //! computes the *same optimum* with the classic `O(n·D²)` dynamic program
 //! (Jagadish et al.-style), using:
 //!
-//! * prefix-sum window costs for the squared measure, and
+//! * prefix-sum window costs for the squared measure, with an exact
+//!   monotonicity cut in the DP's inner scan, and
 //! * an epoch-stamped Fenwick tree over frequency values for the absolute
-//!   measure (sum of `|f - mean|` in `O(log F)` per window extension).
+//!   measure (sum of `|f - mean|` in `O(log F)` per window extension),
+//!   whose inner scan is cut by a median-based lower bound — the L1
+//!   deviation about the median is monotone under window extension, which
+//!   the mean-based cost itself is not.
 
 use dh_core::{BucketSpan, DataDistribution, ReadHistogram};
-
-/// A window-cost oracle: for a fixed right end `j`, reports the bucket cost
-/// of the window `i..=j` as `i` decreases one step at a time.
-trait WindowCost {
-    /// Starts a new (empty) window ending at `j`.
-    fn begin(&mut self);
-    /// Extends the window to include element frequency `f`, returning the
-    /// cost of the extended window.
-    fn extend(&mut self, f: f64) -> f64;
-}
 
 /// Memoized error matrix for the squared measure: prefix sums of `f` and
 /// `f²` give any window's cost `Σf² - (Σf)²/len` in O(1), instead of the
@@ -172,6 +166,34 @@ impl FreqBit {
         }
     }
 
+    /// The `k`-th smallest recorded frequency value (1-based `k`), by
+    /// binary descent over the tree. Requires `1 <= k <= #recorded`.
+    fn kth(&self, k: u64) -> usize {
+        let n = self.cnt.len();
+        let mut step = 1usize;
+        while step * 2 < n {
+            step *= 2;
+        }
+        let mut pos = 0usize; // largest 1-based index with prefix count < k
+        let mut rem = k;
+        while step > 0 {
+            let next = pos + step;
+            if next < n {
+                let c = if self.epoch[next] == self.current {
+                    self.cnt[next]
+                } else {
+                    0
+                };
+                if c < rem {
+                    rem -= c;
+                    pos = next;
+                }
+            }
+            step /= 2;
+        }
+        pos // answer index is pos + 1, i.e. frequency value pos
+    }
+
     /// `(count, sum)` of recorded elements with frequency `<= f`.
     fn prefix(&self, f: usize) -> (u64, f64) {
         let mut i = (f + 1).min(self.cnt.len() - 1);
@@ -193,7 +215,14 @@ struct AbsDevCost {
     bit: FreqBit,
     sum: f64,
     len: usize,
+    /// Latest median-based lower bound (see [`AbsDevCost::extend`]).
+    last_lb: f64,
 }
+
+/// Recompute the median lower bound every this many extensions. Any
+/// stale bound is still a valid (just weaker) bound, so sampling trades
+/// a few extra scan iterations for skipping most of the select descents.
+const LB_REFRESH: usize = 8;
 
 impl AbsDevCost {
     fn new(max_freq: usize) -> Self {
@@ -201,18 +230,34 @@ impl AbsDevCost {
             bit: FreqBit::new(max_freq),
             sum: 0.0,
             len: 0,
+            last_lb: 0.0,
         }
     }
 }
 
-impl WindowCost for AbsDevCost {
+impl AbsDevCost {
+    /// Starts a new (empty) window ending at `j`.
     fn begin(&mut self) {
         self.bit.clear();
         self.sum = 0.0;
         self.len = 0;
+        self.last_lb = 0.0;
     }
 
-    fn extend(&mut self, f: f64) -> f64 {
+    /// Extends the window to include element frequency `f`, returning
+    /// `(cost, lower_bound)`:
+    ///
+    /// * `cost` — the paper's bucket cost, `Σ|f - mean|` (Eq. 5);
+    /// * `lower_bound` — `Σ|f - median|`, computed from the same Fenwick
+    ///   tree via a select descent. The median minimizes the L1 deviation,
+    ///   so `lower_bound <= cost`; and because the minimal L1 deviation of
+    ///   a superset dominates that of any subset, `lower_bound` can only
+    ///   grow as the window extends leftward — the monotone quantity the
+    ///   DP's early cut needs (the mean-based `cost` itself is *not*
+    ///   monotone, which is why the squared path's cut doesn't transfer
+    ///   directly). Monotonicity also means a stale bound stays valid, so
+    ///   it is only recomputed every [`LB_REFRESH`] extensions.
+    fn extend(&mut self, f: f64) -> (f64, f64) {
         let fi = f as usize;
         self.bit.add(fi);
         self.sum += f;
@@ -222,39 +267,80 @@ impl WindowCost for AbsDevCost {
         let (c_le, s_le) = self.bit.prefix(mean.floor() as usize);
         let below = c_le as f64 * mean - s_le;
         let above = (self.sum - s_le) - (self.len as f64 - c_le as f64) * mean;
-        (below + above).max(0.0)
+        let cost = (below + above).max(0.0);
+        if self.len < LB_REFRESH || self.len % LB_REFRESH == 0 {
+            let m = self.bit.kth(self.len.div_ceil(2) as u64) as f64;
+            let (c_m, s_m) = self.bit.prefix(m as usize);
+            let lb_below = c_m as f64 * m - s_m;
+            let lb_above = (self.sum - s_m) - (self.len as f64 - c_m as f64) * m;
+            self.last_lb = self.last_lb.max((lb_below + lb_above).max(0.0));
+        }
+        (cost, self.last_lb)
     }
 }
 
 /// Runs the optimal-partition DP over `freqs` (the frequency of every
-/// domain value on the grid) into at most `n` buckets, for costs only
-/// available through an incremental [`WindowCost`] oracle (the absolute
-/// measure; the squared measure takes the faster
+/// domain value on the grid) into at most `n` buckets, under the
+/// absolute-deviation measure (the squared measure takes the faster
 /// [`optimal_partition_sse`] path). Returns the start index of each
 /// bucket, increasing.
-fn optimal_partition(freqs: &[f64], n: usize, oracle: &mut impl WindowCost) -> Vec<usize> {
+///
+/// The inner scan over candidate left borders runs right-to-left and
+/// stops at the median-based lower bound: once `Σ|f - median|` of the
+/// window `i..=j` alone reaches the best split found, no wider window can
+/// win, because the true cost dominates the bound, the bound is monotone
+/// in window extension, and the DP prefix term is non-negative — the
+/// absolute-measure analogue of the exact monotonicity cut in
+/// [`optimal_partition_sse`].
+///
+/// The cut pays twice: the leftward window oracle is extended *lazily*,
+/// only as far as some scan actually reaches, so the cut truncates not
+/// just the `O(n·D²)` DP scans but also the `O(D² log F)` Fenwick
+/// extension work that otherwise dominates. The one-bucket row (full
+/// prefix windows `[0..=j]`, which would force every extension to run to
+/// the left edge) comes from a separate rightward-extending oracle in
+/// `O(D log F)` total instead.
+fn optimal_partition(freqs: &[f64], n: usize) -> Vec<usize> {
     let d = freqs.len();
     debug_assert!(d > 0);
     let n = n.min(d).max(1);
     let stride = n + 1;
     let inf = f64::INFINITY;
+    let max_freq = freqs.iter().fold(0.0f64, |a, &b| a.max(b)) as usize;
     // e[j*stride + b]: minimal cost of covering 0..=j with b buckets.
     let mut e = vec![inf; d * stride];
     let mut choice = vec![0u32; d * stride];
     let mut cost = vec![0.0f64; d];
+    let mut lb = vec![0.0f64; d];
+
+    // Rightward oracle for the one-bucket row: window [0..=j] grows by
+    // one element per j.
+    let mut prefix_oracle = AbsDevCost::new(max_freq);
+    prefix_oracle.begin();
+    // Leftward oracle for the scans: window [i..=j], re-begun per j,
+    // extended only as deep as the scans reach.
+    let mut oracle = AbsDevCost::new(max_freq);
 
     for j in 0..d {
-        oracle.begin();
-        for i in (0..=j).rev() {
-            cost[i] = oracle.extend(freqs[i]);
-        }
-        e[j * stride + 1] = cost[0];
+        e[j * stride + 1] = prefix_oracle.extend(freqs[j]).0;
         choice[j * stride + 1] = 0;
         let bmax = n.min(j + 1);
+        if bmax < 2 {
+            continue;
+        }
+        oracle.begin();
+        let mut lowest = j + 1; // cost/lb filled for indices lowest..=j
         for b in 2..=bmax {
             let mut best = inf;
             let mut best_i = b - 1;
-            for i in (b - 1)..=j {
+            for i in ((b - 1)..=j).rev() {
+                while lowest > i {
+                    lowest -= 1;
+                    (cost[lowest], lb[lowest]) = oracle.extend(freqs[lowest]);
+                }
+                if lb[i] >= best {
+                    break; // median cut: no wider window can win
+                }
                 let prev = e[(i - 1) * stride + (b - 1)];
                 if prev == inf {
                     continue;
@@ -283,13 +369,11 @@ fn build_optimal(dist: &DataDistribution, buckets: usize, absolute: bool) -> Vec
     };
     let d = (max - min + 1) as usize;
     let mut freqs = vec![0.0f64; d];
-    let mut max_freq = 0u64;
     for (v, c) in dist.iter() {
         freqs[(v - min) as usize] = c as f64;
-        max_freq = max_freq.max(c);
     }
     let starts = if absolute {
-        optimal_partition(&freqs, buckets, &mut AbsDevCost::new(max_freq as usize))
+        optimal_partition(&freqs, buckets)
     } else {
         optimal_partition_sse(&freqs, buckets)
     };
@@ -421,8 +505,7 @@ mod tests {
 
     fn dp_cost(freqs: &[f64], n: usize, absolute: bool) -> f64 {
         let starts = if absolute {
-            let maxf = freqs.iter().fold(0.0f64, |a, &b| a.max(b)) as usize;
-            optimal_partition(freqs, n, &mut AbsDevCost::new(maxf))
+            optimal_partition(freqs, n)
         } else {
             optimal_partition_sse(freqs, n)
         };
@@ -578,6 +661,70 @@ mod tests {
         assert_eq!(bit.prefix(100), (0, 0.0));
         bit.add(7);
         assert_eq!(bit.prefix(100), (1, 7.0));
+    }
+
+    #[test]
+    fn fenwick_select_finds_order_statistics() {
+        let mut bit = FreqBit::new(100);
+        for f in [5, 5, 80, 0, 13] {
+            bit.add(f);
+        }
+        assert_eq!(bit.kth(1), 0);
+        assert_eq!(bit.kth(2), 5);
+        assert_eq!(bit.kth(3), 5);
+        assert_eq!(bit.kth(4), 13);
+        assert_eq!(bit.kth(5), 80);
+        bit.clear();
+        bit.add(42);
+        assert_eq!(bit.kth(1), 42);
+    }
+
+    #[test]
+    fn median_bound_stays_below_cost_and_grows() {
+        // The two properties the DP cut relies on, checked over a
+        // deterministic pseudo-random window extension.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 50) as f64
+        };
+        let mut oracle = AbsDevCost::new(64);
+        oracle.begin();
+        let mut prev_lb = 0.0f64;
+        for _ in 0..200 {
+            let (cost, lb) = oracle.extend(next());
+            assert!(lb <= cost + 1e-9, "median bound above cost: {lb} > {cost}");
+            assert!(
+                lb >= prev_lb - 1e-9,
+                "median bound shrank: {prev_lb} -> {lb}"
+            );
+            prev_lb = lb;
+        }
+    }
+
+    #[test]
+    fn cut_dp_matches_brute_force_on_random_inputs() {
+        // The median cut must never change the optimum, only skip work.
+        let mut state = 0xD1CEu64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for case in 0..40 {
+            let d = (next(9) + 3) as usize;
+            let n = (next(4) + 2) as usize;
+            let freqs: Vec<f64> = (0..d).map(|_| next(30) as f64).collect();
+            let bf = brute_force_cost(&freqs, n.min(d), true);
+            let dp = dp_cost(&freqs, n.min(d), true);
+            assert!(
+                (bf - dp).abs() < 1e-9,
+                "case {case}: freqs={freqs:?} n={n}: brute={bf} dp={dp}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the repo docs points at a
+# file or directory that exists (anchors are stripped; http(s) links are
+# skipped). Run from anywhere; exits non-zero listing broken links.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+# The doc set under the link gate: top-level docs plus everything in docs/.
+files=(README.md ARCHITECTURE.md PAPER.md ROADMAP.md docs/*.md)
+
+for f in "${files[@]}"; do
+    [ -f "$f" ] || { echo "missing doc file: $f" >&2; fail=1; continue; }
+    dir=$(dirname "$f")
+    # Inline ](target) links plus reference-style "[label]: target"
+    # definitions, tolerating multiple links per line.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*|'') continue ;;
+        esac
+        path="${target%%#*}"           # drop the anchor, keep the path
+        [ -n "$path" ] || continue
+        case "$path" in
+            /*) resolved=".$path" ;;   # absolute links resolve from repo root
+            *)  resolved="$dir/$path" ;;
+        esac
+        if [ ! -e "$resolved" ]; then
+            echo "$f: broken link -> $target" >&2
+            fail=1
+        fi
+    done < <(
+        grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//'
+        sed -n 's/^\[[^]]*\]:[[:space:]]*//p' "$f" | awk '{print $1}'
+    )
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc link check failed" >&2
+    exit 1
+fi
+echo "doc links OK (${#files[@]} files)"

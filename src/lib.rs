@@ -53,7 +53,7 @@ pub use dh_stats as stats;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use dh_catalog::{AlgoSpec, Catalog, Snapshot};
+    pub use dh_catalog::{AlgoSpec, Catalog, IngestMode, ShardPlan, ShardedCatalog, Snapshot};
     pub use dh_core::dynamic::{
         AbsoluteDeviation, DadoHistogram, DcHistogram, DvoHistogram, Grid2dHistogram,
         MultiSubHistogram, SquaredDeviation,

@@ -85,6 +85,54 @@ fn mixed_algo_chain_propagates_through_catalog() {
 }
 
 #[test]
+fn sharded_snapshots_join_like_unsharded_ones() {
+    // The optimizer must not be able to tell a sharded column from an
+    // unsharded one: join a ShardedCatalog snapshot against a Catalog
+    // snapshot, and cross-check against the all-unsharded estimate.
+    let memory = MemoryBudget::from_kb(1.0);
+    let (r_ops, r_truth) = relation(21);
+    let (s_ops, s_truth) = relation(22);
+
+    let plain = Catalog::new();
+    plain.register("r.key", AlgoSpec::Dc, memory, 21).unwrap();
+    plain.register("s.key", AlgoSpec::Dado, memory, 22).unwrap();
+    plain.apply("r.key", &r_ops).unwrap();
+    plain.apply("s.key", &s_ops).unwrap();
+
+    let sharded = ShardedCatalog::new();
+    sharded
+        .register(
+            "s.key",
+            AlgoSpec::Dado,
+            memory,
+            22,
+            ShardPlan::new(0, 5000, 6).channel(),
+        )
+        .unwrap();
+    sharded.apply("s.key", &s_ops).unwrap();
+    sharded.flush("s.key").unwrap();
+
+    let r = plain.snapshot("r.key").unwrap();
+    let s_plain = plain.snapshot("s.key").unwrap();
+    let s_sharded = sharded.snapshot("s.key").unwrap();
+
+    let exact = exact_equi_join(&r_truth, &s_truth) as f64;
+    assert!(exact > 0.0);
+    let est_sharded = estimate_equi_join(&r, &s_sharded);
+    let est_plain = estimate_equi_join(&r, &s_plain);
+    let ratio = est_sharded / exact;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "DC ⋈ sharded-DADO estimate off: est {est_sharded}, exact {exact}"
+    );
+    // And the sharded estimate tracks the unsharded one.
+    assert!(
+        (est_sharded - est_plain).abs() / est_plain < 0.25,
+        "sharded join {est_sharded} drifted from unsharded {est_plain}"
+    );
+}
+
+#[test]
 fn selection_predicates_read_off_snapshots() {
     let catalog = Catalog::new();
     catalog

@@ -1,0 +1,183 @@
+//! Shard-routing invariants: a `ShardedCatalog` must serve the same
+//! estimates as the unsharded `Catalog` it decomposes.
+//!
+//! Three levels of parity, checked over property-generated mixed
+//! insert/delete streams:
+//!
+//! 1. **Exact** — total mass equals the unsharded catalog's (and the
+//!    truth's) to float precision; a *single*-shard `ShardedCatalog` is
+//!    estimate-identical to a `Catalog` (superposition is lossless); a
+//!    channel-mode column fed from one thread is estimate-identical to a
+//!    locked-mode one (per-sender FIFO).
+//! 2. **Sharper** — ranges aligned on shard boundaries are *exact*
+//!    against the ground truth (per-shard mass conservation), which the
+//!    unsharded histogram cannot promise.
+//! 3. **Approximate** — arbitrary ranges stay within a KS-style band of
+//!    both the truth and the unsharded estimate.
+
+use dynamic_histograms::core::{DataDistribution, ReadHistogram, UpdateOp};
+use dynamic_histograms::prelude::*;
+use proptest::prelude::*;
+
+const DOMAIN: (i64, i64) = (0, 149);
+
+/// A batched mixed insert/delete stream over a narrow domain, plus its
+/// exact live distribution.
+fn stream_strategy() -> impl Strategy<Value = (Vec<Vec<UpdateOp>>, DataDistribution)> {
+    (
+        prop::collection::vec(DOMAIN.0..DOMAIN.1 + 1, 50..600),
+        any::<u64>(),
+        1usize..80,
+    )
+        .prop_map(|(values, seed, batch)| {
+            let stream = UpdateStream::build(
+                &values,
+                WorkloadKind::InsertionsWithRandomDeletions {
+                    delete_probability: 0.25,
+                },
+                seed,
+            );
+            let truth = DataDistribution::from_values(&stream.final_multiset());
+            let ops = stream.ops();
+            let batches = ops.chunks(batch).map(<[UpdateOp]>::to_vec).collect();
+            (batches, truth)
+        })
+}
+
+fn exact_count(truth: &DataDistribution, a: i64, b: i64) -> f64 {
+    truth
+        .iter()
+        .filter(|&(v, _)| (a..=b).contains(&v))
+        .map(|(_, c)| c as f64)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_estimates_match_unsharded(
+        case in stream_strategy(),
+        seed in 0u64..1000,
+        shards in 2usize..6,
+    ) {
+        let (batches, truth) = case;
+        let memory = MemoryBudget::from_kb(0.5);
+        for spec in [AlgoSpec::Dc, AlgoSpec::Dado] {
+            let unsharded = Catalog::new();
+            unsharded.register("c", spec, memory, seed).unwrap();
+            let sharded = ShardedCatalog::new();
+            let plan = ShardPlan::new(DOMAIN.0, DOMAIN.1, shards);
+            sharded.register("c", spec, memory, seed, plan).unwrap();
+            for b in &batches {
+                unsharded.apply("c", b).unwrap();
+                sharded.apply("c", b).unwrap();
+            }
+            let u = unsharded.snapshot("c").unwrap();
+            let s = sharded.snapshot("c").unwrap();
+
+            // 1. Exact total-mass parity (both conserve mass exactly).
+            let total = truth.total() as f64;
+            prop_assert!((u.total_count() - total).abs() < 1e-6);
+            prop_assert!(
+                (s.total_count() - total).abs() < 1e-6,
+                "{}: sharded total {} != {}", spec.label(), s.total_count(), total
+            );
+
+            // 2. Shard-aligned ranges are exact against ground truth.
+            for i in 0..shards {
+                let (a, b) = plan.shard_range(i);
+                let est = s.estimate_range(a, b);
+                let exact = exact_count(&truth, a, b);
+                prop_assert!(
+                    (est - exact).abs() < 1e-6,
+                    "{}: shard {i} [{a},{b}] est {est} != exact {exact}",
+                    spec.label()
+                );
+            }
+
+            // 3. Arbitrary ranges: sharded stays in a KS-style band of
+            // both the truth and the unsharded estimate.
+            let slack = 0.25 * total + 2.0;
+            let width = DOMAIN.1 - DOMAIN.0 + 1;
+            for k in 0..8 {
+                let a = DOMAIN.0 + k * width / 8;
+                let b = a + width / 5;
+                let es = s.estimate_range(a, b);
+                let eu = u.estimate_range(a, b);
+                let exact = exact_count(&truth, a, b);
+                prop_assert!(
+                    (es - exact).abs() <= slack,
+                    "{}: [{a},{b}] sharded {es} vs exact {exact} (slack {slack})",
+                    spec.label()
+                );
+                prop_assert!(
+                    (es - eu).abs() <= slack,
+                    "{}: [{a},{b}] sharded {es} vs unsharded {eu} (slack {slack})",
+                    spec.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_is_estimate_identical_to_unsharded(
+        case in stream_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let (batches, _) = case;
+        let memory = MemoryBudget::from_kb(0.5);
+        for spec in [AlgoSpec::Dc, AlgoSpec::Dado, AlgoSpec::EquiDepth] {
+            let unsharded = Catalog::new();
+            unsharded.register("c", spec, memory, seed).unwrap();
+            let sharded = ShardedCatalog::new();
+            sharded
+                .register("c", spec, memory, seed, ShardPlan::new(DOMAIN.0, DOMAIN.1, 1))
+                .unwrap();
+            for b in &batches {
+                unsharded.apply("c", b).unwrap();
+                sharded.apply("c", b).unwrap();
+            }
+            let u = unsharded.snapshot("c").unwrap();
+            let s = sharded.snapshot("c").unwrap();
+            // Superposition of one member is lossless, so every estimate
+            // agrees to float precision (spans may be re-tiled).
+            prop_assert!((u.total_count() - s.total_count()).abs() < 1e-9);
+            for v in (DOMAIN.0..=DOMAIN.1).step_by(7) {
+                prop_assert!(
+                    (u.estimate_le(v) - s.estimate_le(v)).abs() < 1e-6,
+                    "{}: CDF diverges at {v}: {} vs {}",
+                    spec.label(), u.estimate_le(v), s.estimate_le(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn channel_mode_is_identical_to_locked_mode_single_writer(
+        case in stream_strategy(),
+        seed in 0u64..1000,
+        shards in 1usize..5,
+    ) {
+        let (batches, _) = case;
+        let memory = MemoryBudget::from_kb(0.5);
+        let locked = ShardedCatalog::new();
+        let plan = ShardPlan::new(DOMAIN.0, DOMAIN.1, shards);
+        locked.register("c", AlgoSpec::Dc, memory, seed, plan).unwrap();
+        let channel = ShardedCatalog::new();
+        channel
+            .register("c", AlgoSpec::Dc, memory, seed, plan.channel())
+            .unwrap();
+        for b in &batches {
+            locked.apply("c", b).unwrap();
+            channel.apply("c", b).unwrap();
+        }
+        channel.flush("c").unwrap();
+        let l = locked.snapshot("c").unwrap();
+        let c = channel.snapshot("c").unwrap();
+        // One sender and FIFO workers: the exact same per-shard replay,
+        // hence identical spans.
+        prop_assert_eq!(l.spans(), c.spans());
+        prop_assert_eq!(l.checkpoint(), c.checkpoint());
+    }
+}
