@@ -16,7 +16,11 @@
 //!                                # multi-writer catalog replay: ingestion
 //!                                # throughput + final KS for the
 //!                                # single-RwLock, sharded-locks and
-//!                                # sharded-channels serving designs
+//!                                # sharded-channels serving designs,
+//!                                # all through one &dyn ColumnStore path
+//! repro serve --json             # same, as machine-readable JSON on
+//!                                # stdout (CI uploads it as the
+//!                                # BENCH_serve.json artifact)
 //! ```
 
 use dh_bench::{all_figure_ids, run_custom, run_figure, run_serve, RunOptions, ServeConfig};
@@ -29,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--seeds N] [--scale F] [--out DIR] [--list] [figN...|all]\n\
          \x20      repro custom --algos LIST [--workload random|sorted] [options]\n\
-         \x20      repro serve [--shards N] [--writers LIST] [--algos SPEC] [options]\n\
+         \x20      repro serve [--shards N] [--writers LIST] [--algos SPEC] [--json] [options]\n\
          (no figure list means all figures; beware that without --quick this\n\
          is the paper-scale run. --algos takes paper legend names, e.g.\n\
          DC,DVO,DADO,AC20X,EquiWidth,EquiDepth,SC,SVO,SADO,SSBM)"
@@ -50,6 +54,7 @@ fn main() {
     let mut figures: Vec<String> = Vec::new();
     let mut custom = false;
     let mut serve = false;
+    let mut json = false;
     let mut shards: Option<usize> = None;
     let mut writers: Option<Vec<usize>> = None;
     let mut algos: Vec<AlgoSpec> = Vec::new();
@@ -60,6 +65,7 @@ fn main() {
             "--quick" => quick = true,
             "custom" => custom = true,
             "serve" => serve = true,
+            "--json" => json = true,
             "--shards" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 shards = Some(v.parse().unwrap_or_else(|_| usage()));
@@ -155,7 +161,13 @@ fn main() {
         std::io::stderr().flush().ok();
         let report = run_serve(cfg, &writers, opts);
         eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
-        println!("{}", report.to_markdown());
+        if json {
+            // Machine-readable: one JSON document on stdout (redirect to
+            // a file for the BENCH_serve.json CI artifact).
+            print!("{}", report.to_json());
+        } else {
+            println!("{}", report.to_markdown());
+        }
         if let Some(dir) = &out_dir {
             std::fs::create_dir_all(dir).expect("create output directory");
             for fig in [&report.throughput, &report.accuracy] {
@@ -164,11 +176,19 @@ fn main() {
                     .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
                 eprintln!("wrote {}", path.display());
             }
+            let path = dir.join("serve.json");
+            std::fs::write(&path, report.to_json())
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            eprintln!("wrote {}", path.display());
         }
         return;
     }
     if shards.is_some() || writers.is_some() {
         eprintln!("--shards/--writers only apply to serve mode");
+        usage();
+    }
+    if json {
+        eprintln!("--json only applies to serve mode");
         usage();
     }
 

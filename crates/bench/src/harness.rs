@@ -103,6 +103,65 @@ impl FigureResult {
     pub fn series_named(&self, label: &str) -> Option<&Series> {
         self.series.iter().find(|s| s.label == label)
     }
+
+    /// Renders the figure as one JSON object (`id`, `title`, axis labels,
+    /// and `series` as `{label, points: [[x, y], ...]}`) — the
+    /// machine-readable face CI artifacts consume.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"id\":\"{}\",\"title\":\"{}\",\"x_label\":\"{}\",\"y_label\":\"{}\",\"series\":[",
+            json_escape(&self.id),
+            json_escape(&self.title),
+            json_escape(&self.x_label),
+            json_escape(&self.y_label)
+        ));
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":\"{}\",\"points\":[",
+                json_escape(&s.label)
+            ));
+            for (j, &(x, y)) in s.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{}]", json_number(x), json_number(y)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity; those
+/// become `null`).
+pub(crate) fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
 }
 
 /// Options controlling figure runs.
@@ -205,6 +264,16 @@ mod tests {
         let md = sample_figure().to_markdown();
         assert!(md.contains("### figX"));
         assert!(md.contains("| x | A | B |"));
+    }
+
+    #[test]
+    fn json_rendering() {
+        let json = sample_figure().to_json();
+        assert!(json.starts_with("{\"id\":\"figX\""));
+        assert!(json.contains("\"series\":[{\"label\":\"A\",\"points\":[[0,0.1],[1,0.2]]}"));
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(1.5), "1.5");
     }
 
     #[test]

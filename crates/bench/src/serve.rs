@@ -4,15 +4,20 @@
 //! This is the `repro serve` mode and the engine behind the `contention`
 //! bench: a `dh_gen` update stream is chopped into batches, the batches
 //! are dealt round-robin to `W` concurrent writer threads, and the same
-//! replay is pushed through each [`ServeDesign`] — the single-`RwLock`
-//! [`Catalog`], the per-shard-locked [`ShardedCatalog`], and the
-//! MPSC-worker [`ShardedCatalog`]. The harness reports multi-writer
-//! ingestion throughput *and* the final estimation quality (KS against
-//! the exact live distribution), so the contention story and the paper's
-//! accuracy story stay on one page.
+//! replay is pushed through each [`ServeDesign`] — the single-lock
+//! [`Catalog`], the per-shard-locked [`ShardedCatalog`], and its
+//! MPSC-worker variant. All three are driven as `&dyn`
+//! [`ColumnStore`] through literally the same code path ([`Serving`]
+//! holds a `Box<dyn ColumnStore>`; only construction branches), so the
+//! measured differences are the ingestion designs, never the harness.
+//! The harness reports multi-writer ingestion throughput *and* the final
+//! estimation quality (KS against the exact live distribution), so the
+//! contention story and the paper's accuracy story stay on one page.
 
 use crate::harness::{mean, FigureResult, RunOptions, Series};
-use dh_catalog::{AlgoSpec, Catalog, ShardPlan, ShardedCatalog, Snapshot};
+use dh_catalog::{
+    AlgoSpec, Catalog, ColumnConfig, ColumnStore, ShardPlan, ShardedCatalog, Snapshot,
+};
 use dh_core::{ks_error, DataDistribution, MemoryBudget, UpdateOp};
 use dh_gen::workload::{UpdateStream, WorkloadKind};
 use dh_gen::SyntheticConfig;
@@ -54,13 +59,12 @@ impl ServeDesign {
     }
 }
 
-/// A live serving instance of one design — the uniform face the replay
-/// drives (also used by the `contention` bench).
-pub enum Serving {
-    /// Unsharded single-lock catalog.
-    Single(Catalog),
-    /// Sharded catalog (either ingestion mode).
-    Sharded(ShardedCatalog),
+/// A live serving instance of one design, held as a boxed
+/// [`ColumnStore`] — every design is driven through literally the same
+/// trait-object code path; only [`Serving::build`] knows which concrete
+/// store backs it (also used by the `contention` bench).
+pub struct Serving {
+    store: Box<dyn ColumnStore>,
 }
 
 impl Serving {
@@ -68,7 +72,8 @@ impl Serving {
     /// inclusive value `domain`.
     ///
     /// # Panics
-    /// Panics on registration failure (fresh instance, cannot collide).
+    /// Panics on registration failure (fresh instance, cannot collide)
+    /// or a degenerate domain/shard count.
     pub fn build(
         design: ServeDesign,
         spec: AlgoSpec,
@@ -77,26 +82,33 @@ impl Serving {
         domain: (i64, i64),
         seed: u64,
     ) -> Self {
-        match design {
-            ServeDesign::SingleLock => {
-                let catalog = Catalog::new();
-                catalog
-                    .register(COLUMN, spec, memory, seed)
-                    .expect("fresh catalog");
-                Serving::Single(catalog)
-            }
-            ServeDesign::ShardedLock | ServeDesign::ShardedChannel => {
-                let mut plan = ShardPlan::new(domain.0, domain.1, shards);
-                if design == ServeDesign::ShardedChannel {
-                    plan = plan.channel();
-                }
-                let catalog = ShardedCatalog::new();
-                catalog
-                    .register(COLUMN, spec, memory, seed, plan)
-                    .expect("fresh catalog");
-                Serving::Sharded(catalog)
-            }
+        let mut plan = ShardPlan::new(domain.0, domain.1, shards).expect("valid shard plan");
+        if design == ServeDesign::ShardedChannel {
+            plan = plan.channel();
         }
+        // The one design-specific branch: which store to box. (The
+        // unsharded catalog ignores the plan.)
+        let store: Box<dyn ColumnStore> = match design {
+            ServeDesign::SingleLock => Box::new(Catalog::new()),
+            ServeDesign::ShardedLock | ServeDesign::ShardedChannel => {
+                Box::new(ShardedCatalog::new())
+            }
+        };
+        store
+            .register(
+                COLUMN,
+                ColumnConfig::new(spec, memory)
+                    .with_seed(seed)
+                    .with_plan(plan),
+            )
+            .expect("fresh store");
+        Serving { store }
+    }
+
+    /// The store under replay, as the trait object the whole harness is
+    /// written against.
+    pub fn store(&self) -> &dyn ColumnStore {
+        self.store.as_ref()
     }
 
     /// Applies one batch (thread-safe).
@@ -105,17 +117,12 @@ impl Serving {
     /// Panics if the serve column is missing (never happens after
     /// [`Serving::build`]).
     pub fn apply(&self, batch: &[UpdateOp]) {
-        match self {
-            Serving::Single(c) => c.apply(COLUMN, batch).expect("column registered"),
-            Serving::Sharded(c) => c.apply(COLUMN, batch).expect("column registered"),
-        };
+        self.store.apply(COLUMN, batch).expect("column registered");
     }
 
     /// Barrier: returns once every accepted batch is applied.
     pub fn flush(&self) {
-        if let Serving::Sharded(c) = self {
-            c.flush(COLUMN).expect("column registered");
-        }
+        self.store.flush(COLUMN).expect("column registered");
     }
 
     /// A read snapshot of the ingested column.
@@ -124,10 +131,7 @@ impl Serving {
     /// Panics if the serve column is missing (never happens after
     /// [`Serving::build`]).
     pub fn snapshot(&self) -> Snapshot {
-        match self {
-            Serving::Single(c) => c.snapshot(COLUMN).expect("column registered"),
-            Serving::Sharded(c) => c.snapshot(COLUMN).expect("column registered"),
-        }
+        self.store.snapshot(COLUMN).expect("column registered")
     }
 }
 
@@ -196,6 +200,17 @@ impl ServeReport {
             "{}{}",
             self.throughput.to_markdown(),
             self.accuracy.to_markdown()
+        )
+    }
+
+    /// Both figures as one JSON document
+    /// (`{"throughput": {...}, "accuracy": {...}}`) — what
+    /// `repro serve --json` emits and CI uploads as `BENCH_serve.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"throughput\":{},\"accuracy\":{}}}\n",
+            self.throughput.to_json(),
+            self.accuracy.to_json()
         )
     }
 }
@@ -328,5 +343,9 @@ mod tests {
         }
         let md = report.to_markdown();
         assert!(md.contains("serve-throughput") && md.contains("serve-accuracy"));
+        let json = report.to_json();
+        assert!(json.contains("\"throughput\":{\"id\":\"serve-throughput\""));
+        assert!(json.contains("\"accuracy\":{\"id\":\"serve-accuracy\""));
+        assert!(json.contains("\"label\":\"sharded-channels\""));
     }
 }

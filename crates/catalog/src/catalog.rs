@@ -2,28 +2,37 @@
 //! readers estimate off shared snapshots.
 //!
 //! One `Catalog` owns a histogram per registered column (any mix of
-//! [`AlgoSpec`]s), ingests batched [`UpdateOp`] streams per column, and
-//! hands out [`Snapshot`]s — immutable, `Arc`-shared views that implement
-//! [`ReadHistogram`] — so estimation (including cross-column joins
-//! through `dh_optimizer`) runs off shared, cached state between batches.
-//! The first read after a batch renders the column under its write lock;
-//! for dynamic specs that is one span copy, while a static spec pays its
-//! rebuild there (the cost static histograms owe *somewhere* — choose a
-//! dynamic spec for write-hot columns).
+//! [`AlgoSpec`]s) behind a single cell per column, and serves the whole
+//! [`ColumnStore`] API: epoch-stamped
+//! [`WriteBatch`] commits (atomic across columns),
+//! per-column [`Snapshot`]s and consistent multi-column
+//! [`SnapshotSet`]s — immutable, `Arc`-shared views
+//! that implement [`ReadHistogram`], so estimation (including
+//! cross-column joins through `dh_optimizer`) runs off shared, cached
+//! state between batches. The first read after a batch renders the
+//! column once; for dynamic specs that is one span copy, while a static
+//! spec pays its rebuild there (the cost static histograms owe
+//! *somewhere* — choose a dynamic spec for write-hot columns).
 
 use crate::spec::AlgoSpec;
-use dh_core::{BoxedHistogram, BucketSpan, HistogramCdf, MemoryBudget, ReadHistogram, UpdateOp};
-use std::collections::BTreeMap;
+use crate::store::{ColumnConfig, ColumnStore, SnapshotSet};
+use crate::txn::{
+    compose_at, BatchTicket, Cell, ColumnStamp, ComposeCache, Registry, StoreColumn, WriteBatch,
+};
+use dh_core::{BucketSpan, HistogramCdf, ReadHistogram, UpdateOp};
 use std::fmt;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex};
 
-/// Errors surfaced by [`Catalog`] operations.
+/// Errors surfaced by [`ColumnStore`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CatalogError {
     /// The named column has not been registered.
     UnknownColumn(String),
     /// The column name is already taken.
     DuplicateColumn(String),
+    /// A shard plan failed validation (zero shards, inverted domain), or
+    /// a sharded store was asked to register a column without one.
+    InvalidShardPlan(String),
 }
 
 impl fmt::Display for CatalogError {
@@ -31,40 +40,70 @@ impl fmt::Display for CatalogError {
         match self {
             CatalogError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
             CatalogError::DuplicateColumn(c) => write!(f, "column '{c}' already registered"),
+            CatalogError::InvalidShardPlan(why) => write!(f, "invalid shard plan: {why}"),
         }
     }
 }
 
 impl std::error::Error for CatalogError {}
 
-/// Per-column mutable state, guarded by the column's `RwLock`.
-struct ColumnState {
-    histogram: BoxedHistogram,
-    /// Number of batches applied so far; strictly monotone.
-    checkpoint: u64,
-    /// Number of individual updates applied so far.
-    updates: u64,
-    /// Cached snapshot of the current state; invalidated by every batch.
-    snapshot: Option<Snapshot>,
-    /// Scratch buffer for snapshot rendering (allocation reuse).
-    scratch: Vec<BucketSpan>,
-}
-
+/// One registered column: a single [`Cell`] plus its publish-consistent
+/// stamp and the compose cache.
 struct Column {
     name: String,
     spec: AlgoSpec,
-    state: RwLock<ColumnState>,
+    cell: Cell,
+    stamp: Mutex<ColumnStamp>,
+    cache: Mutex<ComposeCache>,
 }
 
-/// A thread-safe, multi-column histogram store.
+impl StoreColumn for Column {
+    type Staged = ();
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stage_ops(&self, ticket: &Arc<BatchTicket>, ops: Vec<UpdateOp>) {
+        self.cell.stage(ticket.clone(), ops);
+    }
+
+    fn stamp(&self) -> &Mutex<ColumnStamp> {
+        &self.stamp
+    }
+
+    /// Synchronous store: the committing writer applies its own batch
+    /// (readers could drain it themselves, but keeping maintenance on
+    /// the write path preserves the single-lock cost model).
+    fn settle(&self, _staged: &(), epoch: u64) {
+        self.cell.drain_to(epoch);
+    }
+
+    fn render_at(&self, epoch: u64, stamp: ColumnStamp) -> Result<Snapshot, u64> {
+        compose_at(
+            &[&self.cell],
+            epoch,
+            &self.cache,
+            &self.name,
+            self.spec.label(),
+            stamp.accepted,
+            stamp.updates,
+        )
+    }
+}
+
+/// A thread-safe, multi-column histogram store serving through the
+/// [`ColumnStore`] trait — the single-lock-per-column design.
 ///
-/// Writers call [`Catalog::apply`] with batches of updates; readers call
-/// [`Catalog::snapshot`] (or the `estimate_*` conveniences) at any time
-/// from any thread. Columns are independent: ingestion on one column
-/// never blocks estimation on another.
+/// Writers commit [`WriteBatch`]es (or single-column
+/// [`apply`](ColumnStore::apply) calls) from any thread; readers take
+/// epoch-pinned [`Snapshot`]s / [`SnapshotSet`]s at any time. Columns
+/// are independent for maintenance — histogram application on one column
+/// never blocks estimation on another — while the store-wide epoch clock
+/// makes every commit atomic across the columns it touches.
 #[derive(Default)]
 pub struct Catalog {
-    columns: RwLock<BTreeMap<String, Arc<Column>>>,
+    registry: Registry<Column>,
 }
 
 impl Catalog {
@@ -72,156 +111,66 @@ impl Catalog {
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    /// Registers `column` with a fresh histogram built from `spec` under
-    /// `memory` bytes (`seed` feeds sampling algorithms, see
-    /// [`AlgoSpec::build`]).
+impl ColumnStore for Catalog {
+    /// Registers `column` with a fresh histogram built per `config`.
     ///
-    /// # Errors
-    /// [`CatalogError::DuplicateColumn`] if the name is taken.
-    pub fn register(
-        &self,
-        column: impl Into<String>,
-        spec: AlgoSpec,
-        memory: MemoryBudget,
-        seed: u64,
-    ) -> Result<(), CatalogError> {
-        let name = column.into();
-        let mut columns = write_lock(&self.columns);
-        if columns.contains_key(&name) {
-            return Err(CatalogError::DuplicateColumn(name));
-        }
-        let histogram = spec.build(memory, seed);
-        columns.insert(
-            name.clone(),
-            Arc::new(Column {
-                name,
-                spec,
-                state: RwLock::new(ColumnState {
-                    histogram,
-                    checkpoint: 0,
-                    updates: 0,
-                    snapshot: None,
-                    scratch: Vec::new(),
-                }),
-            }),
-        );
+    /// The whole value domain is served from one histogram; a supplied
+    /// [`ShardPlan`](crate::ShardPlan) is accepted and ignored (it
+    /// describes physical partitioning, not semantics), so generic
+    /// callers can register one config against any store.
+    fn register(&self, column: &str, config: ColumnConfig) -> Result<(), CatalogError> {
+        self.registry.insert(column, || Column {
+            name: column.to_string(),
+            spec: config.spec,
+            cell: Cell::new(config.spec.build(config.memory, config.seed)),
+            stamp: Mutex::new(ColumnStamp::default()),
+            cache: Mutex::new(ComposeCache::default()),
+        })
+    }
+
+    fn columns(&self) -> Vec<String> {
+        self.registry.names()
+    }
+
+    fn contains(&self, column: &str) -> bool {
+        self.registry.contains(column)
+    }
+
+    fn spec(&self, column: &str) -> Result<AlgoSpec, CatalogError> {
+        Ok(self.registry.get(column)?.spec)
+    }
+
+    fn commit(&self, batch: WriteBatch) -> Result<u64, CatalogError> {
+        self.registry.commit(batch)
+    }
+
+    fn apply(&self, column: &str, batch: &[UpdateOp]) -> Result<u64, CatalogError> {
+        self.registry.apply(column, batch)
+    }
+
+    /// A no-op barrier: this store applies batches on the write path, so
+    /// everything accepted is already applied.
+    fn flush(&self, column: &str) -> Result<(), CatalogError> {
+        self.registry.get(column)?;
         Ok(())
     }
 
-    /// The registered column names, sorted.
-    pub fn columns(&self) -> Vec<String> {
-        read_lock(&self.columns).keys().cloned().collect()
+    fn snapshot(&self, column: &str) -> Result<Snapshot, CatalogError> {
+        self.registry.snapshot(column)
     }
 
-    /// Whether `column` is registered.
-    pub fn contains(&self, column: &str) -> bool {
-        read_lock(&self.columns).contains_key(column)
+    fn snapshot_set(&self, columns: &[&str]) -> Result<SnapshotSet, CatalogError> {
+        self.registry.snapshot_set(columns)
     }
 
-    /// Number of registered columns.
-    pub fn len(&self) -> usize {
-        read_lock(&self.columns).len()
+    fn checkpoint(&self, column: &str) -> Result<u64, CatalogError> {
+        self.registry.checkpoint(column)
     }
 
-    /// Whether no columns are registered.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The algorithm a column was registered with.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn spec(&self, column: &str) -> Result<AlgoSpec, CatalogError> {
-        Ok(self.column(column)?.spec)
-    }
-
-    /// Applies one batch of updates to `column`'s histogram and returns
-    /// the new checkpoint count (strictly monotone per column; an empty
-    /// batch still advances it, marking an explicit sync point).
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn apply(&self, column: &str, batch: &[UpdateOp]) -> Result<u64, CatalogError> {
-        let col = self.column(column)?;
-        let mut state = write_lock(&col.state);
-        state.histogram.apply_slice(batch);
-        state.updates += batch.len() as u64;
-        state.checkpoint += 1;
-        state.snapshot = None;
-        Ok(state.checkpoint)
-    }
-
-    /// An immutable snapshot of `column`'s current histogram.
-    ///
-    /// Snapshots are cached per checkpoint: between batches, every call
-    /// clones one `Arc`. The first read after a batch renders the spans
-    /// once (under the column's write lock, reusing a scratch buffer).
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn snapshot(&self, column: &str) -> Result<Snapshot, CatalogError> {
-        let col = self.column(column)?;
-        if let Some(s) = &read_lock(&col.state).snapshot {
-            return Ok(s.clone());
-        }
-        let mut state = write_lock(&col.state);
-        if let Some(s) = &state.snapshot {
-            return Ok(s.clone()); // another reader rendered it first
-        }
-        let ColumnState {
-            histogram, scratch, ..
-        } = &mut *state;
-        histogram.spans_into(scratch);
-        let snapshot = Snapshot::from_parts(
-            col.name.clone(),
-            col.spec.label(),
-            state.checkpoint,
-            state.updates,
-            state.scratch.clone(),
-        );
-        state.snapshot = Some(snapshot.clone());
-        Ok(snapshot)
-    }
-
-    /// The number of batches applied to `column` so far.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn checkpoint(&self, column: &str) -> Result<u64, CatalogError> {
-        Ok(read_lock(&self.column(column)?.state).checkpoint)
-    }
-
-    /// Estimated number of values in `[a, b]` on `column`.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn estimate_range(&self, column: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
-        Ok(self.snapshot(column)?.estimate_range(a, b))
-    }
-
-    /// Estimated number of values equal to `v` on `column`.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn estimate_eq(&self, column: &str, v: i64) -> Result<f64, CatalogError> {
-        Ok(self.snapshot(column)?.estimate_eq(v))
-    }
-
-    /// Total live mass on `column`.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn total_count(&self, column: &str) -> Result<f64, CatalogError> {
-        Ok(self.snapshot(column)?.total_count())
-    }
-
-    fn column(&self, column: &str) -> Result<Arc<Column>, CatalogError> {
-        read_lock(&self.columns)
-            .get(column)
-            .cloned()
-            .ok_or_else(|| CatalogError::UnknownColumn(column.into()))
+    fn epoch(&self) -> u64 {
+        self.registry.epoch()
     }
 }
 
@@ -229,23 +178,15 @@ impl fmt::Debug for Catalog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Catalog")
             .field("columns", &self.columns())
+            .field("epoch", &self.epoch())
             .finish()
     }
-}
-
-/// Poison-tolerant read lock (shared with the sharded serving layer).
-pub(crate) fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(|e| e.into_inner())
-}
-
-/// Poison-tolerant write lock (shared with the sharded serving layer).
-pub(crate) fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(|e| e.into_inner())
 }
 
 struct SnapshotInner {
     column: String,
     label: String,
+    epoch: u64,
     checkpoint: u64,
     updates: u64,
     total: f64,
@@ -253,24 +194,26 @@ struct SnapshotInner {
     cdf: HistogramCdf,
 }
 
-/// A cheap, immutable view of one column's histogram at a checkpoint.
+/// A cheap, immutable view of one column's histogram, pinned to a
+/// published epoch.
 ///
 /// Cloning is one `Arc` bump; the snapshot implements [`ReadHistogram`]
-/// (with a precomputed CDF, so estimates don't re-render spans) and can be
-/// fed anywhere a histogram is expected — including `dh_optimizer`'s
-/// join estimators, which is how mixed-algorithm joins run straight off a
-/// catalog.
+/// (with a precomputed CDF, so estimates don't re-render spans) and can
+/// be fed anywhere a histogram is expected — including `dh_optimizer`'s
+/// join estimators, which is how mixed-algorithm joins run straight off
+/// a catalog.
 #[derive(Clone)]
 pub struct Snapshot {
     inner: Arc<SnapshotInner>,
 }
 
 impl Snapshot {
-    /// Assembles a snapshot from rendered spans (shared by [`Catalog`] and
-    /// the sharded serving layer, which composes spans from many shards).
+    /// Assembles a snapshot from rendered spans (shared by every
+    /// [`ColumnStore`] implementation).
     pub(crate) fn from_parts(
         column: String,
         label: String,
+        epoch: u64,
         checkpoint: u64,
         updates: u64,
         spans: Vec<BucketSpan>,
@@ -279,6 +222,7 @@ impl Snapshot {
             inner: Arc::new(SnapshotInner {
                 column,
                 label,
+                epoch,
                 checkpoint,
                 updates,
                 total: spans.iter().map(|s| s.count).sum(),
@@ -288,14 +232,15 @@ impl Snapshot {
         }
     }
 
-    /// The same rendered spans under a newer checkpoint/update stamp —
-    /// used by the sharded layer when a version-matched cache hit raced
-    /// with a checkpoint bump (spans identical, counter ahead).
-    pub(crate) fn restamped(&self, checkpoint: u64, updates: u64) -> Snapshot {
+    /// The same rendered spans under a newer epoch/counter stamp — used
+    /// when a version-matched cache hit raced with a commit that left the
+    /// spans identical (an empty batch, or commits to other columns).
+    pub(crate) fn restamped(&self, epoch: u64, checkpoint: u64, updates: u64) -> Snapshot {
         Snapshot {
             inner: Arc::new(SnapshotInner {
                 column: self.inner.column.clone(),
                 label: self.inner.label.clone(),
+                epoch,
                 checkpoint,
                 updates,
                 total: self.inner.total,
@@ -315,14 +260,31 @@ impl Snapshot {
         &self.inner.label
     }
 
-    /// The batch count at the time of the snapshot.
+    /// The store epoch this snapshot is pinned to: it contains exactly
+    /// the batches published at or before this epoch — whole batches
+    /// only. Snapshots of a [`SnapshotSet`] all
+    /// share one epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// The column's accepted-batch count as of the pinned epoch (stamped
+    /// under the publication gate, so it counts exactly the batches this
+    /// snapshot contains).
     pub fn checkpoint(&self) -> u64 {
         self.inner.checkpoint
     }
 
-    /// The update count at the time of the snapshot.
+    /// The column's accepted-update count as of the pinned epoch.
     pub fn updates(&self) -> u64 {
         self.inner.updates
+    }
+
+    /// Whether two snapshots share the same underlying rendering (used
+    /// by cache tests; clones of one snapshot always do).
+    #[cfg(test)]
+    pub(crate) fn same_rendering(&self, other: &Snapshot) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 
@@ -331,6 +293,7 @@ impl fmt::Debug for Snapshot {
         f.debug_struct("Snapshot")
             .field("column", &self.inner.column)
             .field("label", &self.inner.label)
+            .field("epoch", &self.inner.epoch)
             .field("checkpoint", &self.inner.checkpoint)
             .field("buckets", &self.inner.spans.len())
             .finish()
@@ -379,23 +342,28 @@ impl ReadHistogram for Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dh_core::MemoryBudget;
 
     fn inserts(range: std::ops::Range<i64>) -> Vec<UpdateOp> {
         range.map(UpdateOp::Insert).collect()
     }
 
+    fn config() -> ColumnConfig {
+        ColumnConfig::new(AlgoSpec::Dado, MemoryBudget::from_kb(1.0)).with_seed(1)
+    }
+
     #[test]
     fn register_apply_snapshot_round_trip() {
         let cat = Catalog::new();
-        let memory = MemoryBudget::from_kb(1.0);
-        cat.register("a", AlgoSpec::Dado, memory, 1).unwrap();
+        cat.register("a", config()).unwrap();
         assert_eq!(
-            cat.register("a", AlgoSpec::Dc, memory, 1),
+            cat.register("a", config()),
             Err(CatalogError::DuplicateColumn("a".into()))
         );
         let cp = cat.apply("a", &inserts(0..5000)).unwrap();
         assert_eq!(cp, 1);
         let snap = cat.snapshot("a").unwrap();
+        assert_eq!(snap.epoch(), 1);
         assert_eq!(snap.checkpoint(), 1);
         assert_eq!(snap.updates(), 5000);
         assert_eq!(snap.column(), "a");
@@ -407,19 +375,61 @@ mod tests {
     #[test]
     fn snapshots_are_cached_and_invalidate_on_write() {
         let cat = Catalog::new();
-        cat.register("a", AlgoSpec::Dc, MemoryBudget::from_kb(0.5), 1)
-            .unwrap();
+        cat.register(
+            "a",
+            ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(0.5)).with_seed(1),
+        )
+        .unwrap();
         cat.apply("a", &inserts(0..1000)).unwrap();
         let s1 = cat.snapshot("a").unwrap();
         let s2 = cat.snapshot("a").unwrap();
-        assert!(Arc::ptr_eq(&s1.inner, &s2.inner), "cached between writes");
+        assert!(s1.same_rendering(&s2), "cached between writes");
         cat.apply("a", &inserts(0..10)).unwrap();
         let s3 = cat.snapshot("a").unwrap();
-        assert!(!Arc::ptr_eq(&s1.inner, &s3.inner), "invalidated by write");
+        assert!(!s1.same_rendering(&s3), "invalidated by write");
         assert_eq!(s3.checkpoint(), 2);
-        // The old snapshot still reads consistently at its checkpoint.
+        assert_eq!(s3.epoch(), 2);
+        // The old snapshot still reads consistently at its epoch.
         assert!((s1.total_count() - 1000.0).abs() < 1e-9);
         assert!((s3.total_count() - 1010.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_column_commits_are_atomic_and_epoch_stamped() {
+        let cat = Catalog::new();
+        cat.register("a", config()).unwrap();
+        cat.register("b", config()).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.extend("a", inserts(0..100));
+        batch.extend("b", inserts(0..200));
+        let epoch = cat.commit(batch).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(cat.epoch(), 1);
+        let set = cat.snapshot_set(&["a", "b"]).unwrap();
+        assert_eq!(set.epoch(), 1);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get("a").unwrap().epoch(), 1);
+        assert_eq!(set.get("b").unwrap().epoch(), 1);
+        assert!((set.get("a").unwrap().total_count() - 100.0).abs() < 1e-9);
+        assert!((set.get("b").unwrap().total_count() - 200.0).abs() < 1e-9);
+        assert_eq!(set.columns().collect::<Vec<_>>(), ["a", "b"]);
+    }
+
+    #[test]
+    fn commit_rejects_unknown_columns_without_side_effects() {
+        let cat = Catalog::new();
+        cat.register("a", config()).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.extend("a", inserts(0..50));
+        batch.insert("ghost", 1);
+        assert_eq!(
+            cat.commit(batch).unwrap_err(),
+            CatalogError::UnknownColumn("ghost".into())
+        );
+        // Nothing was staged or published.
+        assert_eq!(cat.epoch(), 0);
+        assert_eq!(cat.checkpoint("a").unwrap(), 0);
+        assert_eq!(cat.snapshot("a").unwrap().total_count(), 0.0);
     }
 
     #[test]
@@ -430,7 +440,9 @@ mod tests {
             CatalogError::UnknownColumn("ghost".into())
         );
         assert!(cat.snapshot("ghost").is_err());
+        assert!(cat.snapshot_set(&["ghost"]).is_err());
         assert!(cat.estimate_eq("ghost", 1).is_err());
+        assert!(cat.flush("ghost").is_err());
         assert!(!cat.contains("ghost"));
         assert!(cat.is_empty());
         let msg = CatalogError::UnknownColumn("ghost".into()).to_string();
@@ -446,7 +458,8 @@ mod tests {
             ("svo", AlgoSpec::VOptimal),
             ("ac", AlgoSpec::Ac { disk_factor: 20 }),
         ] {
-            cat.register(name, spec, memory, 7).unwrap();
+            cat.register(name, ColumnConfig::new(spec, memory).with_seed(7))
+                .unwrap();
             cat.apply(name, &inserts(0..2000)).unwrap();
         }
         assert_eq!(cat.columns(), ["ac", "dc", "svo"]);
@@ -457,15 +470,21 @@ mod tests {
             assert!((est - 2000.0).abs() / 2000.0 < 0.05, "{name}: {est}");
             assert_eq!(cat.checkpoint(name).unwrap(), 1);
         }
+        // Three applies on three columns: three store epochs.
+        assert_eq!(cat.epoch(), 3);
     }
 
     #[test]
     fn empty_batches_advance_checkpoints() {
         let cat = Catalog::new();
-        cat.register("a", AlgoSpec::EquiDepth, MemoryBudget::from_kb(0.25), 0)
-            .unwrap();
+        cat.register(
+            "a",
+            ColumnConfig::new(AlgoSpec::EquiDepth, MemoryBudget::from_kb(0.25)),
+        )
+        .unwrap();
         assert_eq!(cat.apply("a", &[]).unwrap(), 1);
         assert_eq!(cat.apply("a", &[]).unwrap(), 2);
         assert_eq!(cat.snapshot("a").unwrap().num_buckets(), 0);
+        assert_eq!(cat.snapshot("a").unwrap().epoch(), 2);
     }
 }

@@ -1,9 +1,10 @@
 //! The estimation *serving layer*: one registry for every histogram
-//! algorithm in the workspace, and a multi-column [`Catalog`] that keeps
-//! boxed histograms maintained in place while readers estimate off cheap
-//! snapshots — the deployment the paper argues for (Section 1: the
-//! optimizer keeps reading size estimates while the data set, and hence
-//! the histogram, evolves underneath it).
+//! algorithm in the workspace, one object-safe [`ColumnStore`] trait for
+//! every store design, and transactional epoch-stamped writes — the
+//! deployment the paper argues for (Section 1: the optimizer keeps
+//! reading size estimates while the data set, and hence the histogram,
+//! evolves underneath it), hardened for multi-column, multi-shard
+//! consistency.
 //!
 //! * [`spec`] — [`AlgoSpec`], the unified configuration enum covering the
 //!   dynamic histograms (DC, DVO, DADO, AC), the static baselines
@@ -15,14 +16,22 @@
 //! * [`adapter`] — [`StaticRebuild`], the wrapper that gives
 //!   scan-and-rebuild static histograms the same maintained-in-place
 //!   [`dh_core::DynHistogram`] face as the dynamic ones.
-//! * [`catalog`] — the [`Catalog`] itself: per-column histograms behind
-//!   `RwLock`, batched [`dh_core::UpdateOp`] ingestion with monotone
-//!   checkpoint counts, and `Arc`-shared read [`Snapshot`]s.
-//! * [`sharded`] — the [`ShardedCatalog`]: a column's value domain
-//!   partitioned across independently locked shards (or per-shard MPSC
-//!   ingestion workers), with snapshots composed back into one histogram
-//!   through `dh_distributed`'s lossless superposition — multi-writer
-//!   ingestion without a global lock, same read API.
+//! * [`store`] — the [`ColumnStore`] trait (register / commit / apply /
+//!   snapshot / estimate, object-safe), [`ColumnConfig`], and
+//!   [`SnapshotSet`] — a consistent multi-column view pinned to one
+//!   epoch. Estimation code, benches and the `repro serve` replay are
+//!   written once against `&dyn ColumnStore`.
+//! * [`txn`] — [`WriteBatch`] and the two-phase, epoch-stamped commit
+//!   protocol (stage per cell, one atomic epoch publication per store)
+//!   that guarantees readers never observe a torn batch — across shards
+//!   *and* across columns.
+//! * [`catalog`] — [`Catalog`], the single-cell-per-column store, and the
+//!   epoch-pinned [`Snapshot`] every store serves.
+//! * [`sharded`] — [`ShardedCatalog`]: a column's value domain
+//!   partitioned across independently locked shards (drained inline or by
+//!   per-shard MPSC workers), with snapshots composed back into one
+//!   histogram through `dh_distributed`'s lossless superposition —
+//!   multi-writer ingestion without a global lock, same read API.
 //!
 //! This crate (not `dh_core`) hosts `AlgoSpec` because building AC and
 //! the static baselines requires `dh_sample` and `dh_static`, which both
@@ -31,13 +40,17 @@
 //! # Example: mixed algorithms behind one API
 //!
 //! ```
-//! use dh_catalog::{AlgoSpec, Catalog};
+//! use dh_catalog::{AlgoSpec, Catalog, ColumnConfig, ColumnStore};
 //! use dh_core::{MemoryBudget, ReadHistogram, UpdateOp};
 //!
 //! let catalog = Catalog::new();
 //! let memory = MemoryBudget::from_kb(1.0);
-//! catalog.register("orders.amount", AlgoSpec::Dc, memory, 1).unwrap();
-//! catalog.register("orders.qty", "SVO".parse().unwrap(), memory, 1).unwrap();
+//! catalog
+//!     .register("orders.amount", ColumnConfig::new(AlgoSpec::Dc, memory).with_seed(1))
+//!     .unwrap();
+//! catalog
+//!     .register("orders.qty", ColumnConfig::new("SVO".parse().unwrap(), memory))
+//!     .unwrap();
 //!
 //! let batch: Vec<UpdateOp> = (0..4000).map(|i| UpdateOp::Insert(i % 120)).collect();
 //! catalog.apply("orders.amount", &batch).unwrap();
@@ -55,8 +68,12 @@ pub mod adapter;
 pub mod catalog;
 pub mod sharded;
 pub mod spec;
+pub mod store;
+pub mod txn;
 
 pub use adapter::StaticRebuild;
 pub use catalog::{Catalog, CatalogError, Snapshot};
 pub use sharded::{IngestMode, ShardPlan, ShardedCatalog};
 pub use spec::{AlgoSpec, ParseAlgoSpecError};
+pub use store::{ColumnConfig, ColumnStore, SnapshotSet};
+pub use txn::WriteBatch;

@@ -2,129 +2,171 @@
 //! independently locked shards, composed back into a single histogram
 //! through `dh_distributed`'s lossless superposition.
 //!
-//! A [`Catalog`](crate::Catalog) column serializes every writer behind one
-//! `RwLock`. A [`ShardedCatalog`] column instead splits its value domain
-//! into `k` contiguous subranges, each owning a private histogram (built
-//! from the same [`AlgoSpec`], with the memory budget divided evenly), so
-//! concurrent writers whose batches land on different shards never touch
-//! the same lock. Readers still see *one* histogram: snapshot composition
-//! superimposes the per-shard spans ([`dh_distributed::superimpose`], the
-//! Section 8 union estimator — shards are "member sites" of a degenerate
-//! shared-nothing union whose members happen to be disjoint), so a
-//! [`Snapshot`] of a sharded column feeds `dh_optimizer` exactly like an
-//! unsharded one.
+//! A [`Catalog`](crate::Catalog) column serializes histogram maintenance
+//! behind one cell. A [`ShardedCatalog`] column instead splits its value
+//! domain into `k` contiguous subranges, each owning a private histogram
+//! (built from the same [`AlgoSpec`], with the memory budget divided
+//! evenly), so concurrent writers whose batches land on different shards
+//! never touch the same state lock. Readers still see *one* histogram:
+//! snapshot composition superimposes the per-shard spans
+//! ([`dh_distributed::superimpose`], the Section 8 union estimator —
+//! shards are "member sites" of a degenerate shared-nothing union whose
+//! members happen to be disjoint), so a [`Snapshot`] of a sharded column
+//! feeds `dh_optimizer` exactly like an unsharded one.
 //!
-//! Two ingestion designs are available per column ([`IngestMode`]):
+//! Writes follow the store-wide two-phase, epoch-stamped commit of
+//! [`crate::txn`]: a batch is *staged* into every touched shard's pending
+//! queue, then *published* in one atomic epoch bump — so no reader ever
+//! observes a batch torn between shards (or, for a multi-column
+//! [`WriteBatch`], between columns). Two ingestion
+//! designs then differ only in **who applies** the staged entries
+//! ([`IngestMode`]):
 //!
-//! * **`Locked`** — writers partition their batch by shard and apply each
-//!   piece under that shard's own `RwLock`. Writers on different shards
+//! * **`Locked`** — the committing writer drains each touched shard
+//!   itself, under that shard's own lock. Writers on different shards
 //!   proceed in parallel; writers on the same shard contend only there.
-//! * **`Channel`** — each shard owns an MPSC ingestion worker; writers
-//!   only enqueue, never lock. Apply order per writer is preserved (MPSC
-//!   is FIFO per sender), and [`ShardedCatalog::flush`] provides the
-//!   barrier that makes reads deterministic.
+//! * **`Channel`** — each shard owns an MPSC drain worker; after
+//!   publishing, writers only nudge the workers and return, never waiting
+//!   on histogram maintenance. [`ColumnStore::flush`] is the barrier that
+//!   makes reads deterministic (readers also self-serve: a snapshot
+//!   drains published entries it still needs).
 //!
+//! Either way drains apply entries in epoch order, so locked and channel
+//! ingestion produce identical histograms for the same commit sequence.
 //! The `contention` bench and `repro serve` compare both designs against
-//! the single-lock `Catalog` under multi-writer replay; `ARCHITECTURE.md`
-//! quotes the numbers.
+//! the single-cell `Catalog` under multi-writer replay — through the
+//! same `&dyn ColumnStore` code path; `ARCHITECTURE.md` quotes the
+//! numbers.
 //!
 //! # Example
 //!
 //! ```
-//! use dh_catalog::{AlgoSpec, ShardPlan, ShardedCatalog};
+//! use dh_catalog::{AlgoSpec, ColumnConfig, ColumnStore, ShardPlan, ShardedCatalog};
 //! use dh_core::{MemoryBudget, ReadHistogram, UpdateOp};
 //!
 //! let catalog = ShardedCatalog::new();
-//! let plan = ShardPlan::new(0, 999, 4); // domain [0, 999], 4 shards
-//! catalog
-//!     .register("orders.amount", AlgoSpec::Dc, MemoryBudget::from_kb(1.0), 1, plan)
-//!     .unwrap();
+//! let plan = ShardPlan::new(0, 999, 4).unwrap(); // domain [0, 999], 4 shards
+//! let config = ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0))
+//!     .with_seed(1)
+//!     .with_plan(plan);
+//! catalog.register("orders.amount", config).unwrap();
 //!
 //! let batch: Vec<UpdateOp> = (0..4000).map(|i| UpdateOp::Insert(i % 1000)).collect();
 //! catalog.apply("orders.amount", &batch).unwrap();
 //!
 //! let snap = catalog.snapshot("orders.amount").unwrap();
+//! assert_eq!(snap.epoch(), 1);
 //! assert!((snap.total_count() - 4000.0).abs() < 1e-9);
 //! assert!(snap.estimate_range(0, 999) > 3900.0);
 //! ```
 
-use crate::catalog::{read_lock, write_lock, CatalogError};
+use crate::catalog::CatalogError;
 use crate::spec::AlgoSpec;
+use crate::store::{ColumnConfig, ColumnStore, SnapshotSet};
+use crate::txn::{
+    compose_at, BatchTicket, Cell, ColumnStamp, ComposeCache, Registry, StoreColumn, WriteBatch,
+};
 use crate::Snapshot;
-use dh_core::{BoxedHistogram, BucketSpan, MemoryBudget, UpdateOp};
-use dh_distributed::superimpose;
-use std::collections::BTreeMap;
+use dh_core::{MemoryBudget, UpdateOp};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// How a sharded column ingests update batches.
+/// How a sharded column applies its staged update batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum IngestMode {
-    /// Writers apply their (routed) sub-batches directly, under each
-    /// shard's own lock. Synchronous: when [`ShardedCatalog::apply`]
-    /// returns, the batch is in the histograms.
+    /// The committing writer drains each touched shard itself, under that
+    /// shard's own lock. Synchronous: when
+    /// [`ColumnStore::apply`]/[`ColumnStore::commit`] returns, the batch
+    /// is in the histograms.
     #[default]
     Locked,
-    /// Writers enqueue sub-batches to one MPSC ingestion worker per shard
-    /// and return immediately; the worker alone takes the shard's write
-    /// lock. Asynchronous: use [`ShardedCatalog::flush`] as a barrier
-    /// before reads that must observe every prior `apply`.
+    /// One MPSC drain worker per shard applies staged entries; writers
+    /// publish, nudge the workers and return without waiting on histogram
+    /// maintenance. Asynchronous: use [`ColumnStore::flush`] as a barrier
+    /// before reads that must observe every prior commit (snapshots are
+    /// still never torn — they see whole published batches only, as of
+    /// whatever epoch they pin).
     Channel,
 }
 
 /// How a column is sharded: its value domain, the shard count, and the
-/// ingestion design.
+/// ingestion design. Constructible only through [`ShardPlan::new`]
+/// (which rejects degenerate input), so every live plan is valid — the
+/// single validation point.
+///
+/// # Routing invariants
+///
+/// Every plan guarantees:
+///
+/// * [`route`](ShardPlan::route) is total on `i64` (values outside the
+///   domain clamp to the edge shards) and maps into `0..shards`;
+/// * [`shard_range`](ShardPlan::shard_range) is the exact inverse: the
+///   ranges tile the domain — disjoint, in order, covering every value —
+///   and `route(v) == i` iff `v` clamps into `shard_range(i)`;
+/// * both are overflow-safe over the full `i64` domain (widened to
+///   `i128`/`u128` internally).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ShardPlan {
     /// Inclusive value domain `[lo, hi]` partitioned across shards.
-    /// Values outside the domain route to the nearest edge shard.
-    pub domain: (i64, i64),
+    domain: (i64, i64),
     /// Number of shards (>= 1).
-    pub shards: usize,
+    shards: usize,
     /// Ingestion design.
-    pub mode: IngestMode,
+    mode: IngestMode,
 }
 
 impl ShardPlan {
     /// A locked-ingestion plan over the inclusive domain `[lo, hi]` with
     /// `shards` equal-width shards.
     ///
-    /// # Panics
-    /// Panics if `lo > hi` or `shards == 0`.
-    pub fn new(lo: i64, hi: i64, shards: usize) -> Self {
-        assert!(lo <= hi, "empty shard domain");
-        assert!(shards > 0, "need at least one shard");
-        Self {
+    /// # Errors
+    /// [`CatalogError::InvalidShardPlan`] if `shards == 0` or `lo > hi`
+    /// (degenerate input is rejected, never clamped).
+    pub fn new(lo: i64, hi: i64, shards: usize) -> Result<Self, CatalogError> {
+        if shards == 0 {
+            return Err(CatalogError::InvalidShardPlan(
+                "need at least one shard (shards == 0)".into(),
+            ));
+        }
+        if lo > hi {
+            return Err(CatalogError::InvalidShardPlan(format!(
+                "empty domain [{lo}, {hi}] (lo > hi)"
+            )));
+        }
+        Ok(Self {
             domain: (lo, hi),
             shards,
             mode: IngestMode::Locked,
-        }
+        })
     }
 
-    /// The same plan with channel (MPSC worker) ingestion.
+    /// The same plan with channel (MPSC drain worker) ingestion.
     pub fn channel(mut self) -> Self {
         self.mode = IngestMode::Channel;
         self
     }
 
-    /// The invariants [`ShardPlan::new`] establishes, re-checked because
-    /// the fields are public and a literal can bypass the constructor.
-    fn validate(&self) {
-        assert!(self.shards > 0, "need at least one shard");
-        assert!(self.domain.0 <= self.domain.1, "empty shard domain");
+    /// The inclusive value domain `[lo, hi]` partitioned across shards.
+    /// Values outside it route to the nearest edge shard.
+    pub fn domain(&self) -> (i64, i64) {
+        self.domain
+    }
+
+    /// Number of shards (>= 1).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Ingestion design.
+    pub fn mode(&self) -> IngestMode {
+        self.mode
     }
 
     /// The shard index a value routes to: equal-width partition of the
-    /// domain, clamped at the edges.
-    ///
-    /// # Panics
-    /// Panics on an invalid plan (`shards == 0` or an inverted domain —
-    /// constructible only by building the struct literally, since
-    /// [`ShardPlan::new`] validates).
+    /// domain, clamped at the edges. Total on `i64`; always in
+    /// `0..self.shards()`.
     pub fn route(&self, v: i64) -> usize {
-        self.validate();
         let (lo, hi) = self.domain;
         let v = v.clamp(lo, hi);
         // Equal-width cells; widen before subtracting so domains spanning
@@ -134,15 +176,16 @@ impl ShardPlan {
         ((off * self.shards as u128 / width) as usize).min(self.shards - 1)
     }
 
-    /// The inclusive value subrange owned by shard `i`. With more shards
-    /// than domain values some shards own nothing; their range comes back
-    /// inverted (`b == a - 1`), consistent with an empty inclusive range.
+    /// The inclusive value subrange owned by shard `i` — the exact
+    /// inverse of [`route`](ShardPlan::route): the ranges tile the domain
+    /// in order, and in-domain `v` satisfies `route(v) == i` iff `v` lies
+    /// in `shard_range(i)`. With more shards than domain values some
+    /// shards own nothing; their range comes back inverted
+    /// (`b == a - 1`), consistent with an empty inclusive range.
     ///
     /// # Panics
-    /// Panics if `i >= self.shards` or on an invalid plan (see
-    /// [`ShardPlan::route`]).
+    /// Panics if `i >= self.shards()`.
     pub fn shard_range(&self, i: usize) -> (i64, i64) {
-        self.validate();
         assert!(i < self.shards, "shard index out of range");
         let (lo, hi) = self.domain;
         let width = (hi as i128 - lo as i128) as u128 + 1;
@@ -158,77 +201,11 @@ impl ShardPlan {
     }
 }
 
-/// Messages a shard's ingestion worker consumes.
-enum ShardMsg {
-    /// Apply one routed sub-batch.
-    Batch(Vec<UpdateOp>),
-    /// Ack once everything enqueued before this message is applied.
-    Flush(mpsc::Sender<()>),
-}
-
-/// One shard's mutable state, behind the shard's own lock.
-struct ShardState {
-    histogram: BoxedHistogram,
-    /// Bumps on every applied sub-batch; keys the composed-snapshot cache.
-    version: u64,
-    /// Cached span rendering, invalidated by every applied sub-batch.
-    spans: Option<Vec<BucketSpan>>,
-    scratch: Vec<BucketSpan>,
-}
-
-struct Shard {
-    state: RwLock<ShardState>,
-}
-
-impl Shard {
-    /// The shard's current version (cheap: one read lock, no rendering).
-    fn version(&self) -> u64 {
-        read_lock(&self.state).version
-    }
-
-    fn apply(&self, batch: &[UpdateOp]) {
-        let mut state = write_lock(&self.state);
-        state.histogram.apply_slice(batch);
-        state.version += 1;
-        state.spans = None;
-    }
-
-    /// The shard's `(version, spans)`, rendering and caching on demand.
-    fn versioned_spans(&self) -> (u64, Vec<BucketSpan>) {
-        {
-            let state = read_lock(&self.state);
-            if let Some(s) = &state.spans {
-                return (state.version, s.clone());
-            }
-        }
-        let mut state = write_lock(&self.state);
-        if state.spans.is_none() {
-            let ShardState {
-                histogram, scratch, ..
-            } = &mut *state;
-            histogram.spans_into(scratch);
-            let spans = scratch.clone();
-            state.spans = Some(spans);
-        }
-        (
-            state.version,
-            state.spans.clone().expect("rendered just above"),
-        )
-    }
-}
-
-/// The composed-snapshot cache: valid while every shard still has the
-/// version it was rendered from.
-#[derive(Default)]
-struct ComposedCache {
-    versions: Vec<u64>,
-    snapshot: Option<Snapshot>,
-}
-
-/// Per-column channel-mode machinery: one sender per shard plus the
-/// worker handles (joined on drop).
+/// Per-column channel-mode machinery: one drain-nudge sender per shard
+/// plus the worker handles (joined on drop).
 struct Workers {
-    senders: Vec<mpsc::Sender<ShardMsg>>,
+    /// `senders[i]` nudges shard `i`'s worker to drain up to an epoch.
+    senders: Vec<mpsc::Sender<u64>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -236,21 +213,18 @@ struct ShardedColumn {
     name: String,
     spec: AlgoSpec,
     plan: ShardPlan,
-    shards: Vec<Arc<Shard>>,
-    /// Batches accepted so far (strictly monotone; counts `apply` calls).
-    checkpoint: AtomicU64,
-    /// Individual updates accepted so far.
-    updates: AtomicU64,
+    cells: Vec<Arc<Cell>>,
+    stamp: Mutex<ColumnStamp>,
     /// `Some` iff `plan.mode == IngestMode::Channel`.
     workers: Option<Workers>,
-    composed: Mutex<ComposedCache>,
+    cache: Mutex<ComposeCache>,
 }
 
 impl ShardedColumn {
     /// Routes a batch into per-shard sub-batches (indices align with
-    /// `self.shards`; untouched shards get an empty vec).
+    /// `self.cells`; untouched shards get an empty vec).
     fn route_batch(&self, batch: &[UpdateOp]) -> Vec<Vec<UpdateOp>> {
-        let mut routed: Vec<Vec<UpdateOp>> = vec![Vec::new(); self.plan.shards];
+        let mut routed: Vec<Vec<UpdateOp>> = vec![Vec::new(); self.plan.shards()];
         for &op in batch {
             let v = match op {
                 UpdateOp::Insert(v) | UpdateOp::Delete(v) => v,
@@ -258,6 +232,66 @@ impl ShardedColumn {
             routed[self.plan.route(v)].push(op);
         }
         routed
+    }
+}
+
+impl StoreColumn for ShardedColumn {
+    /// The shard indices a batch touched.
+    type Staged = Vec<usize>;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stage_ops(&self, ticket: &Arc<BatchTicket>, ops: Vec<UpdateOp>) -> Vec<usize> {
+        let mut touched = Vec::new();
+        for (i, sub) in self.route_batch(&ops).into_iter().enumerate() {
+            if !sub.is_empty() {
+                self.cells[i].stage(ticket.clone(), sub);
+                touched.push(i);
+            }
+        }
+        touched
+    }
+
+    fn stamp(&self) -> &Mutex<ColumnStamp> {
+        &self.stamp
+    }
+
+    /// Post-publication application: drain the touched shards inline
+    /// (locked mode) or nudge their workers (channel mode).
+    fn settle(&self, touched: &Vec<usize>, epoch: u64) {
+        match &self.workers {
+            None => {
+                for &i in touched {
+                    self.cells[i].drain_to(epoch);
+                }
+            }
+            Some(workers) => {
+                for &i in touched {
+                    // A worker that died (a panicking histogram apply
+                    // unwinds its thread) must not turn into a
+                    // store-wide denial of writes: fall back to the
+                    // locked-mode inline drain.
+                    if workers.senders[i].send(epoch).is_err() {
+                        self.cells[i].drain_to(epoch);
+                    }
+                }
+            }
+        }
+    }
+
+    fn render_at(&self, epoch: u64, stamp: ColumnStamp) -> Result<Snapshot, u64> {
+        let cells: Vec<&Cell> = self.cells.iter().map(Arc::as_ref).collect();
+        compose_at(
+            &cells,
+            epoch,
+            &self.cache,
+            &self.name,
+            self.spec.label(),
+            stamp.accepted,
+            stamp.updates,
+        )
     }
 }
 
@@ -274,16 +308,18 @@ impl Drop for ShardedColumn {
 
 /// A thread-safe, multi-column histogram store whose columns are
 /// partitioned across shards — the distributed cousin of
-/// [`Catalog`](crate::Catalog).
+/// [`Catalog`](crate::Catalog), serving through the same [`ColumnStore`]
+/// trait.
 ///
-/// Writers call [`ShardedCatalog::apply`] from any number of threads;
-/// batches are routed by value range so writers touching different shards
-/// never contend. Readers call [`ShardedCatalog::snapshot`] and get the
-/// same [`Snapshot`] type a `Catalog` serves, so estimation and
+/// Writers commit from any number of threads; batches are routed by
+/// value range so writers touching different shards never contend on
+/// histogram state, while the store-wide epoch clock keeps every commit
+/// atomic across shards and columns. Readers get the same epoch-pinned
+/// [`Snapshot`] type a `Catalog` serves, so estimation and
 /// `dh_optimizer` joins are oblivious to the sharding.
 #[derive(Default)]
 pub struct ShardedCatalog {
-    columns: RwLock<BTreeMap<String, Arc<ShardedColumn>>>,
+    registry: Registry<ShardedColumn>,
 }
 
 impl ShardedCatalog {
@@ -292,279 +328,120 @@ impl ShardedCatalog {
         Self::default()
     }
 
-    /// Registers `column`, sharded per `plan`, each shard holding a fresh
-    /// `spec` histogram. The `memory` budget is divided evenly across the
-    /// shards (a `k`-sharded column spends the same total bytes as an
-    /// unsharded one); `seed` feeds sampling algorithms, salted per shard.
-    ///
-    /// With [`IngestMode::Channel`] this also spawns one ingestion worker
-    /// thread per shard (joined when the column is dropped).
-    ///
-    /// # Errors
-    /// [`CatalogError::DuplicateColumn`] if the name is taken.
-    pub fn register(
-        &self,
-        column: impl Into<String>,
-        spec: AlgoSpec,
-        memory: MemoryBudget,
-        seed: u64,
-        plan: ShardPlan,
-    ) -> Result<(), CatalogError> {
-        assert!(plan.shards > 0, "need at least one shard");
-        assert!(plan.domain.0 <= plan.domain.1, "empty shard domain");
-        let name = column.into();
-        let mut columns = write_lock(&self.columns);
-        if columns.contains_key(&name) {
-            return Err(CatalogError::DuplicateColumn(name));
-        }
-        let per_shard = MemoryBudget::from_bytes((memory.bytes() / plan.shards).max(1));
-        let shards: Vec<Arc<Shard>> = (0..plan.shards)
-            .map(|i| {
-                Arc::new(Shard {
-                    state: RwLock::new(ShardState {
-                        histogram: spec.build(per_shard, seed.wrapping_add(i as u64)),
-                        version: 0,
-                        spans: None,
-                        scratch: Vec::new(),
-                    }),
-                })
-            })
-            .collect();
-        let workers = match plan.mode {
-            IngestMode::Locked => None,
-            IngestMode::Channel => {
-                let mut senders = Vec::with_capacity(plan.shards);
-                let mut handles = Vec::with_capacity(plan.shards);
-                for shard in &shards {
-                    let (tx, rx) = mpsc::channel::<ShardMsg>();
-                    let shard = Arc::clone(shard);
-                    handles.push(std::thread::spawn(move || {
-                        while let Ok(msg) = rx.recv() {
-                            match msg {
-                                ShardMsg::Batch(batch) => shard.apply(&batch),
-                                ShardMsg::Flush(ack) => {
-                                    let _ = ack.send(());
-                                }
-                            }
-                        }
-                    }));
-                    senders.push(tx);
-                }
-                Some(Workers { senders, handles })
-            }
-        };
-        columns.insert(
-            name.clone(),
-            Arc::new(ShardedColumn {
-                name,
-                spec,
-                plan,
-                shards,
-                checkpoint: AtomicU64::new(0),
-                updates: AtomicU64::new(0),
-                workers,
-                composed: Mutex::new(ComposedCache::default()),
-            }),
-        );
-        Ok(())
-    }
-
-    /// The registered column names, sorted.
-    pub fn columns(&self) -> Vec<String> {
-        read_lock(&self.columns).keys().cloned().collect()
-    }
-
-    /// Whether `column` is registered.
-    pub fn contains(&self, column: &str) -> bool {
-        read_lock(&self.columns).contains_key(column)
-    }
-
-    /// Number of registered columns.
-    pub fn len(&self) -> usize {
-        read_lock(&self.columns).len()
-    }
-
-    /// Whether no columns are registered.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The algorithm a column was registered with.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn spec(&self, column: &str) -> Result<AlgoSpec, CatalogError> {
-        Ok(self.column(column)?.spec)
-    }
-
     /// The shard plan a column was registered with.
     ///
     /// # Errors
     /// [`CatalogError::UnknownColumn`] if absent.
     pub fn plan(&self, column: &str) -> Result<ShardPlan, CatalogError> {
-        Ok(self.column(column)?.plan)
+        Ok(self.registry.get(column)?.plan)
+    }
+}
+
+impl ColumnStore for ShardedCatalog {
+    /// Registers `column`, sharded per `config.plan` (required for this
+    /// store), each shard holding a fresh `config.spec` histogram. The
+    /// memory budget is divided evenly across the shards (a `k`-sharded
+    /// column spends the same total bytes as an unsharded one); the seed
+    /// is salted per shard.
+    ///
+    /// With [`IngestMode::Channel`] this also spawns one drain worker
+    /// thread per shard (joined when the column is dropped).
+    fn register(&self, column: &str, config: ColumnConfig) -> Result<(), CatalogError> {
+        let plan = config.plan.ok_or_else(|| {
+            CatalogError::InvalidShardPlan(
+                "a sharded store needs ColumnConfig::with_plan(...)".into(),
+            )
+        })?;
+        // `ShardPlan::new` is the single validation point: plans cannot
+        // be constructed degenerate, so `plan` is valid here.
+        let per_shard = MemoryBudget::from_bytes((config.memory.bytes() / plan.shards()).max(1));
+        self.registry.insert(column, || {
+            let cells: Vec<Arc<Cell>> = (0..plan.shards())
+                .map(|i| {
+                    Arc::new(Cell::new(
+                        config
+                            .spec
+                            .build(per_shard, config.seed.wrapping_add(i as u64)),
+                    ))
+                })
+                .collect();
+            let workers = match plan.mode() {
+                IngestMode::Locked => None,
+                IngestMode::Channel => {
+                    let mut senders = Vec::with_capacity(plan.shards());
+                    let mut handles = Vec::with_capacity(plan.shards());
+                    for cell in &cells {
+                        let (tx, rx) = mpsc::channel::<u64>();
+                        let cell = Arc::clone(cell);
+                        handles.push(std::thread::spawn(move || {
+                            while let Ok(epoch) = rx.recv() {
+                                cell.drain_to(epoch);
+                            }
+                        }));
+                        senders.push(tx);
+                    }
+                    Some(Workers { senders, handles })
+                }
+            };
+            ShardedColumn {
+                name: column.to_string(),
+                spec: config.spec,
+                plan,
+                cells,
+                stamp: Mutex::new(ColumnStamp::default()),
+                workers,
+                cache: Mutex::new(ComposeCache::default()),
+            }
+        })
     }
 
-    /// Routes one batch of updates to `column`'s shards and returns the
-    /// new accepted-batch checkpoint (strictly monotone per column).
-    ///
-    /// With [`IngestMode::Locked`] the batch is applied before returning;
-    /// with [`IngestMode::Channel`] it is enqueued (FIFO per caller
-    /// thread) and applied by the shard workers — [`ShardedCatalog::flush`]
-    /// is the barrier.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn apply(&self, column: &str, batch: &[UpdateOp]) -> Result<u64, CatalogError> {
-        let col = self.column(column)?;
-        match &col.workers {
-            None => {
-                for (i, sub) in col.route_batch(batch).into_iter().enumerate() {
-                    if !sub.is_empty() {
-                        col.shards[i].apply(&sub);
-                    }
-                }
-            }
-            Some(workers) => {
-                for (i, sub) in col.route_batch(batch).into_iter().enumerate() {
-                    if !sub.is_empty() {
-                        workers.senders[i]
-                            .send(ShardMsg::Batch(sub))
-                            .expect("shard ingestion worker lives as long as the column");
-                    }
-                }
-            }
-        }
-        col.updates.fetch_add(batch.len() as u64, Ordering::AcqRel);
-        Ok(col.checkpoint.fetch_add(1, Ordering::AcqRel) + 1)
+    fn columns(&self) -> Vec<String> {
+        self.registry.names()
     }
 
-    /// Blocks until every batch enqueued to `column` before this call has
-    /// been applied. A no-op for [`IngestMode::Locked`] columns.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn flush(&self, column: &str) -> Result<(), CatalogError> {
-        let col = self.column(column)?;
-        if let Some(workers) = &col.workers {
-            let (ack_tx, ack_rx) = mpsc::channel();
-            let mut pending = 0usize;
-            for tx in &workers.senders {
-                if tx.send(ShardMsg::Flush(ack_tx.clone())).is_ok() {
-                    pending += 1;
-                }
-            }
-            drop(ack_tx);
-            for _ in 0..pending {
-                let _ = ack_rx.recv();
-            }
+    fn contains(&self, column: &str) -> bool {
+        self.registry.contains(column)
+    }
+
+    fn spec(&self, column: &str) -> Result<AlgoSpec, CatalogError> {
+        Ok(self.registry.get(column)?.spec)
+    }
+
+    fn commit(&self, batch: WriteBatch) -> Result<u64, CatalogError> {
+        self.registry.commit(batch)
+    }
+
+    fn apply(&self, column: &str, batch: &[UpdateOp]) -> Result<u64, CatalogError> {
+        self.registry.apply(column, batch)
+    }
+
+    /// Drains every shard of `column` up to the current published epoch.
+    /// After this returns, every batch accepted before the call is in the
+    /// histograms (the read barrier for channel-mode columns; cheap for
+    /// locked ones, which drain on the write path).
+    fn flush(&self, column: &str) -> Result<(), CatalogError> {
+        let col = self.registry.get(column)?;
+        let epoch = self.registry.epoch();
+        for cell in &col.cells {
+            cell.drain_to(epoch);
         }
         Ok(())
     }
 
-    /// An immutable snapshot of `column`: the per-shard spans composed by
-    /// lossless superposition into one histogram.
-    ///
-    /// Snapshots are cached against the per-shard version vector — between
-    /// writes, every call is one `Arc` clone. The snapshot's spans reflect
-    /// what has been *applied* (call [`ShardedCatalog::flush`] on a
-    /// channel-mode column first to observe every accepted batch); its
-    /// [`Snapshot::checkpoint`] reports the accepted-batch counter at the
-    /// time of the call, so at rest (and after a flush) it equals the
-    /// batches the spans contain.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn snapshot(&self, column: &str) -> Result<Snapshot, CatalogError> {
-        let col = self.column(column)?;
-        // The composed cache's mutex serializes rendering (and hands
-        // cache hits out quickly); shard locks nest inside it, never the
-        // reverse, so writers can't deadlock against readers.
-        let mut cache = col.composed.lock().unwrap_or_else(|e| e.into_inner());
-        // Monotone because the counter is and renders are serialized here.
-        let checkpoint = col.checkpoint.load(Ordering::Acquire);
-        let updates = col.updates.load(Ordering::Acquire);
-        // Probe the cache on versions alone — a hit must not pay for
-        // cloning every shard's spans.
-        let hit = cache.snapshot.is_some()
-            && cache.versions.len() == col.shards.len()
-            && col
-                .shards
-                .iter()
-                .zip(&cache.versions)
-                .all(|(s, &v)| s.version() == v);
-        if hit {
-            let snap = cache.snapshot.as_ref().expect("checked above");
-            if snap.checkpoint() == checkpoint && snap.updates() == updates {
-                return Ok(snap.clone());
-            }
-            // Identical spans but the counters moved on (a writer bumped
-            // them mid-render, or an empty batch advanced the checkpoint):
-            // re-stamp the cached rendering instead of claiming the past.
-            let snapshot = snap.restamped(checkpoint, updates);
-            cache.snapshot = Some(snapshot.clone());
-            return Ok(snapshot);
-        }
-        let mut versions = Vec::with_capacity(col.shards.len());
-        let mut members = Vec::with_capacity(col.shards.len());
-        for shard in &col.shards {
-            let (version, spans) = shard.versioned_spans();
-            versions.push(version);
-            members.push(spans);
-        }
-        let composed = superimpose(&members);
-        let snapshot = Snapshot::from_parts(
-            col.name.clone(),
-            col.spec.label(),
-            checkpoint,
-            updates,
-            composed,
-        );
-        cache.versions = versions;
-        cache.snapshot = Some(snapshot.clone());
-        Ok(snapshot)
+    fn snapshot(&self, column: &str) -> Result<Snapshot, CatalogError> {
+        self.registry.snapshot(column)
     }
 
-    /// The number of batches accepted for `column` so far.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn checkpoint(&self, column: &str) -> Result<u64, CatalogError> {
-        Ok(self.column(column)?.checkpoint.load(Ordering::Acquire))
+    fn snapshot_set(&self, columns: &[&str]) -> Result<SnapshotSet, CatalogError> {
+        self.registry.snapshot_set(columns)
     }
 
-    /// Estimated number of values in `[a, b]` on `column`.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn estimate_range(&self, column: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
-        use dh_core::ReadHistogram;
-        Ok(self.snapshot(column)?.estimate_range(a, b))
+    fn checkpoint(&self, column: &str) -> Result<u64, CatalogError> {
+        self.registry.checkpoint(column)
     }
 
-    /// Estimated number of values equal to `v` on `column`.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn estimate_eq(&self, column: &str, v: i64) -> Result<f64, CatalogError> {
-        use dh_core::ReadHistogram;
-        Ok(self.snapshot(column)?.estimate_eq(v))
-    }
-
-    /// Total live mass on `column`.
-    ///
-    /// # Errors
-    /// [`CatalogError::UnknownColumn`] if absent.
-    pub fn total_count(&self, column: &str) -> Result<f64, CatalogError> {
-        use dh_core::ReadHistogram;
-        Ok(self.snapshot(column)?.total_count())
-    }
-
-    fn column(&self, column: &str) -> Result<Arc<ShardedColumn>, CatalogError> {
-        read_lock(&self.columns)
-            .get(column)
-            .cloned()
-            .ok_or_else(|| CatalogError::UnknownColumn(column.into()))
+    fn epoch(&self) -> u64 {
+        self.registry.epoch()
     }
 }
 
@@ -572,6 +449,7 @@ impl fmt::Debug for ShardedCatalog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardedCatalog")
             .field("columns", &self.columns())
+            .field("epoch", &self.epoch())
             .finish()
     }
 }
@@ -585,9 +463,45 @@ mod tests {
         range.map(UpdateOp::Insert).collect()
     }
 
+    fn config(spec: AlgoSpec, kb: f64, seed: u64, plan: ShardPlan) -> ColumnConfig {
+        ColumnConfig::new(spec, MemoryBudget::from_kb(kb))
+            .with_seed(seed)
+            .with_plan(plan)
+    }
+
+    #[test]
+    fn degenerate_plans_are_rejected() {
+        assert!(matches!(
+            ShardPlan::new(0, 9, 0),
+            Err(CatalogError::InvalidShardPlan(_))
+        ));
+        assert!(matches!(
+            ShardPlan::new(10, 9, 4),
+            Err(CatalogError::InvalidShardPlan(_))
+        ));
+        let msg = ShardPlan::new(10, 9, 4).unwrap_err().to_string();
+        assert!(msg.contains("lo > hi"), "{msg}");
+        // A sharded store refuses a config without a plan.
+        let cat = ShardedCatalog::new();
+        assert!(matches!(
+            cat.register(
+                "a",
+                ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0))
+            ),
+            Err(CatalogError::InvalidShardPlan(_))
+        ));
+        // Private fields: `ShardPlan::new` is the only constructor, so a
+        // degenerate plan cannot reach a store at all. Accessors echo
+        // the validated values.
+        let plan = ShardPlan::new(-5, 5, 3).unwrap().channel();
+        assert_eq!(plan.domain(), (-5, 5));
+        assert_eq!(plan.shards(), 3);
+        assert_eq!(plan.mode(), IngestMode::Channel);
+    }
+
     #[test]
     fn routing_partitions_the_domain() {
-        let plan = ShardPlan::new(0, 999, 4);
+        let plan = ShardPlan::new(0, 999, 4).unwrap();
         assert_eq!(plan.route(0), 0);
         assert_eq!(plan.route(249), 0);
         assert_eq!(plan.route(250), 1);
@@ -619,7 +533,7 @@ mod tests {
 
     #[test]
     fn full_i64_domain_does_not_overflow() {
-        let plan = ShardPlan::new(i64::MIN, i64::MAX, 4);
+        let plan = ShardPlan::new(i64::MIN, i64::MAX, 4).unwrap();
         assert_eq!(plan.route(i64::MIN), 0);
         assert_eq!(plan.route(-1), 1);
         assert_eq!(plan.route(0), 2);
@@ -637,7 +551,7 @@ mod tests {
 
     #[test]
     fn uneven_domains_still_tile() {
-        let plan = ShardPlan::new(-7, 9, 3); // width 17, not divisible
+        let plan = ShardPlan::new(-7, 9, 3).unwrap(); // width 17, not divisible
         let mut covered = 0i64;
         for i in 0..3 {
             let (a, b) = plan.shard_range(i);
@@ -652,16 +566,17 @@ mod tests {
     #[test]
     fn sharded_round_trip_and_caching() {
         let cat = ShardedCatalog::new();
-        let plan = ShardPlan::new(0, 4999, 8);
-        cat.register("a", AlgoSpec::Dado, MemoryBudget::from_kb(2.0), 1, plan)
+        let plan = ShardPlan::new(0, 4999, 8).unwrap();
+        cat.register("a", config(AlgoSpec::Dado, 2.0, 1, plan))
             .unwrap();
         assert_eq!(
-            cat.register("a", AlgoSpec::Dc, MemoryBudget::from_kb(1.0), 1, plan),
+            cat.register("a", config(AlgoSpec::Dc, 1.0, 1, plan)),
             Err(CatalogError::DuplicateColumn("a".into()))
         );
         let cp = cat.apply("a", &inserts(0..5000)).unwrap();
         assert_eq!(cp, 1);
         let s1 = cat.snapshot("a").unwrap();
+        assert_eq!(s1.epoch(), 1);
         assert_eq!(s1.checkpoint(), 1);
         assert_eq!(s1.updates(), 5000);
         assert_eq!(s1.label(), "DADO");
@@ -669,10 +584,11 @@ mod tests {
         assert!((s1.estimate_range(0, 4999) - 5000.0).abs() / 5000.0 < 0.02);
         // Cached between writes, invalidated by a write.
         let s2 = cat.snapshot("a").unwrap();
-        assert!((s1.total_count() - s2.total_count()).abs() < 1e-12);
+        assert!(s1.same_rendering(&s2), "cached between writes");
         cat.apply("a", &inserts(0..10)).unwrap();
         let s3 = cat.snapshot("a").unwrap();
         assert_eq!(s3.checkpoint(), 2);
+        assert_eq!(s3.epoch(), 2);
         assert!((s3.total_count() - 5010.0).abs() < 1e-9);
         // The old snapshot still reads consistently.
         assert!((s1.total_count() - 5000.0).abs() < 1e-9);
@@ -683,8 +599,8 @@ mod tests {
         // Mass conservation per shard makes estimates over whole shard
         // subranges *exact* — sharding strictly sharpens those reads.
         let cat = ShardedCatalog::new();
-        let plan = ShardPlan::new(0, 99, 5);
-        cat.register("a", AlgoSpec::Dc, MemoryBudget::from_kb(0.25), 3, plan)
+        let plan = ShardPlan::new(0, 99, 5).unwrap();
+        cat.register("a", config(AlgoSpec::Dc, 0.25, 3, plan))
             .unwrap();
         let batch: Vec<UpdateOp> = (0..3000).map(|i| UpdateOp::Insert((i * 7) % 100)).collect();
         cat.apply("a", &batch).unwrap();
@@ -708,8 +624,8 @@ mod tests {
     #[test]
     fn channel_mode_applies_after_flush() {
         let cat = ShardedCatalog::new();
-        let plan = ShardPlan::new(0, 999, 4).channel();
-        cat.register("a", AlgoSpec::Dc, MemoryBudget::from_kb(1.0), 1, plan)
+        let plan = ShardPlan::new(0, 999, 4).unwrap().channel();
+        cat.register("a", config(AlgoSpec::Dc, 1.0, 1, plan))
             .unwrap();
         for b in 0..10i64 {
             let batch: Vec<UpdateOp> = (0..500)
@@ -726,6 +642,27 @@ mod tests {
     }
 
     #[test]
+    fn cross_shard_commits_are_never_torn() {
+        // A batch spread over every shard becomes visible in one epoch:
+        // any snapshot holds a whole multiple of the per-batch mass.
+        let cat = ShardedCatalog::new();
+        let plan = ShardPlan::new(0, 799, 8).unwrap();
+        cat.register("a", config(AlgoSpec::Dc, 1.0, 1, plan))
+            .unwrap();
+        for round in 0..5i64 {
+            // One value per shard (100-wide shards).
+            let batch: Vec<UpdateOp> = (0..8).map(|s| UpdateOp::Insert(s * 100 + round)).collect();
+            cat.apply("a", &batch).unwrap();
+            let snap = cat.snapshot("a").unwrap();
+            let total = snap.total_count();
+            assert!(
+                (total / 8.0 - (total / 8.0).round()).abs() < 1e-9,
+                "torn batch visible: total {total}"
+            );
+        }
+    }
+
+    #[test]
     fn unknown_columns_error() {
         let cat = ShardedCatalog::new();
         assert_eq!(
@@ -735,6 +672,7 @@ mod tests {
         assert!(cat.snapshot("ghost").is_err());
         assert!(cat.flush("ghost").is_err());
         assert!(cat.estimate_eq("ghost", 1).is_err());
+        assert!(cat.plan("ghost").is_err());
         assert!(!cat.contains("ghost"));
         assert!(cat.is_empty());
     }
@@ -742,14 +680,9 @@ mod tests {
     #[test]
     fn empty_batches_advance_checkpoints() {
         let cat = ShardedCatalog::new();
-        cat.register(
-            "a",
-            AlgoSpec::EquiDepth,
-            MemoryBudget::from_kb(0.25),
-            0,
-            ShardPlan::new(0, 9, 2),
-        )
-        .unwrap();
+        let plan = ShardPlan::new(0, 9, 2).unwrap();
+        cat.register("a", config(AlgoSpec::EquiDepth, 0.25, 0, plan))
+            .unwrap();
         assert_eq!(cat.apply("a", &[]).unwrap(), 1);
         assert_eq!(cat.apply("a", &[]).unwrap(), 2);
         assert_eq!(cat.checkpoint("a").unwrap(), 2);

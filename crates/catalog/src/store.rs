@@ -1,0 +1,274 @@
+//! [`ColumnStore`]: the one object-safe serving API every catalog
+//! implements.
+//!
+//! The paper's deployment — an optimizer estimating multi-predicate
+//! queries while the histograms underneath are maintained in place —
+//! does not care *how* a column is stored: behind one lock
+//! ([`Catalog`](crate::Catalog)), across sharded locks, or behind
+//! per-shard ingestion workers ([`ShardedCatalog`](crate::ShardedCatalog)).
+//! This trait is that indifference made explicit: estimation code,
+//! benchmarks and the `repro serve` replay are written once against
+//! `&dyn ColumnStore` and run unchanged over every design.
+//!
+//! Reads come in two consistency grades:
+//!
+//! * [`ColumnStore::snapshot`] — one column, pinned to a published epoch
+//!   (never a torn [`WriteBatch`], even across that column's shards);
+//! * [`ColumnStore::snapshot_set`] — several columns pinned to *one*
+//!   epoch, the view a join or chain estimate should read from.
+//!
+//! ```
+//! use dh_catalog::{AlgoSpec, Catalog, ColumnConfig, ColumnStore, WriteBatch};
+//! use dh_core::{MemoryBudget, ReadHistogram, UpdateOp};
+//!
+//! let store: Box<dyn ColumnStore> = Box::new(Catalog::new());
+//! let config = ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0));
+//! store.register("r.key", config).unwrap();
+//! store.register("s.key", config).unwrap();
+//!
+//! let mut batch = WriteBatch::new();
+//! batch.extend("r.key", (0..500).map(|i| UpdateOp::Insert(i % 100)));
+//! batch.extend("s.key", (0..500).map(|i| UpdateOp::Insert(i % 50)));
+//! store.commit(batch).unwrap();
+//!
+//! let set = store.snapshot_set(&["r.key", "s.key"]).unwrap();
+//! assert_eq!(set.epoch(), 1);
+//! assert_eq!(set.get("r.key").unwrap().total_count(), 500.0);
+//! ```
+
+use crate::catalog::{CatalogError, Snapshot};
+use crate::sharded::ShardPlan;
+use crate::spec::AlgoSpec;
+use crate::txn::WriteBatch;
+use dh_core::{MemoryBudget, ReadHistogram, UpdateOp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Everything a store needs to know to register one column: the
+/// algorithm, its memory budget, a seed for sampling algorithms, and —
+/// for stores that partition — an optional [`ShardPlan`].
+///
+/// The same config registers against any [`ColumnStore`]: a sharded
+/// store requires the plan, an unsharded one serves the whole domain
+/// from a single histogram and ignores it (the plan describes physical
+/// partitioning, not semantics), so generic callers need no per-store
+/// branching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColumnConfig {
+    /// Histogram algorithm backing the column.
+    pub spec: AlgoSpec,
+    /// Memory budget for the column (a sharded store divides it evenly
+    /// across shards, so every store spends the same total bytes).
+    pub memory: MemoryBudget,
+    /// Seed feeding sampling algorithms (see [`AlgoSpec::build`]);
+    /// deterministic algorithms ignore it. Defaults to 0.
+    pub seed: u64,
+    /// How to partition the column's value domain, for stores that shard.
+    pub plan: Option<ShardPlan>,
+}
+
+impl ColumnConfig {
+    /// A config with the default seed and no shard plan.
+    pub fn new(spec: AlgoSpec, memory: MemoryBudget) -> Self {
+        Self {
+            spec,
+            memory,
+            seed: 0,
+            plan: None,
+        }
+    }
+
+    /// The same config with `seed`.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The same config with a shard plan.
+    pub fn with_plan(mut self, plan: ShardPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+}
+
+/// The serving API: register columns, commit epoch-stamped writes, read
+/// consistent snapshots, estimate.
+///
+/// Object-safe by design — `Box<dyn ColumnStore>` / `&dyn ColumnStore`
+/// is how `dh_bench::serve`, the `repro serve` replay and the generic
+/// test suites drive the single-lock, sharded-lock and channel designs
+/// through literally the same code path.
+///
+/// # Consistency contract
+///
+/// Every implementation commits through a two-phase, epoch-stamped
+/// protocol (stage per cell, then one atomic epoch publication per
+/// store; see [`crate::txn`]): no reader ever observes a partially
+/// applied [`WriteBatch`], whether the batch spans shards of one column
+/// or several columns. [`ColumnStore::snapshot_set`] additionally pins
+/// *all* requested columns to one epoch.
+pub trait ColumnStore: Send + Sync {
+    /// Registers `column` with a fresh histogram built per `config`.
+    ///
+    /// # Errors
+    /// [`CatalogError::DuplicateColumn`] if the name is taken;
+    /// [`CatalogError::InvalidShardPlan`] if this store shards and
+    /// `config.plan` is absent.
+    fn register(&self, column: &str, config: ColumnConfig) -> Result<(), CatalogError>;
+
+    /// The registered column names, sorted.
+    fn columns(&self) -> Vec<String>;
+
+    /// Whether `column` is registered.
+    fn contains(&self, column: &str) -> bool;
+
+    /// The algorithm a column was registered with.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn spec(&self, column: &str) -> Result<AlgoSpec, CatalogError>;
+
+    /// Commits `batch` atomically across every column (and shard) it
+    /// touches, returning the published epoch. Readers observe all of it
+    /// or none of it.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if any named column is absent (in
+    /// which case nothing is staged).
+    fn commit(&self, batch: WriteBatch) -> Result<u64, CatalogError>;
+
+    /// Commits one batch of updates to a single `column` and returns the
+    /// column's new checkpoint count (strictly monotone per column; an
+    /// empty batch still advances it, marking an explicit sync point).
+    /// Equivalent to [`ColumnStore::commit`] of a single-column
+    /// [`WriteBatch`].
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn apply(&self, column: &str, batch: &[UpdateOp]) -> Result<u64, CatalogError>;
+
+    /// Blocks until every batch accepted for `column` before this call is
+    /// applied to its histograms. A no-op for synchronous stores; the
+    /// read barrier for channel-ingesting ones.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn flush(&self, column: &str) -> Result<(), CatalogError>;
+
+    /// An immutable snapshot of `column`, pinned to a published epoch:
+    /// it contains exactly the committed batches up to that epoch —
+    /// whole batches only, across every shard of the column.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn snapshot(&self, column: &str) -> Result<Snapshot, CatalogError>;
+
+    /// A consistent multi-column view: every requested column pinned to
+    /// *one* published epoch, so cross-column estimates (joins, chains)
+    /// never mix states. Duplicate names collapse to one entry.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if any named column is absent.
+    fn snapshot_set(&self, columns: &[&str]) -> Result<SnapshotSet, CatalogError>;
+
+    /// The number of batches accepted for `column` so far.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn checkpoint(&self, column: &str) -> Result<u64, CatalogError>;
+
+    /// The store's highest published epoch (0 before any commit; one
+    /// counter per store, shared by all columns).
+    fn epoch(&self) -> u64;
+
+    /// Number of registered columns.
+    fn len(&self) -> usize {
+        self.columns().len()
+    }
+
+    /// Whether no columns are registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated number of values in `[a, b]` on `column`.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn estimate_range(&self, column: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
+        Ok(self.snapshot(column)?.estimate_range(a, b))
+    }
+
+    /// Estimated number of values equal to `v` on `column`.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn estimate_eq(&self, column: &str, v: i64) -> Result<f64, CatalogError> {
+        Ok(self.snapshot(column)?.estimate_eq(v))
+    }
+
+    /// Total live mass on `column`.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn total_count(&self, column: &str) -> Result<f64, CatalogError> {
+        Ok(self.snapshot(column)?.total_count())
+    }
+}
+
+/// A consistent multi-column view: one [`Snapshot`] per requested
+/// column, all pinned to the same store epoch.
+///
+/// This is what cross-column estimation should read from — a join or
+/// chain estimate over a `SnapshotSet` can never mix a column state from
+/// before a [`WriteBatch`] with another from after it.
+#[derive(Clone)]
+pub struct SnapshotSet {
+    epoch: u64,
+    snaps: BTreeMap<String, Snapshot>,
+}
+
+impl SnapshotSet {
+    pub(crate) fn new(epoch: u64, snaps: BTreeMap<String, Snapshot>) -> Self {
+        Self { epoch, snaps }
+    }
+
+    /// The published epoch every snapshot in the set is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The snapshot of `column`, if it was part of the request.
+    pub fn get(&self, column: &str) -> Option<&Snapshot> {
+        self.snaps.get(column)
+    }
+
+    /// The columns in the set, sorted.
+    pub fn columns(&self) -> impl Iterator<Item = &str> {
+        self.snaps.keys().map(String::as_str)
+    }
+
+    /// Iterates `(column, snapshot)` pairs, sorted by column.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Snapshot)> {
+        self.snaps.iter().map(|(c, s)| (c.as_str(), s))
+    }
+
+    /// Number of columns in the set.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Whether the set holds no columns.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+}
+
+impl fmt::Debug for SnapshotSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotSet")
+            .field("epoch", &self.epoch)
+            .field("columns", &self.snaps.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}

@@ -1,5 +1,6 @@
 //! Selection predicates and their estimated cardinalities.
 
+use dh_catalog::{CatalogError, ColumnStore};
 use dh_core::ReadHistogram;
 
 /// A selection predicate over one integer attribute.
@@ -39,6 +40,34 @@ impl Predicate {
             return 0.0;
         }
         (self.cardinality(h) / total).clamp(0.0, 1.0)
+    }
+
+    /// Estimated number of qualifying tuples on `column`, read off an
+    /// epoch-pinned snapshot of `store` — the serving-layer face of
+    /// [`Predicate::cardinality`], written once against any
+    /// [`ColumnStore`] design.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if `column` is absent.
+    pub fn cardinality_at(
+        &self,
+        store: &dyn ColumnStore,
+        column: &str,
+    ) -> Result<f64, CatalogError> {
+        Ok(self.cardinality(&store.snapshot(column)?))
+    }
+
+    /// Estimated selectivity on `column`, read off an epoch-pinned
+    /// snapshot of `store`.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if `column` is absent.
+    pub fn selectivity_at(
+        &self,
+        store: &dyn ColumnStore,
+        column: &str,
+    ) -> Result<f64, CatalogError> {
+        Ok(self.selectivity(&store.snapshot(column)?))
     }
 
     /// Exact number of qualifying tuples in a value multiset (ground truth

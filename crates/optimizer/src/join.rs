@@ -14,6 +14,7 @@
 //! of the join *output*'s attribute — which is what lets estimates chain
 //! through multi-join plans (see [`crate::propagation`]).
 
+use dh_catalog::{CatalogError, ColumnStore};
 use dh_core::{BucketSpan, DataDistribution, HistogramCdf, ReadHistogram};
 
 /// Rasterizes spans to unit (per-value) resolution: the estimated
@@ -89,6 +90,25 @@ pub fn estimate_equi_join(r: &dyn ReadHistogram, s: &dyn ReadHistogram) -> f64 {
         size += d1 * d2 * (hi - lo);
     });
     size
+}
+
+/// Estimated equi-join result size read straight off a serving store:
+/// both columns come from one [`ColumnStore::snapshot_set`], so the two
+/// sides are pinned to the *same* epoch — the estimate can never mix a
+/// column state from before a write batch with another from after it.
+/// A self-join (`r == s`) reads the one shared snapshot twice.
+///
+/// # Errors
+/// [`CatalogError::UnknownColumn`] if either column is absent.
+pub fn estimate_equi_join_at(
+    store: &dyn ColumnStore,
+    r: &str,
+    s: &str,
+) -> Result<f64, CatalogError> {
+    let set = store.snapshot_set(&[r, s])?;
+    let rh = set.get(r).expect("requested column present");
+    let sh = set.get(s).expect("requested column present");
+    Ok(estimate_equi_join(rh, sh))
 }
 
 /// Histogram (as spans) of the join output's attribute values: the product

@@ -19,6 +19,15 @@
 //!   reference \[2\] (Ioannidis & Christodoulakis): relative error of a join
 //!   chain's size estimate as the chain deepens, comparing fresh dynamic
 //!   histograms against stale static ones.
+//!
+//! Every entry point also has a serving-layer face written against
+//! `dh_catalog`'s object-safe `ColumnStore` trait
+//! ([`Predicate::cardinality_at`], [`estimate_equi_join_at`],
+//! [`propagate_chain_at`]): cross-column estimates read from one
+//! epoch-pinned `SnapshotSet`, so a join or chain can never mix column
+//! states from before and after a write batch — the consistency the
+//! paper's maintained-while-queried deployment needs once histograms
+//! are updated concurrently.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,5 +37,7 @@ pub mod join;
 pub mod propagation;
 
 pub use estimate::{Predicate, Selectivity};
-pub use join::{estimate_equi_join, exact_equi_join, join_histogram, SpanHistogram};
-pub use propagation::{propagate_chain, ChainReport};
+pub use join::{
+    estimate_equi_join, estimate_equi_join_at, exact_equi_join, join_histogram, SpanHistogram,
+};
+pub use propagation::{propagate_chain, propagate_chain_at, ChainReport};

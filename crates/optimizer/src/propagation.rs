@@ -8,6 +8,7 @@
 //! [`crate::join::join_histogram`], and compare against the exact size.
 
 use crate::join::{estimate_equi_join, exact_equi_join, join_histogram, SpanHistogram};
+use dh_catalog::{CatalogError, ColumnStore};
 use dh_core::{DataDistribution, ReadHistogram};
 
 /// Estimated vs exact cardinalities at each depth of a join chain.
@@ -96,6 +97,31 @@ pub fn propagate_chain(
         exact.push(size);
     }
     ChainReport { estimated, exact }
+}
+
+/// Estimates a left-deep equi-join chain straight off a serving store:
+/// `columns[i]` must approximate `truths[i]`. Every column is read from
+/// one [`ColumnStore::snapshot_set`], so the whole chain estimate is
+/// pinned to a single epoch — no position can observe a newer state than
+/// another, no matter how writers interleave.
+///
+/// # Errors
+/// [`CatalogError::UnknownColumn`] if any column is absent.
+///
+/// # Panics
+/// Panics if fewer than two columns are supplied or the lengths differ
+/// (same contract as [`propagate_chain`]).
+pub fn propagate_chain_at(
+    store: &dyn ColumnStore,
+    columns: &[&str],
+    truths: &[DataDistribution],
+) -> Result<ChainReport, CatalogError> {
+    let set = store.snapshot_set(columns)?;
+    let refs: Vec<&dyn ReadHistogram> = columns
+        .iter()
+        .map(|c| set.get(c).expect("requested column present") as _)
+        .collect();
+    Ok(propagate_chain(&refs, truths))
 }
 
 /// Exact two-way equi-join size (re-exported convenience).

@@ -21,9 +21,11 @@
 //! * [`optimizer`] — histogram-backed cardinality estimation for
 //!   selections and equi-join chains (the paper's motivating use case),
 //!   over plain `&dyn ReadHistogram` so chains may mix algorithms.
-//! * [`catalog`] — the `AlgoSpec` algorithm registry and the multi-column
-//!   `Catalog` serving layer (boxed histograms maintained in place,
-//!   `Arc`-shared read snapshots).
+//! * [`catalog`] — the `AlgoSpec` algorithm registry and the serving
+//!   layer: one object-safe `ColumnStore` trait implemented by the
+//!   single-lock `Catalog` and the `ShardedCatalog`, with transactional
+//!   epoch-stamped `WriteBatch` commits and consistent multi-column
+//!   `SnapshotSet` reads.
 //!
 //! ## Quickstart
 //!
@@ -53,7 +55,10 @@ pub use dh_stats as stats;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use dh_catalog::{AlgoSpec, Catalog, IngestMode, ShardPlan, ShardedCatalog, Snapshot};
+    pub use dh_catalog::{
+        AlgoSpec, Catalog, ColumnConfig, ColumnStore, IngestMode, ShardPlan, ShardedCatalog,
+        Snapshot, SnapshotSet, WriteBatch,
+    };
     pub use dh_core::dynamic::{
         AbsoluteDeviation, DadoHistogram, DcHistogram, DvoHistogram, Grid2dHistogram,
         MultiSubHistogram, SquaredDeviation,

@@ -124,6 +124,52 @@ proptest! {
 /// Batch boundaries must be invisible: one big `apply_slice` and many
 /// small ones are the same stream.
 #[test]
+fn algospec_label_parse_roundtrip_never_drifts() {
+    // Deterministic sweep companion to the property test below: every
+    // registry default round-trips bit-exactly.
+    for spec in AlgoSpec::all() {
+        assert_eq!(spec.label().parse::<AlgoSpec>().unwrap(), spec);
+        assert_eq!(spec.to_string(), spec.label());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The registry has two legend sources — `Display`/`label` renders,
+    /// `FromStr` parses — and CLIs (`repro --algos`) depend on them
+    /// agreeing. Property-check the round trip for every variant,
+    /// including arbitrary `AC{k}` disk factors, plus the documented
+    /// parser liberties (case-insensitivity, optional `X` suffix).
+    #[test]
+    fn algospec_display_fromstr_roundtrip(variant in 0usize..10, k in 1usize..10_000) {
+        let spec = match variant {
+            0 => AlgoSpec::Dc,
+            1 => AlgoSpec::Dvo,
+            2 => AlgoSpec::Dado,
+            3 => AlgoSpec::Ac { disk_factor: k },
+            4 => AlgoSpec::EquiWidth,
+            5 => AlgoSpec::EquiDepth,
+            6 => AlgoSpec::Compressed,
+            7 => AlgoSpec::VOptimal,
+            8 => AlgoSpec::Sado,
+            _ => AlgoSpec::Ssbm,
+        };
+        let label = spec.to_string();
+        prop_assert_eq!(label.parse::<AlgoSpec>().unwrap(), spec, "label {}", label);
+        // Parsing is case-insensitive both ways.
+        prop_assert_eq!(label.to_ascii_lowercase().parse::<AlgoSpec>().unwrap(), spec);
+        prop_assert_eq!(label.to_ascii_uppercase().parse::<AlgoSpec>().unwrap(), spec);
+        if let AlgoSpec::Ac { disk_factor } = spec {
+            // The rendered label carries the factor ("AC20X"), and the
+            // suffixless spelling parses to the same spec.
+            prop_assert_eq!(label.clone(), format!("AC{disk_factor}X"));
+            prop_assert_eq!(format!("AC{disk_factor}").parse::<AlgoSpec>().unwrap(), spec);
+        }
+    }
+}
+
+#[test]
 fn batching_is_invisible_to_the_histogram() {
     let values: Vec<i64> = (0..2000).map(|i| (i * 29) % 140).collect();
     let stream = UpdateStream::build(&values, WorkloadKind::RandomInsertions, 5);

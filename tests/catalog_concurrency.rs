@@ -30,9 +30,14 @@ fn batch(b: i64, column_salt: i64) -> Vec<UpdateOp> {
 fn writer_and_readers_share_the_catalog() {
     let catalog = Catalog::new();
     let memory = MemoryBudget::from_kb(1.0);
-    catalog.register("dc", AlgoSpec::Dc, memory, 11).unwrap();
     catalog
-        .register("dado", AlgoSpec::Dado, memory, 11)
+        .register("dc", ColumnConfig::new(AlgoSpec::Dc, memory).with_seed(11))
+        .unwrap();
+    catalog
+        .register(
+            "dado",
+            ColumnConfig::new(AlgoSpec::Dado, memory).with_seed(11),
+        )
         .unwrap();
     let done = AtomicBool::new(false);
 
@@ -92,9 +97,14 @@ fn writer_and_readers_share_the_catalog() {
 fn columns_do_not_interfere() {
     let catalog = Catalog::new();
     let memory = MemoryBudget::from_kb(0.5);
-    catalog.register("a", AlgoSpec::Dc, memory, 1).unwrap();
     catalog
-        .register("b", AlgoSpec::EquiDepth, memory, 1)
+        .register("a", ColumnConfig::new(AlgoSpec::Dc, memory).with_seed(1))
+        .unwrap();
+    catalog
+        .register(
+            "b",
+            ColumnConfig::new(AlgoSpec::EquiDepth, memory).with_seed(1),
+        )
         .unwrap();
 
     std::thread::scope(|scope| {

@@ -1,13 +1,18 @@
-//! Estimation straight off a `Catalog`: mixed-algorithm equi-joins over
-//! column snapshots, through `dh_optimizer`'s `&dyn ReadHistogram` API.
+//! Estimation straight off a serving store: mixed-algorithm equi-joins
+//! and chains over epoch-pinned snapshots, written once against
+//! `&dyn ColumnStore` and exercised over both store designs.
 //!
 //! The build side and the probe side deliberately use *different*
 //! algorithms (a maintained DC histogram against a rebuilt V-Optimal
-//! one) — the deployment the unified registry exists for.
+//! one) — the deployment the unified registry exists for — and the
+//! optimizer entry points (`estimate_equi_join_at`,
+//! `propagate_chain_at`, `Predicate::cardinality_at`) read through
+//! `SnapshotSet`s, so every cross-column estimate is pinned to one
+//! store epoch.
 
-use dynamic_histograms::core::{DataDistribution, ReadHistogram, UpdateOp};
+use dynamic_histograms::core::{DataDistribution, UpdateOp};
 use dynamic_histograms::optimizer::{
-    estimate_equi_join, exact_equi_join, propagate_chain, Predicate,
+    estimate_equi_join, estimate_equi_join_at, exact_equi_join, propagate_chain_at, Predicate,
 };
 use dynamic_histograms::prelude::*;
 
@@ -22,38 +27,69 @@ fn relation(seed: u64) -> (Vec<UpdateOp>, DataDistribution) {
     (stream.ops(), truth)
 }
 
-#[test]
-fn mixed_algo_join_through_catalog_snapshots() {
-    let catalog = Catalog::new();
-    let memory = MemoryBudget::from_kb(1.0);
-    catalog.register("r.key", AlgoSpec::Dc, memory, 2).unwrap();
-    catalog
-        .register("s.key", AlgoSpec::VOptimal, memory, 3)
-        .unwrap();
+/// The store designs under test; the sharded one gets an 6-shard
+/// channel-mode plan, the plain one ignores it — same config either way.
+fn stores() -> Vec<(&'static str, Box<dyn ColumnStore>)> {
+    vec![
+        ("catalog", Box::new(Catalog::new()) as Box<dyn ColumnStore>),
+        ("sharded", Box::new(ShardedCatalog::new())),
+    ]
+}
 
-    let (r_ops, r_truth) = relation(2);
-    let (s_ops, s_truth) = relation(3);
-    catalog.apply("r.key", &r_ops).unwrap();
-    catalog.apply("s.key", &s_ops).unwrap();
-
-    let r = catalog.snapshot("r.key").unwrap();
-    let s = catalog.snapshot("s.key").unwrap();
-    assert_eq!(r.label(), "DC");
-    assert_eq!(s.label(), "SVO");
-
-    let est = estimate_equi_join(&r, &s);
-    let exact = exact_equi_join(&r_truth, &s_truth) as f64;
-    assert!(exact > 0.0);
-    let ratio = est / exact;
-    assert!(
-        (0.5..2.0).contains(&ratio),
-        "mixed DC ⋈ SVO estimate off: est {est}, exact {exact}"
-    );
+fn plan() -> ShardPlan {
+    ShardPlan::new(0, 5000, 6).unwrap().channel()
 }
 
 #[test]
-fn mixed_algo_chain_propagates_through_catalog() {
-    let catalog = Catalog::new();
+fn mixed_algo_join_through_store_snapshots() {
+    let memory = MemoryBudget::from_kb(1.0);
+    let (r_ops, r_truth) = relation(2);
+    let (s_ops, s_truth) = relation(3);
+    let exact = exact_equi_join(&r_truth, &s_truth) as f64;
+    assert!(exact > 0.0);
+
+    for (kind, store) in stores() {
+        store
+            .register(
+                "r.key",
+                ColumnConfig::new(AlgoSpec::Dc, memory)
+                    .with_seed(2)
+                    .with_plan(plan()),
+            )
+            .unwrap();
+        store
+            .register(
+                "s.key",
+                ColumnConfig::new(AlgoSpec::VOptimal, memory)
+                    .with_seed(3)
+                    .with_plan(plan()),
+            )
+            .unwrap();
+        store.apply("r.key", &r_ops).unwrap();
+        store.apply("s.key", &s_ops).unwrap();
+
+        // Both columns pinned to one epoch by the entry point itself.
+        let est = estimate_equi_join_at(store.as_ref(), "r.key", "s.key").unwrap();
+        let ratio = est / exact;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{kind}: mixed DC ⋈ SVO estimate off: est {est}, exact {exact}"
+        );
+
+        // The set the entry point reads is the same view a manual
+        // snapshot_set sees: consistent labels and epoch.
+        let set = store.snapshot_set(&["r.key", "s.key"]).unwrap();
+        assert_eq!(set.get("r.key").unwrap().label(), "DC");
+        assert_eq!(set.get("s.key").unwrap().label(), "SVO");
+        assert_eq!(set.get("r.key").unwrap().epoch(), set.epoch());
+        assert_eq!(set.get("s.key").unwrap().epoch(), set.epoch());
+        let manual = estimate_equi_join(set.get("r.key").unwrap(), set.get("s.key").unwrap());
+        assert!((manual - est).abs() < 1e-9 * est.max(1.0), "{kind}");
+    }
+}
+
+#[test]
+fn mixed_algo_chain_propagates_through_store() {
     let memory = MemoryBudget::from_kb(1.0);
     // Three relations, three different algorithms in one chain.
     let specs = [
@@ -61,27 +97,29 @@ fn mixed_algo_chain_propagates_through_catalog() {
         ("r2", AlgoSpec::Ssbm),
         ("r3", AlgoSpec::Dc),
     ];
-    let mut truths = Vec::new();
-    for (i, (col, spec)) in specs.iter().enumerate() {
-        catalog
-            .register(*col, *spec, memory, 10 + i as u64)
-            .unwrap();
-        let (ops, truth) = relation(10 + i as u64);
-        catalog.apply(col, &ops).unwrap();
-        truths.push(truth);
+    for (kind, store) in stores() {
+        let mut truths = Vec::new();
+        for (i, (col, spec)) in specs.iter().enumerate() {
+            store
+                .register(
+                    col,
+                    ColumnConfig::new(*spec, memory)
+                        .with_seed(10 + i as u64)
+                        .with_plan(plan()),
+                )
+                .unwrap();
+            let (ops, truth) = relation(10 + i as u64);
+            store.apply(col, &ops).unwrap();
+            truths.push(truth);
+        }
+        let report = propagate_chain_at(store.as_ref(), &["r1", "r2", "r3"], &truths).unwrap();
+        assert_eq!(report.estimated.len(), 2);
+        assert!(
+            report.final_error() < 1.0,
+            "{kind}: fresh mixed-algo chain should stay usable: {:?}",
+            report.relative_errors()
+        );
     }
-    let snaps: Vec<Snapshot> = specs
-        .iter()
-        .map(|(col, _)| catalog.snapshot(col).unwrap())
-        .collect();
-    let refs: Vec<&dyn ReadHistogram> = snaps.iter().map(|s| s as _).collect();
-    let report = propagate_chain(&refs, &truths);
-    assert_eq!(report.estimated.len(), 2);
-    assert!(
-        report.final_error() < 1.0,
-        "fresh mixed-algo chain should stay usable: {:?}",
-        report.relative_errors()
-    );
 }
 
 #[test]
@@ -94,8 +132,18 @@ fn sharded_snapshots_join_like_unsharded_ones() {
     let (s_ops, s_truth) = relation(22);
 
     let plain = Catalog::new();
-    plain.register("r.key", AlgoSpec::Dc, memory, 21).unwrap();
-    plain.register("s.key", AlgoSpec::Dado, memory, 22).unwrap();
+    plain
+        .register(
+            "r.key",
+            ColumnConfig::new(AlgoSpec::Dc, memory).with_seed(21),
+        )
+        .unwrap();
+    plain
+        .register(
+            "s.key",
+            ColumnConfig::new(AlgoSpec::Dado, memory).with_seed(22),
+        )
+        .unwrap();
     plain.apply("r.key", &r_ops).unwrap();
     plain.apply("s.key", &s_ops).unwrap();
 
@@ -103,10 +151,9 @@ fn sharded_snapshots_join_like_unsharded_ones() {
     sharded
         .register(
             "s.key",
-            AlgoSpec::Dado,
-            memory,
-            22,
-            ShardPlan::new(0, 5000, 6).channel(),
+            ColumnConfig::new(AlgoSpec::Dado, memory)
+                .with_seed(22)
+                .with_plan(plan()),
         )
         .unwrap();
     sharded.apply("s.key", &s_ops).unwrap();
@@ -133,25 +180,30 @@ fn sharded_snapshots_join_like_unsharded_ones() {
 }
 
 #[test]
-fn selection_predicates_read_off_snapshots() {
-    let catalog = Catalog::new();
-    catalog
-        .register("t.v", AlgoSpec::Dado, MemoryBudget::from_kb(1.0), 5)
-        .unwrap();
+fn selection_predicates_read_off_stores() {
     let (ops, truth) = relation(5);
-    catalog.apply("t.v", &ops).unwrap();
-    let snap = catalog.snapshot("t.v").unwrap();
-    for p in [
-        Predicate::Le(1000),
-        Predicate::Between(500, 2500),
-        Predicate::Gt(4000),
-    ] {
-        let est = p.cardinality(&snap);
-        let exact = p.exact(&truth) as f64;
-        let abs_err = (est - exact).abs() / truth.total() as f64;
-        assert!(
-            abs_err < 0.05,
-            "{p:?}: est {est} vs exact {exact} (rel-to-total {abs_err})"
-        );
+    for (kind, store) in stores() {
+        store
+            .register(
+                "t.v",
+                ColumnConfig::new(AlgoSpec::Dado, MemoryBudget::from_kb(1.0))
+                    .with_seed(5)
+                    .with_plan(plan()),
+            )
+            .unwrap();
+        store.apply("t.v", &ops).unwrap();
+        for p in [
+            Predicate::Le(1000),
+            Predicate::Between(500, 2500),
+            Predicate::Gt(4000),
+        ] {
+            let est = p.cardinality_at(store.as_ref(), "t.v").unwrap();
+            let exact = p.exact(&truth) as f64;
+            let abs_err = (est - exact).abs() / truth.total() as f64;
+            assert!(
+                abs_err < 0.05,
+                "{kind}: {p:?}: est {est} vs exact {exact} (rel-to-total {abs_err})"
+            );
+        }
     }
 }

@@ -38,7 +38,12 @@ fn expected_total() -> f64 {
 fn run(plan: ShardPlan) {
     let catalog = ShardedCatalog::new();
     catalog
-        .register("x", AlgoSpec::Dc, MemoryBudget::from_kb(1.0), 11, plan)
+        .register(
+            "x",
+            ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0))
+                .with_seed(11)
+                .with_plan(plan),
+        )
         .unwrap();
     let done = AtomicBool::new(false);
 
@@ -100,21 +105,26 @@ fn run(plan: ShardPlan) {
 
 #[test]
 fn multi_writer_locked_ingestion() {
-    run(ShardPlan::new(DOMAIN.0, DOMAIN.1, 8));
+    run(ShardPlan::new(DOMAIN.0, DOMAIN.1, 8).unwrap());
 }
 
 #[test]
 fn multi_writer_channel_ingestion() {
-    run(ShardPlan::new(DOMAIN.0, DOMAIN.1, 8).channel());
+    run(ShardPlan::new(DOMAIN.0, DOMAIN.1, 8).unwrap().channel());
 }
 
 #[test]
 fn more_shards_than_values_still_works() {
     // Degenerate split: more shards than distinct values in the domain.
-    let plan = ShardPlan::new(0, 3, 16);
+    let plan = ShardPlan::new(0, 3, 16).unwrap();
     let catalog = ShardedCatalog::new();
     catalog
-        .register("tiny", AlgoSpec::Dado, MemoryBudget::from_kb(0.25), 5, plan)
+        .register(
+            "tiny",
+            ColumnConfig::new(AlgoSpec::Dado, MemoryBudget::from_kb(0.25))
+                .with_seed(5)
+                .with_plan(plan),
+        )
         .unwrap();
     let ops: Vec<UpdateOp> = (0..400).map(|i| UpdateOp::Insert(i % 4)).collect();
     catalog.apply("tiny", &ops).unwrap();

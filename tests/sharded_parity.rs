@@ -1,5 +1,8 @@
-//! Shard-routing invariants: a `ShardedCatalog` must serve the same
-//! estimates as the unsharded `Catalog` it decomposes.
+//! Shard-routing invariants, checked *generically over
+//! `&dyn ColumnStore`*: a `ShardedCatalog` must serve the same estimates
+//! as the unsharded `Catalog` it decomposes, through the one trait both
+//! implement — the replay/assertion code below never names a concrete
+//! store type after construction.
 //!
 //! Three levels of parity, checked over property-generated mixed
 //! insert/delete streams:
@@ -8,7 +11,7 @@
 //!    truth's) to float precision; a *single*-shard `ShardedCatalog` is
 //!    estimate-identical to a `Catalog` (superposition is lossless); a
 //!    channel-mode column fed from one thread is estimate-identical to a
-//!    locked-mode one (per-sender FIFO).
+//!    locked-mode one (epoch-ordered drains are deterministic).
 //! 2. **Sharper** — ranges aligned on shard boundaries are *exact*
 //!    against the ground truth (per-shard mass conservation), which the
 //!    unsharded histogram cannot promise.
@@ -52,6 +55,29 @@ fn exact_count(truth: &DataDistribution, a: i64, b: i64) -> f64 {
         .sum()
 }
 
+/// Builds a store of the named kind with one column `"c"` registered
+/// from the same [`ColumnConfig`] — the only place a concrete type
+/// appears; everything downstream drives `&dyn ColumnStore`.
+fn build_store(kind: &str, config: ColumnConfig) -> Box<dyn ColumnStore> {
+    let store: Box<dyn ColumnStore> = match kind {
+        "catalog" => Box::new(Catalog::new()),
+        "sharded" => Box::new(ShardedCatalog::new()),
+        other => panic!("unknown store kind {other}"),
+    };
+    store.register("c", config).unwrap();
+    store
+}
+
+/// Replays the batches through the store via the trait and returns the
+/// flushed snapshot.
+fn replay(store: &dyn ColumnStore, batches: &[Vec<UpdateOp>]) -> Snapshot {
+    for b in batches {
+        store.apply("c", b).unwrap();
+    }
+    store.flush("c").unwrap();
+    store.snapshot("c").unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -63,18 +89,14 @@ proptest! {
     ) {
         let (batches, truth) = case;
         let memory = MemoryBudget::from_kb(0.5);
+        let plan = ShardPlan::new(DOMAIN.0, DOMAIN.1, shards).unwrap();
         for spec in [AlgoSpec::Dc, AlgoSpec::Dado] {
-            let unsharded = Catalog::new();
-            unsharded.register("c", spec, memory, seed).unwrap();
-            let sharded = ShardedCatalog::new();
-            let plan = ShardPlan::new(DOMAIN.0, DOMAIN.1, shards);
-            sharded.register("c", spec, memory, seed, plan).unwrap();
-            for b in &batches {
-                unsharded.apply("c", b).unwrap();
-                sharded.apply("c", b).unwrap();
-            }
-            let u = unsharded.snapshot("c").unwrap();
-            let s = sharded.snapshot("c").unwrap();
+            // Identical configs; the unsharded store ignores the plan.
+            let config = ColumnConfig::new(spec, memory).with_seed(seed).with_plan(plan);
+            let unsharded = build_store("catalog", config);
+            let sharded = build_store("sharded", config);
+            let u = replay(unsharded.as_ref(), &batches);
+            let s = replay(sharded.as_ref(), &batches);
 
             // 1. Exact total-mass parity (both conserve mass exactly).
             let total = truth.total() as f64;
@@ -127,21 +149,13 @@ proptest! {
     ) {
         let (batches, _) = case;
         let memory = MemoryBudget::from_kb(0.5);
+        let plan = ShardPlan::new(DOMAIN.0, DOMAIN.1, 1).unwrap();
         for spec in [AlgoSpec::Dc, AlgoSpec::Dado, AlgoSpec::EquiDepth] {
-            let unsharded = Catalog::new();
-            unsharded.register("c", spec, memory, seed).unwrap();
-            let sharded = ShardedCatalog::new();
-            sharded
-                .register("c", spec, memory, seed, ShardPlan::new(DOMAIN.0, DOMAIN.1, 1))
-                .unwrap();
-            for b in &batches {
-                unsharded.apply("c", b).unwrap();
-                sharded.apply("c", b).unwrap();
-            }
-            let u = unsharded.snapshot("c").unwrap();
-            let s = sharded.snapshot("c").unwrap();
-            // Superposition of one member is lossless, so every estimate
-            // agrees to float precision (spans may be re-tiled).
+            let config = ColumnConfig::new(spec, memory).with_seed(seed).with_plan(plan);
+            let u = replay(build_store("catalog", config).as_ref(), &batches);
+            let s = replay(build_store("sharded", config).as_ref(), &batches);
+            // Composition of one member is lossless, so every estimate
+            // agrees to float precision.
             prop_assert!((u.total_count() - s.total_count()).abs() < 1e-9);
             for v in (DOMAIN.0..=DOMAIN.1).step_by(7) {
                 prop_assert!(
@@ -161,23 +175,16 @@ proptest! {
     ) {
         let (batches, _) = case;
         let memory = MemoryBudget::from_kb(0.5);
-        let locked = ShardedCatalog::new();
-        let plan = ShardPlan::new(DOMAIN.0, DOMAIN.1, shards);
-        locked.register("c", AlgoSpec::Dc, memory, seed, plan).unwrap();
-        let channel = ShardedCatalog::new();
-        channel
-            .register("c", AlgoSpec::Dc, memory, seed, plan.channel())
-            .unwrap();
-        for b in &batches {
-            locked.apply("c", b).unwrap();
-            channel.apply("c", b).unwrap();
-        }
-        channel.flush("c").unwrap();
-        let l = locked.snapshot("c").unwrap();
-        let c = channel.snapshot("c").unwrap();
-        // One sender and FIFO workers: the exact same per-shard replay,
-        // hence identical spans.
+        let plan = ShardPlan::new(DOMAIN.0, DOMAIN.1, shards).unwrap();
+        let config = ColumnConfig::new(AlgoSpec::Dc, memory).with_seed(seed);
+        let locked = build_store("sharded", config.with_plan(plan));
+        let channel = build_store("sharded", config.with_plan(plan.channel()));
+        let l = replay(locked.as_ref(), &batches);
+        let c = replay(channel.as_ref(), &batches);
+        // One writer and epoch-ordered drains: the exact same per-shard
+        // replay, hence identical spans.
         prop_assert_eq!(l.spans(), c.spans());
         prop_assert_eq!(l.checkpoint(), c.checkpoint());
+        prop_assert_eq!(l.epoch(), c.epoch());
     }
 }

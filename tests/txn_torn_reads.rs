@@ -1,0 +1,158 @@
+//! Torn-read regression suite: readers interleaved with multi-writer
+//! `WriteBatch` commits must observe **whole epochs only** — never a
+//! batch partially applied across the shards of one column, nor across
+//! the columns of one batch. This is the race PR 3 documented for the
+//! sharded catalog (a batch landed shard-by-shard) made into a test,
+//! driven generically over `&dyn ColumnStore` for the single-lock
+//! store and both sharded ingestion designs (`IngestMode::Locked` and
+//! `::Channel`).
+//!
+//! The workload makes tearing arithmetically visible: every committed
+//! batch inserts exactly one value into *each* of the 8 shard ranges of
+//! *both* columns. Therefore, at any pinned epoch `e`:
+//!
+//! * each column's total mass is exactly `8 * e` (epoch `k` contributed
+//!   its full 8 or nothing), and
+//! * the two columns of a `SnapshotSet` carry identical mass.
+//!
+//! Any torn batch — a shard applied early, a column lagging — breaks one
+//! of those equalities immediately.
+
+use dynamic_histograms::core::ReadHistogram;
+use dynamic_histograms::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const WRITERS: i64 = 4;
+const BATCHES: i64 = 50;
+const SHARDS: i64 = 8;
+const DOMAIN: (i64, i64) = (0, 799); // 8 shards of width 100
+
+/// Writer `w`'s batch `b`: one insert per shard range, per column.
+fn batch(w: i64, b: i64) -> WriteBatch {
+    let mut batch = WriteBatch::new();
+    for s in 0..SHARDS {
+        let v = s * 100 + ((w * BATCHES + b) % 100);
+        batch.insert("a", v).insert("b", v);
+    }
+    batch
+}
+
+fn run(store: &dyn ColumnStore, label: &str) {
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Readers: every SnapshotSet pins one epoch and must account for
+        // exactly that many whole batches, in both columns.
+        for _ in 0..2 {
+            let store = &store;
+            let done = &done;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut reads = 0u64;
+                while !done.load(Ordering::Acquire) || reads == 0 {
+                    let set = store.snapshot_set(&["a", "b"]).unwrap();
+                    let e = set.epoch();
+                    assert!(
+                        e >= last_epoch,
+                        "{label}: epoch moved backwards: {last_epoch} -> {e}"
+                    );
+                    last_epoch = e;
+                    let a = set.get("a").unwrap();
+                    let b = set.get("b").unwrap();
+                    assert_eq!(a.epoch(), e, "{label}: column a off the set epoch");
+                    assert_eq!(b.epoch(), e, "{label}: column b off the set epoch");
+                    let (ta, tb) = (a.total_count(), b.total_count());
+                    assert!(
+                        (ta - (SHARDS as f64) * e as f64).abs() < 1e-6,
+                        "{label}: torn batch across shards: epoch {e} but mass {ta} \
+                         (expected {})",
+                        SHARDS * e as i64
+                    );
+                    assert!(
+                        (ta - tb).abs() < 1e-6,
+                        "{label}: torn batch across columns: a {ta} vs b {tb} at epoch {e}"
+                    );
+                    // Single-column snapshots obey the same whole-epoch
+                    // accounting (their own pin, not the set's).
+                    let solo = store.snapshot("a").unwrap();
+                    assert!(
+                        (solo.total_count() - (SHARDS as f64) * solo.epoch() as f64).abs() < 1e-6,
+                        "{label}: solo snapshot torn: epoch {} mass {}",
+                        solo.epoch(),
+                        solo.total_count()
+                    );
+                    reads += 1;
+                }
+            });
+        }
+
+        // Writers commit cross-column, cross-shard batches; the inner
+        // scope joins them before the readers' flag flips.
+        std::thread::scope(|writers| {
+            for w in 0..WRITERS {
+                let store = &store;
+                writers.spawn(move || {
+                    for b in 0..BATCHES {
+                        store.commit(batch(w, b)).unwrap();
+                    }
+                });
+            }
+        });
+        done.store(true, Ordering::Release);
+    });
+
+    // Final accounting: every batch published and applied.
+    let expected = (WRITERS * BATCHES) as u64;
+    assert_eq!(store.epoch(), expected, "{label}");
+    for col in ["a", "b"] {
+        store.flush(col).unwrap();
+        assert_eq!(store.checkpoint(col).unwrap(), expected, "{label}");
+        let snap = store.snapshot(col).unwrap();
+        assert_eq!(snap.epoch(), expected, "{label}");
+        assert!(
+            (snap.total_count() - (SHARDS * WRITERS * BATCHES) as f64).abs() < 1e-6,
+            "{label}: {col} total {} != {}",
+            snap.total_count(),
+            SHARDS * WRITERS * BATCHES
+        );
+    }
+}
+
+fn register_both(store: &dyn ColumnStore, plan: ShardPlan) {
+    let config = ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0))
+        .with_seed(9)
+        .with_plan(plan);
+    store.register("a", config).unwrap();
+    store.register("b", config).unwrap();
+}
+
+#[test]
+fn single_lock_store_never_serves_torn_batches() {
+    let store = Catalog::new();
+    register_both(
+        &store,
+        ShardPlan::new(DOMAIN.0, DOMAIN.1, SHARDS as usize).unwrap(),
+    );
+    run(&store, "catalog");
+}
+
+#[test]
+fn sharded_locked_store_never_serves_torn_batches() {
+    let store = ShardedCatalog::new();
+    register_both(
+        &store,
+        ShardPlan::new(DOMAIN.0, DOMAIN.1, SHARDS as usize).unwrap(),
+    );
+    run(&store, "sharded-locked");
+}
+
+#[test]
+fn sharded_channel_store_never_serves_torn_batches() {
+    let store = ShardedCatalog::new();
+    register_both(
+        &store,
+        ShardPlan::new(DOMAIN.0, DOMAIN.1, SHARDS as usize)
+            .unwrap()
+            .channel(),
+    );
+    run(&store, "sharded-channel");
+}
