@@ -9,7 +9,7 @@
 //! engine) are quoted in `ARCHITECTURE.md`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
-use dh_bench::{ingest, ServeDesign, Serving};
+use dh_bench::{ingest, ServeDesign, Serving, RESHARD_POLICY};
 use dh_catalog::AlgoSpec;
 use dh_core::{MemoryBudget, UpdateOp};
 use dh_gen::workload::{UpdateStream, WorkloadKind};
@@ -21,6 +21,16 @@ const BATCH: usize = 256;
 
 fn batches(points: u64, seed: u64) -> Vec<Vec<UpdateOp>> {
     let cfg = SyntheticConfig::default().with_total_points(points);
+    let data = cfg.generate(seed);
+    let ops = UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed).ops();
+    ops.chunks(BATCH).map(<[UpdateOp]>::to_vec).collect()
+}
+
+fn skewed_batches(points: u64, seed: u64) -> Vec<Vec<UpdateOp>> {
+    let cfg = SyntheticConfig::default()
+        .with_total_points(points)
+        .with_size_skew(2.5)
+        .with_spread_skew(2.5);
     let data = cfg.generate(seed);
     let ops = UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed).ops();
     ops.chunks(BATCH).map(<[UpdateOp]>::to_vec).collect()
@@ -54,5 +64,43 @@ fn multi_writer_ingest(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, multi_writer_ingest);
+/// Static equal-width borders vs policy-armed dynamic re-sharding on a
+/// Zipf-skewed stream: the re-sharded arm pays the border rebuilds
+/// (barrier + histogram reconstruction) inside the timed region, in
+/// exchange for the balanced routing the `repro serve --reshard`
+/// replay reports.
+fn reshard_ingest(c: &mut Criterion) {
+    let batches = skewed_batches(30_000, 7);
+    let updates: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let memory = MemoryBudget::from_kb(1.0);
+
+    let mut group = c.benchmark_group("ingest_reshard_2writers");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(updates));
+    for (label, policy) in [("static-plan", None), ("resharded", Some(RESHARD_POLICY))] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_batched(
+                || {
+                    Serving::build_with(
+                        ServeDesign::ShardedLock,
+                        AlgoSpec::Dc,
+                        memory,
+                        SHARDS,
+                        DOMAIN,
+                        7,
+                        policy,
+                    )
+                },
+                |serving| {
+                    ingest(&serving, &batches, 2);
+                    serving
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, multi_writer_ingest, reshard_ingest);
 criterion_main!(benches);

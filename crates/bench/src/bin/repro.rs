@@ -21,9 +21,16 @@
 //! repro serve --json             # same, as machine-readable JSON on
 //!                                # stdout (CI uploads it as the
 //!                                # BENCH_serve.json artifact)
+//! repro serve --reshard [--skew S]
+//!                                # Zipf-skewed replay comparing the
+//!                                # static equal-width shard plan against
+//!                                # dynamic re-sharding: throughput,
+//!                                # max/mean shard-load balance, KS
 //! ```
 
-use dh_bench::{all_figure_ids, run_custom, run_figure, run_serve, RunOptions, ServeConfig};
+use dh_bench::{
+    all_figure_ids, run_custom, run_figure, run_reshard, run_serve, RunOptions, ServeConfig,
+};
 use dh_catalog::AlgoSpec;
 use dh_gen::workload::WorkloadKind;
 use std::io::Write;
@@ -33,7 +40,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--seeds N] [--scale F] [--out DIR] [--list] [figN...|all]\n\
          \x20      repro custom --algos LIST [--workload random|sorted] [options]\n\
-         \x20      repro serve [--shards N] [--writers LIST] [--algos SPEC] [--json] [options]\n\
+         \x20      repro serve [--shards N] [--writers LIST] [--algos SPEC] [--json]\n\
+         \x20                  [--reshard] [--skew S] [options]\n\
          (no figure list means all figures; beware that without --quick this\n\
          is the paper-scale run. --algos takes paper legend names, e.g.\n\
          DC,DVO,DADO,AC20X,EquiWidth,EquiDepth,SC,SVO,SADO,SSBM)"
@@ -55,6 +63,8 @@ fn main() {
     let mut custom = false;
     let mut serve = false;
     let mut json = false;
+    let mut reshard = false;
+    let mut skew: Option<f64> = None;
     let mut shards: Option<usize> = None;
     let mut writers: Option<Vec<usize>> = None;
     let mut algos: Vec<AlgoSpec> = Vec::new();
@@ -66,6 +76,11 @@ fn main() {
             "custom" => custom = true,
             "serve" => serve = true,
             "--json" => json = true,
+            "--reshard" => reshard = true,
+            "--skew" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                skew = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--shards" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 shards = Some(v.parse().unwrap_or_else(|_| usage()));
@@ -155,8 +170,36 @@ fn main() {
         if let Some(&spec) = algos.first() {
             cfg.spec = spec;
         }
+        cfg.skew = skew;
         let writers = writers.unwrap_or_else(|| vec![1, 2, 4, 8]);
         let t0 = std::time::Instant::now();
+        if reshard {
+            // Static equal-width borders vs dynamic re-sharding on a
+            // Zipf-skewed replay: throughput + shard balance + KS.
+            eprint!("running serve --reshard ... ");
+            std::io::stderr().flush().ok();
+            let report = run_reshard(cfg, &writers, opts);
+            eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                println!("{}", report.to_markdown());
+            }
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).expect("create output directory");
+                for fig in [&report.throughput, &report.balance, &report.accuracy] {
+                    let path = dir.join(format!("{}.csv", fig.id));
+                    std::fs::write(&path, fig.to_csv())
+                        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                    eprintln!("wrote {}", path.display());
+                }
+                let path = dir.join("reshard.json");
+                std::fs::write(&path, report.to_json())
+                    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                eprintln!("wrote {}", path.display());
+            }
+            return;
+        }
         eprint!("running serve ... ");
         std::io::stderr().flush().ok();
         let report = run_serve(cfg, &writers, opts);
@@ -183,8 +226,8 @@ fn main() {
         }
         return;
     }
-    if shards.is_some() || writers.is_some() {
-        eprintln!("--shards/--writers only apply to serve mode");
+    if shards.is_some() || writers.is_some() || reshard || skew.is_some() {
+        eprintln!("--shards/--writers/--reshard/--skew only apply to serve mode");
         usage();
     }
     if json {

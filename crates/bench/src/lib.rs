@@ -15,7 +15,9 @@
 //!   through the single-lock `Catalog`, the per-shard-locked
 //!   `ShardedCatalog` and its MPSC-worker variant, reporting throughput
 //!   and final estimation error (the `repro serve` mode and the
-//!   `contention` bench).
+//!   `contention` bench), plus the `--reshard` replay comparing static
+//!   versus dynamically re-balanced shard borders on a Zipf-skewed
+//!   stream.
 //!
 //! The `repro` binary regenerates any or all figures as CSV files and a
 //! markdown summary, and runs custom algorithm mixes selected by name
@@ -39,4 +41,7 @@ pub mod serve;
 pub use algos::{DynamicAlgo, StaticAlgo};
 pub use figures::{all_figure_ids, run_custom, run_figure};
 pub use harness::{FigureResult, RunOptions, Series};
-pub use serve::{ingest, run_serve, ServeConfig, ServeDesign, ServeReport, Serving};
+pub use serve::{
+    ingest, load_balance, run_reshard, run_serve, ReshardReport, ServeConfig, ServeDesign,
+    ServeReport, Serving, RESHARD_POLICY,
+};

@@ -16,7 +16,8 @@
 
 use crate::harness::{mean, FigureResult, RunOptions, Series};
 use dh_catalog::{
-    AlgoSpec, Catalog, ColumnConfig, ColumnStore, ShardPlan, ShardedCatalog, Snapshot,
+    AlgoSpec, Catalog, ColumnConfig, ColumnStore, ReshardPolicy, ShardPlan, ShardedCatalog,
+    Snapshot,
 };
 use dh_core::{ks_error, DataDistribution, MemoryBudget, UpdateOp};
 use dh_gen::workload::{UpdateStream, WorkloadKind};
@@ -82,6 +83,25 @@ impl Serving {
         domain: (i64, i64),
         seed: u64,
     ) -> Self {
+        Self::build_with(design, spec, memory, shards, domain, seed, None)
+    }
+
+    /// [`Serving::build`] with an optional [`ReshardPolicy`] arming
+    /// dynamic re-sharding on the sharded designs (the unsharded
+    /// catalog ignores it, like the plan).
+    ///
+    /// # Panics
+    /// Panics on registration failure (fresh instance, cannot collide)
+    /// or a degenerate domain/shard count.
+    pub fn build_with(
+        design: ServeDesign,
+        spec: AlgoSpec,
+        memory: MemoryBudget,
+        shards: usize,
+        domain: (i64, i64),
+        seed: u64,
+        reshard: Option<ReshardPolicy>,
+    ) -> Self {
         let mut plan = ShardPlan::new(domain.0, domain.1, shards).expect("valid shard plan");
         if design == ServeDesign::ShardedChannel {
             plan = plan.channel();
@@ -94,14 +114,13 @@ impl Serving {
                 Box::new(ShardedCatalog::new())
             }
         };
-        store
-            .register(
-                COLUMN,
-                ColumnConfig::new(spec, memory)
-                    .with_seed(seed)
-                    .with_plan(plan),
-            )
-            .expect("fresh store");
+        let mut config = ColumnConfig::new(spec, memory)
+            .with_seed(seed)
+            .with_plan(plan);
+        if let Some(policy) = reshard {
+            config = config.with_reshard(policy);
+        }
+        store.register(COLUMN, config).expect("fresh store");
         Serving { store }
     }
 
@@ -133,6 +152,29 @@ impl Serving {
     pub fn snapshot(&self) -> Snapshot {
         self.store.snapshot(COLUMN).expect("column registered")
     }
+
+    /// Per-shard routed-op counters of the serve column under its
+    /// current shard map (empty for the unsharded design) — what the
+    /// re-shard replay reports as shard balance.
+    ///
+    /// # Panics
+    /// Panics if the serve column is missing (never happens after
+    /// [`Serving::build`]).
+    pub fn shard_load(&self) -> Vec<u64> {
+        self.store.shard_load(COLUMN).expect("column registered")
+    }
+}
+
+/// Max/mean ratio of per-shard loads: `1.0` is perfectly balanced,
+/// `k` is everything-on-one-shard. Empty or unloaded columns report
+/// `1.0` (nothing to balance).
+pub fn load_balance(loads: &[u64]) -> f64 {
+    let total: u64 = loads.iter().sum();
+    if loads.is_empty() || total == 0 {
+        return 1.0;
+    }
+    let max = loads.iter().copied().max().unwrap_or(0) as f64;
+    max / (total as f64 / loads.len() as f64)
 }
 
 /// Replays pre-routed `batches` through a serving instance with
@@ -168,16 +210,22 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Updates per ingestion batch.
     pub batch_size: usize,
+    /// Zipf skew applied to the generated dataset's cluster sizes *and*
+    /// center spreads (`None` keeps the paper's reference `S = Z = 1`).
+    /// [`run_reshard`] defaults to a heavier skew so the equal-width
+    /// plan's load imbalance is visible.
+    pub skew: Option<f64>,
 }
 
 impl Default for ServeConfig {
-    /// 8 shards, 1 KB total, DC, 256-update batches.
+    /// 8 shards, 1 KB total, DC, 256-update batches, paper-default skew.
     fn default() -> Self {
         Self {
             spec: AlgoSpec::Dc,
             memory: MemoryBudget::from_kb(1.0),
             shards: 8,
             batch_size: 256,
+            skew: None,
         }
     }
 }
@@ -215,13 +263,25 @@ impl ServeReport {
     }
 }
 
+/// Builds the generator configuration of a serve replay: the paper's
+/// reference distribution at the requested scale and domain, with the
+/// optional skew override applied to cluster sizes and spreads.
+fn replay_gen_config(cfg: ServeConfig, opts: RunOptions, domain_max: i64) -> SyntheticConfig {
+    let mut gen_cfg = SyntheticConfig::default()
+        .with_total_points(opts.scaled(100_000))
+        .with_domain(0, domain_max);
+    if let Some(skew) = cfg.skew {
+        gen_cfg = gen_cfg.with_size_skew(skew).with_spread_skew(skew);
+    }
+    gen_cfg
+}
+
 /// Runs the serve replay: for every writer count in `writers`, ingest an
 /// identical `dh_gen` random-insertion stream through all three designs
 /// and record throughput and final KS, averaged over `opts` seeds.
 pub fn run_serve(cfg: ServeConfig, writers: &[usize], opts: RunOptions) -> ServeReport {
     let domain_max = opts.domain_max.unwrap_or(5000);
-    let mut gen_cfg = SyntheticConfig::default().with_total_points(opts.scaled(100_000));
-    gen_cfg.domain_max = domain_max;
+    let gen_cfg = replay_gen_config(cfg, opts, domain_max);
     let designs = ServeDesign::all();
     let mut tp_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
     let mut ks_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
@@ -288,6 +348,151 @@ pub fn run_serve(cfg: ServeConfig, writers: &[usize], opts: RunOptions) -> Serve
     }
 }
 
+/// The policy the re-shard replay and the `contention` bench arm run
+/// with: eager enough to fire within a `--quick`-scale replay (a few
+/// dozen epochs), so the smoke artifact actually captures a re-shard.
+pub const RESHARD_POLICY: ReshardPolicy = ReshardPolicy {
+    skew_threshold: 1.25,
+    min_interval_epochs: 8,
+    min_load: 2048,
+};
+
+/// The figures a re-shard replay produces: the static equal-width plan
+/// versus a policy-armed column, on the same Zipf-skewed stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReshardReport {
+    /// Ingestion throughput (million updates/s) vs writer count.
+    pub throughput: FigureResult,
+    /// Shard-load balance (max/mean routed ops; 1 = perfectly balanced)
+    /// vs writer count. The static arm's counters span the whole
+    /// replay; the re-sharded arm's span the final borders — its
+    /// steady-state balance.
+    pub balance: FigureResult,
+    /// Final estimation error (KS vs the exact live distribution) vs
+    /// writer count.
+    pub accuracy: FigureResult,
+}
+
+impl ReshardReport {
+    /// All three figures as one markdown document.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "{}{}{}",
+            self.throughput.to_markdown(),
+            self.balance.to_markdown(),
+            self.accuracy.to_markdown()
+        )
+    }
+
+    /// All three figures as one JSON document
+    /// (`{"throughput": {...}, "balance": {...}, "accuracy": {...}}`) —
+    /// what `repro serve --reshard --json` emits and CI folds into the
+    /// `BENCH_serve` artifact.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"throughput\":{},\"balance\":{},\"accuracy\":{}}}\n",
+            self.throughput.to_json(),
+            self.balance.to_json(),
+            self.accuracy.to_json()
+        )
+    }
+}
+
+/// Runs the re-shard replay: a Zipf-skewed `dh_gen` stream (skew from
+/// `cfg.skew`, default 2.5) is ingested into two sharded-locks columns —
+/// one frozen on its registration-time equal-width plan, one armed with
+/// [`RESHARD_POLICY`] — and the replay records throughput, final
+/// shard-load balance, and final KS per writer count, averaged over
+/// `opts` seeds.
+pub fn run_reshard(cfg: ServeConfig, writers: &[usize], opts: RunOptions) -> ReshardReport {
+    let domain_max = opts.domain_max.unwrap_or(5000);
+    let skew = cfg.skew.unwrap_or(2.5);
+    let gen_cfg = replay_gen_config(
+        ServeConfig {
+            skew: Some(skew),
+            ..cfg
+        },
+        opts,
+        domain_max,
+    );
+    let arms: [(&str, Option<ReshardPolicy>); 2] =
+        [("static-plan", None), ("resharded", Some(RESHARD_POLICY))];
+    let mut tp_series: Vec<Series> = arms.iter().map(|&(label, _)| Series::new(label)).collect();
+    let mut bal_series: Vec<Series> = arms.iter().map(|&(label, _)| Series::new(label)).collect();
+    let mut ks_series: Vec<Series> = arms.iter().map(|&(label, _)| Series::new(label)).collect();
+
+    let mut per_tp: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); arms.len()]; writers.len()];
+    let mut per_bal: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); arms.len()]; writers.len()];
+    let mut per_ks: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); arms.len()]; writers.len()];
+    for seed in opts.seed_values() {
+        let data = gen_cfg.generate(seed);
+        let stream =
+            UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
+        let ops = stream.ops();
+        let truth = DataDistribution::from_values(&stream.final_multiset());
+        let batches: Vec<Vec<UpdateOp>> = ops
+            .chunks(cfg.batch_size)
+            .map(<[UpdateOp]>::to_vec)
+            .collect();
+        for (wi, &w) in writers.iter().enumerate() {
+            for (ai, &(_, policy)) in arms.iter().enumerate() {
+                let serving = Serving::build_with(
+                    ServeDesign::ShardedLock,
+                    cfg.spec,
+                    cfg.memory,
+                    cfg.shards,
+                    (0, domain_max),
+                    seed,
+                    policy,
+                );
+                let secs = ingest(&serving, &batches, w);
+                per_tp[wi][ai].push(ops.len() as f64 / secs / 1e6);
+                per_bal[wi][ai].push(load_balance(&serving.shard_load()));
+                per_ks[wi][ai].push(ks_error(&serving.snapshot(), &truth));
+            }
+        }
+    }
+    for (wi, &w) in writers.iter().enumerate() {
+        for ai in 0..arms.len() {
+            tp_series[ai].push(w as f64, mean(per_tp[wi][ai].drain(..)));
+            bal_series[ai].push(w as f64, mean(per_bal[wi][ai].drain(..)));
+            ks_series[ai].push(w as f64, mean(per_ks[wi][ai].drain(..)));
+        }
+    }
+
+    let subtitle = format!(
+        "{} · {} shards · Zipf skew {:.2} · {:.2} KB · {}-update batches",
+        cfg.spec.label(),
+        cfg.shards,
+        skew,
+        cfg.memory.kb(),
+        cfg.batch_size
+    );
+    ReshardReport {
+        throughput: FigureResult {
+            id: "reshard-throughput".into(),
+            title: format!("Ingestion throughput, static vs dynamic borders ({subtitle})"),
+            x_label: "Writers".into(),
+            y_label: "Throughput [M updates/s]".into(),
+            series: tp_series,
+        },
+        balance: FigureResult {
+            id: "reshard-balance".into(),
+            title: format!("Shard-load balance, max/mean routed ops ({subtitle})"),
+            x_label: "Writers".into(),
+            y_label: "Max/mean shard load".into(),
+            series: bal_series,
+        },
+        accuracy: FigureResult {
+            id: "reshard-accuracy".into(),
+            title: format!("Estimation error after replay ({subtitle})"),
+            x_label: "Writers".into(),
+            y_label: "KS statistic".into(),
+            series: ks_series,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +526,47 @@ mod tests {
                 snap.total_count()
             );
         }
+    }
+
+    #[test]
+    fn load_balance_ratio() {
+        assert_eq!(load_balance(&[]), 1.0);
+        assert_eq!(load_balance(&[0, 0]), 1.0);
+        assert_eq!(load_balance(&[10, 10, 10, 10]), 1.0);
+        assert_eq!(load_balance(&[40, 0, 0, 0]), 4.0);
+        assert!((load_balance(&[30, 10]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reshard_report_compares_static_and_dynamic_borders() {
+        let opts = RunOptions {
+            seeds: 1,
+            scale: 0.02,
+            domain_max: Some(500),
+        };
+        let report = run_reshard(ServeConfig::default(), &[1, 2], opts);
+        for fig in [&report.throughput, &report.balance, &report.accuracy] {
+            assert_eq!(fig.series.len(), 2);
+            assert!(fig.series_named("static-plan").is_some());
+            assert!(fig.series_named("resharded").is_some());
+            for s in &fig.series {
+                assert_eq!(s.points.len(), 2);
+                assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y >= 0.0));
+            }
+        }
+        // Balance ratios live in [1, shards].
+        for s in &report.balance.series {
+            assert!(s
+                .points
+                .iter()
+                .all(|&(_, y)| (1.0..=8.0 + 1e-9).contains(&y)));
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"throughput\":{\"id\":\"reshard-throughput\""));
+        assert!(json.contains("\"balance\":{\"id\":\"reshard-balance\""));
+        assert!(json.contains("\"accuracy\":{\"id\":\"reshard-accuracy\""));
+        let md = report.to_markdown();
+        assert!(md.contains("reshard-balance"));
     }
 
     #[test]

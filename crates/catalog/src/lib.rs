@@ -31,7 +31,11 @@
 //!   partitioned across independently locked shards (drained inline or by
 //!   per-shard MPSC workers), with snapshots composed back into one
 //!   histogram through `dh_distributed`'s lossless superposition —
-//!   multi-writer ingestion without a global lock, same read API.
+//!   multi-writer ingestion without a global lock, same read API. Shard
+//!   borders adapt to the routed load: a [`ReshardPolicy`] (or an
+//!   explicit [`ColumnStore::reshard`]) rebuilds the live [`ShardMap`]
+//!   from the composed CDF behind the epoch barrier, so a skewed update
+//!   stream cannot pile the ingestion onto one hot shard.
 //!
 //! This crate (not `dh_core`) hosts `AlgoSpec` because building AC and
 //! the static baselines requires `dh_sample` and `dh_static`, which both
@@ -73,7 +77,7 @@ pub mod txn;
 
 pub use adapter::StaticRebuild;
 pub use catalog::{Catalog, CatalogError, Snapshot};
-pub use sharded::{IngestMode, ShardPlan, ShardedCatalog};
+pub use sharded::{IngestMode, ReshardPolicy, ShardMap, ShardPlan, ShardedCatalog};
 pub use spec::{AlgoSpec, ParseAlgoSpecError};
 pub use store::{ColumnConfig, ColumnStore, SnapshotSet};
 pub use txn::WriteBatch;

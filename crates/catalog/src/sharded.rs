@@ -1,18 +1,20 @@
 //! The sharded serving layer: one column's domain partitioned across
 //! independently locked shards, composed back into a single histogram
-//! through `dh_distributed`'s lossless superposition.
+//! through `dh_distributed`'s lossless superposition — with **dynamic
+//! re-sharding** that moves the shard borders when the routed load skews.
 //!
 //! A [`Catalog`](crate::Catalog) column serializes histogram maintenance
 //! behind one cell. A [`ShardedCatalog`] column instead splits its value
 //! domain into `k` contiguous subranges, each owning a private histogram
 //! (built from the same [`AlgoSpec`], with the memory budget divided
-//! evenly), so concurrent writers whose batches land on different shards
-//! never touch the same state lock. Readers still see *one* histogram:
-//! snapshot composition superimposes the per-shard spans
-//! ([`dh_distributed::superimpose`], the Section 8 union estimator —
-//! shards are "member sites" of a degenerate shared-nothing union whose
-//! members happen to be disjoint), so a [`Snapshot`] of a sharded column
-//! feeds `dh_optimizer` exactly like an unsharded one.
+//! evenly, remainder bytes going to the first shards), so concurrent
+//! writers whose batches land on different shards never touch the same
+//! state lock. Readers still see *one* histogram: snapshot composition
+//! superimposes the per-shard spans ([`dh_distributed::superimpose`],
+//! the Section 8 union estimator — shards are "member sites" of a
+//! degenerate shared-nothing union whose members happen to be disjoint),
+//! so a [`Snapshot`] of a sharded column feeds `dh_optimizer` exactly
+//! like an unsharded one.
 //!
 //! Writes follow the store-wide two-phase, epoch-stamped commit of
 //! [`crate::txn`]: a batch is *staged* into every touched shard's pending
@@ -38,6 +40,35 @@
 //! same `&dyn ColumnStore` code path; `ARCHITECTURE.md` quotes the
 //! numbers.
 //!
+//! # Dynamic re-sharding
+//!
+//! The paper's core argument is that histogram partitions must *adapt*
+//! as the data evolves; a shard plan frozen at registration loses the
+//! multi-writer win the moment the update stream skews, because most
+//! batches route into one or two hot shards. The sharded store
+//! therefore keeps the registered [`ShardPlan`] only as the *initial*
+//! routing and serves through a live [`ShardMap`] whose borders can
+//! move:
+//!
+//! * every `route_batch` cheaply counts routed ops per shard
+//!   ([`ColumnStore::shard_load`]);
+//! * a [`ReshardPolicy`] on [`ColumnConfig`] fires on
+//!   `commit`/`apply` when the max/mean routed load exceeds its
+//!   threshold (rate-limited by a minimum epoch interval);
+//! * [`ColumnStore::reshard`] pins the column behind the epoch clock
+//!   (new commits block on the routing lock, in-flight commits are
+//!   waited out), drains every shard to the barrier epoch, computes
+//!   equal-*load* borders from the composed snapshot's CDF, rebuilds the
+//!   per-shard histograms by re-routing the composed spans, and swaps
+//!   the new map and cells in atomically — readers never observe a mixed
+//!   routing, and total mass is preserved exactly.
+//!
+//! A re-shard publishes no epoch: snapshots pinned at or after the
+//! barrier render from the rebuilt shards, snapshots pinned strictly
+//! before it retry at the barrier epoch (the same retry path a
+//! concurrent drain uses), and whole-epoch accounting holds throughout
+//! (`tests/txn_torn_reads.rs` races writers against a re-sharder).
+//!
 //! # Example
 //!
 //! ```
@@ -51,25 +82,30 @@
 //!     .with_plan(plan);
 //! catalog.register("orders.amount", config).unwrap();
 //!
-//! let batch: Vec<UpdateOp> = (0..4000).map(|i| UpdateOp::Insert(i % 1000)).collect();
+//! // A heavily skewed stream: everything lands in the first shard.
+//! let batch: Vec<UpdateOp> = (0..4000).map(|i| UpdateOp::Insert(i % 250)).collect();
 //! catalog.apply("orders.amount", &batch).unwrap();
 //!
+//! // Move the borders to equalize the load; mass is preserved exactly.
+//! assert!(catalog.reshard("orders.amount").unwrap());
 //! let snap = catalog.snapshot("orders.amount").unwrap();
 //! assert_eq!(snap.epoch(), 1);
 //! assert!((snap.total_count() - 4000.0).abs() < 1e-9);
-//! assert!(snap.estimate_range(0, 999) > 3900.0);
 //! ```
 
 use crate::catalog::CatalogError;
 use crate::spec::AlgoSpec;
 use crate::store::{ColumnConfig, ColumnStore, SnapshotSet};
 use crate::txn::{
-    compose_at, BatchTicket, Cell, ColumnStamp, ComposeCache, Registry, StoreColumn, WriteBatch,
+    compose_at, lock, read_lock, write_lock, BatchTicket, Cell, ColumnStamp, ComposeCache,
+    Registry, StoreColumn, WriteBatch,
 };
 use crate::Snapshot;
-use dh_core::{MemoryBudget, UpdateOp};
+use dh_core::{BucketSpan, MemoryBudget, UpdateOp};
+use dh_distributed::superimpose;
 use std::fmt;
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 /// How a sharded column applies its staged update batches.
@@ -90,14 +126,19 @@ pub enum IngestMode {
     Channel,
 }
 
-/// How a column is sharded: its value domain, the shard count, and the
-/// ingestion design. Constructible only through [`ShardPlan::new`]
-/// (which rejects degenerate input), so every live plan is valid — the
-/// single validation point.
+/// How a column is sharded at registration: its value domain, the shard
+/// count, and the ingestion design. Constructible only through
+/// [`ShardPlan::new`] (which rejects degenerate input), so every live
+/// plan is valid — the single validation point.
+///
+/// The plan fixes the *initial, equal-width* borders; at runtime the
+/// store routes through a [`ShardMap`] whose borders may move on
+/// re-shard ([`ColumnStore::reshard`]). The domain, shard count, and
+/// ingestion mode are permanent.
 ///
 /// # Routing invariants
 ///
-/// Every plan guarantees:
+/// Every plan guarantees (and every [`ShardMap`] preserves):
 ///
 /// * [`route`](ShardPlan::route) is total on `i64` (values outside the
 ///   domain clamp to the edge shards) and maps into `0..shards`;
@@ -163,9 +204,10 @@ impl ShardPlan {
         self.mode
     }
 
-    /// The shard index a value routes to: equal-width partition of the
-    /// domain, clamped at the edges. Total on `i64`; always in
-    /// `0..self.shards()`.
+    /// The shard index a value routes to under the *initial* equal-width
+    /// partition of the domain, clamped at the edges. Total on `i64`;
+    /// always in `0..self.shards()`. (After a re-shard the live borders
+    /// are those of [`ShardedCatalog::shard_map`].)
     pub fn route(&self, v: i64) -> usize {
         let (lo, hi) = self.domain;
         let v = v.clamp(lo, hi);
@@ -176,12 +218,13 @@ impl ShardPlan {
         ((off * self.shards as u128 / width) as usize).min(self.shards - 1)
     }
 
-    /// The inclusive value subrange owned by shard `i` — the exact
-    /// inverse of [`route`](ShardPlan::route): the ranges tile the domain
-    /// in order, and in-domain `v` satisfies `route(v) == i` iff `v` lies
-    /// in `shard_range(i)`. With more shards than domain values some
-    /// shards own nothing; their range comes back inverted
-    /// (`b == a - 1`), consistent with an empty inclusive range.
+    /// The inclusive value subrange owned by shard `i` under the initial
+    /// equal-width partition — the exact inverse of
+    /// [`route`](ShardPlan::route): the ranges tile the domain in order,
+    /// and in-domain `v` satisfies `route(v) == i` iff `v` lies in
+    /// `shard_range(i)`. With more shards than domain values some shards
+    /// own nothing; their range comes back inverted (`b == a - 1`),
+    /// consistent with an empty inclusive range.
     ///
     /// # Panics
     /// Panics if `i >= self.shards()`.
@@ -201,57 +244,439 @@ impl ShardPlan {
     }
 }
 
-/// Per-column channel-mode machinery: one drain-nudge sender per shard
-/// plus the worker handles (joined on drop).
+/// When a sharded column should move its shard borders automatically.
+///
+/// Attached to a [`ColumnConfig`] via
+/// [`with_reshard`](ColumnConfig::with_reshard); evaluated after every
+/// [`ColumnStore::commit`]/[`ColumnStore::apply`] that touches the
+/// column. All three gates must pass before a re-shard is attempted
+/// (an explicit [`ColumnStore::reshard`] call bypasses them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReshardPolicy {
+    /// Fire when `max(shard load) / mean(shard load)` reaches this ratio
+    /// (must be finite and >= 1; `1.0` re-balances eagerly, larger values
+    /// tolerate more skew). Loads are the routed-op counters of the
+    /// current shard map ([`ColumnStore::shard_load`]).
+    pub skew_threshold: f64,
+    /// Minimum published epochs between two automatic re-shard attempts
+    /// (rate limit; an attempt that leaves the borders unchanged still
+    /// counts, so a persistently-balanced column is not re-examined
+    /// every commit).
+    pub min_interval_epochs: u64,
+    /// Minimum routed ops accumulated by the current shard map before
+    /// the skew ratio is judged (keeps a handful of early batches from
+    /// triggering a rebuild on noise).
+    pub min_load: u64,
+}
+
+impl Default for ReshardPolicy {
+    /// Fire at 2x mean shard load, at most every 16 epochs, after at
+    /// least 4096 routed ops.
+    fn default() -> Self {
+        Self {
+            skew_threshold: 2.0,
+            min_interval_epochs: 16,
+            min_load: 4096,
+        }
+    }
+}
+
+/// The live routing table of a sharded column: `k` contiguous value
+/// subranges given by their start cuts, over the registered domain.
+///
+/// A freshly registered column routes through
+/// [`ShardMap::equal_width`] (identical to [`ShardPlan::route`]); a
+/// re-shard replaces it with [`ShardMap::balanced`] borders computed
+/// from the composed snapshot's CDF. Both constructions preserve the
+/// routing invariants documented on [`ShardPlan`]: `route` is total on
+/// `i64` (out-of-domain values clamp to the edge shards) and
+/// [`shard_range`](ShardMap::shard_range) is its exact inverse, tiling
+/// the domain in order (empty shards come back inverted, `b == a - 1`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShardMap {
+    /// Inclusive value domain `[lo, hi]`.
+    domain: (i64, i64),
+    /// `starts[i]` is the first value owned by shard `i`;
+    /// `starts[0] == lo`. Non-decreasing; equal consecutive starts mean
+    /// the earlier shard is empty.
+    starts: Vec<i64>,
+}
+
+impl ShardMap {
+    /// The equal-width map over `[lo, hi]` — the initial routing of
+    /// every [`ShardPlan`], bit-identical to [`ShardPlan::route`] /
+    /// [`ShardPlan::shard_range`].
+    ///
+    /// # Errors
+    /// [`CatalogError::InvalidShardPlan`] if `shards == 0` or `lo > hi`.
+    pub fn equal_width(domain: (i64, i64), shards: usize) -> Result<Self, CatalogError> {
+        let plan = ShardPlan::new(domain.0, domain.1, shards)?;
+        let starts = (0..shards).map(|i| plan.shard_range(i).0).collect();
+        Ok(Self { domain, starts })
+    }
+
+    /// A map whose borders equalize the *mass* of `spans` (the composed
+    /// snapshot of the column) across shards: cut `i` sits at the
+    /// `i/k` quantile of the span CDF, rounded to an integer and nudged
+    /// so every shard keeps at least one domain value. Mass observed per
+    /// shard approximates future routed load when updates follow the
+    /// data distribution — the equal-*load* borders a re-shard installs.
+    ///
+    /// Falls back to [`ShardMap::equal_width`] when the spans carry no
+    /// mass or the domain holds fewer values than shards (where empty
+    /// shards are unavoidable anyway).
+    ///
+    /// # Errors
+    /// [`CatalogError::InvalidShardPlan`] if `shards == 0` or `lo > hi`.
+    pub fn balanced(
+        spans: &[BucketSpan],
+        domain: (i64, i64),
+        shards: usize,
+    ) -> Result<Self, CatalogError> {
+        // Validates the domain/shard count exactly like `ShardPlan::new`.
+        let fallback = Self::equal_width(domain, shards)?;
+        let (lo, hi) = domain;
+        let width = (hi as i128 - lo as i128) as u128 + 1;
+        let total: f64 = spans.iter().map(|s| s.count).sum();
+        if width < shards as u128 || !total.is_finite() || total <= 0.0 {
+            return Ok(fallback);
+        }
+        let mut sorted: Vec<BucketSpan> = spans.iter().filter(|s| s.count > 0.0).copied().collect();
+        sorted.sort_by(|a, b| a.lo.total_cmp(&b.lo));
+
+        let mut starts = Vec::with_capacity(shards);
+        starts.push(lo);
+        let mut acc = 0.0;
+        let mut idx = 0;
+        for i in 1..shards {
+            let target = total * i as f64 / shards as f64;
+            while idx < sorted.len() && acc + sorted[idx].count < target {
+                acc += sorted[idx].count;
+                idx += 1;
+            }
+            let x = match sorted.get(idx) {
+                // Walk exhausted (floating-point shortfall): everything
+                // left of the cut, park it at the domain end.
+                None => hi as f64,
+                Some(s) => {
+                    let need = target - acc;
+                    if s.count > 0.0 && s.width() > 0.0 {
+                        s.lo + (need / s.count) * s.width()
+                    } else {
+                        s.lo
+                    }
+                }
+            };
+            // Integer cut, clamped so cuts stay strictly increasing and
+            // every remaining shard keeps at least one value (`as`
+            // saturates, the clamp restores validity; width >= shards
+            // makes the window non-empty by induction).
+            let min_cut = *starts.last().expect("seeded with lo") as i128 + 1;
+            let max_cut = hi as i128 - (shards - 1 - i) as i128;
+            let cut = (x.ceil() as i128).clamp(min_cut, max_cut);
+            starts.push(cut as i64);
+        }
+        Self::from_cuts(domain, starts)
+    }
+
+    /// A map from explicit start cuts: `starts[i]` is the first value of
+    /// shard `i`. `starts[0]` must equal the domain's lower bound; cuts
+    /// must be non-decreasing and lie within the domain (at most one
+    /// past its upper bound, marking trailing empty shards).
+    ///
+    /// # Errors
+    /// [`CatalogError::InvalidShardPlan`] on an empty cut list, an
+    /// inverted domain, or cuts violating the rules above.
+    pub fn from_cuts(domain: (i64, i64), starts: Vec<i64>) -> Result<Self, CatalogError> {
+        let (lo, hi) = domain;
+        if lo > hi {
+            return Err(CatalogError::InvalidShardPlan(format!(
+                "empty domain [{lo}, {hi}] (lo > hi)"
+            )));
+        }
+        if starts.is_empty() {
+            return Err(CatalogError::InvalidShardPlan(
+                "need at least one shard (no cuts)".into(),
+            ));
+        }
+        if starts[0] != lo {
+            return Err(CatalogError::InvalidShardPlan(format!(
+                "first cut {} must open the domain at {lo}",
+                starts[0]
+            )));
+        }
+        for (i, w) in starts.windows(2).enumerate() {
+            if w[0] > w[1] {
+                return Err(CatalogError::InvalidShardPlan(format!(
+                    "cuts out of order at shard {i}: {} > {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        for &s in &starts[1..] {
+            // `s == i64::MIN` past index 0 would make the empty-range
+            // rendering `(s, s - 1)` underflow.
+            if s == i64::MIN || s as i128 > hi as i128 + 1 {
+                return Err(CatalogError::InvalidShardPlan(format!(
+                    "cut {s} outside the domain [{lo}, {hi}]"
+                )));
+            }
+        }
+        Ok(Self { domain, starts })
+    }
+
+    /// The inclusive value domain `[lo, hi]`.
+    pub fn domain(&self) -> (i64, i64) {
+        self.domain
+    }
+
+    /// Number of shards (>= 1).
+    pub fn shards(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The start cuts: `starts()[i]` is the first value owned by shard
+    /// `i` (`starts()[0]` is the domain's lower bound).
+    pub fn starts(&self) -> &[i64] {
+        &self.starts
+    }
+
+    /// The shard index a value routes to: the shard whose subrange
+    /// contains `v` after clamping into the domain. Total on `i64`;
+    /// always in `0..self.shards()`.
+    pub fn route(&self, v: i64) -> usize {
+        let (lo, hi) = self.domain;
+        let v = v.clamp(lo, hi);
+        // Last shard whose start is <= v; empty shards (duplicate
+        // starts) are skipped by taking the last.
+        self.starts.partition_point(|&s| s <= v) - 1
+    }
+
+    /// The inclusive value subrange owned by shard `i` — the exact
+    /// inverse of [`route`](ShardMap::route). Empty shards come back
+    /// inverted (`b == a - 1`).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.shards()`.
+    pub fn shard_range(&self, i: usize) -> (i64, i64) {
+        assert!(i < self.starts.len(), "shard index out of range");
+        let a = self.starts[i];
+        let b = if i + 1 < self.starts.len() {
+            // Validation guarantees starts[i + 1] > i64::MIN.
+            (self.starts[i + 1] as i128 - 1) as i64
+        } else {
+            self.domain.1
+        };
+        (a, b)
+    }
+}
+
+/// Splits a column's memory budget across `shards`: every shard gets
+/// `bytes / shards`, and the `bytes % shards` remainder bytes go to the
+/// first shards one each — so a `k`-sharded column spends exactly the
+/// same total bytes as the unsharded column (previously the truncated
+/// division silently dropped up to `k - 1` bytes). Each shard is floored
+/// at one byte, so degenerate budgets smaller than the shard count
+/// round up.
+pub(crate) fn split_budget(memory: MemoryBudget, shards: usize) -> Vec<MemoryBudget> {
+    let bytes = memory.bytes();
+    let base = bytes / shards;
+    let remainder = bytes % shards;
+    (0..shards)
+        .map(|i| MemoryBudget::from_bytes((base + usize::from(i < remainder)).max(1)))
+        .collect()
+}
+
+/// Per-generation channel-mode machinery: one drain-nudge sender per
+/// shard plus the worker handles (joined when the generation drops).
 struct Workers {
     /// `senders[i]` nudges shard `i`'s worker to drain up to an epoch.
     senders: Vec<mpsc::Sender<u64>>,
     handles: Vec<JoinHandle<()>>,
 }
 
-struct ShardedColumn {
-    name: String,
-    spec: AlgoSpec,
-    plan: ShardPlan,
+/// One routing generation of a sharded column: the live [`ShardMap`],
+/// the per-shard cells it routes into, and everything scoped to that
+/// routing (load counters, drain workers, the compose cache). A
+/// re-shard swaps the whole generation atomically under the column's
+/// routing lock, so writers and readers always see map and cells in
+/// agreement.
+struct Generation {
+    map: ShardMap,
     cells: Vec<Arc<Cell>>,
-    stamp: Mutex<ColumnStamp>,
-    /// `Some` iff `plan.mode == IngestMode::Channel`.
+    /// Ops routed into each shard since this generation was installed
+    /// (the load the [`ReshardPolicy`] judges).
+    load: Vec<AtomicU64>,
+    /// Commits that have staged into this generation's cells and not
+    /// yet finished settling. A re-shard holds the routing write lock
+    /// (no new stagings) and waits for this to reach zero, so every
+    /// batch staged here is published and drainable before the barrier
+    /// epoch is read.
+    in_flight: AtomicU64,
+    /// `Some` iff the column ingests in [`IngestMode::Channel`].
     workers: Option<Workers>,
     cache: Mutex<ComposeCache>,
 }
 
-impl ShardedColumn {
-    /// Routes a batch into per-shard sub-batches (indices align with
-    /// `self.cells`; untouched shards get an empty vec).
-    fn route_batch(&self, batch: &[UpdateOp]) -> Vec<Vec<UpdateOp>> {
-        let mut routed: Vec<Vec<UpdateOp>> = vec![Vec::new(); self.plan.shards()];
-        for &op in batch {
-            let v = match op {
-                UpdateOp::Insert(v) | UpdateOp::Delete(v) => v,
-            };
-            routed[self.plan.route(v)].push(op);
+impl Generation {
+    /// Builds a generation over `cells`, spawning one drain worker per
+    /// shard in channel mode.
+    fn install(map: ShardMap, cells: Vec<Arc<Cell>>, mode: IngestMode) -> Arc<Self> {
+        let workers = match mode {
+            IngestMode::Locked => None,
+            IngestMode::Channel => {
+                let mut senders = Vec::with_capacity(cells.len());
+                let mut handles = Vec::with_capacity(cells.len());
+                for cell in &cells {
+                    let (tx, rx) = mpsc::channel::<u64>();
+                    let cell = Arc::clone(cell);
+                    handles.push(std::thread::spawn(move || {
+                        while let Ok(epoch) = rx.recv() {
+                            cell.drain_to(epoch);
+                        }
+                    }));
+                    senders.push(tx);
+                }
+                Some(Workers { senders, handles })
+            }
+        };
+        let load = cells.iter().map(|_| AtomicU64::new(0)).collect();
+        Arc::new(Self {
+            map,
+            cells,
+            load,
+            in_flight: AtomicU64::new(0),
+            workers,
+            cache: Mutex::new(ComposeCache::default()),
+        })
+    }
+}
+
+impl Drop for Generation {
+    fn drop(&mut self) {
+        if let Some(workers) = self.workers.take() {
+            drop(workers.senders); // disconnect: workers drain and exit
+            for h in workers.handles {
+                let _ = h.join();
+            }
         }
-        routed
+    }
+}
+
+/// The staging token of one commit on a sharded column: which shards it
+/// touched, in which generation. Settling uses the generation recorded
+/// here (not the current one), and dropping the token — after the
+/// commit has settled, even if settling panicked — releases the
+/// generation's in-flight count that gates re-sharding.
+pub(crate) struct StagedShards {
+    generation: Arc<Generation>,
+    touched: Vec<usize>,
+}
+
+impl Drop for StagedShards {
+    fn drop(&mut self) {
+        self.generation.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Re-shard bookkeeping, under the per-column re-shard mutex (one
+/// re-shard at a time; policy-triggered attempts skip instead of
+/// queueing).
+#[derive(Default)]
+struct ReshardMeta {
+    /// Completed border rebuilds.
+    count: u64,
+    /// Store epoch of the last re-shard *attempt* (swap or not), for
+    /// the policy's rate limit.
+    last_epoch: u64,
+}
+
+struct ShardedColumn {
+    name: String,
+    spec: AlgoSpec,
+    plan: ShardPlan,
+    memory: MemoryBudget,
+    seed: u64,
+    policy: Option<ReshardPolicy>,
+    /// The live routing generation; replaced whole on re-shard.
+    generation: RwLock<Arc<Generation>>,
+    /// Ops whose value lay outside the registered domain and were
+    /// clamped into an edge shard (total across generations).
+    clamped: AtomicU64,
+    reshard: Mutex<ReshardMeta>,
+    stamp: Mutex<ColumnStamp>,
+}
+
+impl ShardedColumn {
+    fn generation(&self) -> Arc<Generation> {
+        read_lock(&self.generation).clone()
+    }
+
+    /// Acquires the routing write lock with the column *quiescent*: no
+    /// commit staged into the current generation is still in flight.
+    /// Every commit increments `in_flight` under the routing read lock,
+    /// so once this returns, nothing is staged-but-unsettled and no new
+    /// staging can start. The lock is *released between retries*: a
+    /// straggling commit needs the publication gate to publish, the
+    /// gate may be held by a fallback render, and that render needs the
+    /// routing read lock — waiting while holding the write lock would
+    /// close that cycle into a deadlock. The in-flight window of a
+    /// commit is tiny (stage → publish → settle), so this converges
+    /// quickly.
+    fn quiesce(&self) -> std::sync::RwLockWriteGuard<'_, Arc<Generation>> {
+        loop {
+            let slot = write_lock(&self.generation);
+            if slot.in_flight.load(Ordering::Acquire) == 0 {
+                return slot;
+            }
+            drop(slot);
+            std::thread::yield_now();
+        }
     }
 }
 
 impl StoreColumn for ShardedColumn {
-    /// The shard indices a batch touched.
-    type Staged = Vec<usize>;
+    /// The generation a batch staged into, plus the shard indices it
+    /// touched there.
+    type Staged = StagedShards;
 
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn stage_ops(&self, ticket: &Arc<BatchTicket>, ops: Vec<UpdateOp>) -> Vec<usize> {
+    fn stage_ops(&self, ticket: &Arc<BatchTicket>, ops: Vec<UpdateOp>) -> StagedShards {
+        let generation = read_lock(&self.generation);
+        let (lo, hi) = generation.map.domain();
+        let mut routed: Vec<Vec<UpdateOp>> = vec![Vec::new(); generation.map.shards()];
+        let mut clamped = 0u64;
+        for &op in &ops {
+            let v = match op {
+                UpdateOp::Insert(v) | UpdateOp::Delete(v) => v,
+            };
+            if v < lo || v > hi {
+                clamped += 1;
+            }
+            routed[generation.map.route(v)].push(op);
+        }
+        if clamped > 0 {
+            self.clamped.fetch_add(clamped, Ordering::Relaxed);
+        }
         let mut touched = Vec::new();
-        for (i, sub) in self.route_batch(&ops).into_iter().enumerate() {
+        for (i, sub) in routed.into_iter().enumerate() {
             if !sub.is_empty() {
-                self.cells[i].stage(ticket.clone(), sub);
+                generation.load[i].fetch_add(sub.len() as u64, Ordering::Relaxed);
+                generation.cells[i].stage(ticket.clone(), sub);
                 touched.push(i);
             }
         }
-        touched
+        // Counted before the routing read lock is released: a re-shard
+        // observes in-flight commits under the write lock, so every
+        // batch staged into this generation is covered by its barrier.
+        generation.in_flight.fetch_add(1, Ordering::Relaxed);
+        StagedShards {
+            generation: Arc::clone(&generation),
+            touched,
+        }
     }
 
     fn stamp(&self) -> &Mutex<ColumnStamp> {
@@ -259,22 +684,25 @@ impl StoreColumn for ShardedColumn {
     }
 
     /// Post-publication application: drain the touched shards inline
-    /// (locked mode) or nudge their workers (channel mode).
-    fn settle(&self, touched: &Vec<usize>, epoch: u64) {
-        match &self.workers {
+    /// (locked mode) or nudge their workers (channel mode) — in the
+    /// generation the batch was staged into, which a concurrent
+    /// re-shard cannot retire until this settle (and the token drop
+    /// after it) completes.
+    fn settle(&self, staged: &StagedShards, epoch: u64) {
+        match &staged.generation.workers {
             None => {
-                for &i in touched {
-                    self.cells[i].drain_to(epoch);
+                for &i in &staged.touched {
+                    staged.generation.cells[i].drain_to(epoch);
                 }
             }
             Some(workers) => {
-                for &i in touched {
+                for &i in &staged.touched {
                     // A worker that died (a panicking histogram apply
                     // unwinds its thread) must not turn into a
                     // store-wide denial of writes: fall back to the
                     // locked-mode inline drain.
                     if workers.senders[i].send(epoch).is_err() {
-                        self.cells[i].drain_to(epoch);
+                        staged.generation.cells[i].drain_to(epoch);
                     }
                 }
             }
@@ -282,11 +710,12 @@ impl StoreColumn for ShardedColumn {
     }
 
     fn render_at(&self, epoch: u64, stamp: ColumnStamp) -> Result<Snapshot, u64> {
-        let cells: Vec<&Cell> = self.cells.iter().map(Arc::as_ref).collect();
+        let generation = self.generation();
+        let cells: Vec<&Cell> = generation.cells.iter().map(Arc::as_ref).collect();
         compose_at(
             &cells,
             epoch,
-            &self.cache,
+            &generation.cache,
             &self.name,
             self.spec.label(),
             stamp.accepted,
@@ -295,13 +724,185 @@ impl StoreColumn for ShardedColumn {
     }
 }
 
-impl Drop for ShardedColumn {
-    fn drop(&mut self) {
-        if let Some(workers) = self.workers.take() {
-            drop(workers.senders); // disconnect: workers drain and exit
-            for h in workers.handles {
-                let _ = h.join();
+/// One clipped slice of the composed histogram destined for a new
+/// shard: `count` insertions spread evenly over the integer values
+/// `[vlo, vhi]`. A re-shard plan is a list of clips — O(shards ×
+/// composed buckets) descriptors, never O(rows) — that
+/// [`replay_clips`] streams into the rebuilt histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RerouteClip {
+    shard: usize,
+    vlo: i64,
+    vhi: i64,
+    count: u64,
+}
+
+/// Plans the insertion stream that reproduces `composed` (a column's
+/// composed spans) in the shards of `map`: each span is clipped against
+/// every shard's value window (edge shards absorb the mass of values
+/// that were clamped in from outside the domain), and the grand total
+/// is apportioned over the clips by largest remainder — so the rebuilt
+/// column carries **exactly** `round(total)` insertions, conserving
+/// mass through the re-shard.
+fn reroute_clips(composed: &[BucketSpan], map: &ShardMap) -> Vec<RerouteClip> {
+    struct Clip {
+        shard: usize,
+        vlo: i64,
+        vhi: i64,
+        mass: f64,
+    }
+
+    let shards = map.shards();
+    let total: f64 = composed.iter().map(|s| s.count).sum();
+    let n_total = total.round().max(0.0) as u64;
+    if n_total == 0 {
+        return Vec::new();
+    }
+    let live = |i: usize| {
+        let (a, b) = map.shard_range(i);
+        b >= a
+    };
+    let first_live = (0..shards).find(|&i| live(i)).unwrap_or(0);
+    let last_live = (0..shards).rev().find(|&i| live(i)).unwrap_or(0);
+
+    let mut clips: Vec<Clip> = Vec::new();
+    for i in 0..shards {
+        let (a, b) = map.shard_range(i);
+        if b < a {
+            continue;
+        }
+        // The first and last *live* shards extend to ±infinity so mass
+        // outside the registered domain (clamped-in values) is kept,
+        // even when edge shards of the map are empty.
+        let win_lo = if i == first_live {
+            f64::NEG_INFINITY
+        } else {
+            a as f64
+        };
+        let win_hi = if i == last_live {
+            f64::INFINITY
+        } else {
+            (b as i128 + 1) as f64
+        };
+        for s in composed {
+            let mass = s.mass_in(win_lo, win_hi);
+            if mass <= 0.0 {
+                continue;
             }
+            let olo = s.lo.max(win_lo);
+            let ohi = s.hi.min(win_hi);
+            // Integer values in [olo, ohi): ceil(olo) ..= ceil(ohi) - 1.
+            let mut vlo = olo.ceil();
+            let mut vhi = ohi.ceil() - 1.0;
+            if vhi < vlo {
+                // Sub-integer sliver (fractional borders): park the mass
+                // on the nearest integer.
+                vlo = ((olo + ohi) * 0.5).floor();
+                vhi = vlo;
+            }
+            clips.push(Clip {
+                shard: i,
+                // f64 -> i64 `as` saturates; domains are i64 anyway.
+                vlo: vlo as i64,
+                vhi: (vhi as i64).max(vlo as i64),
+                mass,
+            });
+        }
+    }
+    if clips.is_empty() {
+        return Vec::new();
+    }
+
+    // Largest-remainder apportionment of the exact total over the clips.
+    let mut counts: Vec<u64> = clips.iter().map(|c| c.mass.floor() as u64).collect();
+    let mut assigned: u64 = counts.iter().sum();
+    let mut order: Vec<usize> = (0..clips.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = clips[a].mass.fract();
+        let fb = clips[b].mass.fract();
+        fb.total_cmp(&fa).then(a.cmp(&b))
+    });
+    let mut i = 0;
+    while assigned < n_total {
+        counts[order[i % order.len()]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    let mut i = 0;
+    while assigned > n_total {
+        // Floating-point drift in the other direction (rare): shave the
+        // smallest remainders first.
+        let j = order[order.len() - 1 - (i % order.len())];
+        if counts[j] > 0 {
+            counts[j] -= 1;
+            assigned -= 1;
+        }
+        i += 1;
+    }
+
+    clips
+        .iter()
+        .zip(&counts)
+        .filter(|&(_, &count)| count > 0)
+        .map(|(clip, &count)| RerouteClip {
+            shard: clip.shard,
+            vlo: clip.vlo,
+            vhi: clip.vhi,
+            count,
+        })
+        .collect()
+}
+
+/// How many synthesized insertions a re-shard applies per
+/// `apply_slice` call: peak transient memory of a rebuild is one chunk
+/// plus the clip descriptors, never O(rows).
+const RESHARD_CHUNK: usize = 4096;
+
+/// Streams shard `shard`'s clips into `histogram` in
+/// [`RESHARD_CHUNK`]-sized batches.
+fn replay_clips(histogram: &mut dh_core::BoxedHistogram, clips: &[RerouteClip], shard: usize) {
+    let mut buf: Vec<UpdateOp> = Vec::with_capacity(RESHARD_CHUNK);
+    for clip in clips.iter().filter(|c| c.shard == shard) {
+        spread_inserts(clip.vlo, clip.vhi, clip.count, &mut |v, n| {
+            for _ in 0..n {
+                buf.push(UpdateOp::Insert(v));
+                if buf.len() == RESHARD_CHUNK {
+                    histogram.apply_slice(&buf);
+                    buf.clear();
+                }
+            }
+        });
+    }
+    if !buf.is_empty() {
+        histogram.apply_slice(&buf);
+    }
+}
+
+/// Emits `n` insertions spread as evenly as possible over the integer
+/// values `[vlo, vhi]`, in value order, as `(value, repeat)` pairs, in
+/// O(min(n, values)) time.
+fn spread_inserts(vlo: i64, vhi: i64, n: u64, emit: &mut dyn FnMut(i64, u64)) {
+    if n == 0 {
+        return;
+    }
+    let values = (vhi as i128 - vlo as i128 + 1) as u128;
+    if n as u128 >= values {
+        // Every value gets base, the remainder is striped evenly.
+        let base = (n as u128 / values) as u64;
+        let rem = n as u128 % values;
+        for j in 0..values as u64 {
+            let v = (vlo as i128 + j as i128) as i64;
+            let extra = ((j as u128 + 1) * rem / values - j as u128 * rem / values) as u64;
+            if base + extra > 0 {
+                emit(v, base + extra);
+            }
+        }
+    } else {
+        // Fewer insertions than values: place them at evenly spaced
+        // positions (window midpoints).
+        for j in 0..n {
+            let off = ((2 * j as u128 + 1) * values / (2 * n as u128)) as i128;
+            emit((vlo as i128 + off) as i64, 1);
         }
     }
 }
@@ -316,10 +917,18 @@ impl Drop for ShardedColumn {
 /// histogram state, while the store-wide epoch clock keeps every commit
 /// atomic across shards and columns. Readers get the same epoch-pinned
 /// [`Snapshot`] type a `Catalog` serves, so estimation and
-/// `dh_optimizer` joins are oblivious to the sharding.
+/// `dh_optimizer` joins are oblivious to the sharding. Shard borders
+/// adapt to the routed load — automatically under a [`ReshardPolicy`],
+/// or on demand through [`ColumnStore::reshard`] (see the
+/// [module docs](self) for the barrier protocol).
 #[derive(Default)]
 pub struct ShardedCatalog {
     registry: Registry<ShardedColumn>,
+    /// Whether any registered column carries a [`ReshardPolicy`] — lets
+    /// the commit path skip the policy bookkeeping (touched-column name
+    /// collection, post-commit lookups) entirely on stores that never
+    /// armed one, keeping their write path as lean as before.
+    armed: std::sync::atomic::AtomicBool,
 }
 
 impl ShardedCatalog {
@@ -328,71 +937,247 @@ impl ShardedCatalog {
         Self::default()
     }
 
-    /// The shard plan a column was registered with.
+    /// The shard plan a column was registered with (domain, shard count,
+    /// ingestion mode, and the *initial* equal-width borders — the live
+    /// borders are [`ShardedCatalog::shard_map`]).
     ///
     /// # Errors
     /// [`CatalogError::UnknownColumn`] if absent.
     pub fn plan(&self, column: &str) -> Result<ShardPlan, CatalogError> {
         Ok(self.registry.get(column)?.plan)
     }
+
+    /// The column's *current* routing table. Starts as the plan's
+    /// equal-width partition; every completed re-shard replaces it.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn shard_map(&self, column: &str) -> Result<ShardMap, CatalogError> {
+        Ok(self.registry.get(column)?.generation().map.clone())
+    }
+
+    /// How many times the column's borders have been rebuilt.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn reshard_count(&self, column: &str) -> Result<u64, CatalogError> {
+        Ok(lock(&self.registry.get(column)?.reshard).count)
+    }
+
+    /// Policy-gated re-shard attempt after a commit touched `column`.
+    fn maybe_reshard(&self, column: &str) {
+        if let Ok(col) = self.registry.get(column) {
+            if col.policy.is_some() && col.plan.shards() > 1 {
+                self.do_reshard(&col, false);
+            }
+        }
+    }
+
+    /// Whether the column's policy gates all pass right now.
+    fn policy_fires(&self, col: &ShardedColumn, meta: &ReshardMeta) -> bool {
+        let Some(policy) = col.policy else {
+            return false;
+        };
+        if self.registry.epoch().saturating_sub(meta.last_epoch) < policy.min_interval_epochs {
+            return false;
+        }
+        // Folded straight off the atomics — this runs after every
+        // commit on an armed column, so it must not allocate.
+        let generation = col.generation();
+        let (mut total, mut max) = (0u64, 0u64);
+        for counter in &generation.load {
+            let load = counter.load(Ordering::Relaxed);
+            total += load;
+            max = max.max(load);
+        }
+        if total < policy.min_load.max(1) {
+            return false;
+        }
+        let mean = total as f64 / generation.load.len() as f64;
+        max as f64 >= policy.skew_threshold * mean
+    }
+
+    /// The re-shard protocol. Returns whether the borders actually
+    /// moved (and the generation was swapped).
+    ///
+    /// 1. **Pin** — take the column's re-shard mutex (forced calls
+    ///    queue, policy-triggered ones skip if one is already running)
+    ///    and the routing write lock: no new batch can stage into the
+    ///    old generation.
+    /// 2. **Drain to the barrier** — wait out commits that already
+    ///    staged (they publish and settle; channel workers are nudged by
+    ///    those settles, and the inline drain below catches any
+    ///    stragglers), read the barrier epoch, and drain every shard up
+    ///    to it. The column now has no pending entries at all.
+    /// 3. **Rebuild** — compose the per-shard spans (the column's full
+    ///    histogram as of the barrier), compute equal-load borders from
+    ///    its CDF, and re-route the composed mass into fresh per-shard
+    ///    histograms (exact total, see [`reroute_clips`]).
+    /// 4. **Swap** — install the new generation (map + cells + load
+    ///    counters + workers) in one assignment under the routing write
+    ///    lock. Readers pinned at or after the barrier render the new
+    ///    cells; readers pinned before it retry at the barrier epoch,
+    ///    exactly like any overtaken pinned read.
+    fn do_reshard(&self, col: &ShardedColumn, forced: bool) -> bool {
+        if col.plan.shards() < 2 {
+            return false;
+        }
+        let mut meta = if forced {
+            lock(&col.reshard)
+        } else {
+            match col.reshard.try_lock() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => return false,
+            }
+        };
+        if !forced && !self.policy_fires(col, &meta) {
+            return false;
+        }
+
+        // How many times a *forced* re-shard rebuilds outside the
+        // routing lock before falling back to an under-lock rebuild to
+        // guarantee completion against sustained racing commits.
+        const UNLOCKED_REBUILD_ATTEMPTS: usize = 2;
+
+        for attempt in 0.. {
+            // Quiescing makes the barrier epoch cover every batch that
+            // ever staged into this generation (see
+            // [`ShardedColumn::quiesce`] for the deadlock-avoidance
+            // discipline of the wait).
+            let mut slot = col.quiesce();
+            let epoch = self.registry.epoch();
+            meta.last_epoch = epoch;
+            let mut parts = Vec::with_capacity(slot.cells.len());
+            for cell in &slot.cells {
+                cell.drain_to(epoch);
+                let (_, spans) = cell
+                    .spans_at(epoch)
+                    .expect("no commit on this column can pass a held re-shard barrier");
+                parts.push(spans);
+            }
+            let composed = if parts.len() == 1 {
+                parts.pop().expect("one part")
+            } else {
+                superimpose(&parts)
+            };
+            let map = match ShardMap::balanced(&composed, col.plan.domain(), col.plan.shards()) {
+                Ok(map) => map,
+                Err(_) => return false,
+            };
+            if map == slot.map {
+                return false;
+            }
+            // The column's publication stamp as of the barrier: any
+            // commit touching the column during an unlocked rebuild
+            // moves it, flagging the rebuilt cells stale.
+            let column_epoch = lock(&col.stamp).epoch;
+            let budgets = split_budget(col.memory, map.shards());
+            let clips = reroute_clips(&composed, &map);
+            let shards = map.shards();
+            let rebuild = |epoch: u64| -> Vec<Arc<Cell>> {
+                (0..shards)
+                    .map(|i| {
+                        let mut histogram =
+                            col.spec.build(budgets[i], col.seed.wrapping_add(i as u64));
+                        replay_clips(&mut histogram, &clips, i);
+                        Arc::new(Cell::with_applied(histogram, epoch))
+                    })
+                    .collect()
+            };
+
+            // The expensive part — O(rows) re-ingestion — runs *outside*
+            // the routing lock whenever possible, so readers (and, via
+            // the gate-held fallback render, the store-wide publication
+            // gate) are never blocked behind it. Only a forced re-shard
+            // that keeps losing the race rebuilds under the lock.
+            if forced && attempt >= UNLOCKED_REBUILD_ATTEMPTS {
+                *slot = Generation::install(map, rebuild(epoch), col.plan.mode());
+                meta.count += 1;
+                return true;
+            }
+            drop(slot);
+            let cells = rebuild(epoch);
+            let mut slot = col.quiesce();
+            if lock(&col.stamp).epoch != column_epoch {
+                // A commit touched the column mid-rebuild: the cells are
+                // stale. Forced calls recompute from the fresh state;
+                // policy-triggered ones give up (the policy re-fires on
+                // a later commit).
+                drop(slot);
+                if forced {
+                    continue;
+                }
+                return false;
+            }
+            *slot = Generation::install(map, cells, col.plan.mode());
+            meta.count += 1;
+            return true;
+        }
+        unreachable!("the re-shard loop always returns")
+    }
 }
 
 impl ColumnStore for ShardedCatalog {
     /// Registers `column`, sharded per `config.plan` (required for this
     /// store), each shard holding a fresh `config.spec` histogram. The
-    /// memory budget is divided evenly across the shards (a `k`-sharded
-    /// column spends the same total bytes as an unsharded one); the seed
-    /// is salted per shard.
+    /// memory budget is divided across the shards with the remainder
+    /// bytes spread over the first shards (a `k`-sharded column spends
+    /// exactly the same total bytes as an unsharded one); the seed is
+    /// salted per shard. A `config.reshard` policy arms automatic
+    /// re-sharding.
     ///
     /// With [`IngestMode::Channel`] this also spawns one drain worker
-    /// thread per shard (joined when the column is dropped).
+    /// thread per shard (joined when the generation is retired or the
+    /// column is dropped).
     fn register(&self, column: &str, config: ColumnConfig) -> Result<(), CatalogError> {
         let plan = config.plan.ok_or_else(|| {
             CatalogError::InvalidShardPlan(
                 "a sharded store needs ColumnConfig::with_plan(...)".into(),
             )
         })?;
+        if let Some(policy) = config.reshard {
+            if !policy.skew_threshold.is_finite() || policy.skew_threshold < 1.0 {
+                return Err(CatalogError::InvalidShardPlan(format!(
+                    "reshard skew_threshold must be finite and >= 1, got {}",
+                    policy.skew_threshold
+                )));
+            }
+        }
         // `ShardPlan::new` is the single validation point: plans cannot
         // be constructed degenerate, so `plan` is valid here.
-        let per_shard = MemoryBudget::from_bytes((config.memory.bytes() / plan.shards()).max(1));
-        self.registry.insert(column, || {
-            let cells: Vec<Arc<Cell>> = (0..plan.shards())
-                .map(|i| {
+        let budgets = split_budget(config.memory, plan.shards());
+        let inserted = self.registry.insert(column, || {
+            let cells: Vec<Arc<Cell>> = budgets
+                .iter()
+                .enumerate()
+                .map(|(i, &budget)| {
                     Arc::new(Cell::new(
                         config
                             .spec
-                            .build(per_shard, config.seed.wrapping_add(i as u64)),
+                            .build(budget, config.seed.wrapping_add(i as u64)),
                     ))
                 })
                 .collect();
-            let workers = match plan.mode() {
-                IngestMode::Locked => None,
-                IngestMode::Channel => {
-                    let mut senders = Vec::with_capacity(plan.shards());
-                    let mut handles = Vec::with_capacity(plan.shards());
-                    for cell in &cells {
-                        let (tx, rx) = mpsc::channel::<u64>();
-                        let cell = Arc::clone(cell);
-                        handles.push(std::thread::spawn(move || {
-                            while let Ok(epoch) = rx.recv() {
-                                cell.drain_to(epoch);
-                            }
-                        }));
-                        senders.push(tx);
-                    }
-                    Some(Workers { senders, handles })
-                }
-            };
+            let map = ShardMap::equal_width(plan.domain(), plan.shards())
+                .expect("plan validated by ShardPlan::new");
             ShardedColumn {
                 name: column.to_string(),
                 spec: config.spec,
                 plan,
-                cells,
+                memory: config.memory,
+                seed: config.seed,
+                policy: config.reshard,
+                generation: RwLock::new(Generation::install(map, cells, plan.mode())),
+                clamped: AtomicU64::new(0),
+                reshard: Mutex::new(ReshardMeta::default()),
                 stamp: Mutex::new(ColumnStamp::default()),
-                workers,
-                cache: Mutex::new(ComposeCache::default()),
             }
-        })
+        });
+        if inserted.is_ok() && config.reshard.is_some() && plan.shards() > 1 {
+            self.armed.store(true, Ordering::Relaxed);
+        }
+        inserted
     }
 
     fn columns(&self) -> Vec<String> {
@@ -408,11 +1193,33 @@ impl ColumnStore for ShardedCatalog {
     }
 
     fn commit(&self, batch: WriteBatch) -> Result<u64, CatalogError> {
-        self.registry.commit(batch)
+        if !self.armed.load(Ordering::Relaxed) {
+            return self.registry.commit(batch);
+        }
+        // Only policy-armed columns need post-commit bookkeeping; the
+        // others' names are not worth cloning.
+        let columns: Vec<String> = batch
+            .columns()
+            .filter(|column| {
+                self.registry
+                    .get(column)
+                    .is_ok_and(|col| col.policy.is_some() && col.plan.shards() > 1)
+            })
+            .map(str::to_string)
+            .collect();
+        let epoch = self.registry.commit(batch)?;
+        for column in &columns {
+            self.maybe_reshard(column);
+        }
+        Ok(epoch)
     }
 
     fn apply(&self, column: &str, batch: &[UpdateOp]) -> Result<u64, CatalogError> {
-        self.registry.apply(column, batch)
+        let checkpoint = self.registry.apply(column, batch)?;
+        if self.armed.load(Ordering::Relaxed) {
+            self.maybe_reshard(column);
+        }
+        Ok(checkpoint)
     }
 
     /// Drains every shard of `column` up to the current published epoch.
@@ -422,7 +1229,7 @@ impl ColumnStore for ShardedCatalog {
     fn flush(&self, column: &str) -> Result<(), CatalogError> {
         let col = self.registry.get(column)?;
         let epoch = self.registry.epoch();
-        for cell in &col.cells {
+        for cell in &col.generation().cells {
             cell.drain_to(epoch);
         }
         Ok(())
@@ -442,6 +1249,43 @@ impl ColumnStore for ShardedCatalog {
 
     fn epoch(&self) -> u64 {
         self.registry.epoch()
+    }
+
+    /// Forces a re-shard of `column`: drains it to a barrier epoch,
+    /// recomputes equal-load borders from the composed CDF, and swaps
+    /// the routing atomically. Returns `true` if the borders moved
+    /// (`false` when they were already optimal or the column has a
+    /// single shard). Bypasses the [`ReshardPolicy`] gates.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn reshard(&self, column: &str) -> Result<bool, CatalogError> {
+        let col = self.registry.get(column)?;
+        Ok(self.do_reshard(&col, true))
+    }
+
+    /// Ops routed into each shard since the current shard map was
+    /// installed (reset by every re-shard) — the load the
+    /// [`ReshardPolicy`] judges.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn shard_load(&self, column: &str) -> Result<Vec<u64>, CatalogError> {
+        let generation = self.registry.get(column)?.generation();
+        Ok(generation
+            .load
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect())
+    }
+
+    /// How many ops carried a value outside the registered domain and
+    /// were clamped into an edge shard (cumulative across re-shards).
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn clamped_ops(&self, column: &str) -> Result<u64, CatalogError> {
+        Ok(self.registry.get(column)?.clamped.load(Ordering::Relaxed))
     }
 }
 
@@ -487,6 +1331,20 @@ mod tests {
             cat.register(
                 "a",
                 ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0))
+            ),
+            Err(CatalogError::InvalidShardPlan(_))
+        ));
+        // ... and a config with a degenerate re-shard policy.
+        let bad_policy = ReshardPolicy {
+            skew_threshold: 0.5,
+            ..ReshardPolicy::default()
+        };
+        assert!(matches!(
+            cat.register(
+                "a",
+                ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0))
+                    .with_plan(ShardPlan::new(0, 9, 2).unwrap())
+                    .with_reshard(bad_policy)
             ),
             Err(CatalogError::InvalidShardPlan(_))
         ));
@@ -561,6 +1419,179 @@ mod tests {
             }
         }
         assert_eq!(covered, 17);
+    }
+
+    #[test]
+    fn shard_map_equal_width_matches_plan_routing() {
+        for (lo, hi, k) in [
+            (0i64, 999, 4),
+            (-7, 9, 3),
+            (0, 3, 16),
+            (i64::MIN, i64::MAX, 8),
+        ] {
+            let plan = ShardPlan::new(lo, hi, k).unwrap();
+            let map = ShardMap::equal_width((lo, hi), k).unwrap();
+            assert_eq!(map.domain(), (lo, hi));
+            assert_eq!(map.shards(), k);
+            for i in 0..k {
+                assert_eq!(map.shard_range(i), plan.shard_range(i), "shard {i}");
+            }
+            let mid = ((lo as i128 + hi as i128) / 2) as i64;
+            let probes = [lo, hi, mid, lo.saturating_add(1), hi.saturating_sub(1)];
+            for v in probes {
+                assert_eq!(map.route(v), plan.route(v), "route({v})");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_from_cuts_validates() {
+        // First cut must open the domain.
+        assert!(ShardMap::from_cuts((0, 9), vec![1, 5]).is_err());
+        // Cuts must be ordered.
+        assert!(ShardMap::from_cuts((0, 9), vec![0, 7, 4]).is_err());
+        // Cuts may sit at most one past the domain end (trailing empties).
+        assert!(ShardMap::from_cuts((0, 9), vec![0, 11]).is_err());
+        assert!(ShardMap::from_cuts((0, 9), vec![0, 10]).is_ok());
+        // Inverted domains and empty cut lists are rejected.
+        assert!(ShardMap::from_cuts((9, 0), vec![9]).is_err());
+        assert!(ShardMap::from_cuts((0, 9), vec![]).is_err());
+        // i64::MIN may only appear as the opening cut.
+        assert!(ShardMap::from_cuts((i64::MIN, 5), vec![i64::MIN, i64::MIN]).is_err());
+        // Duplicate interior cuts are empty shards; routing skips them.
+        let map = ShardMap::from_cuts((0, 9), vec![0, 5, 5, 8]).unwrap();
+        assert_eq!(map.shard_range(1), (5, 4)); // empty, inverted
+        assert_eq!(map.route(5), 2);
+        assert_eq!(map.route(4), 0);
+        assert_eq!(map.route(8), 3);
+        assert_eq!(map.starts(), &[0, 5, 5, 8]);
+    }
+
+    #[test]
+    fn balanced_cuts_follow_the_mass() {
+        // All mass on [0, 99] of a [0, 999] domain: every cut lands in
+        // the hot range, leaving at most the last shard to cover the
+        // cold tail.
+        let spans = vec![BucketSpan::new(0.0, 100.0, 1000.0)];
+        let map = ShardMap::balanced(&spans, (0, 999), 4).unwrap();
+        assert_eq!(map.starts()[0], 0);
+        assert_eq!(map.starts()[1], 25);
+        assert_eq!(map.starts()[2], 50);
+        assert_eq!(map.starts()[3], 75);
+        // No mass: equal-width fallback.
+        let flat = ShardMap::balanced(&[], (0, 999), 4).unwrap();
+        assert_eq!(flat, ShardMap::equal_width((0, 999), 4).unwrap());
+        // Fewer values than shards: equal-width fallback too.
+        let tiny = ShardMap::balanced(&spans, (0, 2), 8).unwrap();
+        assert_eq!(tiny, ShardMap::equal_width((0, 2), 8).unwrap());
+    }
+
+    #[test]
+    fn split_budget_spends_every_byte() {
+        // The old truncated split ran 16 shards on 992 of 1000 bytes.
+        let split = split_budget(MemoryBudget::from_bytes(1000), 16);
+        assert_eq!(split.iter().map(|m| m.bytes()).sum::<usize>(), 1000);
+        assert_eq!(split.iter().filter(|m| m.bytes() == 63).count(), 8);
+        assert_eq!(split.iter().filter(|m| m.bytes() == 62).count(), 8);
+        // Exact division is untouched.
+        let even = split_budget(MemoryBudget::from_bytes(1024), 8);
+        assert!(even.iter().all(|m| m.bytes() == 128));
+        // Degenerate budgets floor each shard at one byte.
+        let tiny = split_budget(MemoryBudget::from_bytes(3), 8);
+        assert!(tiny.iter().all(|m| m.bytes() == 1));
+    }
+
+    /// Expands shard `shard`'s clips into the synthesized values (with
+    /// multiplicity) a rebuild would ingest.
+    fn expand(clips: &[RerouteClip], shard: usize) -> Vec<i64> {
+        let mut values = Vec::new();
+        for clip in clips.iter().filter(|c| c.shard == shard) {
+            spread_inserts(clip.vlo, clip.vhi, clip.count, &mut |v, n| {
+                values.extend(std::iter::repeat_n(v, n as usize));
+            });
+        }
+        values
+    }
+
+    #[test]
+    fn reroute_conserves_mass_exactly() {
+        let composed = vec![
+            BucketSpan::new(0.0, 40.0, 123.0),
+            BucketSpan::new(40.0, 100.0, 7.0),
+            BucketSpan::new(100.0, 200.0, 870.0),
+        ];
+        let map = ShardMap::balanced(&composed, (0, 199), 4).unwrap();
+        let clips = reroute_clips(&composed, &map);
+        let total: u64 = clips.iter().map(|c| c.count).sum();
+        assert_eq!(total, 1000);
+        // Every synthesized insertion lands in its shard's range.
+        let mut expanded = 0;
+        for i in 0..4 {
+            let (a, b) = map.shard_range(i);
+            let values = expand(&clips, i);
+            expanded += values.len();
+            for v in values {
+                assert!((a..=b).contains(&v), "{v} outside shard {i} [{a},{b}]");
+            }
+        }
+        assert_eq!(expanded, 1000, "spread must emit exactly the clip counts");
+    }
+
+    #[test]
+    fn reroute_keeps_out_of_domain_mass_in_edge_shards() {
+        // Mass below and above the domain (clamped-in values) survives
+        // the re-route, attached to the first/last live shards.
+        let composed = vec![
+            BucketSpan::new(-50.0, -40.0, 10.0),
+            BucketSpan::new(0.0, 100.0, 80.0),
+            BucketSpan::new(150.0, 160.0, 10.0),
+        ];
+        let map = ShardMap::equal_width((0, 99), 2).unwrap();
+        let clips = reroute_clips(&composed, &map);
+        let total: u64 = clips.iter().map(|c| c.count).sum();
+        assert_eq!(total, 100);
+        assert!(
+            expand(&clips, 0).iter().any(|&v| v < 0),
+            "out-of-domain low mass kept"
+        );
+        assert!(
+            expand(&clips, 1).iter().any(|&v| v > 99),
+            "out-of-domain high mass kept"
+        );
+    }
+
+    #[test]
+    fn reroute_keeps_below_domain_mass_when_first_shard_is_empty() {
+        // An empty *first* shard must not swallow the -infinity window:
+        // below-domain mass attaches to the first live shard, exactly
+        // like the above-domain mass attaches to the last live one.
+        let map = ShardMap::from_cuts((0, 9), vec![0, 0, 5]).unwrap(); // shard 0 empty
+        let composed = vec![
+            BucketSpan::new(-50.0, -40.0, 10.0),
+            BucketSpan::new(0.0, 10.0, 20.0),
+        ];
+        let clips = reroute_clips(&composed, &map);
+        let total: u64 = clips.iter().map(|c| c.count).sum();
+        assert_eq!(total, 30, "below-domain mass must survive the re-route");
+        assert!(expand(&clips, 0).is_empty(), "empty shard gets nothing");
+        assert!(
+            expand(&clips, 1).iter().any(|&v| v < 0),
+            "below-domain values land in the first live shard"
+        );
+    }
+
+    #[test]
+    fn replay_clips_streams_in_bounded_chunks() {
+        // A rebuild far larger than one chunk must ingest every
+        // insertion (the streamed path replaces materializing O(rows)
+        // ops at once).
+        let composed = vec![BucketSpan::new(0.0, 50.0, (3 * RESHARD_CHUNK + 17) as f64)];
+        let map = ShardMap::equal_width((0, 99), 2).unwrap();
+        let clips = reroute_clips(&composed, &map);
+        let mut histogram = AlgoSpec::Dc.build(MemoryBudget::from_kb(0.5), 0);
+        replay_clips(&mut histogram, &clips, 0);
+        let total: f64 = histogram.as_read().total_count();
+        assert!((total - (3 * RESHARD_CHUNK + 17) as f64).abs() < 1e-6);
     }
 
     #[test]
@@ -663,6 +1694,50 @@ mod tests {
     }
 
     #[test]
+    fn reshard_moves_borders_preserves_mass_and_counters() {
+        let cat = ShardedCatalog::new();
+        let plan = ShardPlan::new(0, 999, 4).unwrap();
+        cat.register("a", config(AlgoSpec::Dc, 1.0, 1, plan))
+            .unwrap();
+        // Heavy skew: every value in the first (equal-width) shard.
+        let batch: Vec<UpdateOp> = (0..4000).map(|i| UpdateOp::Insert(i % 250)).collect();
+        cat.apply("a", &batch).unwrap();
+        let loads = cat.shard_load("a").unwrap();
+        assert_eq!(loads, vec![4000, 0, 0, 0]);
+        assert_eq!(
+            cat.shard_map("a").unwrap(),
+            ShardMap::equal_width((0, 999), 4).unwrap()
+        );
+
+        assert!(cat.reshard("a").unwrap(), "skewed borders must move");
+        assert_eq!(cat.reshard_count("a").unwrap(), 1);
+        let map = cat.shard_map("a").unwrap();
+        assert_ne!(map, ShardMap::equal_width((0, 999), 4).unwrap());
+        // Load counters reset with the new generation.
+        assert!(cat.shard_load("a").unwrap().iter().all(|&l| l == 0));
+        // Mass is conserved exactly; the epoch clock did not move.
+        let snap = cat.snapshot("a").unwrap();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.checkpoint(), 1);
+        assert!((snap.total_count() - 4000.0).abs() < 1e-9);
+        // The same skewed stream now spreads across shards.
+        cat.apply("a", &batch).unwrap();
+        let loads = cat.shard_load("a").unwrap();
+        let max = *loads.iter().max().unwrap();
+        assert!(
+            max < 4000,
+            "re-balanced borders must split the hot range: {loads:?}"
+        );
+        let snap = cat.snapshot("a").unwrap();
+        assert!((snap.total_count() - 8000.0).abs() < 1e-9);
+        // Re-sharding an already balanced column is a no-op.
+        let before = cat.shard_map("a").unwrap();
+        if !cat.reshard("a").unwrap() {
+            assert_eq!(cat.shard_map("a").unwrap(), before);
+        }
+    }
+
+    #[test]
     fn unknown_columns_error() {
         let cat = ShardedCatalog::new();
         assert_eq!(
@@ -673,6 +1748,11 @@ mod tests {
         assert!(cat.flush("ghost").is_err());
         assert!(cat.estimate_eq("ghost", 1).is_err());
         assert!(cat.plan("ghost").is_err());
+        assert!(cat.shard_map("ghost").is_err());
+        assert!(cat.shard_load("ghost").is_err());
+        assert!(cat.clamped_ops("ghost").is_err());
+        assert!(cat.reshard("ghost").is_err());
+        assert!(cat.reshard_count("ghost").is_err());
         assert!(!cat.contains("ghost"));
         assert!(cat.is_empty());
     }

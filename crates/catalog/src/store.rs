@@ -37,7 +37,7 @@
 //! ```
 
 use crate::catalog::{CatalogError, Snapshot};
-use crate::sharded::ShardPlan;
+use crate::sharded::{ReshardPolicy, ShardPlan};
 use crate::spec::AlgoSpec;
 use crate::txn::WriteBatch;
 use dh_core::{MemoryBudget, ReadHistogram, UpdateOp};
@@ -46,35 +46,44 @@ use std::fmt;
 
 /// Everything a store needs to know to register one column: the
 /// algorithm, its memory budget, a seed for sampling algorithms, and —
-/// for stores that partition — an optional [`ShardPlan`].
+/// for stores that partition — an optional [`ShardPlan`] plus an
+/// optional [`ReshardPolicy`] arming dynamic re-sharding.
 ///
 /// The same config registers against any [`ColumnStore`]: a sharded
 /// store requires the plan, an unsharded one serves the whole domain
 /// from a single histogram and ignores it (the plan describes physical
 /// partitioning, not semantics), so generic callers need no per-store
-/// branching.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// branching. The re-shard policy is likewise ignored by stores that do
+/// not shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ColumnConfig {
     /// Histogram algorithm backing the column.
     pub spec: AlgoSpec,
-    /// Memory budget for the column (a sharded store divides it evenly
-    /// across shards, so every store spends the same total bytes).
+    /// Memory budget for the column (a sharded store divides it across
+    /// shards, remainder bytes going to the first shards, so every store
+    /// spends the same total bytes).
     pub memory: MemoryBudget,
     /// Seed feeding sampling algorithms (see [`AlgoSpec::build`]);
     /// deterministic algorithms ignore it. Defaults to 0.
     pub seed: u64,
     /// How to partition the column's value domain, for stores that shard.
     pub plan: Option<ShardPlan>,
+    /// When to move the shard borders automatically, for stores that
+    /// shard (`None` keeps the borders static unless
+    /// [`ColumnStore::reshard`] is called explicitly).
+    pub reshard: Option<ReshardPolicy>,
 }
 
 impl ColumnConfig {
-    /// A config with the default seed and no shard plan.
+    /// A config with the default seed, no shard plan, and no re-shard
+    /// policy.
     pub fn new(spec: AlgoSpec, memory: MemoryBudget) -> Self {
         Self {
             spec,
             memory,
             seed: 0,
             plan: None,
+            reshard: None,
         }
     }
 
@@ -87,6 +96,12 @@ impl ColumnConfig {
     /// The same config with a shard plan.
     pub fn with_plan(mut self, plan: ShardPlan) -> Self {
         self.plan = Some(plan);
+        self
+    }
+
+    /// The same config with automatic re-sharding armed by `policy`.
+    pub fn with_reshard(mut self, policy: ReshardPolicy) -> Self {
+        self.reshard = Some(policy);
         self
     }
 }
@@ -181,6 +196,45 @@ pub trait ColumnStore: Send + Sync {
     /// counter per store, shared by all columns).
     fn epoch(&self) -> u64;
 
+    /// Rebuilds `column`'s shard borders from its current data
+    /// distribution, behind the store's epoch barrier (see
+    /// [`ShardedCatalog`](crate::ShardedCatalog)). Returns whether the
+    /// borders actually moved. Stores that do not partition have no
+    /// borders to move and return `Ok(false)`.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn reshard(&self, column: &str) -> Result<bool, CatalogError> {
+        self.spec(column)?;
+        Ok(false)
+    }
+
+    /// Ops routed into each shard of `column` under its current shard
+    /// map (one counter per shard; reset whenever the borders move) —
+    /// the skew signal a [`ReshardPolicy`] judges. Stores that do not
+    /// partition return an empty vector.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn shard_load(&self, column: &str) -> Result<Vec<u64>, CatalogError> {
+        self.spec(column)?;
+        Ok(Vec::new())
+    }
+
+    /// How many ops on `column` carried a value outside its registered
+    /// shard domain and were clamped into an edge shard. Routing is
+    /// total (clamped ops are ingested, never dropped), but the clamp
+    /// widens the edge shards' effective ranges — this counter makes
+    /// that visible instead of silent. Stores that do not partition
+    /// have no domain to clamp against and return 0.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn clamped_ops(&self, column: &str) -> Result<u64, CatalogError> {
+        self.spec(column)?;
+        Ok(0)
+    }
+
     /// Number of registered columns.
     fn len(&self) -> usize {
         self.columns().len()
@@ -193,6 +247,13 @@ pub trait ColumnStore: Send + Sync {
 
     /// Estimated number of values in `[a, b]` on `column`.
     ///
+    /// **Single-call consistency only**: every call pins its own fresh
+    /// snapshot, so two convenience estimates in one expression may
+    /// straddle an epoch published between them. Combining estimates
+    /// (ratios, joins, multi-column predicates) should read from one
+    /// [`ColumnStore::snapshot_set`] via [`SnapshotSet::estimate_range`]
+    /// and friends, which pin every read to a single epoch.
+    ///
     /// # Errors
     /// [`CatalogError::UnknownColumn`] if absent.
     fn estimate_range(&self, column: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
@@ -201,6 +262,10 @@ pub trait ColumnStore: Send + Sync {
 
     /// Estimated number of values equal to `v` on `column`.
     ///
+    /// **Single-call consistency only** — see
+    /// [`ColumnStore::estimate_range`]; use [`SnapshotSet::estimate_eq`]
+    /// for multi-read consistency.
+    ///
     /// # Errors
     /// [`CatalogError::UnknownColumn`] if absent.
     fn estimate_eq(&self, column: &str, v: i64) -> Result<f64, CatalogError> {
@@ -208,6 +273,10 @@ pub trait ColumnStore: Send + Sync {
     }
 
     /// Total live mass on `column`.
+    ///
+    /// **Single-call consistency only** — see
+    /// [`ColumnStore::estimate_range`]; use [`SnapshotSet::total_count`]
+    /// for multi-read consistency.
     ///
     /// # Errors
     /// [`CatalogError::UnknownColumn`] if absent.
@@ -261,6 +330,44 @@ impl SnapshotSet {
     /// Whether the set holds no columns.
     pub fn is_empty(&self) -> bool {
         self.snaps.is_empty()
+    }
+
+    /// Estimated number of values in `[a, b]` on `column`, read at the
+    /// set's pinned epoch. Unlike the [`ColumnStore`] convenience
+    /// methods, any number of reads off one set are mutually consistent
+    /// — they can never straddle an epoch.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if `column` was not part of the
+    /// request that built this set.
+    pub fn estimate_range(&self, column: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
+        Ok(self.pinned(column)?.estimate_range(a, b))
+    }
+
+    /// Estimated number of values equal to `v` on `column`, read at the
+    /// set's pinned epoch (see [`SnapshotSet::estimate_range`]).
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if `column` was not part of the
+    /// request that built this set.
+    pub fn estimate_eq(&self, column: &str, v: i64) -> Result<f64, CatalogError> {
+        Ok(self.pinned(column)?.estimate_eq(v))
+    }
+
+    /// Total live mass on `column` as of the set's pinned epoch (see
+    /// [`SnapshotSet::estimate_range`]).
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if `column` was not part of the
+    /// request that built this set.
+    pub fn total_count(&self, column: &str) -> Result<f64, CatalogError> {
+        Ok(self.pinned(column)?.total_count())
+    }
+
+    fn pinned(&self, column: &str) -> Result<&Snapshot, CatalogError> {
+        self.snaps
+            .get(column)
+            .ok_or_else(|| CatalogError::UnknownColumn(column.into()))
     }
 }
 

@@ -456,11 +456,21 @@ pub(crate) struct Cell {
 
 impl Cell {
     pub(crate) fn new(histogram: BoxedHistogram) -> Self {
+        Self::with_applied(histogram, 0)
+    }
+
+    /// A cell whose histogram already contains every batch up to
+    /// `applied` — what a re-shard installs: the rebuilt per-shard
+    /// histograms carry the composed data as of the barrier epoch, so a
+    /// reader pinned earlier than the barrier is told to retry
+    /// (`spans_at` fails with `applied`) instead of seeing the rebuilt
+    /// state under an old pin.
+    pub(crate) fn with_applied(histogram: BoxedHistogram, applied: u64) -> Self {
         Self {
             pending: Mutex::new(Vec::new()),
             state: RwLock::new(CellState {
                 histogram,
-                applied: 0,
+                applied,
                 version: 0,
                 spans: None,
                 scratch: Vec::new(),

@@ -83,6 +83,14 @@ impl SyntheticConfig {
         self
     }
 
+    /// Sets the inclusive value domain `[min, max]` (the serving-layer
+    /// replays shrink it for quick runs; skew sweeps widen it).
+    pub fn with_domain(mut self, min: i64, max: i64) -> Self {
+        self.domain_min = min;
+        self.domain_max = max;
+        self
+    }
+
     /// Sets the total number of points.
     pub fn with_total_points(mut self, n: u64) -> Self {
         self.total_points = n;

@@ -168,6 +168,67 @@ proptest! {
     }
 
     #[test]
+    fn out_of_domain_ops_clamp_loudly_with_total_parity(
+        case in stream_strategy(),
+        seed in 0u64..1000,
+        shards in 2usize..6,
+    ) {
+        // The stream draws values over [0, 149], but the shard domain is
+        // registered as [25, 124]: a third of the value range routes
+        // from outside the domain and clamps into the edge shards. The
+        // clamp must be *loud* (counted per column) and must not lose
+        // mass versus the unsharded store, which has no domain at all.
+        let (batches, truth) = case;
+        let memory = MemoryBudget::from_kb(0.5);
+        let plan = ShardPlan::new(25, 124, shards).unwrap();
+        let config = ColumnConfig::new(AlgoSpec::Dc, memory).with_seed(seed).with_plan(plan);
+        let unsharded = build_store("catalog", config);
+        let sharded = build_store("sharded", config);
+        let u = replay(unsharded.as_ref(), &batches);
+        let s = replay(sharded.as_ref(), &batches);
+
+        // Exact total-mass parity: clamped routing reroutes ops, never
+        // drops them.
+        let total = truth.total() as f64;
+        prop_assert!((u.total_count() - total).abs() < 1e-6);
+        prop_assert!(
+            (s.total_count() - total).abs() < 1e-6,
+            "sharded total {} != {} with clamped ops", s.total_count(), total
+        );
+
+        // The counter reports exactly the inserts *and* deletes whose
+        // value lay outside [25, 124]; the unsharded store clamps
+        // nothing.
+        let expected: u64 = batches
+            .iter()
+            .flatten()
+            .filter(|op| {
+                let v = match op {
+                    UpdateOp::Insert(v) | UpdateOp::Delete(v) => *v,
+                };
+                !(25..=124).contains(&v)
+            })
+            .count() as u64;
+        prop_assert_eq!(sharded.clamped_ops("c").unwrap(), expected);
+        prop_assert_eq!(unsharded.clamped_ops("c").unwrap(), 0);
+
+        // In-domain estimates stay in the same KS-style band as the
+        // unsharded store (the edge shards absorb the outside mass at
+        // its true values, so interior reads are not skewed).
+        let slack = 0.25 * total + 2.0;
+        for k in 0..5 {
+            let a = 30 + k * 18;
+            let b = a + 15;
+            let eu = u.estimate_range(a, b);
+            let es = s.estimate_range(a, b);
+            prop_assert!(
+                (es - eu).abs() <= slack,
+                "[{a},{b}]: sharded {es} vs unsharded {eu} (slack {slack})"
+            );
+        }
+    }
+
+    #[test]
     fn channel_mode_is_identical_to_locked_mode_single_writer(
         case in stream_strategy(),
         seed in 0u64..1000,

@@ -17,7 +17,15 @@
 //!
 //! Any torn batch — a shard applied early, a column lagging — breaks one
 //! of those equalities immediately.
+//!
+//! The `*_reshard_under_fire` variants additionally race a re-sharder
+//! thread forcing border rebuilds against the writers, on a workload
+//! whose value mass drifts (so the balanced borders actually keep
+//! moving): the same whole-epoch assertions must hold *throughout* the
+//! re-shards, because a re-shard conserves mass exactly and swaps
+//! routing atomically behind the epoch barrier.
 
+use dynamic_histograms::catalog::CatalogError;
 use dynamic_histograms::core::ReadHistogram;
 use dynamic_histograms::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,7 +45,26 @@ fn batch(w: i64, b: i64) -> WriteBatch {
     batch
 }
 
-fn run(store: &dyn ColumnStore, label: &str) {
+/// Writer `w`'s batch `b` with drifting skew: still exactly `SHARDS`
+/// inserts per column (the whole-epoch arithmetic is value-agnostic),
+/// but the mass sits in a hot range that jumps halfway through the
+/// replay, so a concurrent re-sharder keeps finding borders to move.
+fn drifting_batch(w: i64, b: i64) -> WriteBatch {
+    let mut batch = WriteBatch::new();
+    let hot = if b < BATCHES / 2 { 0 } else { 600 };
+    for s in 0..SHARDS {
+        let v = hot + ((w * BATCHES + b + s * 13) % 200);
+        batch.insert("a", v).insert("b", v);
+    }
+    batch
+}
+
+fn run_racing(
+    store: &dyn ColumnStore,
+    label: &str,
+    batch_for: fn(i64, i64) -> WriteBatch,
+    reshard: bool,
+) {
     let done = AtomicBool::new(false);
     std::thread::scope(|scope| {
         // Readers: every SnapshotSet pins one epoch and must account for
@@ -85,6 +112,33 @@ fn run(store: &dyn ColumnStore, label: &str) {
             });
         }
 
+        // Optional chaos: a re-sharder forcing border rebuilds on both
+        // columns while the writers commit.
+        if reshard {
+            let store = &store;
+            let done = &done;
+            scope.spawn(move || {
+                let mut moved = 0u32;
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    for col in ["a", "b"] {
+                        if store.reshard(col).unwrap() {
+                            moved += 1;
+                        }
+                    }
+                    if finished {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                // The drifting workload guarantees at least one border
+                // move per column (the final pass runs against the fully
+                // skewed data even if the writers outran the loop) — the
+                // race is real, not vacuous.
+                assert!(moved >= 2, "re-sharder never moved a border");
+            });
+        }
+
         // Writers commit cross-column, cross-shard batches; the inner
         // scope joins them before the readers' flag flips.
         std::thread::scope(|writers| {
@@ -92,7 +146,7 @@ fn run(store: &dyn ColumnStore, label: &str) {
                 let store = &store;
                 writers.spawn(move || {
                     for b in 0..BATCHES {
-                        store.commit(batch(w, b)).unwrap();
+                        store.commit(batch_for(w, b)).unwrap();
                     }
                 });
             }
@@ -132,7 +186,7 @@ fn single_lock_store_never_serves_torn_batches() {
         &store,
         ShardPlan::new(DOMAIN.0, DOMAIN.1, SHARDS as usize).unwrap(),
     );
-    run(&store, "catalog");
+    run_racing(&store, "catalog", batch, false);
 }
 
 #[test]
@@ -142,7 +196,7 @@ fn sharded_locked_store_never_serves_torn_batches() {
         &store,
         ShardPlan::new(DOMAIN.0, DOMAIN.1, SHARDS as usize).unwrap(),
     );
-    run(&store, "sharded-locked");
+    run_racing(&store, "sharded-locked", batch, false);
 }
 
 #[test]
@@ -154,5 +208,79 @@ fn sharded_channel_store_never_serves_torn_batches() {
             .unwrap()
             .channel(),
     );
-    run(&store, "sharded-channel");
+    run_racing(&store, "sharded-channel", batch, false);
+}
+
+#[test]
+fn sharded_locked_reshard_under_fire_keeps_whole_epochs() {
+    let store = ShardedCatalog::new();
+    register_both(
+        &store,
+        ShardPlan::new(DOMAIN.0, DOMAIN.1, SHARDS as usize).unwrap(),
+    );
+    run_racing(&store, "sharded-locked+reshard", drifting_batch, true);
+}
+
+#[test]
+fn sharded_channel_reshard_under_fire_keeps_whole_epochs() {
+    let store = ShardedCatalog::new();
+    register_both(
+        &store,
+        ShardPlan::new(DOMAIN.0, DOMAIN.1, SHARDS as usize)
+            .unwrap()
+            .channel(),
+    );
+    run_racing(&store, "sharded-channel+reshard", drifting_batch, true);
+}
+
+/// The provided `estimate_*`/`total_count` convenience methods each pin
+/// an independent snapshot, so two calls in one expression can straddle
+/// an epoch published between them; reads off one [`SnapshotSet`] are
+/// pinned together and cannot.
+#[test]
+fn snapshot_set_reads_cannot_straddle_epochs() {
+    let store = Catalog::new();
+    let config = ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(0.5));
+    store.register("a", config).unwrap();
+    store.register("b", config).unwrap();
+    let mut setup = WriteBatch::new();
+    setup.extend("a", (0..100).map(UpdateOp::Insert));
+    setup.extend("b", (0..100).map(UpdateOp::Insert));
+    store.commit(setup).unwrap();
+
+    // A reader captures a consistent view, then a commit lands between
+    // its two reads — the exact interleaving the provided methods are
+    // vulnerable to.
+    let set = store.snapshot_set(&["a", "b"]).unwrap();
+    let a_then = store.total_count("a").unwrap();
+    let mut racing = WriteBatch::new();
+    racing.extend("a", (0..50).map(UpdateOp::Insert));
+    racing.extend("b", (0..50).map(UpdateOp::Insert));
+    store.commit(racing).unwrap();
+    let b_now = store.total_count("b").unwrap();
+
+    // Fresh provided calls straddled the epoch: `a` predates the racing
+    // commit, `b` includes it — a torn cross-column view.
+    assert!((a_then - 100.0).abs() < 1e-6);
+    assert!((b_now - 150.0).abs() < 1e-6);
+
+    // The set's reads are all pinned to its epoch: still the pre-commit
+    // state, mutually consistent, regardless of when they are made.
+    assert_eq!(set.epoch(), 1);
+    assert!((set.total_count("a").unwrap() - 100.0).abs() < 1e-6);
+    assert!((set.total_count("b").unwrap() - 100.0).abs() < 1e-6);
+    assert!((set.estimate_range("a", 0, 99).unwrap() - 100.0).abs() < 1e-6);
+    let eq_est = set.estimate_eq("b", 5).unwrap();
+    assert!(eq_est > 0.0);
+    // Columns outside the original request error instead of silently
+    // reading at a different epoch.
+    assert_eq!(
+        set.total_count("ghost").unwrap_err(),
+        CatalogError::UnknownColumn("ghost".into())
+    );
+    // A fresh set observes the racing commit — whole, in both columns.
+    let set2 = store.snapshot_set(&["a", "b"]).unwrap();
+    assert_eq!(set2.epoch(), 2);
+    assert!((set2.total_count("a").unwrap() - 150.0).abs() < 1e-6);
+    assert!((set2.total_count("b").unwrap() - 150.0).abs() < 1e-6);
 }
