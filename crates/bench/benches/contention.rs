@@ -9,7 +9,7 @@
 //! engine) are quoted in `ARCHITECTURE.md`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
-use dh_bench::{ingest, ServeDesign, Serving, RESHARD_POLICY};
+use dh_bench::{ingest, ServeDesign, Serving, PROBES_PER_ROUND, RESHARD_POLICY};
 use dh_catalog::AlgoSpec;
 use dh_core::{MemoryBudget, UpdateOp};
 use dh_gen::workload::{UpdateStream, WorkloadKind};
@@ -102,5 +102,97 @@ fn reshard_ingest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, multi_writer_ingest, reshard_ingest);
+/// Probe rounds each reader thread performs per timed iteration of the
+/// read-mix arms (3 estimates per round).
+const READ_ROUNDS: u64 = 20_000;
+
+/// Runs `readers` threads, each doing [`READ_ROUNDS`] hot-path probe
+/// rounds against the pre-ingested serving instance.
+fn probe_storm(serving: &Serving, readers: usize) {
+    std::thread::scope(|scope| {
+        for t in 0..readers {
+            scope.spawn(move || {
+                let mut sink = 0.0;
+                for i in 0..READ_ROUNDS {
+                    sink += serving.probe_round(t as u64 * READ_ROUNDS + i, DOMAIN);
+                }
+                std::hint::black_box(sink);
+            });
+        }
+    });
+}
+
+/// Wait-free hot-path serving, quiescent store: readers estimate off the
+/// front generation with no writer in sight — the pure cost of one
+/// atomic load, a pointer chase and a front-cache probe.
+fn read_mix_serving(c: &mut Criterion) {
+    let batches = batches(40_000, 7);
+    let memory = MemoryBudget::from_kb(1.0);
+
+    for readers in [1usize, 4] {
+        let mut group = c.benchmark_group(format!("read_mix_{readers}readers"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(
+            readers as u64 * READ_ROUNDS * PROBES_PER_ROUND,
+        ));
+        for design in ServeDesign::all() {
+            let serving = Serving::build(design, AlgoSpec::Dc, memory, SHARDS, DOMAIN, 7);
+            ingest(&serving, &batches, 2);
+            group.bench_function(BenchmarkId::from_parameter(design.label()), |b| {
+                b.iter(|| probe_storm(&serving, readers));
+            });
+        }
+        group.finish();
+    }
+}
+
+/// The same probe storm with one writer burst-committing throughout the
+/// timed region: the read path's throughput under generation swaps —
+/// the paper's estimates-served-while-maintained deployment. (The
+/// swap-rate pressure is what matters; the writer's own ingest runs on
+/// its own thread.)
+fn read_mix_under_commits(c: &mut Criterion) {
+    let warm = batches(40_000, 7);
+    let live = batches(10_000, 11);
+    let memory = MemoryBudget::from_kb(1.0);
+
+    for readers in [1usize, 4] {
+        let mut group = c.benchmark_group(format!("read_mix_under_commits_{readers}readers"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(
+            readers as u64 * READ_ROUNDS * PROBES_PER_ROUND,
+        ));
+        for design in ServeDesign::all() {
+            let serving = Serving::build(design, AlgoSpec::Dc, memory, SHARDS, DOMAIN, 7);
+            ingest(&serving, &warm, 2);
+            group.bench_function(BenchmarkId::from_parameter(design.label()), |b| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        let serving = &serving;
+                        let live = &live;
+                        scope.spawn(move || {
+                            for batch in live {
+                                serving.apply(batch);
+                            }
+                            serving.flush();
+                        });
+                        probe_storm(serving, readers);
+                    });
+                });
+            });
+            // The contract the numbers rest on: no probe ever fell back
+            // to the gated slow render.
+            assert_eq!(serving.read_stats().slow_renders, 0, "{}", design.label());
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    multi_writer_ingest,
+    reshard_ingest,
+    read_mix_serving,
+    read_mix_under_commits
+);
 criterion_main!(benches);

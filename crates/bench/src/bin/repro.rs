@@ -26,10 +26,16 @@
 //!                                # static equal-width shard plan against
 //!                                # dynamic re-sharding: throughput,
 //!                                # max/mean shard-load balance, KS
+//! repro serve --read-mix [--readers 1,2,4,8]
+//!                                # reader-heavy replay: R readers hammer
+//!                                # the wait-free hot path while one
+//!                                # writer commits — estimate throughput
+//!                                # + front-cache hit rate per design
 //! ```
 
 use dh_bench::{
-    all_figure_ids, run_custom, run_figure, run_reshard, run_serve, RunOptions, ServeConfig,
+    all_figure_ids, run_custom, run_figure, run_read_mix, run_reshard, run_serve, RunOptions,
+    ServeConfig,
 };
 use dh_catalog::AlgoSpec;
 use dh_gen::workload::WorkloadKind;
@@ -41,7 +47,8 @@ fn usage() -> ! {
         "usage: repro [--quick] [--seeds N] [--scale F] [--out DIR] [--list] [figN...|all]\n\
          \x20      repro custom --algos LIST [--workload random|sorted] [options]\n\
          \x20      repro serve [--shards N] [--writers LIST] [--algos SPEC] [--json]\n\
-         \x20                  [--reshard] [--skew S] [options]\n\
+         \x20                  [--reshard] [--skew S] [--read-mix] [--readers LIST]\n\
+         \x20                  [options]\n\
          (no figure list means all figures; beware that without --quick this\n\
          is the paper-scale run. --algos takes paper legend names, e.g.\n\
          DC,DVO,DADO,AC20X,EquiWidth,EquiDepth,SC,SVO,SADO,SSBM)"
@@ -64,9 +71,11 @@ fn main() {
     let mut serve = false;
     let mut json = false;
     let mut reshard = false;
+    let mut read_mix = false;
     let mut skew: Option<f64> = None;
     let mut shards: Option<usize> = None;
     let mut writers: Option<Vec<usize>> = None;
+    let mut readers: Option<Vec<usize>> = None;
     let mut algos: Vec<AlgoSpec> = Vec::new();
     let mut workload: Option<WorkloadKind> = None;
     let mut it = args.into_iter();
@@ -77,6 +86,15 @@ fn main() {
             "serve" => serve = true,
             "--json" => json = true,
             "--reshard" => reshard = true,
+            "--read-mix" => read_mix = true,
+            "--readers" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                readers = Some(
+                    list.split(',')
+                        .map(|r| r.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
             "--skew" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 skew = Some(v.parse().unwrap_or_else(|_| usage()));
@@ -173,6 +191,42 @@ fn main() {
         cfg.skew = skew;
         let writers = writers.unwrap_or_else(|| vec![1, 2, 4, 8]);
         let t0 = std::time::Instant::now();
+        if read_mix {
+            if reshard {
+                eprintln!("--read-mix and --reshard are mutually exclusive");
+                usage();
+            }
+            // Reader-heavy mix: R readers on the wait-free hot path, one
+            // writer committing — estimate throughput + cache hit rate.
+            let readers = readers.unwrap_or_else(|| vec![1, 2, 4, 8]);
+            eprint!("running serve --read-mix ... ");
+            std::io::stderr().flush().ok();
+            let report = run_read_mix(cfg, &readers, opts);
+            eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                println!("{}", report.to_markdown());
+            }
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).expect("create output directory");
+                for fig in [&report.throughput, &report.hit_rate] {
+                    let path = dir.join(format!("{}.csv", fig.id));
+                    std::fs::write(&path, fig.to_csv())
+                        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                    eprintln!("wrote {}", path.display());
+                }
+                let path = dir.join("read_mix.json");
+                std::fs::write(&path, report.to_json())
+                    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                eprintln!("wrote {}", path.display());
+            }
+            return;
+        }
+        if readers.is_some() {
+            eprintln!("--readers only applies to serve --read-mix");
+            usage();
+        }
         if reshard {
             // Static equal-width borders vs dynamic re-sharding on a
             // Zipf-skewed replay: throughput + shard balance + KS.
@@ -226,8 +280,16 @@ fn main() {
         }
         return;
     }
-    if shards.is_some() || writers.is_some() || reshard || skew.is_some() {
-        eprintln!("--shards/--writers/--reshard/--skew only apply to serve mode");
+    if shards.is_some()
+        || writers.is_some()
+        || reshard
+        || skew.is_some()
+        || read_mix
+        || readers.is_some()
+    {
+        eprintln!(
+            "--shards/--writers/--reshard/--skew/--read-mix/--readers only apply to serve mode"
+        );
         usage();
     }
     if json {

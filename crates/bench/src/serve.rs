@@ -16,12 +16,13 @@
 
 use crate::harness::{mean, FigureResult, RunOptions, Series};
 use dh_catalog::{
-    AlgoSpec, Catalog, ColumnConfig, ColumnStore, ReshardPolicy, ShardPlan, ShardedCatalog,
-    Snapshot,
+    AlgoSpec, Catalog, ColumnConfig, ColumnStore, ReadStats, ReshardPolicy, ShardPlan,
+    ShardedCatalog, Snapshot,
 };
 use dh_core::{ks_error, DataDistribution, MemoryBudget, UpdateOp};
 use dh_gen::workload::{UpdateStream, WorkloadKind};
 use dh_gen::SyntheticConfig;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// The column name every serve replay ingests into.
 const COLUMN: &str = "serve";
@@ -163,7 +164,41 @@ impl Serving {
     pub fn shard_load(&self) -> Vec<u64> {
         self.store.shard_load(COLUMN).expect("column registered")
     }
+
+    /// The store's read-path counters (see `docs/READ_PATH.md`) — the
+    /// read-mix replay derives its cache hit rate and verifies the hot
+    /// path stayed wait-free (`slow_renders == 0`) from these.
+    pub fn read_stats(&self) -> ReadStats {
+        self.store.read_stats()
+    }
+
+    /// One hot-path probe round against the serve column: a rotating
+    /// range, point and total estimate derived from `i` (3 probes). The
+    /// predicate set cycles with period 64, so a steady reader re-visits
+    /// each shape and the front cache's hit path is exercised alongside
+    /// its miss-and-fill path. Also the probe body of the `contention`
+    /// bench's read-mix arms.
+    ///
+    /// # Panics
+    /// Panics if the serve column is missing (never happens after
+    /// [`Serving::build`]).
+    pub fn probe_round(&self, i: u64, domain: (i64, i64)) -> f64 {
+        let width = (domain.1 - domain.0).max(1);
+        let k = (i % 64) as i64;
+        let lo = domain.0 + (k * 97) % width;
+        let hi = (lo + width / 8).min(domain.1);
+        let store = self.store.as_ref();
+        let mut acc = store.estimate_range(COLUMN, lo, hi).expect("registered");
+        acc += store
+            .estimate_eq(COLUMN, domain.0 + (k * 131) % width)
+            .expect("registered");
+        acc += store.total_count(COLUMN).expect("registered");
+        acc
+    }
 }
+
+/// Probes per [`Serving::probe_round`] call.
+pub const PROBES_PER_ROUND: u64 = 3;
 
 /// Max/mean ratio of per-shard loads: `1.0` is perfectly balanced,
 /// `k` is everything-on-one-shard. Empty or unloaded columns report
@@ -344,6 +379,174 @@ pub fn run_serve(cfg: ServeConfig, writers: &[usize], opts: RunOptions) -> Serve
             x_label: "Writers".into(),
             y_label: "KS statistic".into(),
             series: ks_series,
+        },
+    }
+}
+
+/// The figures a read-mix replay produces: reader-heavy serving against
+/// a live committing writer, the deployment the paper's usability claim
+/// describes (estimates keep flowing while the histogram is maintained).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadMixReport {
+    /// Hot-path probe throughput (million estimates/s) vs reader count,
+    /// one series per design, with one writer committing throughout.
+    pub throughput: FigureResult,
+    /// Front-cache hit rate (hits / (hits + misses)) over the mix phase
+    /// vs reader count, one series per design.
+    pub hit_rate: FigureResult,
+}
+
+impl ReadMixReport {
+    /// Both figures as one markdown document.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "{}{}",
+            self.throughput.to_markdown(),
+            self.hit_rate.to_markdown()
+        )
+    }
+
+    /// Both figures as one JSON document
+    /// (`{"throughput": {...}, "hit_rate": {...}}`) — what
+    /// `repro serve --read-mix --json` emits and CI folds into the
+    /// `BENCH_serve` artifact.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"throughput\":{},\"hit_rate\":{}}}\n",
+            self.throughput.to_json(),
+            self.hit_rate.to_json()
+        )
+    }
+}
+
+/// Runs the read-mix replay: for every reader count in `readers`, `R`
+/// reader threads hammer the wait-free hot path ([`Serving::probe_round`])
+/// while one writer commits the second half of the stream (the first
+/// half is pre-ingested so probes see a populated histogram). Records
+/// probe throughput and front-cache hit rate per design, averaged over
+/// `opts` seeds.
+///
+/// The replay asserts the read path's consistency contract as it
+/// measures: the slow-render counter must not move during the mix phase
+/// — readers on the current epoch never fall back to the gated render,
+/// no matter how hard the writer commits.
+///
+/// # Panics
+/// Panics if a probe observes a slow render (contract violation).
+pub fn run_read_mix(cfg: ServeConfig, readers: &[usize], opts: RunOptions) -> ReadMixReport {
+    let domain_max = opts.domain_max.unwrap_or(5000);
+    let gen_cfg = replay_gen_config(cfg, opts, domain_max);
+    let designs = ServeDesign::all();
+    let mut tp_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+    let mut hit_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+
+    let mut per_tp: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; readers.len()];
+    let mut per_hit: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; readers.len()];
+    for seed in opts.seed_values() {
+        let data = gen_cfg.generate(seed);
+        let stream =
+            UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
+        let ops = stream.ops();
+        let batches: Vec<Vec<UpdateOp>> = ops
+            .chunks(cfg.batch_size)
+            .map(<[UpdateOp]>::to_vec)
+            .collect();
+        let (warm, live) = batches.split_at(batches.len() / 2);
+        for (ri, &r) in readers.iter().enumerate() {
+            let r = r.max(1);
+            for (di, &design) in designs.iter().enumerate() {
+                let serving = Serving::build(
+                    design,
+                    cfg.spec,
+                    cfg.memory,
+                    cfg.shards,
+                    (0, domain_max),
+                    seed,
+                );
+                for batch in warm {
+                    serving.apply(batch);
+                }
+                serving.flush();
+                let before = serving.read_stats();
+                let done = AtomicBool::new(false);
+                let probes = AtomicU64::new(0);
+                let t0 = std::time::Instant::now();
+                std::thread::scope(|scope| {
+                    for t in 0..r {
+                        let serving = &serving;
+                        let done = &done;
+                        let probes = &probes;
+                        scope.spawn(move || {
+                            let mut i = t as u64;
+                            let mut local = 0u64;
+                            let mut sink = 0.0f64;
+                            while !done.load(Ordering::Acquire) || local == 0 {
+                                sink += serving.probe_round(i, (0, domain_max));
+                                i += 1;
+                                local += PROBES_PER_ROUND;
+                            }
+                            std::hint::black_box(sink);
+                            probes.fetch_add(local, Ordering::Relaxed);
+                        });
+                    }
+                    // The writer runs to completion inside its own scope,
+                    // then the readers' flag flips: the mix phase spans
+                    // the entire commit burst.
+                    std::thread::scope(|writer| {
+                        let serving = &serving;
+                        writer.spawn(move || {
+                            for batch in live {
+                                serving.apply(batch);
+                            }
+                            serving.flush();
+                        });
+                    });
+                    done.store(true, Ordering::Release);
+                });
+                let secs = t0.elapsed().as_secs_f64();
+                let after = serving.read_stats();
+                assert_eq!(
+                    after.slow_renders,
+                    before.slow_renders,
+                    "{}: hot path slow-rendered during the read mix",
+                    design.label()
+                );
+                per_tp[ri][di].push(probes.load(Ordering::Relaxed) as f64 / secs / 1e6);
+                let (hits, misses) = (
+                    after.cache_hits - before.cache_hits,
+                    after.cache_misses - before.cache_misses,
+                );
+                per_hit[ri][di].push(hits as f64 / ((hits + misses).max(1)) as f64);
+            }
+        }
+    }
+    for (ri, &r) in readers.iter().enumerate() {
+        for di in 0..designs.len() {
+            tp_series[di].push(r as f64, mean(per_tp[ri][di].drain(..)));
+            hit_series[di].push(r as f64, mean(per_hit[ri][di].drain(..)));
+        }
+    }
+
+    let subtitle = format!(
+        "{} · {} shards · {:.2} KB · 1 committing writer",
+        cfg.spec.label(),
+        cfg.shards,
+        cfg.memory.kb()
+    );
+    ReadMixReport {
+        throughput: FigureResult {
+            id: "read-mix-throughput".into(),
+            title: format!("Hot-path estimate throughput under commits ({subtitle})"),
+            x_label: "Readers".into(),
+            y_label: "Throughput [M estimates/s]".into(),
+            series: tp_series,
+        },
+        hit_rate: FigureResult {
+            id: "read-mix-hit-rate".into(),
+            title: format!("Front-cache hit rate under commits ({subtitle})"),
+            x_label: "Readers".into(),
+            y_label: "Cache hit rate".into(),
+            series: hit_series,
         },
     }
 }
@@ -567,6 +770,34 @@ mod tests {
         assert!(json.contains("\"accuracy\":{\"id\":\"reshard-accuracy\""));
         let md = report.to_markdown();
         assert!(md.contains("reshard-balance"));
+    }
+
+    #[test]
+    fn read_mix_report_measures_wait_free_serving() {
+        let opts = RunOptions {
+            seeds: 1,
+            scale: 0.02,
+            domain_max: Some(500),
+        };
+        let report = run_read_mix(ServeConfig::default(), &[1, 2], opts);
+        for fig in [&report.throughput, &report.hit_rate] {
+            assert_eq!(fig.series.len(), 3);
+            for s in &fig.series {
+                assert_eq!(s.points.len(), 2);
+                assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y >= 0.0));
+            }
+        }
+        // Hit rates are fractions; a steady reader cycling 64 probe
+        // shapes against a populated column must land some hits.
+        for s in &report.hit_rate.series {
+            assert!(s.points.iter().all(|&(_, y)| (0.0..=1.0).contains(&y)));
+            assert!(s.points.iter().any(|&(_, y)| y > 0.0));
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"throughput\":{\"id\":\"read-mix-throughput\""));
+        assert!(json.contains("\"hit_rate\":{\"id\":\"read-mix-hit-rate\""));
+        let md = report.to_markdown();
+        assert!(md.contains("read-mix-throughput") && md.contains("read-mix-hit-rate"));
     }
 
     #[test]

@@ -172,6 +172,22 @@ impl ColumnStore for Catalog {
     fn epoch(&self) -> u64 {
         self.registry.epoch()
     }
+
+    fn estimate_range(&self, column: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
+        self.registry.estimate_range(column, a, b)
+    }
+
+    fn estimate_eq(&self, column: &str, v: i64) -> Result<f64, CatalogError> {
+        self.registry.estimate_eq(column, v)
+    }
+
+    fn total_count(&self, column: &str) -> Result<f64, CatalogError> {
+        self.registry.total_count(column)
+    }
+
+    fn read_stats(&self) -> crate::read::ReadStats {
+        self.registry.read_stats()
+    }
 }
 
 impl fmt::Debug for Catalog {

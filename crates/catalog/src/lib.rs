@@ -70,6 +70,7 @@
 
 pub mod adapter;
 pub mod catalog;
+pub mod read;
 pub mod sharded;
 pub mod spec;
 pub mod store;
@@ -77,6 +78,7 @@ pub mod txn;
 
 pub use adapter::StaticRebuild;
 pub use catalog::{Catalog, CatalogError, Snapshot};
+pub use read::ReadStats;
 pub use sharded::{IngestMode, ReshardPolicy, ShardMap, ShardPlan, ShardedCatalog};
 pub use spec::{AlgoSpec, ParseAlgoSpecError};
 pub use store::{ColumnConfig, ColumnStore, SnapshotSet};

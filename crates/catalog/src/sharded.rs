@@ -1019,6 +1019,20 @@ impl ShardedCatalog {
     ///    cells; readers pinned before it retry at the barrier epoch,
     ///    exactly like any overtaken pinned read.
     fn do_reshard(&self, col: &ShardedColumn, forced: bool) -> bool {
+        let moved = self.do_reshard_inner(col, forced);
+        if moved {
+            // A re-shard rebuilds the column's cells *without* publishing
+            // an epoch, so the front generation (and its predicate cache)
+            // must be force-re-rendered at the same epoch — a reader must
+            // never keep being served off the pre-re-shard rendering
+            // once the routing has swapped. Runs after every routing and
+            // re-shard lock is released.
+            self.registry.refresh_front(true);
+        }
+        moved
+    }
+
+    fn do_reshard_inner(&self, col: &ShardedColumn, forced: bool) -> bool {
         if col.plan.shards() < 2 {
             return false;
         }
@@ -1286,6 +1300,22 @@ impl ColumnStore for ShardedCatalog {
     /// [`CatalogError::UnknownColumn`] if absent.
     fn clamped_ops(&self, column: &str) -> Result<u64, CatalogError> {
         Ok(self.registry.get(column)?.clamped.load(Ordering::Relaxed))
+    }
+
+    fn estimate_range(&self, column: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
+        self.registry.estimate_range(column, a, b)
+    }
+
+    fn estimate_eq(&self, column: &str, v: i64) -> Result<f64, CatalogError> {
+        self.registry.estimate_eq(column, v)
+    }
+
+    fn total_count(&self, column: &str) -> Result<f64, CatalogError> {
+        self.registry.total_count(column)
+    }
+
+    fn read_stats(&self) -> crate::read::ReadStats {
+        self.registry.read_stats()
     }
 }
 

@@ -37,12 +37,14 @@
 //! ```
 
 use crate::catalog::{CatalogError, Snapshot};
+use crate::read::{CacheKind, FrontCache, ReadStats};
 use crate::sharded::{ReshardPolicy, ShardPlan};
 use crate::spec::AlgoSpec;
 use crate::txn::WriteBatch;
 use dh_core::{MemoryBudget, ReadHistogram, UpdateOp};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Everything a store needs to know to register one column: the
 /// algorithm, its memory budget, a seed for sampling algorithms, and —
@@ -247,6 +249,11 @@ pub trait ColumnStore: Send + Sync {
 
     /// Estimated number of values in `[a, b]` on `column`.
     ///
+    /// On both built-in stores this is the wait-free hot path: it reads
+    /// the current front generation (one atomic pointer chase, no lock,
+    /// no retry) and memoizes the answer in that generation's predicate
+    /// cache — see `docs/READ_PATH.md`.
+    ///
     /// **Single-call consistency only**: every call pins its own fresh
     /// snapshot, so two convenience estimates in one expression may
     /// straddle an epoch published between them. Combining estimates
@@ -283,6 +290,16 @@ pub trait ColumnStore: Send + Sync {
     fn total_count(&self, column: &str) -> Result<f64, CatalogError> {
         Ok(self.snapshot(column)?.total_count())
     }
+
+    /// Read-path telemetry: how many reads were served wait-free off the
+    /// front generation vs. through the slow pinned-render path, and the
+    /// predicate front cache's hit / miss / invalidation counters. The
+    /// contract behind these numbers is `docs/READ_PATH.md`; under
+    /// steady serving of the current epoch, `slow_renders` stays at 0.
+    /// Stores without a wait-free front report all-zero stats.
+    fn read_stats(&self) -> ReadStats {
+        ReadStats::default()
+    }
 }
 
 /// A consistent multi-column view: one [`Snapshot`] per requested
@@ -295,11 +312,33 @@ pub trait ColumnStore: Send + Sync {
 pub struct SnapshotSet {
     epoch: u64,
     snaps: BTreeMap<String, Snapshot>,
+    /// The owning generation's predicate front cache, when this set was
+    /// served off the wait-free front (see `docs/READ_PATH.md`). Slow
+    /// pinned renders carry no cache and compute every estimate.
+    cache: Option<Arc<FrontCache>>,
 }
 
 impl SnapshotSet {
     pub(crate) fn new(epoch: u64, snaps: BTreeMap<String, Snapshot>) -> Self {
-        Self { epoch, snaps }
+        Self {
+            epoch,
+            snaps,
+            cache: None,
+        }
+    }
+
+    /// A set wired to its generation's front cache: estimate probes
+    /// memoize through it (and are answered from it).
+    pub(crate) fn with_cache(
+        epoch: u64,
+        snaps: BTreeMap<String, Snapshot>,
+        cache: Arc<FrontCache>,
+    ) -> Self {
+        Self {
+            epoch,
+            snaps,
+            cache: Some(cache),
+        }
     }
 
     /// The published epoch every snapshot in the set is pinned to.
@@ -335,13 +374,16 @@ impl SnapshotSet {
     /// Estimated number of values in `[a, b]` on `column`, read at the
     /// set's pinned epoch. Unlike the [`ColumnStore`] convenience
     /// methods, any number of reads off one set are mutually consistent
-    /// — they can never straddle an epoch.
+    /// — they can never straddle an epoch. Sets served off the wait-free
+    /// front memoize the answer in their generation's predicate cache
+    /// (bit-identical to the uncached computation; the cache stores
+    /// exactly the `f64` the first computation produced).
     ///
     /// # Errors
     /// [`CatalogError::UnknownColumn`] if `column` was not part of the
     /// request that built this set.
     pub fn estimate_range(&self, column: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
-        Ok(self.pinned(column)?.estimate_range(a, b))
+        self.estimate(column, CacheKind::Range(a, b))
     }
 
     /// Estimated number of values equal to `v` on `column`, read at the
@@ -351,7 +393,7 @@ impl SnapshotSet {
     /// [`CatalogError::UnknownColumn`] if `column` was not part of the
     /// request that built this set.
     pub fn estimate_eq(&self, column: &str, v: i64) -> Result<f64, CatalogError> {
-        Ok(self.pinned(column)?.estimate_eq(v))
+        self.estimate(column, CacheKind::Eq(v))
     }
 
     /// Total live mass on `column` as of the set's pinned epoch (see
@@ -361,7 +403,17 @@ impl SnapshotSet {
     /// [`CatalogError::UnknownColumn`] if `column` was not part of the
     /// request that built this set.
     pub fn total_count(&self, column: &str) -> Result<f64, CatalogError> {
-        Ok(self.pinned(column)?.total_count())
+        self.estimate(column, CacheKind::Total)
+    }
+
+    pub(crate) fn estimate(&self, column: &str, kind: CacheKind) -> Result<f64, CatalogError> {
+        let snap = self.pinned(column)?;
+        if let Some(cache) = &self.cache {
+            if let Some(value) = cache.probe(column, kind, snap) {
+                return Ok(value);
+            }
+        }
+        Ok(kind.compute_on(snap))
     }
 
     fn pinned(&self, column: &str) -> Result<&Snapshot, CatalogError> {

@@ -26,6 +26,7 @@
 //! batches only, never a torn one.
 
 use crate::catalog::{CatalogError, Snapshot};
+use crate::read::{CacheKind, LeftRightCell, ReadCounters, ReadGeneration, ReadStats};
 use crate::store::SnapshotSet;
 use dh_core::{BoxedHistogram, BucketSpan, UpdateOp};
 use dh_distributed::superimpose;
@@ -248,13 +249,21 @@ pub(crate) trait StoreColumn {
 pub(crate) struct Registry<T> {
     columns: RwLock<BTreeMap<String, Arc<T>>>,
     clock: EpochClock,
+    /// The wait-free read front: the latest rendered whole-store
+    /// generation, swapped (never mutated) by writers. See
+    /// `docs/READ_PATH.md` and [`crate::read`].
+    front: LeftRightCell<ReadGeneration>,
+    counters: Arc<ReadCounters>,
 }
 
 impl<T> Default for Registry<T> {
     fn default() -> Self {
+        let counters = Arc::new(ReadCounters::default());
         Self {
             columns: RwLock::new(BTreeMap::new()),
             clock: EpochClock::default(),
+            front: LeftRightCell::new(Arc::new(ReadGeneration::empty(counters.clone()))),
+            counters,
         }
     }
 }
@@ -263,11 +272,16 @@ impl<T: StoreColumn> Registry<T> {
     /// Registers a column under `name`, building it with `build` only
     /// if the name is free.
     pub(crate) fn insert(&self, name: &str, build: impl FnOnce() -> T) -> Result<(), CatalogError> {
-        let mut columns = write_lock(&self.columns);
-        if columns.contains_key(name) {
-            return Err(CatalogError::DuplicateColumn(name.into()));
+        {
+            let mut columns = write_lock(&self.columns);
+            if columns.contains_key(name) {
+                return Err(CatalogError::DuplicateColumn(name.into()));
+            }
+            columns.insert(name.to_string(), Arc::new(build()));
         }
-        columns.insert(name.to_string(), Arc::new(build()));
+        // Fold the new (empty) column into the front so its reads are
+        // wait-free from the first snapshot on.
+        self.refresh_front(false);
         Ok(())
     }
 
@@ -330,6 +344,14 @@ impl<T: StoreColumn> Registry<T> {
         for (column, token, _) in &staged {
             column.settle(token, epoch);
         }
+        // Release staging tokens (e.g. shard in-flight counts) before the
+        // front render, so a concurrent re-shard barrier never waits on a
+        // commit that is merely re-rendering.
+        drop(staged);
+        // Publish the read front *before* returning: the committing
+        // thread's own batch is visible to its subsequent hot-path reads
+        // (read-your-writes), and readers never render for themselves.
+        self.refresh_front(false);
         Ok(epoch)
     }
 
@@ -349,6 +371,8 @@ impl<T: StoreColumn> Registry<T> {
             checkpoint = stamp.accepted;
         });
         column.settle(&token, epoch);
+        drop(token);
+        self.refresh_front(false);
         Ok(checkpoint)
     }
 
@@ -402,17 +426,39 @@ impl<T: StoreColumn> Registry<T> {
     }
 
     /// An epoch-pinned snapshot of `name`.
+    ///
+    /// Hot path: served off the front generation — one wait-free load
+    /// plus an `Arc` clone. Falls back to the slow pinned render only
+    /// when the front does not cover the column (a registration racing
+    /// ahead of its first front fold; counted in
+    /// [`ReadStats::slow_renders`]).
     pub(crate) fn snapshot(&self, name: &str) -> Result<Snapshot, CatalogError> {
+        let front = self.front.load();
+        if let Some(snap) = front.snap(name) {
+            self.counters.count_fast();
+            return Ok(snap.clone());
+        }
         let column = self.get(name)?;
+        self.counters.count_slow();
         Ok(self.render_pinned(|epoch, gate_held| self.attempt(&column, epoch, gate_held)))
     }
 
     /// A [`SnapshotSet`]: every requested column rendered at one epoch.
+    ///
+    /// Hot path: a cache-wired subset of the front generation (wait-free,
+    /// all columns trivially share the generation's epoch). Slow path as
+    /// in [`Registry::snapshot`].
     pub(crate) fn snapshot_set(&self, names: &[&str]) -> Result<SnapshotSet, CatalogError> {
+        let front = self.front.load();
+        if let Some(set) = front.subset(names) {
+            self.counters.count_fast();
+            return Ok(set);
+        }
         let columns: Vec<Arc<T>> = names
             .iter()
             .map(|name| self.get(name))
             .collect::<Result<_, _>>()?;
+        self.counters.count_slow();
         Ok(self.render_pinned(|epoch, gate_held| {
             let mut snaps = BTreeMap::new();
             for column in &columns {
@@ -423,6 +469,76 @@ impl<T: StoreColumn> Registry<T> {
             }
             Ok(SnapshotSet::new(epoch, snaps))
         }))
+    }
+
+    /// Estimated `[a, b]` mass on `name`, answered from the front
+    /// generation's predicate cache (wait-free; computes and memoizes on
+    /// a cache miss). Slow pinned fallback only when the front does not
+    /// cover the column.
+    pub(crate) fn estimate_range(&self, name: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
+        self.estimate(name, CacheKind::Range(a, b))
+    }
+
+    /// Estimated frequency of `v` on `name` (see
+    /// [`Registry::estimate_range`]).
+    pub(crate) fn estimate_eq(&self, name: &str, v: i64) -> Result<f64, CatalogError> {
+        self.estimate(name, CacheKind::Eq(v))
+    }
+
+    /// Total live mass on `name` (see [`Registry::estimate_range`]).
+    pub(crate) fn total_count(&self, name: &str) -> Result<f64, CatalogError> {
+        self.estimate(name, CacheKind::Total)
+    }
+
+    fn estimate(&self, name: &str, kind: CacheKind) -> Result<f64, CatalogError> {
+        let front = self.front.load();
+        if let Ok(value) = front.set().estimate(name, kind) {
+            self.counters.count_fast();
+            return Ok(value);
+        }
+        let column = self.get(name)?;
+        self.counters.count_slow();
+        let snap = self.render_pinned(|epoch, gate_held| self.attempt(&column, epoch, gate_held));
+        Ok(kind.compute_on(&snap))
+    }
+
+    /// The store's read-path telemetry.
+    pub(crate) fn read_stats(&self) -> ReadStats {
+        self.counters.stats()
+    }
+
+    /// Renders the whole store at the current published epoch and
+    /// installs it as the new front generation if it is newer than (or,
+    /// with `force`, at least as new as) the incumbent — `force` is for
+    /// re-shards, which rebuild a column's cells *without* publishing an
+    /// epoch. Called by every commit, registration and re-shard; never
+    /// by readers. Rejected candidates (a concurrent writer installed a
+    /// newer generation first) are simply dropped — the incumbent then
+    /// already covers this writer's epoch.
+    pub(crate) fn refresh_front(&self, force: bool) {
+        let columns: Vec<Arc<T>> = read_lock(&self.columns).values().cloned().collect();
+        let generation = self.render_pinned(|epoch, gate_held| {
+            let mut snaps = BTreeMap::new();
+            for column in &columns {
+                snaps.insert(
+                    column.name().to_string(),
+                    self.attempt(column, epoch, gate_held)?,
+                );
+            }
+            Ok(ReadGeneration::new(epoch, snaps, self.counters.clone()))
+        });
+        let installed = self
+            .front
+            .store_if(Arc::new(generation), |current, candidate| {
+                candidate.epoch() > current.epoch()
+                    || (candidate.epoch() == current.epoch()
+                        && (force || candidate.len() > current.len()))
+            });
+        if installed {
+            // Each install discards the previous generation's whole
+            // predicate memo — the only invalidation rule there is.
+            self.counters.count_invalidation();
+        }
     }
 }
 

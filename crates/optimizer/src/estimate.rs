@@ -1,6 +1,6 @@
 //! Selection predicates and their estimated cardinalities.
 
-use dh_catalog::{CatalogError, ColumnStore};
+use dh_catalog::{CatalogError, ColumnStore, SnapshotSet};
 use dh_core::ReadHistogram;
 
 /// A selection predicate over one integer attribute.
@@ -42,10 +42,15 @@ impl Predicate {
         (self.cardinality(h) / total).clamp(0.0, 1.0)
     }
 
-    /// Estimated number of qualifying tuples on `column`, read off an
-    /// epoch-pinned snapshot of `store` — the serving-layer face of
+    /// Estimated number of qualifying tuples on `column`, read off the
+    /// store's wait-free front — the serving-layer face of
     /// [`Predicate::cardinality`], written once against any
     /// [`ColumnStore`] design.
+    ///
+    /// Pins one epoch via [`ColumnStore::snapshot_set`] and probes
+    /// *through the front cache* ([`Predicate::cardinality_in`]): the
+    /// optimizer's repeated selectivity probes short-circuit in the
+    /// generation's predicate memo instead of touching spans.
     ///
     /// # Errors
     /// [`CatalogError::UnknownColumn`] if `column` is absent.
@@ -54,11 +59,40 @@ impl Predicate {
         store: &dyn ColumnStore,
         column: &str,
     ) -> Result<f64, CatalogError> {
-        Ok(self.cardinality(&store.snapshot(column)?))
+        self.cardinality_in(&store.snapshot_set(&[column])?, column)
     }
 
-    /// Estimated selectivity on `column`, read off an epoch-pinned
-    /// snapshot of `store`.
+    /// Estimated number of qualifying tuples on `column`, read off an
+    /// already-pinned [`SnapshotSet`]. All reads go through the set's
+    /// cached probes ([`SnapshotSet::estimate_range`] and friends), so a
+    /// set served off the wait-free front memoizes every predicate shape
+    /// it answers; every comparison predicate decomposes into cached
+    /// range / eq / total reads at the set's single epoch.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if `column` is not in the set.
+    pub fn cardinality_in(&self, set: &SnapshotSet, column: &str) -> Result<f64, CatalogError> {
+        // `X <= v` as a cached range probe: the histogram CDF gives
+        // `mass_in(MIN, v+1) = mass_below(v+1) - 0`, identical to
+        // `estimate_le(v)`.
+        let le = |v: i64| set.estimate_range(column, i64::MIN, v);
+        match *self {
+            Predicate::Eq(v) => set.estimate_eq(column, v),
+            Predicate::Le(v) => le(v),
+            Predicate::Lt(v) if v == i64::MIN => set.total_count(column).map(|_| 0.0),
+            Predicate::Lt(v) => le(v - 1),
+            Predicate::Ge(v) => {
+                let lt = if v == i64::MIN { 0.0 } else { le(v - 1)? };
+                Ok((set.total_count(column)? - lt).max(0.0))
+            }
+            Predicate::Gt(v) => Ok((set.total_count(column)? - le(v)?).max(0.0)),
+            Predicate::Between(a, b) => set.estimate_range(column, a, b),
+        }
+    }
+
+    /// Estimated selectivity on `column`, read off the store's wait-free
+    /// front (one pinned epoch; cardinality and total can never straddle
+    /// a commit).
     ///
     /// # Errors
     /// [`CatalogError::UnknownColumn`] if `column` is absent.
@@ -67,7 +101,21 @@ impl Predicate {
         store: &dyn ColumnStore,
         column: &str,
     ) -> Result<f64, CatalogError> {
-        Ok(self.selectivity(&store.snapshot(column)?))
+        self.selectivity_in(&store.snapshot_set(&[column])?, column)
+    }
+
+    /// Estimated selectivity on `column` off an already-pinned
+    /// [`SnapshotSet`], through the cached probes (see
+    /// [`Predicate::cardinality_in`]).
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if `column` is not in the set.
+    pub fn selectivity_in(&self, set: &SnapshotSet, column: &str) -> Result<f64, CatalogError> {
+        let total = set.total_count(column)?;
+        if total <= 0.0 {
+            return Ok(0.0);
+        }
+        Ok((self.cardinality_in(set, column)? / total).clamp(0.0, 1.0))
     }
 
     /// Exact number of qualifying tuples in a value multiset (ground truth

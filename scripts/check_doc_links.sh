@@ -7,8 +7,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fail=0
-# The doc set under the link gate: top-level docs plus everything in docs/.
-files=(README.md ARCHITECTURE.md PAPER.md ROADMAP.md docs/*.md)
+# The doc set under the link gate: top-level docs plus everything under
+# docs/, recursively (a flat docs/*.md glob would silently skip files in
+# subdirectories — READ_PATH.md-style contract docs must not escape the
+# gate by moving into one).
+files=(README.md ARCHITECTURE.md PAPER.md ROADMAP.md)
+while IFS= read -r f; do
+    files+=("$f")
+done < <(find docs -name '*.md' -type f | sort)
 
 for f in "${files[@]}"; do
     [ -f "$f" ] || { echo "missing doc file: $f" >&2; fail=1; continue; }

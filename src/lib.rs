@@ -56,8 +56,8 @@ pub use dh_stats as stats;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use dh_catalog::{
-        AlgoSpec, Catalog, ColumnConfig, ColumnStore, IngestMode, ReshardPolicy, ShardMap,
-        ShardPlan, ShardedCatalog, Snapshot, SnapshotSet, WriteBatch,
+        AlgoSpec, Catalog, ColumnConfig, ColumnStore, IngestMode, ReadStats, ReshardPolicy,
+        ShardMap, ShardPlan, ShardedCatalog, Snapshot, SnapshotSet, WriteBatch,
     };
     pub use dh_core::dynamic::{
         AbsoluteDeviation, DadoHistogram, DcHistogram, DvoHistogram, Grid2dHistogram,

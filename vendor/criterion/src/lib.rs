@@ -1,0 +1,255 @@
+//! Vendored, dependency-free stand-in for the subset of the `criterion`
+//! API used by this workspace's benchmarks.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the pieces the benches rely on: [`Criterion`] with
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] (`sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, `finish`),
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`Throughput`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is a simple wall-clock mean over `sample_size` samples
+//! (after one warm-up sample), printed as `group/id  time [± throughput]`.
+//! No statistics engine, no HTML reports, no CLI filtering — call sites
+//! use the upstream API shape, so the real crate can be swapped back in
+//! by editing `[workspace.dependencies]` alone.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// How many logical items one benchmark iteration processes; used to
+/// derive a throughput line next to the mean time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. update ops) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Hint for how `iter_batched` amortizes setup values; the stand-in
+/// regenerates the input every iteration regardless, so the variants
+/// only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// One fresh input per iteration.
+    PerIteration,
+    /// Small inputs, batched by the real criterion.
+    SmallInput,
+    /// Large inputs, one per iteration in the real criterion too.
+    LargeInput,
+}
+
+/// A benchmark identifier inside a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark (upstream default 100;
+    /// the workspace sets 10 everywhere).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for the whole group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark; this mirrors the
+    /// upstream API).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let mut line = format!("{}/{id}: mean {}", self.name, fmt_duration(mean));
+        if let Some(throughput) = self.throughput {
+            let secs = mean.as_secs_f64().max(1e-12);
+            match throughput {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  ({:.3} Melem/s)", n as f64 / secs / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  ({:.3} MiB/s)",
+                        n as f64 / secs / (1 << 20) as f64
+                    ));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", d.as_secs_f64())
+    }
+}
+
+/// Measures closures; handed to every benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over `sample_size` samples after one warm-up run.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`, excluding setup time
+    /// from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
