@@ -31,11 +31,18 @@
 //!                                # the wait-free hot path while one
 //!                                # writer commits — estimate throughput
 //!                                # + front-cache hit rate per design
+//! repro serve --durable [--wal-dir DIR]
+//!                                # WAL-backed replay: the same designs
+//!                                # behind DurableStore — durable ingest
+//!                                # throughput + crash-recovery replay
+//!                                # throughput (store dropped, changelog
+//!                                # reopened and timed); --wal-dir keeps
+//!                                # the changelogs for inspection
 //! ```
 
 use dh_bench::{
-    all_figure_ids, run_custom, run_figure, run_read_mix, run_reshard, run_serve, RunOptions,
-    ServeConfig,
+    all_figure_ids, run_custom, run_durable, run_figure, run_read_mix, run_reshard, run_serve,
+    RunOptions, ServeConfig,
 };
 use dh_catalog::AlgoSpec;
 use dh_gen::workload::WorkloadKind;
@@ -48,7 +55,7 @@ fn usage() -> ! {
          \x20      repro custom --algos LIST [--workload random|sorted] [options]\n\
          \x20      repro serve [--shards N] [--writers LIST] [--algos SPEC] [--json]\n\
          \x20                  [--reshard] [--skew S] [--read-mix] [--readers LIST]\n\
-         \x20                  [options]\n\
+         \x20                  [--durable] [--wal-dir DIR] [options]\n\
          (no figure list means all figures; beware that without --quick this\n\
          is the paper-scale run. --algos takes paper legend names, e.g.\n\
          DC,DVO,DADO,AC20X,EquiWidth,EquiDepth,SC,SVO,SADO,SSBM)"
@@ -72,6 +79,8 @@ fn main() {
     let mut json = false;
     let mut reshard = false;
     let mut read_mix = false;
+    let mut durable = false;
+    let mut wal_dir: Option<PathBuf> = None;
     let mut skew: Option<f64> = None;
     let mut shards: Option<usize> = None;
     let mut writers: Option<Vec<usize>> = None;
@@ -87,6 +96,10 @@ fn main() {
             "--json" => json = true,
             "--reshard" => reshard = true,
             "--read-mix" => read_mix = true,
+            "--durable" => durable = true,
+            "--wal-dir" => {
+                wal_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
             "--readers" => {
                 let list = it.next().unwrap_or_else(|| usage());
                 readers = Some(
@@ -191,6 +204,45 @@ fn main() {
         cfg.skew = skew;
         let writers = writers.unwrap_or_else(|| vec![1, 2, 4, 8]);
         let t0 = std::time::Instant::now();
+        if durable {
+            if reshard || read_mix {
+                eprintln!("--durable is mutually exclusive with --reshard/--read-mix");
+                usage();
+            }
+            if readers.is_some() {
+                eprintln!("--readers only applies to serve --read-mix");
+                usage();
+            }
+            // WAL-backed replay: durable ingest throughput plus a timed
+            // crash-recovery reopen of the changelog per design.
+            eprint!("running serve --durable ... ");
+            std::io::stderr().flush().ok();
+            let report = run_durable(cfg, &writers, opts, wal_dir.as_deref());
+            eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                println!("{}", report.to_markdown());
+            }
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).expect("create output directory");
+                for fig in [&report.throughput, &report.recovery] {
+                    let path = dir.join(format!("{}.csv", fig.id));
+                    std::fs::write(&path, fig.to_csv())
+                        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                    eprintln!("wrote {}", path.display());
+                }
+                let path = dir.join("durable.json");
+                std::fs::write(&path, report.to_json())
+                    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                eprintln!("wrote {}", path.display());
+            }
+            return;
+        }
+        if wal_dir.is_some() {
+            eprintln!("--wal-dir only applies to serve --durable");
+            usage();
+        }
         if read_mix {
             if reshard {
                 eprintln!("--read-mix and --reshard are mutually exclusive");
@@ -286,9 +338,12 @@ fn main() {
         || skew.is_some()
         || read_mix
         || readers.is_some()
+        || durable
+        || wal_dir.is_some()
     {
         eprintln!(
-            "--shards/--writers/--reshard/--skew/--read-mix/--readers only apply to serve mode"
+            "--shards/--writers/--reshard/--skew/--read-mix/--readers/--durable/--wal-dir \
+             only apply to serve mode"
         );
         usage();
     }

@@ -17,9 +17,10 @@
 //!   and final estimation error (the `repro serve` mode and the
 //!   `contention` bench), plus the `--reshard` replay comparing static
 //!   versus dynamically re-balanced shard borders on a Zipf-skewed
-//!   stream, and the `--read-mix` replay measuring wait-free hot-path
+//!   stream, the `--read-mix` replay measuring wait-free hot-path
 //!   estimate serving (and front-cache hit rate) under a live committing
-//!   writer.
+//!   writer, and the `--durable` replay measuring WAL-backed ingestion
+//!   and crash-recovery replay throughput through `DurableStore`.
 //!
 //! The `repro` binary regenerates any or all figures as CSV files and a
 //! markdown summary, and runs custom algorithm mixes selected by name
@@ -44,6 +45,7 @@ pub use algos::{DynamicAlgo, StaticAlgo};
 pub use figures::{all_figure_ids, run_custom, run_figure};
 pub use harness::{FigureResult, RunOptions, Series};
 pub use serve::{
-    ingest, load_balance, run_read_mix, run_reshard, run_serve, ReadMixReport, ReshardReport,
-    ServeConfig, ServeDesign, ServeReport, Serving, PROBES_PER_ROUND, RESHARD_POLICY,
+    ingest, load_balance, run_durable, run_read_mix, run_reshard, run_serve, DurableReport,
+    ReadMixReport, ReshardReport, ServeConfig, ServeDesign, ServeReport, Serving, DURABLE_OPTIONS,
+    PROBES_PER_ROUND, RESHARD_POLICY,
 };

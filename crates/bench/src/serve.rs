@@ -13,15 +13,20 @@
 //! The harness reports multi-writer ingestion throughput *and* the final
 //! estimation quality (KS against the exact live distribution), so the
 //! contention story and the paper's accuracy story stay on one page.
+//! The `--durable` arm ([`run_durable`]) re-runs the same replay behind
+//! a [`DurableStore`] and times the crash-recovery reopen, putting the
+//! durability tax and the replay speed on that same page.
 
 use crate::harness::{mean, FigureResult, RunOptions, Series};
 use dh_catalog::{
-    AlgoSpec, Catalog, ColumnConfig, ColumnStore, ReadStats, ReshardPolicy, ShardPlan,
-    ShardedCatalog, Snapshot,
+    AlgoSpec, Catalog, ColumnConfig, ColumnStore, DurableOptions, DurableStore, ReadStats,
+    ReshardPolicy, ShardPlan, ShardedCatalog, Snapshot, StoreKind,
 };
-use dh_core::{ks_error, DataDistribution, MemoryBudget, UpdateOp};
+use dh_core::{ks_error, DataDistribution, MemoryBudget, ReadHistogram, UpdateOp};
 use dh_gen::workload::{UpdateStream, WorkloadKind};
 use dh_gen::SyntheticConfig;
+use dh_wal::{SyncPolicy, TempDir};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// The column name every serve replay ingests into.
@@ -57,6 +62,15 @@ impl ServeDesign {
             ServeDesign::SingleLock => "single-RwLock",
             ServeDesign::ShardedLock => "sharded-locks",
             ServeDesign::ShardedChannel => "sharded-channels",
+        }
+    }
+
+    /// The [`StoreKind`] a durable changelog of this design is bound to
+    /// (the channel variant is a `ShardPlan` mode, not a store kind).
+    pub fn store_kind(self) -> StoreKind {
+        match self {
+            ServeDesign::SingleLock => StoreKind::Single,
+            ServeDesign::ShardedLock | ServeDesign::ShardedChannel => StoreKind::Sharded,
         }
     }
 }
@@ -123,6 +137,41 @@ impl Serving {
         }
         store.register(COLUMN, config).expect("fresh store");
         Serving { store }
+    }
+
+    /// [`Serving::build`] behind a [`DurableStore`]: the same design,
+    /// but every publication is appended to the epoch changelog in
+    /// `wal_dir` before the replay moves on — the `repro serve
+    /// --durable` arm. The directory must be fresh (an existing
+    /// changelog would replay into the store before the bench starts).
+    ///
+    /// # Panics
+    /// Panics if the changelog cannot be opened or on registration
+    /// failure (fresh instance, cannot collide).
+    // One flat argument list, matching the sibling constructors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_durable(
+        design: ServeDesign,
+        spec: AlgoSpec,
+        memory: MemoryBudget,
+        shards: usize,
+        domain: (i64, i64),
+        seed: u64,
+        wal_dir: &Path,
+        opts: DurableOptions,
+    ) -> Self {
+        let mut plan = ShardPlan::new(domain.0, domain.1, shards).expect("valid shard plan");
+        if design == ServeDesign::ShardedChannel {
+            plan = plan.channel();
+        }
+        let store = DurableStore::open(wal_dir, design.store_kind(), opts).expect("open changelog");
+        let config = ColumnConfig::new(spec, memory)
+            .with_seed(seed)
+            .with_plan(plan);
+        store.register(COLUMN, config).expect("fresh store");
+        Serving {
+            store: Box::new(store),
+        }
     }
 
     /// The store under replay, as the trait object the whole harness is
@@ -696,6 +745,181 @@ pub fn run_reshard(cfg: ServeConfig, writers: &[usize], opts: RunOptions) -> Res
     }
 }
 
+/// The changelog options the durable replay runs with: batched fsyncs
+/// (the throughput-oriented durability point), **no** checkpoint cadence
+/// — so recovery replays the *entire* changelog and the recovery figure
+/// measures pure replay throughput — and a minimal time-travel ring.
+pub const DURABLE_OPTIONS: DurableOptions = DurableOptions {
+    sync: SyncPolicy::Batched(64),
+    checkpoint_every: None,
+    retain_generations: 2,
+};
+
+/// The figures a durable replay produces: what WAL-backed durability
+/// costs on the ingest path, and how fast a crashed store replays back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableReport {
+    /// Durable ingestion throughput (million updates/s) vs writer count,
+    /// one series per design — every publication hits the changelog
+    /// before the next batch lands.
+    pub throughput: FigureResult,
+    /// Recovery-replay throughput (million updates/s) vs writer count:
+    /// the store is dropped after ingest and `DurableStore::open` timed
+    /// while it replays the full changelog.
+    pub recovery: FigureResult,
+}
+
+impl DurableReport {
+    /// Both figures as one markdown document.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "{}{}",
+            self.throughput.to_markdown(),
+            self.recovery.to_markdown()
+        )
+    }
+
+    /// Both figures as one JSON document
+    /// (`{"throughput": {...}, "recovery": {...}}`) — what
+    /// `repro serve --durable --json` emits and CI folds into the
+    /// `BENCH_serve` artifact.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"throughput\":{},\"recovery\":{}}}\n",
+            self.throughput.to_json(),
+            self.recovery.to_json()
+        )
+    }
+}
+
+/// Runs the durable replay: for every writer count in `writers`, ingest
+/// an identical `dh_gen` random-insertion stream through all three
+/// designs behind a [`DurableStore`] ([`DURABLE_OPTIONS`]), then drop
+/// the store and time a crash-recovery reopen of the changelog.
+/// Records durable ingestion throughput and recovery-replay throughput,
+/// averaged over `opts` seeds.
+///
+/// `wal_root` picks where the changelogs live: `None` uses a fresh
+/// [`TempDir`] per cell (removed when the cell finishes); `Some(root)`
+/// writes each cell's changelog to `root/{design}-seed{S}-w{W}` and
+/// keeps it for inspection (any stale directory is removed first).
+///
+/// The replay asserts the recovery contract as it measures: the
+/// reopened store must land on the live store's exact epoch and serve a
+/// bit-identical total count — a recovery that "almost" replays fails
+/// the bench instead of skewing the figure.
+///
+/// # Panics
+/// Panics if a changelog cannot be opened or a recovery diverges from
+/// the live store (contract violation).
+pub fn run_durable(
+    cfg: ServeConfig,
+    writers: &[usize],
+    opts: RunOptions,
+    wal_root: Option<&Path>,
+) -> DurableReport {
+    let domain_max = opts.domain_max.unwrap_or(5000);
+    let gen_cfg = replay_gen_config(cfg, opts, domain_max);
+    let designs = ServeDesign::all();
+    let mut tp_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+    let mut rec_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+
+    let mut per_tp: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; writers.len()];
+    let mut per_rec: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; writers.len()];
+    for seed in opts.seed_values() {
+        let data = gen_cfg.generate(seed);
+        let stream =
+            UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
+        let ops = stream.ops();
+        let batches: Vec<Vec<UpdateOp>> = ops
+            .chunks(cfg.batch_size)
+            .map(<[UpdateOp]>::to_vec)
+            .collect();
+        for (wi, &w) in writers.iter().enumerate() {
+            for (di, &design) in designs.iter().enumerate() {
+                let (_tmp, dir): (Option<TempDir>, PathBuf) = match wal_root {
+                    Some(root) => {
+                        let d = root.join(format!("{}-seed{seed}-w{w}", design.label()));
+                        let _ = std::fs::remove_dir_all(&d);
+                        (None, d)
+                    }
+                    None => {
+                        let t = TempDir::new("serve-durable");
+                        let p = t.path().to_path_buf();
+                        (Some(t), p)
+                    }
+                };
+                let serving = Serving::build_durable(
+                    design,
+                    cfg.spec,
+                    cfg.memory,
+                    cfg.shards,
+                    (0, domain_max),
+                    seed,
+                    &dir,
+                    DURABLE_OPTIONS,
+                );
+                let secs = ingest(&serving, &batches, w);
+                per_tp[wi][di].push(ops.len() as f64 / secs / 1e6);
+                let live_epoch = serving.store().epoch();
+                let live_bits = serving.snapshot().total_count().to_bits();
+                drop(serving);
+                let t0 = std::time::Instant::now();
+                let recovered = DurableStore::open(&dir, design.store_kind(), DURABLE_OPTIONS)
+                    .expect("recover changelog");
+                let rsecs = t0.elapsed().as_secs_f64();
+                assert_eq!(
+                    recovered.epoch(),
+                    live_epoch,
+                    "{}: recovery lost epochs",
+                    design.label()
+                );
+                assert_eq!(
+                    recovered
+                        .snapshot(COLUMN)
+                        .expect("recovered column")
+                        .total_count()
+                        .to_bits(),
+                    live_bits,
+                    "{}: recovery diverged from the live store",
+                    design.label()
+                );
+                per_rec[wi][di].push(ops.len() as f64 / rsecs.max(1e-9) / 1e6);
+            }
+        }
+    }
+    for (wi, &w) in writers.iter().enumerate() {
+        for di in 0..designs.len() {
+            tp_series[di].push(w as f64, mean(per_tp[wi][di].drain(..)));
+            rec_series[di].push(w as f64, mean(per_rec[wi][di].drain(..)));
+        }
+    }
+
+    let subtitle = format!(
+        "{} · {} shards · {:.2} KB · {}-update batches · batched fsync",
+        cfg.spec.label(),
+        cfg.shards,
+        cfg.memory.kb(),
+        cfg.batch_size
+    );
+    DurableReport {
+        throughput: FigureResult {
+            id: "durable-throughput".into(),
+            title: format!("Durable ingestion throughput ({subtitle})"),
+            x_label: "Writers".into(),
+            y_label: "Throughput [M updates/s]".into(),
+            series: tp_series,
+        },
+        recovery: FigureResult {
+            id: "durable-recovery".into(),
+            title: format!("Crash-recovery replay throughput ({subtitle})"),
+            x_label: "Writers".into(),
+            y_label: "Replay [M updates/s]".into(),
+            series: rec_series,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -798,6 +1022,55 @@ mod tests {
         assert!(json.contains("\"hit_rate\":{\"id\":\"read-mix-hit-rate\""));
         let md = report.to_markdown();
         assert!(md.contains("read-mix-throughput") && md.contains("read-mix-hit-rate"));
+    }
+
+    #[test]
+    fn durable_report_measures_ingest_and_recovery() {
+        let opts = RunOptions {
+            seeds: 1,
+            scale: 0.02,
+            domain_max: Some(500),
+        };
+        let report = run_durable(ServeConfig::default(), &[1, 2], opts, None);
+        for fig in [&report.throughput, &report.recovery] {
+            assert_eq!(fig.series.len(), 3);
+            for design in ServeDesign::all() {
+                assert!(fig.series_named(design.label()).is_some());
+            }
+            for s in &fig.series {
+                assert_eq!(s.points.len(), 2);
+                assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y > 0.0));
+            }
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"throughput\":{\"id\":\"durable-throughput\""));
+        assert!(json.contains("\"recovery\":{\"id\":\"durable-recovery\""));
+        let md = report.to_markdown();
+        assert!(md.contains("durable-throughput") && md.contains("durable-recovery"));
+    }
+
+    #[test]
+    fn durable_replay_keeps_user_supplied_wal_dirs() {
+        let opts = RunOptions {
+            seeds: 1,
+            scale: 0.02,
+            domain_max: Some(500),
+        };
+        let root = TempDir::new("durable-walroot");
+        run_durable(ServeConfig::default(), &[1], opts, Some(root.path()));
+        // One changelog directory per (design, seed, writer-count) cell,
+        // each still holding its segment file for inspection.
+        let seed = opts.seed_values().next().unwrap();
+        for design in ServeDesign::all() {
+            let dir = root
+                .path()
+                .join(format!("{}-seed{seed}-w1", design.label()));
+            assert!(dir.is_dir(), "{} changelog missing", dir.display());
+            let has_segment = std::fs::read_dir(&dir)
+                .unwrap()
+                .any(|e| e.unwrap().file_name().to_string_lossy().ends_with(".seg"));
+            assert!(has_segment, "{} has no segment file", dir.display());
+        }
     }
 
     #[test]

@@ -33,6 +33,17 @@ pub enum CatalogError {
     /// A shard plan failed validation (zero shards, inverted domain), or
     /// a sharded store was asked to register a column without one.
     InvalidShardPlan(String),
+    /// A past epoch was requested (see
+    /// [`ColumnStore::snapshot_set_at`]) that the store no longer
+    /// retains — it fell out of the time-travel ring, was dropped by an
+    /// explicit GC, or predates a recovery. Carries the requested epoch.
+    EpochEvicted(u64),
+    /// A durability failure surfaced through a [`ColumnStore`] method —
+    /// the `DurableStore` decorator could not append to or sync its
+    /// epoch changelog. Carries the underlying `dh_wal` error rendered
+    /// to a string (the trait's error type predates the durability
+    /// layer; `DurableStore::open` returns the fully-typed error).
+    Durability(String),
 }
 
 impl fmt::Display for CatalogError {
@@ -41,6 +52,10 @@ impl fmt::Display for CatalogError {
             CatalogError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
             CatalogError::DuplicateColumn(c) => write!(f, "column '{c}' already registered"),
             CatalogError::InvalidShardPlan(why) => write!(f, "invalid shard plan: {why}"),
+            CatalogError::EpochEvicted(epoch) => {
+                write!(f, "epoch {epoch} is no longer retained for time travel")
+            }
+            CatalogError::Durability(why) => write!(f, "durability failure: {why}"),
         }
     }
 }
@@ -212,6 +227,14 @@ struct SnapshotInner {
 
 /// A cheap, immutable view of one column's histogram, pinned to a
 /// published epoch.
+///
+/// [`ColumnStore::snapshot`] always pins the epoch current at the call
+/// — but that is a property of how the snapshot was *obtained*, not of
+/// the type: a snapshot held across later commits keeps serving its
+/// epoch, and stores with a retention ring (the `DurableStore`
+/// decorator) hand out snapshots of *past* epochs through
+/// [`ColumnStore::snapshot_set_at`] until retention evicts them
+/// ([`CatalogError::EpochEvicted`]).
 ///
 /// Cloning is one `Arc` bump; the snapshot implements [`ReadHistogram`]
 /// (with a precomputed CDF, so estimates don't re-render spans) and can

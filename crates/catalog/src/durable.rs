@@ -1,0 +1,832 @@
+//! [`DurableStore`]: crash durability and time travel as a decorator
+//! over any [`ColumnStore`].
+//!
+//! The epoch-stamped commit pipeline already produces a totally-ordered
+//! sequence of atomic state transitions; this module writes that
+//! sequence to an append-only **epoch changelog** (`dh_wal`), snapshots
+//! the whole store into **checkpoint** files on a configurable epoch
+//! cadence, rebuilds a store from disk on [`DurableStore::open`], and
+//! keeps an in-memory ring of the last K published generations so
+//! [`ColumnStore::snapshot_set_at`] can pin *past* epochs. The full
+//! contract (record format, fsync trade-offs, the recovery state
+//! machine, time-travel GC) is `docs/DURABILITY.md`.
+//!
+//! # What the decorator changes
+//!
+//! Reads are untouched — they go straight to the inner store's
+//! wait-free front. Mutations serialize through one log lock held
+//! across `inner publish + changelog append`, which is what makes the
+//! on-disk record order *be* the epoch order (no sequence numbers to
+//! reconcile at recovery). Two deliberate consequences:
+//!
+//! * concurrent writers behind one `DurableStore` no longer overlap
+//!   their publishes (the durability cost the `--durable` bench arm
+//!   measures);
+//! * automatic re-sharding moves from the inner store to the decorator:
+//!   [`DurableStore::open`] strips any [`ReshardPolicy`] out of the
+//!   configs it registers inside and evaluates the same gates itself
+//!   after each commit, so every border move is logged with its exact
+//!   barrier epoch and replays deterministically.
+//!
+//! # Fidelity of recovery
+//!
+//! Replaying the changelog re-runs the exact live code paths
+//! (deterministic, seeded), so a log-only recovery reproduces every
+//! estimate **bit-identically**. Restoring *through a checkpoint* is
+//! exact in epoch, per-column accepted counts, and total mass, but
+//! rebuilds each histogram from its composed spans (the same
+//! approximation a live re-shard applies to moved shards); the
+//! `updates` telemetry counter then reflects the synthesized op count,
+//! not the historical one.
+
+use crate::catalog::{CatalogError, Snapshot};
+use crate::read::ReadStats;
+use crate::sharded::{spread_inserts, ReshardPolicy, ShardPlan, ShardedCatalog};
+use crate::spec::AlgoSpec;
+use crate::store::{ColumnConfig, ColumnStore, SnapshotSet};
+use crate::txn::WriteBatch;
+use crate::Catalog;
+use dh_core::{BucketSpan, MemoryBudget, ReadHistogram, UpdateOp};
+use dh_wal::segment::{latest_checkpoint, write_checkpoint, Checkpoint, CheckpointColumn, Wal};
+use dh_wal::{ConfigRecord, PlanRecord, ReshardPolicyRecord, SyncPolicy, WalError, WalRecord};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::sharded::IngestMode;
+
+/// Which inner store design a durable directory belongs to. Stamped
+/// into every segment and checkpoint header so a directory can never be
+/// silently replayed into the wrong design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// [`Catalog`] — one cell per column behind a single lock.
+    Single,
+    /// [`ShardedCatalog`] — value-partitioned shards; whether a column
+    /// ingests locked or through channel workers is carried per column
+    /// by its [`ShardPlan`], so both sharded designs share this kind.
+    Sharded,
+}
+
+impl StoreKind {
+    fn byte(self) -> u8 {
+        match self {
+            StoreKind::Single => 1,
+            StoreKind::Sharded => 2,
+        }
+    }
+
+    fn build(self) -> Box<dyn ColumnStore> {
+        match self {
+            StoreKind::Single => Box::new(Catalog::new()),
+            StoreKind::Sharded => Box::new(ShardedCatalog::new()),
+        }
+    }
+}
+
+/// Tuning for a [`DurableStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// When appended records are fsync'd (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// Write a checkpoint (and rotate + truncate the changelog) every
+    /// this many published epochs; `None` never checkpoints
+    /// automatically ([`DurableStore::checkpoint_now`] still works).
+    pub checkpoint_every: Option<u64>,
+    /// How many published generations the time-travel ring retains
+    /// (the current one included). `0` disables time travel entirely —
+    /// [`ColumnStore::snapshot_set_at`] then only serves the current
+    /// epoch.
+    pub retain_generations: usize,
+}
+
+impl Default for DurableOptions {
+    /// Batched fsync, a checkpoint every 256 epochs, 8 retained
+    /// generations.
+    fn default() -> Self {
+        DurableOptions {
+            sync: SyncPolicy::default(),
+            checkpoint_every: Some(256),
+            retain_generations: 8,
+        }
+    }
+}
+
+/// A typed failure from [`DurableStore::open`] and the other explicitly
+/// durable entry points. (Mutations arriving through the [`ColumnStore`]
+/// trait must fit its [`CatalogError`]; they render a [`WalError`] into
+/// [`CatalogError::Durability`] instead.)
+#[derive(Debug)]
+pub enum DurableError {
+    /// The changelog or a checkpoint file failed (I/O, corruption, a
+    /// store-kind mismatch).
+    Wal(WalError),
+    /// The inner store rejected an operation.
+    Store(CatalogError),
+    /// The log and checkpoint are individually valid but do not form a
+    /// replayable history (an epoch gap, a register record contradicting
+    /// the live config, ...). Data after the inconsistency cannot be
+    /// trusted, so recovery stops instead of guessing.
+    Recovery(String),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Wal(e) => write!(f, "{e}"),
+            DurableError::Store(e) => write!(f, "{e}"),
+            DurableError::Recovery(why) => write!(f, "unreplayable history: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Wal(e) => Some(e),
+            DurableError::Store(e) => Some(e),
+            DurableError::Recovery(_) => None,
+        }
+    }
+}
+
+impl From<WalError> for DurableError {
+    fn from(e: WalError) -> Self {
+        DurableError::Wal(e)
+    }
+}
+
+impl From<CatalogError> for DurableError {
+    fn from(e: CatalogError) -> Self {
+        DurableError::Store(e)
+    }
+}
+
+fn durability(e: WalError) -> CatalogError {
+    CatalogError::Durability(e.to_string())
+}
+
+/// Everything guarded by the log lock: the changelog handle, the source
+/// of truth for configs (with their re-shard policies, which the inner
+/// store never sees), and the time-travel ring.
+struct DurableState {
+    wal: Wal,
+    configs: BTreeMap<String, ColumnConfig>,
+    /// The last `retain_generations` published generations, epochs
+    /// strictly ascending; each entry is a full-store [`SnapshotSet`].
+    ring: VecDeque<SnapshotSet>,
+    /// Epoch of the last on-disk checkpoint (0 = none yet).
+    last_checkpoint: u64,
+    /// Per column: the epoch of the last re-shard attempt the policy
+    /// gate should measure its interval from.
+    last_reshard_attempt: BTreeMap<String, u64>,
+}
+
+/// Crash durability, checkpoints and time travel over any
+/// [`ColumnStore`] — see the [module docs](self).
+///
+/// ```no_run
+/// use dh_catalog::durable::{DurableOptions, DurableStore, StoreKind};
+/// use dh_catalog::{AlgoSpec, ColumnConfig, ColumnStore};
+/// use dh_core::{MemoryBudget, UpdateOp};
+///
+/// let store =
+///     DurableStore::open("wal-dir", StoreKind::Single, DurableOptions::default()).unwrap();
+/// if !store.contains("amount") {
+///     let config = ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0));
+///     store.register("amount", config).unwrap();
+/// }
+/// store.apply("amount", &[UpdateOp::Insert(42)]).unwrap();
+/// drop(store); // ... crash here, reopen, and the epoch is back:
+/// let store =
+///     DurableStore::open("wal-dir", StoreKind::Single, DurableOptions::default()).unwrap();
+/// assert_eq!(store.total_count("amount").unwrap(), 1.0);
+/// ```
+pub struct DurableStore {
+    inner: Box<dyn ColumnStore>,
+    kind: StoreKind,
+    opts: DurableOptions,
+    dir: PathBuf,
+    state: Mutex<DurableState>,
+}
+
+impl DurableStore {
+    /// Opens (or creates) the durable store rooted at `dir`: loads the
+    /// newest valid checkpoint, replays the surviving changelog tail in
+    /// epoch order (truncating a torn final record — the expected shape
+    /// of a crash mid-append), and serves from a freshly built inner
+    /// store of `kind`.
+    ///
+    /// # Errors
+    /// [`DurableError::Wal`] on I/O problems, corruption outside the
+    /// torn-tail window, or a `kind` mismatch with the directory;
+    /// [`DurableError::Recovery`] if checkpoint and log do not form a
+    /// replayable history.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        kind: StoreKind,
+        opts: DurableOptions,
+    ) -> Result<Self, DurableError> {
+        let dir = dir.into();
+        let (wal, records) = Wal::open(&dir, kind.byte(), opts.sync)?;
+        let checkpoint = latest_checkpoint(&dir, kind.byte())?;
+        let inner = kind.build();
+        let mut configs = BTreeMap::new();
+
+        let base = match &checkpoint {
+            Some(ckpt) => {
+                restore_checkpoint(inner.as_ref(), ckpt, &mut configs)?;
+                ckpt.epoch
+            }
+            None => 0,
+        };
+
+        let store = DurableStore {
+            inner,
+            kind,
+            opts,
+            dir,
+            state: Mutex::new(DurableState {
+                wal,
+                configs,
+                ring: VecDeque::new(),
+                last_checkpoint: base,
+                last_reshard_attempt: BTreeMap::new(),
+            }),
+        };
+        store.replay(base, records)?;
+        Ok(store)
+    }
+
+    /// Replays the surviving changelog records onto the restored base
+    /// state, repopulating the time-travel ring along the way.
+    fn replay(&self, base: u64, records: Vec<WalRecord>) -> Result<(), DurableError> {
+        let mut st = self.lock();
+        for record in records {
+            match record {
+                WalRecord::Register { column, config } => {
+                    let config = record_to_config(&config)?;
+                    match st.configs.get(&column) {
+                        Some(live) if *live == config => {} // covered by the checkpoint
+                        Some(live) => {
+                            return Err(DurableError::Recovery(format!(
+                                "register record for '{column}' contradicts the checkpoint \
+                                 ({config:?} vs {live:?})"
+                            )));
+                        }
+                        None => {
+                            self.inner.register(&column, strip_policy(&config))?;
+                            st.configs.insert(column, config);
+                        }
+                    }
+                }
+                WalRecord::Commit { epoch, columns } => {
+                    let at = self.inner.epoch();
+                    if epoch <= at {
+                        if epoch > base {
+                            return Err(DurableError::Recovery(format!(
+                                "commit record for epoch {epoch} arrived out of order \
+                                 (store already at {at})"
+                            )));
+                        }
+                        continue; // covered by the checkpoint
+                    }
+                    if epoch != at + 1 {
+                        return Err(DurableError::Recovery(format!(
+                            "epoch gap in changelog: store at {at}, next record is {epoch}"
+                        )));
+                    }
+                    let mut batch = WriteBatch::new();
+                    for (column, ops) in columns {
+                        batch.extend(&column, ops);
+                    }
+                    self.inner.commit(batch)?;
+                    self.push_generation(&mut st)?;
+                }
+                WalRecord::Reshard { column, barrier } => {
+                    st.last_reshard_attempt.insert(column.clone(), barrier);
+                    if barrier <= base {
+                        continue; // the checkpoint spans already reflect it
+                    }
+                    let at = self.inner.epoch();
+                    if barrier != at {
+                        return Err(DurableError::Recovery(format!(
+                            "re-shard record for '{column}' at barrier {barrier} does not \
+                             follow its commit (store at {at})"
+                        )));
+                    }
+                    self.inner.reshard(&column)?;
+                    self.refresh_ring_tail(&mut st)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DurableState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Renders the just-published generation into the time-travel ring.
+    fn push_generation(&self, st: &mut DurableState) -> Result<(), CatalogError> {
+        if self.opts.retain_generations == 0 {
+            return Ok(());
+        }
+        let names: Vec<&str> = st.configs.keys().map(String::as_str).collect();
+        let set = self.inner.snapshot_set(&names)?;
+        st.ring.push_back(set);
+        while st.ring.len() > self.opts.retain_generations {
+            st.ring.pop_front();
+        }
+        Ok(())
+    }
+
+    /// Re-renders the newest ring entry after a re-shard, which rebuilt
+    /// spans *without* publishing an epoch — the retained generation
+    /// must match what live readers now see at that same epoch.
+    fn refresh_ring_tail(&self, st: &mut DurableState) -> Result<(), CatalogError> {
+        let epoch = self.inner.epoch();
+        if st.ring.back().is_some_and(|set| set.epoch() == epoch) {
+            let names: Vec<&str> = st.configs.keys().map(String::as_str).collect();
+            *st.ring.back_mut().expect("checked above") = self.inner.snapshot_set(&names)?;
+        }
+        Ok(())
+    }
+
+    /// Everything that follows a logged publication: policy-driven
+    /// re-sharding (logged), the ring push, and the checkpoint cadence.
+    fn after_commit(&self, st: &mut DurableState, epoch: u64) -> Result<(), CatalogError> {
+        let armed: Vec<(String, ReshardPolicy)> = st
+            .configs
+            .iter()
+            .filter_map(|(name, config)| config.reshard.map(|p| (name.clone(), p)))
+            .collect();
+        for (column, policy) in armed {
+            let since = epoch - st.last_reshard_attempt.get(&column).copied().unwrap_or(0);
+            if since < policy.min_interval_epochs.max(1) {
+                continue;
+            }
+            let loads = self.inner.shard_load(&column)?;
+            if loads.len() < 2 {
+                continue;
+            }
+            let total: u64 = loads.iter().sum();
+            if total < policy.min_load.max(1) {
+                continue;
+            }
+            let max = *loads.iter().max().expect("non-empty") as f64;
+            let mean = total as f64 / loads.len() as f64;
+            if max < policy.skew_threshold * mean {
+                continue;
+            }
+            st.last_reshard_attempt.insert(column.clone(), epoch);
+            if self.inner.reshard(&column)? {
+                st.wal
+                    .append(&WalRecord::Reshard {
+                        column,
+                        barrier: epoch,
+                    })
+                    .map_err(durability)?;
+            }
+        }
+        self.push_generation(st)?;
+        if let Some(every) = self.opts.checkpoint_every {
+            if epoch - st.last_checkpoint >= every.max(1) {
+                self.checkpoint_to_disk(st).map_err(|e| match e {
+                    DurableError::Wal(w) => durability(w),
+                    DurableError::Store(s) => s,
+                    DurableError::Recovery(why) => CatalogError::Durability(why),
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Composes the whole store at its current epoch into a checkpoint
+    /// file, then rotates the changelog and removes covered segments.
+    fn checkpoint_to_disk(&self, st: &mut DurableState) -> Result<u64, DurableError> {
+        let names: Vec<&str> = st.configs.keys().map(String::as_str).collect();
+        let set = self.inner.snapshot_set(&names)?;
+        let epoch = set.epoch();
+        let columns = set
+            .iter()
+            .map(|(name, snap)| CheckpointColumn {
+                column: name.to_string(),
+                config: config_to_record(&st.configs[name]),
+                accepted: snap.checkpoint(),
+                updates: snap.updates(),
+                spans: snap.spans(),
+            })
+            .collect();
+        write_checkpoint(&self.dir, self.kind.byte(), &Checkpoint { epoch, columns })?;
+        st.wal.rotate(epoch + 1)?;
+        st.wal.remove_covered(epoch)?;
+        st.last_checkpoint = epoch;
+        Ok(epoch)
+    }
+
+    /// Writes a checkpoint now, regardless of the cadence, returning
+    /// the epoch it captured.
+    pub fn checkpoint_now(&self) -> Result<u64, DurableError> {
+        let mut st = self.lock();
+        self.checkpoint_to_disk(&mut st)
+    }
+
+    /// Forces an fsync of the changelog (meaningful under
+    /// [`SyncPolicy::Batched`] / [`SyncPolicy::Off`]).
+    pub fn sync(&self) -> Result<(), DurableError> {
+        self.lock().wal.sync().map_err(DurableError::Wal)
+    }
+
+    /// The epochs the time-travel ring currently retains, ascending.
+    pub fn retained_epochs(&self) -> Vec<u64> {
+        self.lock().ring.iter().map(SnapshotSet::epoch).collect()
+    }
+
+    /// Explicit time-travel GC: drops every retained generation with an
+    /// epoch `< before`, returning how many were evicted. Snapshot sets
+    /// already handed out stay valid (they are immutable `Arc` views);
+    /// the epochs just stop being pinnable.
+    pub fn gc_retained(&self, before: u64) -> usize {
+        let mut st = self.lock();
+        let len = st.ring.len();
+        st.ring.retain(|set| set.epoch() >= before);
+        len - st.ring.len()
+    }
+
+    /// The directory holding the changelog and checkpoints.
+    pub fn wal_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The inner store design this directory is bound to.
+    pub fn kind(&self) -> StoreKind {
+        self.kind
+    }
+
+    /// How many segment files the changelog currently spans.
+    pub fn segment_count(&self) -> usize {
+        self.lock().wal.segment_count()
+    }
+}
+
+impl Drop for DurableStore {
+    /// Best-effort final fsync, so `drop` + reopen under
+    /// [`SyncPolicy::Batched`] loses nothing (a *crash* may still shed
+    /// the unsynced suffix — that is the policy's contract).
+    fn drop(&mut self) {
+        let _ = self.lock().wal.sync();
+    }
+}
+
+impl fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("kind", &self.kind)
+            .field("dir", &self.dir)
+            .field("epoch", &self.inner.epoch())
+            .field("columns", &self.inner.columns())
+            .finish()
+    }
+}
+
+impl ColumnStore for DurableStore {
+    /// Registers through the changelog: the record carries the full
+    /// config (re-shard policy included); the inner store gets the
+    /// config *without* the policy, because the decorator evaluates the
+    /// gates itself so every border move is logged (see the
+    /// [module docs](self)).
+    fn register(&self, column: &str, config: ColumnConfig) -> Result<(), CatalogError> {
+        let mut st = self.lock();
+        if st.configs.contains_key(column) {
+            return Err(CatalogError::DuplicateColumn(column.into()));
+        }
+        self.inner.register(column, strip_policy(&config))?;
+        st.wal
+            .append(&WalRecord::Register {
+                column: column.to_string(),
+                config: config_to_record(&config),
+            })
+            .map_err(durability)?;
+        st.configs.insert(column.to_string(), config);
+        Ok(())
+    }
+
+    fn columns(&self) -> Vec<String> {
+        self.inner.columns()
+    }
+
+    fn contains(&self, column: &str) -> bool {
+        self.inner.contains(column)
+    }
+
+    fn spec(&self, column: &str) -> Result<AlgoSpec, CatalogError> {
+        self.inner.spec(column)
+    }
+
+    fn commit(&self, batch: WriteBatch) -> Result<u64, CatalogError> {
+        let mut st = self.lock();
+        let columns: Vec<(String, Vec<UpdateOp>)> = batch
+            .columns()
+            .map(|c| (c.to_string(), batch.ops(c).unwrap_or(&[]).to_vec()))
+            .collect();
+        let epoch = self.inner.commit(batch)?;
+        st.wal
+            .append(&WalRecord::Commit { epoch, columns })
+            .map_err(durability)?;
+        self.after_commit(&mut st, epoch)?;
+        Ok(epoch)
+    }
+
+    fn apply(&self, column: &str, batch: &[UpdateOp]) -> Result<u64, CatalogError> {
+        let mut st = self.lock();
+        let checkpoint = self.inner.apply(column, batch)?;
+        // The lock serializes every publication, so the store's epoch
+        // is the one this apply just published.
+        let epoch = self.inner.epoch();
+        st.wal
+            .append(&WalRecord::Commit {
+                epoch,
+                columns: vec![(column.to_string(), batch.to_vec())],
+            })
+            .map_err(durability)?;
+        self.after_commit(&mut st, epoch)?;
+        Ok(checkpoint)
+    }
+
+    fn flush(&self, column: &str) -> Result<(), CatalogError> {
+        self.inner.flush(column)
+    }
+
+    fn snapshot(&self, column: &str) -> Result<Snapshot, CatalogError> {
+        self.inner.snapshot(column)
+    }
+
+    fn snapshot_set(&self, columns: &[&str]) -> Result<SnapshotSet, CatalogError> {
+        self.inner.snapshot_set(columns)
+    }
+
+    /// Serves `epoch` from the time-travel ring (bit-identical to what
+    /// live readers saw at that epoch), falling back to the live path
+    /// when `epoch` is current.
+    fn snapshot_set_at(&self, columns: &[&str], epoch: u64) -> Result<SnapshotSet, CatalogError> {
+        {
+            let st = self.lock();
+            if let Some(full) = st.ring.iter().find(|set| set.epoch() == epoch) {
+                let mut snaps = BTreeMap::new();
+                for &column in columns {
+                    let snap = full
+                        .get(column)
+                        .ok_or_else(|| CatalogError::UnknownColumn(column.into()))?;
+                    snaps.insert(column.to_string(), snap.clone());
+                }
+                return Ok(SnapshotSet::new(epoch, snaps));
+            }
+        }
+        let set = self.inner.snapshot_set(columns)?;
+        if set.epoch() == epoch {
+            Ok(set)
+        } else {
+            Err(CatalogError::EpochEvicted(epoch))
+        }
+    }
+
+    fn checkpoint(&self, column: &str) -> Result<u64, CatalogError> {
+        self.inner.checkpoint(column)
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    /// Explicit re-shard, logged like a policy-driven one so recovery
+    /// replays it at the same barrier.
+    fn reshard(&self, column: &str) -> Result<bool, CatalogError> {
+        let mut st = self.lock();
+        let moved = self.inner.reshard(column)?;
+        let barrier = self.inner.epoch();
+        st.last_reshard_attempt.insert(column.to_string(), barrier);
+        if moved {
+            st.wal
+                .append(&WalRecord::Reshard {
+                    column: column.to_string(),
+                    barrier,
+                })
+                .map_err(durability)?;
+            self.refresh_ring_tail(&mut st)?;
+        }
+        Ok(moved)
+    }
+
+    fn shard_load(&self, column: &str) -> Result<Vec<u64>, CatalogError> {
+        self.inner.shard_load(column)
+    }
+
+    fn clamped_ops(&self, column: &str) -> Result<u64, CatalogError> {
+        self.inner.clamped_ops(column)
+    }
+
+    fn estimate_range(&self, column: &str, a: i64, b: i64) -> Result<f64, CatalogError> {
+        self.inner.estimate_range(column, a, b)
+    }
+
+    fn estimate_eq(&self, column: &str, v: i64) -> Result<f64, CatalogError> {
+        self.inner.estimate_eq(column, v)
+    }
+
+    fn total_count(&self, column: &str) -> Result<f64, CatalogError> {
+        self.inner.total_count(column)
+    }
+
+    fn read_stats(&self) -> ReadStats {
+        self.inner.read_stats()
+    }
+}
+
+/// `config` as the inner store should see it: identical, minus any
+/// re-shard policy (the decorator runs policy itself).
+fn strip_policy(config: &ColumnConfig) -> ColumnConfig {
+    ColumnConfig {
+        reshard: None,
+        ..*config
+    }
+}
+
+fn config_to_record(config: &ColumnConfig) -> ConfigRecord {
+    ConfigRecord {
+        spec: config.spec.label(),
+        memory_bytes: config.memory.bytes() as u64,
+        seed: config.seed,
+        plan: config.plan.map(|plan| PlanRecord {
+            lo: plan.domain().0,
+            hi: plan.domain().1,
+            shards: plan.shards() as u64,
+            channel: plan.mode() == IngestMode::Channel,
+        }),
+        reshard: config.reshard.map(|policy| ReshardPolicyRecord {
+            skew_bits: policy.skew_threshold.to_bits(),
+            min_interval_epochs: policy.min_interval_epochs,
+            min_load: policy.min_load,
+        }),
+    }
+}
+
+fn record_to_config(record: &ConfigRecord) -> Result<ColumnConfig, DurableError> {
+    let spec: AlgoSpec = record.spec.parse().map_err(|e| {
+        DurableError::Recovery(format!("unknown algorithm in register record: {e}"))
+    })?;
+    let mut config =
+        ColumnConfig::new(spec, MemoryBudget::from_bytes(record.memory_bytes as usize))
+            .with_seed(record.seed);
+    if let Some(plan) = &record.plan {
+        let mut live = ShardPlan::new(plan.lo, plan.hi, plan.shards as usize)?;
+        if plan.channel {
+            live = live.channel();
+        }
+        config = config.with_plan(live);
+    }
+    if let Some(policy) = &record.reshard {
+        config = config.with_reshard(ReshardPolicy {
+            skew_threshold: f64::from_bits(policy.skew_bits),
+            min_interval_epochs: policy.min_interval_epochs,
+            min_load: policy.min_load,
+        });
+    }
+    Ok(config)
+}
+
+/// Rebuilds the inner store's state from a checkpoint: registers every
+/// column, then reconstructs the store epoch *and* every per-column
+/// accepted count exactly by replaying `epoch` commits — the first
+/// `epoch - 1` of them empty-op pads (an empty touch still advances a
+/// column's accepted count, and a zero-column commit still publishes an
+/// epoch), the final one carrying ops synthesized from the checkpointed
+/// spans so the mass lands at the right epoch.
+fn restore_checkpoint(
+    inner: &dyn ColumnStore,
+    ckpt: &Checkpoint,
+    configs: &mut BTreeMap<String, ColumnConfig>,
+) -> Result<(), DurableError> {
+    for col in &ckpt.columns {
+        if col.accepted > ckpt.epoch {
+            return Err(DurableError::Recovery(format!(
+                "checkpoint claims column '{}' accepted {} commits by epoch {}",
+                col.column, col.accepted, ckpt.epoch
+            )));
+        }
+        let config = record_to_config(&col.config)?;
+        inner.register(&col.column, strip_policy(&config))?;
+        configs.insert(col.column.clone(), config);
+    }
+    if ckpt.epoch == 0 {
+        return Ok(());
+    }
+    for pad in 0..ckpt.epoch - 1 {
+        let mut batch = WriteBatch::new();
+        for col in &ckpt.columns {
+            // `pad` touches leave room for the final data commit, so a
+            // column accepted in K commits pads K - 1 times.
+            if col.accepted > pad + 1 {
+                batch.extend(&col.column, []);
+            }
+        }
+        inner.commit(batch)?;
+    }
+    let mut batch = WriteBatch::new();
+    for col in &ckpt.columns {
+        if col.accepted > 0 {
+            batch.extend(&col.column, synthesize_ops(&col.spans));
+        }
+    }
+    let epoch = inner.commit(batch)?;
+    if epoch != ckpt.epoch {
+        return Err(DurableError::Recovery(format!(
+            "checkpoint restore published epoch {epoch}, expected {}",
+            ckpt.epoch
+        )));
+    }
+    Ok(())
+}
+
+/// Turns checkpointed spans back into insert ops: integer per-span
+/// counts by largest-remainder rounding (so the synthesized total is
+/// `round(total mass)`), each span's count spread evenly over the
+/// integer values its `[lo, hi)` window covers — the same rebuild idiom
+/// a live re-shard applies to moved shards.
+fn synthesize_ops(spans: &[BucketSpan]) -> Vec<UpdateOp> {
+    let total: f64 = spans.iter().map(|s| s.count).sum();
+    let target = total.round() as u64;
+    let mut counts: Vec<u64> = spans.iter().map(|s| s.count.floor() as u64).collect();
+    let assigned: u64 = counts.iter().sum();
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = spans[a].count.fract();
+        let fb = spans[b].count.fract();
+        fb.partial_cmp(&fa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    for &i in order.iter().take(target.saturating_sub(assigned) as usize) {
+        counts[i] += 1;
+    }
+
+    let mut ops = Vec::with_capacity(target.min(1 << 20) as usize);
+    for (span, &count) in spans.iter().zip(&counts) {
+        if count == 0 {
+            continue;
+        }
+        // Integer values inside the half-open [lo, hi) window; a sliver
+        // narrower than one integer collapses to its midpoint.
+        let mut vlo = span.lo.ceil() as i64;
+        let mut vhi = (span.hi.ceil() as i64).saturating_sub(1);
+        if vhi < vlo {
+            let mid = ((span.lo + span.hi) / 2.0).floor() as i64;
+            vlo = mid;
+            vhi = mid;
+        }
+        spread_inserts(vlo, vhi, count, &mut |v, n| {
+            for _ in 0..n {
+                ops.push(UpdateOp::Insert(v));
+            }
+        });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesized_ops_hit_the_rounded_total() {
+        let spans = vec![
+            BucketSpan::new(0.0, 10.0, 7.3),
+            BucketSpan::new(10.0, 20.0, 2.4),
+            BucketSpan::new(20.0, 20.5, 0.3),
+        ];
+        let ops = synthesize_ops(&spans);
+        assert_eq!(ops.len(), 10); // round(10.0)
+        assert!(ops
+            .iter()
+            .all(|op| matches!(op, UpdateOp::Insert(v) if (0..=20).contains(v))));
+    }
+
+    #[test]
+    fn config_record_round_trips_including_nan_threshold() {
+        let plan = ShardPlan::new(-100, 100, 4).unwrap().channel();
+        let config = ColumnConfig::new(AlgoSpec::Dado, MemoryBudget::from_kb(2.0))
+            .with_seed(9)
+            .with_plan(plan)
+            .with_reshard(ReshardPolicy {
+                skew_threshold: f64::NAN,
+                min_interval_epochs: 3,
+                min_load: 17,
+            });
+        let back = record_to_config(&config_to_record(&config)).unwrap();
+        // Bit-wise equality: NaN thresholds compare equal to themselves.
+        assert_eq!(back, config);
+    }
+}

@@ -36,6 +36,13 @@
 //!   explicit [`ColumnStore::reshard`]) rebuilds the live [`ShardMap`]
 //!   from the composed CDF behind the epoch barrier, so a skewed update
 //!   stream cannot pile the ingestion onto one hot shard.
+//! * [`durable`] — [`DurableStore`], crash durability as a decorator
+//!   over any of the above: every publication appended to `dh_wal`'s
+//!   epoch changelog, checkpoints on an epoch cadence,
+//!   [`DurableStore::open`] replaying the store back (torn final record
+//!   tolerated, corruption typed), and a ring of retained generations
+//!   serving past-epoch [`ColumnStore::snapshot_set_at`] reads — see
+//!   `docs/DURABILITY.md`.
 //!
 //! This crate (not `dh_core`) hosts `AlgoSpec` because building AC and
 //! the static baselines requires `dh_sample` and `dh_static`, which both
@@ -70,6 +77,7 @@
 
 pub mod adapter;
 pub mod catalog;
+pub mod durable;
 pub mod read;
 pub mod sharded;
 pub mod spec;
@@ -78,6 +86,7 @@ pub mod txn;
 
 pub use adapter::StaticRebuild;
 pub use catalog::{Catalog, CatalogError, Snapshot};
+pub use durable::{DurableError, DurableOptions, DurableStore, StoreKind};
 pub use read::ReadStats;
 pub use sharded::{IngestMode, ReshardPolicy, ShardMap, ShardPlan, ShardedCatalog};
 pub use spec::{AlgoSpec, ParseAlgoSpecError};

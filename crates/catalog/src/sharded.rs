@@ -251,7 +251,7 @@ impl ShardPlan {
 /// [`ColumnStore::commit`]/[`ColumnStore::apply`] that touches the
 /// column. All three gates must pass before a re-shard is attempted
 /// (an explicit [`ColumnStore::reshard`] call bypasses them).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct ReshardPolicy {
     /// Fire when `max(shard load) / mean(shard load)` reaches this ratio
     /// (must be finite and >= 1; `1.0` re-balances eagerly, larger values
@@ -268,6 +268,21 @@ pub struct ReshardPolicy {
     /// triggering a rebuild on noise).
     pub min_load: u64,
 }
+
+/// Bit-wise equality on the float threshold (`f64::to_bits`), making
+/// the policy — and through it [`ColumnConfig`] —
+/// [`Eq`]: deterministic for every value (a NaN threshold equals
+/// itself, `-0.0 != 0.0`), which is what crash recovery needs when it
+/// asserts a replayed register record matches the live config.
+impl PartialEq for ReshardPolicy {
+    fn eq(&self, other: &Self) -> bool {
+        self.skew_threshold.to_bits() == other.skew_threshold.to_bits()
+            && self.min_interval_epochs == other.min_interval_epochs
+            && self.min_load == other.min_load
+    }
+}
+
+impl Eq for ReshardPolicy {}
 
 impl Default for ReshardPolicy {
     /// Fire at 2x mean shard load, at most every 16 epochs, after at
@@ -881,7 +896,7 @@ fn replay_clips(histogram: &mut dh_core::BoxedHistogram, clips: &[RerouteClip], 
 /// Emits `n` insertions spread as evenly as possible over the integer
 /// values `[vlo, vhi]`, in value order, as `(value, repeat)` pairs, in
 /// O(min(n, values)) time.
-fn spread_inserts(vlo: i64, vhi: i64, n: u64, emit: &mut dyn FnMut(i64, u64)) {
+pub(crate) fn spread_inserts(vlo: i64, vhi: i64, n: u64, emit: &mut dyn FnMut(i64, u64)) {
     if n == 0 {
         return;
     }

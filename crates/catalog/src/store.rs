@@ -57,7 +57,7 @@ use std::sync::Arc;
 /// partitioning, not semantics), so generic callers need no per-store
 /// branching. The re-shard policy is likewise ignored by stores that do
 /// not shard.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct ColumnConfig {
     /// Histogram algorithm backing the column.
     pub spec: AlgoSpec,
@@ -107,6 +107,24 @@ impl ColumnConfig {
         self
     }
 }
+
+/// Bit-wise equality, so configs are comparable (and [`Eq`]) despite
+/// the `f64` inside [`ReshardPolicy`]: two configs are equal iff they
+/// serialize identically. Crash recovery leans on this — replaying a
+/// register record asserts the on-disk config matches the live one, and
+/// that check must be deterministic for every float value (NaN
+/// thresholds compare equal to themselves, `-0.0 != 0.0`).
+impl PartialEq for ColumnConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.memory == other.memory
+            && self.seed == other.seed
+            && self.plan == other.plan
+            && self.reshard == other.reshard
+    }
+}
+
+impl Eq for ColumnConfig {}
 
 /// The serving API: register columns, commit epoch-stamped writes, read
 /// consistent snapshots, estimate.
@@ -187,6 +205,29 @@ pub trait ColumnStore: Send + Sync {
     /// # Errors
     /// [`CatalogError::UnknownColumn`] if any named column is absent.
     fn snapshot_set(&self, columns: &[&str]) -> Result<SnapshotSet, CatalogError>;
+
+    /// A consistent multi-column view pinned to a specific *past*
+    /// published epoch — time travel.
+    ///
+    /// Only stores that retain past generations can honour arbitrary
+    /// epochs: the `DurableStore` decorator keeps an in-memory ring of
+    /// the last K published generations and serves any epoch still in
+    /// it. The default implementation (all in-memory stores) retains
+    /// nothing beyond the current generation: it succeeds iff `epoch`
+    /// is the store's current epoch.
+    ///
+    /// # Errors
+    /// [`CatalogError::EpochEvicted`] if `epoch` is not retained (too
+    /// old, GC'd, or never published);
+    /// [`CatalogError::UnknownColumn`] if any named column is absent.
+    fn snapshot_set_at(&self, columns: &[&str], epoch: u64) -> Result<SnapshotSet, CatalogError> {
+        let set = self.snapshot_set(columns)?;
+        if set.epoch() == epoch {
+            Ok(set)
+        } else {
+            Err(CatalogError::EpochEvicted(epoch))
+        }
+    }
 
     /// The number of batches accepted for `column` so far.
     ///
@@ -308,6 +349,14 @@ pub trait ColumnStore: Send + Sync {
 /// This is what cross-column estimation should read from — a join or
 /// chain estimate over a `SnapshotSet` can never mix a column state from
 /// before a [`WriteBatch`] with another from after it.
+///
+/// The pinned epoch is usually the one current when
+/// [`ColumnStore::snapshot_set`] ran, but not necessarily: retaining
+/// stores also serve sets pinned to *past* epochs through
+/// [`ColumnStore::snapshot_set_at`] (failing with
+/// [`CatalogError::EpochEvicted`] once retention has let the epoch go).
+/// A set, however obtained, is immutable — it keeps serving its epoch
+/// no matter what commits after it.
 #[derive(Clone)]
 pub struct SnapshotSet {
     epoch: u64,

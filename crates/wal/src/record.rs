@@ -1,0 +1,596 @@
+//! The changelog record model and its binary codec.
+//!
+//! One [`WalRecord`] per catalog mutation, framed on disk as
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! payload = [kind: u8] [kind-specific body]
+//! ```
+//!
+//! All integers are little-endian; strings are a `u32` byte length
+//! followed by UTF-8 bytes; floats travel as their IEEE-754 bit
+//! patterns (`f64::to_bits`), so a round trip is bit-exact — including
+//! NaN payloads and signed zeros. There is no varint or delta coding:
+//! the format optimizes for auditability over density (a full
+//! paper-scale replay logs a few hundred kilobytes).
+//!
+//! The checksum is CRC-32 (IEEE, reflected) over the payload only; the
+//! length prefix is implicitly validated by the checksum window. How a
+//! failed frame is classified (torn tail vs corruption) is the segment
+//! layer's decision — this module just reports what it saw.
+
+use dh_core::UpdateOp;
+
+/// Cap on a single record's payload, guarding the decoder against
+/// allocating on a corrupt length prefix. Far above any real record
+/// (the largest commits in the workspace are a few megabytes).
+pub const MAX_RECORD_LEN: u32 = 256 << 20;
+
+/// One durable catalog mutation, in commit order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A column registration (publishes no epoch; ordered between the
+    /// commits it appeared between).
+    Register {
+        /// The registered column name.
+        column: String,
+        /// The registration config, flattened to primitives.
+        config: ConfigRecord,
+    },
+    /// One published `WriteBatch`: the ops of every column it touched.
+    Commit {
+        /// The epoch the batch published as. Strictly contiguous within
+        /// one log: each commit record's epoch is its predecessor's + 1.
+        epoch: u64,
+        /// Per-column op runs, sorted by column name (the `WriteBatch`
+        /// iteration order).
+        columns: Vec<(String, Vec<UpdateOp>)>,
+    },
+    /// A completed re-shard that moved a column's borders. Replayed by
+    /// re-running the (deterministic) border rebuild at the same point
+    /// in the epoch sequence.
+    Reshard {
+        /// The re-sharded column.
+        column: String,
+        /// The epoch barrier the rebuild drained to — always the epoch
+        /// of the immediately preceding commit record.
+        barrier: u64,
+    },
+}
+
+/// A `dh_catalog` `ColumnConfig` flattened to primitives this crate can
+/// serialize without depending on the catalog (the dependency points the
+/// other way). The algorithm travels as its paper legend label, which
+/// round-trips through `AlgoSpec`'s `FromStr`/`Display`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigRecord {
+    /// `AlgoSpec` legend label (e.g. `"DC"`, `"AC40X"`).
+    pub spec: String,
+    /// Memory budget in bytes.
+    pub memory_bytes: u64,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Shard plan, if the column was registered with one.
+    pub plan: Option<PlanRecord>,
+    /// Re-shard policy, if the column armed one.
+    pub reshard: Option<ReshardPolicyRecord>,
+}
+
+/// A flattened `ShardPlan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanRecord {
+    /// Inclusive domain lower bound.
+    pub lo: i64,
+    /// Inclusive domain upper bound.
+    pub hi: i64,
+    /// Shard count.
+    pub shards: u64,
+    /// Whether ingestion is channel (MPSC worker) mode.
+    pub channel: bool,
+}
+
+/// A flattened `ReshardPolicy`. The skew threshold travels as raw bits,
+/// so configs compare and round-trip bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReshardPolicyRecord {
+    /// `skew_threshold` as IEEE-754 bits.
+    pub skew_bits: u64,
+    /// Minimum epochs between automatic attempts.
+    pub min_interval_epochs: u64,
+    /// Minimum routed ops before the skew ratio is judged.
+    pub min_load: u64,
+}
+
+const KIND_REGISTER: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+const KIND_RESHARD: u8 = 3;
+
+const OP_INSERT: u8 = 0;
+const OP_DELETE: u8 = 1;
+
+impl WalRecord {
+    /// Serializes the record into its on-disk frame (length prefix,
+    /// checksum, payload).
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let mut payload = Writer::new();
+        match self {
+            WalRecord::Register { column, config } => {
+                payload.u8(KIND_REGISTER);
+                payload.str_(column);
+                config.encode(&mut payload);
+            }
+            WalRecord::Commit { epoch, columns } => {
+                payload.u8(KIND_COMMIT);
+                payload.u64(*epoch);
+                payload.u32(columns.len() as u32);
+                for (name, ops) in columns {
+                    payload.str_(name);
+                    payload.u32(ops.len() as u32);
+                    for op in ops {
+                        match op {
+                            UpdateOp::Insert(v) => {
+                                payload.u8(OP_INSERT);
+                                payload.i64(*v);
+                            }
+                            UpdateOp::Delete(v) => {
+                                payload.u8(OP_DELETE);
+                                payload.i64(*v);
+                            }
+                        }
+                    }
+                }
+            }
+            WalRecord::Reshard { column, barrier } => {
+                payload.u8(KIND_RESHARD);
+                payload.str_(column);
+                payload.u64(*barrier);
+            }
+        }
+        let payload = payload.buf;
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<WalRecord, String> {
+        let mut r = Reader::new(payload);
+        let record = match r.u8()? {
+            KIND_REGISTER => WalRecord::Register {
+                column: r.str_()?,
+                config: ConfigRecord::decode(&mut r)?,
+            },
+            KIND_COMMIT => {
+                let epoch = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut columns = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let name = r.str_()?;
+                    let n_ops = r.u32()? as usize;
+                    let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
+                    for _ in 0..n_ops {
+                        let tag = r.u8()?;
+                        let v = r.i64()?;
+                        ops.push(match tag {
+                            OP_INSERT => UpdateOp::Insert(v),
+                            OP_DELETE => UpdateOp::Delete(v),
+                            other => return Err(format!("unknown op tag {other}")),
+                        });
+                    }
+                    columns.push((name, ops));
+                }
+                WalRecord::Commit { epoch, columns }
+            }
+            KIND_RESHARD => WalRecord::Reshard {
+                column: r.str_()?,
+                barrier: r.u64()?,
+            },
+            other => return Err(format!("unknown record kind {other}")),
+        };
+        r.finish()?;
+        Ok(record)
+    }
+}
+
+impl ConfigRecord {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.str_(&self.spec);
+        w.u64(self.memory_bytes);
+        w.u64(self.seed);
+        let flags = u8::from(self.plan.is_some()) | (u8::from(self.reshard.is_some()) << 1);
+        w.u8(flags);
+        if let Some(plan) = &self.plan {
+            w.i64(plan.lo);
+            w.i64(plan.hi);
+            w.u64(plan.shards);
+            w.u8(u8::from(plan.channel));
+        }
+        if let Some(policy) = &self.reshard {
+            w.u64(policy.skew_bits);
+            w.u64(policy.min_interval_epochs);
+            w.u64(policy.min_load);
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<ConfigRecord, String> {
+        let spec = r.str_()?;
+        let memory_bytes = r.u64()?;
+        let seed = r.u64()?;
+        let flags = r.u8()?;
+        if flags & !0b11 != 0 {
+            return Err(format!("unknown config flags {flags:#04x}"));
+        }
+        let plan = if flags & 1 != 0 {
+            Some(PlanRecord {
+                lo: r.i64()?,
+                hi: r.i64()?,
+                shards: r.u64()?,
+                channel: r.u8()? != 0,
+            })
+        } else {
+            None
+        };
+        let reshard = if flags & 2 != 0 {
+            Some(ReshardPolicyRecord {
+                skew_bits: r.u64()?,
+                min_interval_epochs: r.u64()?,
+                min_load: r.u64()?,
+            })
+        } else {
+            None
+        };
+        Ok(ConfigRecord {
+            spec,
+            memory_bytes,
+            seed,
+            plan,
+            reshard,
+        })
+    }
+}
+
+/// What one framing attempt against a byte buffer produced.
+#[derive(Debug)]
+pub(crate) enum Frame {
+    /// Clean end of buffer: `at == buf.len()`.
+    Done,
+    /// The buffer ends mid-frame, or the frame's checksum fails — the
+    /// shape of a crash mid-append. The segment layer truncates here if
+    /// this is the last segment, or reports corruption if not.
+    Torn,
+    /// A checksum-valid record.
+    Record {
+        /// The decoded record.
+        record: WalRecord,
+        /// Offset of the next frame.
+        next: usize,
+    },
+    /// The checksum passed but the payload does not decode: genuine
+    /// corruption (or a format version skew), never a torn write.
+    Invalid {
+        /// What failed to decode.
+        why: String,
+    },
+}
+
+/// Reads the frame starting at `at`.
+pub(crate) fn read_frame(buf: &[u8], at: usize) -> Frame {
+    if at == buf.len() {
+        return Frame::Done;
+    }
+    if buf.len() - at < 8 {
+        return Frame::Torn;
+    }
+    let len = u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_RECORD_LEN as usize || buf.len() - at - 8 < len {
+        return Frame::Torn;
+    }
+    let crc = u32::from_le_bytes(buf[at + 4..at + 8].try_into().expect("4 bytes"));
+    let payload = &buf[at + 8..at + 8 + len];
+    if crc32(payload) != crc {
+        return Frame::Torn;
+    }
+    match WalRecord::decode_payload(payload) {
+        Ok(record) => Frame::Record {
+            record,
+            next: at + 8 + len,
+        },
+        Err(why) => Frame::Invalid { why },
+    }
+}
+
+/// Little-endian byte sink for record and checkpoint bodies.
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn str_(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Checked little-endian reader; every getter fails loudly on underrun
+/// so a decode error is always a `Result`, never a panic.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.at < n {
+            return Err(format!(
+                "payload underrun: wanted {n} bytes at {}, have {}",
+                self.at,
+                self.buf.len() - self.at
+            ));
+        }
+        let slice = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn str_(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid utf-8 string: {e}"))
+    }
+
+    /// Asserts the payload was consumed exactly — trailing bytes mean a
+    /// corrupt or version-skewed record.
+    pub(crate) fn finish(&self) -> Result<(), String> {
+        if self.at != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.at
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected — the zlib/PNG polynomial), table-driven.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Register {
+                column: "orders.amount".into(),
+                config: ConfigRecord {
+                    spec: "AC40X".into(),
+                    memory_bytes: 1024,
+                    seed: 7,
+                    plan: Some(PlanRecord {
+                        lo: -5,
+                        hi: 4999,
+                        shards: 8,
+                        channel: true,
+                    }),
+                    reshard: Some(ReshardPolicyRecord {
+                        skew_bits: 1.25f64.to_bits(),
+                        min_interval_epochs: 8,
+                        min_load: 2048,
+                    }),
+                },
+            },
+            WalRecord::Register {
+                column: "t".into(),
+                config: ConfigRecord {
+                    spec: "DC".into(),
+                    memory_bytes: 512,
+                    seed: 0,
+                    plan: None,
+                    reshard: None,
+                },
+            },
+            WalRecord::Commit {
+                epoch: 42,
+                columns: vec![
+                    (
+                        "orders.amount".into(),
+                        vec![UpdateOp::Insert(i64::MIN), UpdateOp::Delete(i64::MAX)],
+                    ),
+                    ("t".into(), vec![]),
+                ],
+            },
+            WalRecord::Reshard {
+                column: "orders.amount".into(),
+                barrier: 42,
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        let records = sample_records();
+        for r in &records {
+            buf.extend_from_slice(&r.encode_frame());
+        }
+        let mut at = 0;
+        let mut decoded = Vec::new();
+        loop {
+            match read_frame(&buf, at) {
+                Frame::Done => break,
+                Frame::Record { record, next } => {
+                    decoded.push(record);
+                    at = next;
+                }
+                other => panic!("unexpected frame: {other:?}"),
+            }
+        }
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn nan_skew_threshold_round_trips_bit_exactly() {
+        let bits = f64::NAN.to_bits() | 0xDEAD;
+        let record = WalRecord::Register {
+            column: "c".into(),
+            config: ConfigRecord {
+                spec: "DADO".into(),
+                memory_bytes: 1,
+                seed: 1,
+                plan: None,
+                reshard: Some(ReshardPolicyRecord {
+                    skew_bits: bits,
+                    min_interval_epochs: 1,
+                    min_load: 1,
+                }),
+            },
+        };
+        let frame = record.encode_frame();
+        match read_frame(&frame, 0) {
+            Frame::Record { record: r, .. } => assert_eq!(r, record),
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_torn_or_a_clean_prefix() {
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in sample_records() {
+            buf.extend_from_slice(&r.encode_frame());
+            boundaries.push(buf.len());
+        }
+        for cut in 0..=buf.len() {
+            let slice = &buf[..cut];
+            let mut at = 0;
+            let mut seen = 0;
+            let ended = loop {
+                match read_frame(slice, at) {
+                    Frame::Done => break "done",
+                    Frame::Torn => break "torn",
+                    Frame::Record { next, .. } => {
+                        seen += 1;
+                        at = next;
+                    }
+                    Frame::Invalid { why } => panic!("truncation produced Invalid: {why}"),
+                }
+            };
+            // Records decoded = frames fully inside the cut; Done only
+            // at exact frame boundaries.
+            let whole = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(seen, whole, "cut at {cut}");
+            assert_eq!(ended == "done", boundaries.contains(&cut), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let frame = sample_records()[0].encode_frame();
+        // Flip one bit in every payload byte position; the frame must
+        // read as Torn (checksum catches it), never as a valid record.
+        for i in 8..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x10;
+            match read_frame(&bad, 0) {
+                Frame::Torn => {}
+                other => panic!("flip at {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic zlib test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_reads_as_torn() {
+        let mut frame = sample_records()[1].encode_frame();
+        frame[0..4].copy_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
+        assert!(matches!(read_frame(&frame, 0), Frame::Torn));
+    }
+}

@@ -1,0 +1,63 @@
+//! Per-test scratch directories for disk-touching tests and benches.
+//!
+//! Every disk-touching test in the workspace goes through [`TempDir`]
+//! so `cargo test -q` stays parallel-safe (unique names: label + pid +
+//! process-wide counter) and leaves no artifacts (removed on drop). The
+//! directories live under the OS temp root, never inside the repo, so
+//! nothing needs `.gitignore` coverage even if a panicking test leaks
+//! one.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{env, fs, process};
+
+/// A uniquely-named scratch directory, created on construction and
+/// recursively removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `$TMPDIR/dh-wal-{label}-{pid}-{seq}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — test scaffolding,
+    /// not production surface.
+    pub fn new(label: &str) -> TempDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = env::temp_dir().join(format!("dh-wal-{label}-{pid}-{seq}", pid = process::id()));
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_created_and_removed_on_drop() {
+        let a = TempDir::new("unit");
+        let b = TempDir::new("unit");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists());
+        assert!(b.path().is_dir());
+    }
+}

@@ -25,7 +25,11 @@
 //!   layer: one object-safe `ColumnStore` trait implemented by the
 //!   single-lock `Catalog` and the `ShardedCatalog`, with transactional
 //!   epoch-stamped `WriteBatch` commits and consistent multi-column
-//!   `SnapshotSet` reads.
+//!   `SnapshotSet` reads — plus `DurableStore`, which makes any of them
+//!   crash-durable and time-travelable.
+//! * [`wal`] — the epoch-changelog write-ahead log, checkpoint files and
+//!   crash-recovery primitives `DurableStore` persists through (see
+//!   `docs/DURABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -52,12 +56,14 @@ pub use dh_optimizer as optimizer;
 pub use dh_sample as sample;
 pub use dh_static as statics;
 pub use dh_stats as stats;
+pub use dh_wal as wal;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use dh_catalog::{
-        AlgoSpec, Catalog, ColumnConfig, ColumnStore, IngestMode, ReadStats, ReshardPolicy,
-        ShardMap, ShardPlan, ShardedCatalog, Snapshot, SnapshotSet, WriteBatch,
+        AlgoSpec, Catalog, CatalogError, ColumnConfig, ColumnStore, DurableError, DurableOptions,
+        DurableStore, IngestMode, ReadStats, ReshardPolicy, ShardMap, ShardPlan, ShardedCatalog,
+        Snapshot, SnapshotSet, StoreKind, WriteBatch,
     };
     pub use dh_core::dynamic::{
         AbsoluteDeviation, DadoHistogram, DcHistogram, DvoHistogram, Grid2dHistogram,
@@ -78,4 +84,5 @@ pub mod prelude {
         VOptimalHistogram,
     };
     pub use dh_stats::{ks_between, Cdf, StepCdf};
+    pub use dh_wal::{SyncPolicy, TempDir, WalError};
 }

@@ -1,0 +1,340 @@
+//! Durability acceptance suite: a `DurableStore` over each of the three
+//! store designs (single-lock `Catalog`, sharded-locked,
+//! sharded-channel), fed hundreds of committed epochs with a mid-stream
+//! re-shard, must reopen from disk to **bit-identical** estimates —
+//! pure-log replay re-runs the exact live code paths, so every
+//! `estimate_range` / `estimate_eq` / `total_count` probe compares by
+//! `f64::to_bits`, not by tolerance. Time travel gets the same
+//! treatment: `snapshot_set_at` on a retained past epoch must serve the
+//! bits readers saw live at that epoch, before *and* after a recovery.
+//!
+//! Checkpoint-crossing recovery is covered separately with the
+//! contract `docs/DURABILITY.md` actually makes for it: exact epoch,
+//! exact accepted counts, exact (integer) mass — but a rebuilt bucket
+//! layout.
+//!
+//! All disk state lives in per-test unique `TempDir`s under the OS temp
+//! root (parallel-safe, removed on drop).
+
+use dynamic_histograms::catalog::CatalogError;
+use dynamic_histograms::prelude::*;
+
+const COL: &str = "serve";
+const DOMAIN: (i64, i64) = (0, 9_999);
+const EPOCHS: u64 = 220;
+const OPS_PER_EPOCH: u64 = 32;
+
+#[derive(Clone, Copy)]
+enum Design {
+    Single,
+    ShardedLock,
+    ShardedChannel,
+}
+
+impl Design {
+    fn kind(self) -> StoreKind {
+        match self {
+            Design::Single => StoreKind::Single,
+            _ => StoreKind::Sharded,
+        }
+    }
+
+    fn config(self) -> ColumnConfig {
+        let base = ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0)).with_seed(7);
+        let plan = ShardPlan::new(DOMAIN.0, DOMAIN.1, 8).unwrap();
+        match self {
+            Design::Single => base,
+            Design::ShardedLock => base.with_plan(plan),
+            Design::ShardedChannel => base.with_plan(plan.channel()),
+        }
+    }
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Epoch `e`'s batch: `OPS_PER_EPOCH` skewed inserts (three quarters of
+/// the mass in the bottom fifth of the domain, so equal-width borders
+/// are genuinely unbalanced and the mid-stream re-shard moves them).
+fn epoch_ops(e: u64) -> Vec<UpdateOp> {
+    let mut rng = e.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..OPS_PER_EPOCH)
+        .map(|_| {
+            let r = lcg(&mut rng);
+            let v = if r % 4 != 0 {
+                (r % 2_000) as i64
+            } else {
+                2_000 + (r % 8_000) as i64
+            };
+            UpdateOp::Insert(v)
+        })
+        .collect()
+}
+
+/// Every estimate surface on a fixed probe grid, as raw bits.
+fn probe_bits(store: &dyn ColumnStore) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for (a, b) in [
+        (0, 9_999),
+        (0, 499),
+        (500, 1_999),
+        (1_500, 7_000),
+        (9_000, 9_999),
+    ] {
+        bits.push(store.estimate_range(COL, a, b).unwrap().to_bits());
+    }
+    for v in [0, 17, 1_000, 1_999, 5_000, 9_999] {
+        bits.push(store.estimate_eq(COL, v).unwrap().to_bits());
+    }
+    bits.push(store.total_count(COL).unwrap().to_bits());
+    bits
+}
+
+/// Same probes read off an epoch-pinned set.
+fn probe_set_bits(set: &SnapshotSet) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for (a, b) in [
+        (0, 9_999),
+        (0, 499),
+        (500, 1_999),
+        (1_500, 7_000),
+        (9_000, 9_999),
+    ] {
+        bits.push(set.estimate_range(COL, a, b).unwrap().to_bits());
+    }
+    for v in [0, 17, 1_000, 1_999, 5_000, 9_999] {
+        bits.push(set.estimate_eq(COL, v).unwrap().to_bits());
+    }
+    bits.push(set.total_count(COL).unwrap().to_bits());
+    bits
+}
+
+/// The tentpole acceptance criterion, per design: ≥200 committed epochs
+/// with a mid-stream re-shard, drop, `open()` — bit-identical estimates
+/// at the recovered epoch, and bit-identical time travel to every
+/// retained past epoch.
+fn recovery_is_bit_identical(design: Design, label: &str) {
+    let dir = TempDir::new(label);
+    let opts = DurableOptions {
+        sync: SyncPolicy::Batched(16),
+        checkpoint_every: None, // pure-log replay: the bit-identical path
+        retain_generations: 6,
+    };
+
+    let (live_bits, live_ring, moved) = {
+        let store = DurableStore::open(dir.path(), design.kind(), opts).unwrap();
+        store.register(COL, design.config()).unwrap();
+        let mut moved = false;
+        for e in 0..EPOCHS {
+            let mut batch = WriteBatch::new();
+            batch.extend(COL, epoch_ops(e));
+            let epoch = store.commit(batch).unwrap();
+            assert_eq!(epoch, e + 1);
+            if e == EPOCHS / 2 {
+                moved = store.reshard(COL).unwrap();
+            }
+        }
+        assert_eq!(store.epoch(), EPOCHS);
+        let ring: Vec<(u64, Vec<u64>)> = store
+            .retained_epochs()
+            .into_iter()
+            .map(|e| {
+                let set = store.snapshot_set_at(&[COL], e).unwrap();
+                assert_eq!(set.epoch(), e);
+                (e, probe_set_bits(&set))
+            })
+            .collect();
+        assert_eq!(ring.len(), 6);
+        (probe_bits(&store), ring, moved)
+    }; // drop: final sync
+
+    // Sharded designs must actually have exercised the re-shard replay.
+    if !matches!(design, Design::Single) {
+        assert!(moved, "{label}: skewed stream should move the borders");
+    }
+
+    let store = DurableStore::open(dir.path(), design.kind(), opts).unwrap();
+    assert_eq!(store.epoch(), EPOCHS);
+    assert_eq!(store.checkpoint(COL).unwrap(), EPOCHS);
+    assert_eq!(store.spec(COL).unwrap(), AlgoSpec::Dc);
+    assert_eq!(
+        probe_bits(&store),
+        live_bits,
+        "{label}: recovered estimates differ"
+    );
+
+    // Replay repopulated the time-travel ring: every retained past epoch
+    // serves the exact bits it served live.
+    for (epoch, bits) in &live_ring {
+        let set = store.snapshot_set_at(&[COL], *epoch).unwrap();
+        assert_eq!(set.epoch(), *epoch);
+        assert_eq!(
+            &probe_set_bits(&set),
+            bits,
+            "{label}: time travel to {epoch} differs"
+        );
+    }
+}
+
+#[test]
+fn single_lock_recovery_is_bit_identical() {
+    recovery_is_bit_identical(Design::Single, "dur-single");
+}
+
+#[test]
+fn sharded_locked_recovery_is_bit_identical() {
+    recovery_is_bit_identical(Design::ShardedLock, "dur-locked");
+}
+
+#[test]
+fn sharded_channel_recovery_is_bit_identical() {
+    recovery_is_bit_identical(Design::ShardedChannel, "dur-channel");
+}
+
+#[test]
+fn time_travel_pins_past_epochs_and_evicts_beyond_the_ring() {
+    let dir = TempDir::new("dur-travel");
+    let opts = DurableOptions {
+        sync: SyncPolicy::Off,
+        checkpoint_every: None,
+        retain_generations: 4,
+    };
+    let store = DurableStore::open(dir.path(), StoreKind::Single, opts).unwrap();
+    store.register(COL, Design::Single.config()).unwrap();
+    for e in 0..10u64 {
+        store.apply(COL, &epoch_ops(e)).unwrap();
+    }
+    assert_eq!(store.retained_epochs(), vec![7, 8, 9, 10]);
+
+    // A retained past epoch serves exactly its prefix of the stream.
+    let set = store.snapshot_set_at(&[COL], 8).unwrap();
+    assert_eq!(set.epoch(), 8);
+    assert_eq!(set.total_count(COL).unwrap(), (8 * OPS_PER_EPOCH) as f64);
+    // ... and is immutable: still valid after further commits push the
+    // ring past epoch 7 (now evicted).
+    store.apply(COL, &epoch_ops(10)).unwrap();
+    assert_eq!(set.total_count(COL).unwrap(), (8 * OPS_PER_EPOCH) as f64);
+    assert_eq!(store.retained_epochs(), vec![8, 9, 10, 11]);
+
+    assert_eq!(
+        store.snapshot_set_at(&[COL], 7).unwrap_err(),
+        CatalogError::EpochEvicted(7)
+    );
+    assert_eq!(
+        store.snapshot_set_at(&[COL], 99).unwrap_err(),
+        CatalogError::EpochEvicted(99)
+    );
+    assert_eq!(
+        store.snapshot_set_at(&["ghost"], 11).unwrap_err(),
+        CatalogError::UnknownColumn("ghost".into())
+    );
+
+    // Explicit GC narrows the ring without touching newer epochs.
+    assert_eq!(store.gc_retained(10), 2);
+    assert_eq!(store.retained_epochs(), vec![10, 11]);
+    assert_eq!(
+        store.snapshot_set_at(&[COL], 9).unwrap_err(),
+        CatalogError::EpochEvicted(9)
+    );
+    assert!(store.snapshot_set_at(&[COL], 10).is_ok());
+}
+
+#[test]
+fn plain_stores_only_pin_the_current_epoch() {
+    let cat = Catalog::new();
+    cat.register(COL, Design::Single.config()).unwrap();
+    cat.apply(COL, &epoch_ops(0)).unwrap();
+    assert_eq!(cat.snapshot_set_at(&[COL], 1).unwrap().epoch(), 1);
+    assert_eq!(
+        cat.snapshot_set_at(&[COL], 0).unwrap_err(),
+        CatalogError::EpochEvicted(0)
+    );
+}
+
+/// Recovery through a checkpoint: the cadence rotates and truncates the
+/// changelog (so old segments really are gone), and `open()` restores
+/// exact epoch, accepted count and mass, then replays the tail.
+#[test]
+fn checkpoint_cadence_truncates_and_recovers_exact_counts() {
+    let dir = TempDir::new("dur-ckpt");
+    let opts = DurableOptions {
+        sync: SyncPolicy::Batched(32),
+        checkpoint_every: Some(50),
+        retain_generations: 2,
+    };
+    {
+        let store = DurableStore::open(dir.path(), StoreKind::Sharded, opts).unwrap();
+        store.register(COL, Design::ShardedLock.config()).unwrap();
+        for e in 0..EPOCHS {
+            let mut batch = WriteBatch::new();
+            batch.extend(COL, epoch_ops(e));
+            store.commit(batch).unwrap();
+        }
+        // Checkpoints fired at 50/100/150/200; every sealed segment they
+        // covered was removed, leaving the single active segment.
+        assert_eq!(store.segment_count(), 1);
+    }
+    let store = DurableStore::open(dir.path(), StoreKind::Sharded, opts).unwrap();
+    assert_eq!(store.epoch(), EPOCHS);
+    assert_eq!(store.checkpoint(COL).unwrap(), EPOCHS);
+    // Integer stream: the synthesized restore re-inserts exactly
+    // `round(total)` ops, so the recovered mass matches the stream to
+    // f64 accumulation error (bucket split/merge redistributes counts
+    // in floating point — live stores carry the same epsilon).
+    let total = store.total_count(COL).unwrap();
+    assert!(
+        (total - (EPOCHS * OPS_PER_EPOCH) as f64).abs() < 1e-6,
+        "recovered mass {total} drifted"
+    );
+    // The store keeps serving and checkpointing after recovery.
+    store.apply(COL, &epoch_ops(EPOCHS)).unwrap();
+    assert_eq!(store.epoch(), EPOCHS + 1);
+    store.checkpoint_now().unwrap();
+    assert_eq!(store.segment_count(), 1);
+}
+
+/// Columns registered mid-stream recover with their own accepted
+/// counts, and a config mismatch on reopen is a typed error, not UB.
+#[test]
+fn mid_stream_registration_and_kind_mismatch() {
+    let dir = TempDir::new("dur-register");
+    let opts = DurableOptions {
+        sync: SyncPolicy::PerCommit,
+        checkpoint_every: None,
+        retain_generations: 2,
+    };
+    {
+        let store = DurableStore::open(dir.path(), StoreKind::Single, opts).unwrap();
+        store.register("early", Design::Single.config()).unwrap();
+        for e in 0..5 {
+            store.apply("early", &epoch_ops(e)).unwrap();
+        }
+        store.register("late", Design::Single.config()).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.extend("early", epoch_ops(5));
+        batch.extend("late", epoch_ops(6));
+        store.commit(batch).unwrap();
+        assert_eq!(
+            store
+                .register("early", Design::Single.config())
+                .unwrap_err(),
+            CatalogError::DuplicateColumn("early".into())
+        );
+    }
+    {
+        let store = DurableStore::open(dir.path(), StoreKind::Single, opts).unwrap();
+        assert_eq!(store.columns(), ["early", "late"]);
+        assert_eq!(store.epoch(), 6);
+        assert_eq!(store.checkpoint("early").unwrap(), 6);
+        assert_eq!(store.checkpoint("late").unwrap(), 1);
+    }
+    // The directory is bound to its store kind.
+    match DurableStore::open(dir.path(), StoreKind::Sharded, opts) {
+        Err(DurableError::Wal(WalError::StoreKindMismatch { .. })) => {}
+        other => panic!("expected StoreKindMismatch, got {other:?}"),
+    }
+}
