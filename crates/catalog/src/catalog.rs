@@ -17,7 +17,8 @@
 use crate::spec::AlgoSpec;
 use crate::store::{ColumnConfig, ColumnStore, SnapshotSet};
 use crate::txn::{
-    compose_at, BatchTicket, Cell, ColumnStamp, ComposeCache, Registry, StoreColumn, WriteBatch,
+    compose_at, BatchTicket, Cell, ColumnStamp, ComposeCache, DirectRestore, Registry,
+    RestoreColumn, StoreColumn, WriteBatch,
 };
 use dh_core::{BucketSpan, HistogramCdf, ReadHistogram, UpdateOp};
 use std::fmt;
@@ -104,6 +105,10 @@ impl StoreColumn for Column {
             stamp.accepted,
             stamp.updates,
         )
+    }
+
+    fn restore_content(&self, epoch: u64, ops: Vec<UpdateOp>) {
+        self.cell.restore(epoch, &ops);
     }
 }
 
@@ -202,6 +207,12 @@ impl ColumnStore for Catalog {
 
     fn read_stats(&self) -> crate::read::ReadStats {
         self.registry.read_stats()
+    }
+}
+
+impl DirectRestore for Catalog {
+    fn restore_at(&self, epoch: u64, images: Vec<RestoreColumn>) -> Result<(), CatalogError> {
+        self.registry.restore_at(epoch, images)
     }
 }
 

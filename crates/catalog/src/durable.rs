@@ -33,21 +33,36 @@
 //! Replaying the changelog re-runs the exact live code paths
 //! (deterministic, seeded), so a log-only recovery reproduces every
 //! estimate **bit-identically**. Restoring *through a checkpoint* is
-//! exact in epoch, per-column accepted counts, and total mass, but
-//! rebuilds each histogram from its composed spans (the same
-//! approximation a live re-shard applies to moved shards); the
-//! `updates` telemetry counter then reflects the synthesized op count,
-//! not the historical one.
+//! exact in epoch and in the per-column accepted/update counters (the
+//! checkpoint carries the historical values and recovery seeds them
+//! directly — O(checkpoint size), not one replayed publication per
+//! historical epoch), and exact in total mass; only the bucket *layout*
+//! is rebuilt from the composed spans (the same approximation a live
+//! re-shard applies to moved shards).
+//!
+//! # Fail-stop on append failure
+//!
+//! A commit is acknowledged only after its changelog record is written.
+//! If the append itself fails (ENOSPC, a dying disk), the inner store
+//! has already published the epoch — letting any *later* commit append
+//! would write a record whose epoch skips the lost one, an epoch gap
+//! that replay correctly refuses as corruption. So a failed append
+//! **poisons** the store: every subsequent mutation (and explicit
+//! checkpoint) is rejected with [`CatalogError::Durability`], reads
+//! keep serving, and reopening the directory recovers to the last
+//! durable state.
 
 use crate::catalog::{CatalogError, Snapshot};
 use crate::read::ReadStats;
 use crate::sharded::{spread_inserts, ReshardPolicy, ShardPlan, ShardedCatalog};
 use crate::spec::AlgoSpec;
 use crate::store::{ColumnConfig, ColumnStore, SnapshotSet};
-use crate::txn::WriteBatch;
+use crate::txn::{DirectRestore, RestoreColumn, WriteBatch};
 use crate::Catalog;
 use dh_core::{BucketSpan, MemoryBudget, ReadHistogram, UpdateOp};
-use dh_wal::segment::{latest_checkpoint, write_checkpoint, Checkpoint, CheckpointColumn, Wal};
+use dh_wal::segment::{
+    checkpoint_epochs, latest_checkpoint, write_checkpoint, Checkpoint, CheckpointColumn, Wal,
+};
 use dh_wal::{ConfigRecord, PlanRecord, ReshardPolicyRecord, SyncPolicy, WalError, WalRecord};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -74,13 +89,6 @@ impl StoreKind {
         match self {
             StoreKind::Single => 1,
             StoreKind::Sharded => 2,
-        }
-    }
-
-    fn build(self) -> Box<dyn ColumnStore> {
-        match self {
-            StoreKind::Single => Box::new(Catalog::new()),
-            StoreKind::Sharded => Box::new(ShardedCatalog::new()),
         }
     }
 }
@@ -181,6 +189,12 @@ struct DurableState {
     /// Per column: the epoch of the last re-shard attempt the policy
     /// gate should measure its interval from.
     last_reshard_attempt: BTreeMap<String, u64>,
+    /// `Some(why)` once a changelog append has failed. The inner store
+    /// then holds an epoch the log does not — appending anything further
+    /// would write an epoch gap that replay must refuse — so the store
+    /// fail-stops: every mutation is rejected until the directory is
+    /// reopened (see the [module docs](self)).
+    poisoned: Option<String>,
 }
 
 /// Crash durability, checkpoints and time travel over any
@@ -231,16 +245,28 @@ impl DurableStore {
         let dir = dir.into();
         let (wal, records) = Wal::open(&dir, kind.byte(), opts.sync)?;
         let checkpoint = latest_checkpoint(&dir, kind.byte())?;
-        let inner = kind.build();
         let mut configs = BTreeMap::new();
 
-        let base = match &checkpoint {
-            Some(ckpt) => {
-                restore_checkpoint(inner.as_ref(), ckpt, &mut configs)?;
-                ckpt.epoch
+        // Build the concrete store first: the checkpoint restore needs
+        // its `DirectRestore` seam, which the object-safe `ColumnStore`
+        // trait deliberately does not carry.
+        let inner: Box<dyn ColumnStore> = match kind {
+            StoreKind::Single => {
+                let store = Catalog::new();
+                if let Some(ckpt) = &checkpoint {
+                    restore_checkpoint(&store, ckpt, &mut configs)?;
+                }
+                Box::new(store)
             }
-            None => 0,
+            StoreKind::Sharded => {
+                let store = ShardedCatalog::new();
+                if let Some(ckpt) = &checkpoint {
+                    restore_checkpoint(&store, ckpt, &mut configs)?;
+                }
+                Box::new(store)
+            }
         };
+        let base = checkpoint.as_ref().map_or(0, |ckpt| ckpt.epoch);
 
         let store = DurableStore {
             inner,
@@ -253,6 +279,7 @@ impl DurableStore {
                 ring: VecDeque::new(),
                 last_checkpoint: base,
                 last_reshard_attempt: BTreeMap::new(),
+                poisoned: None,
             }),
         };
         store.replay(base, records)?;
@@ -330,6 +357,29 @@ impl DurableStore {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
+    /// Rejects the operation once a changelog append has failed: the
+    /// inner store and the log have diverged by one epoch, and any
+    /// further append would turn that into a permanent epoch gap.
+    fn check_usable(st: &DurableState) -> Result<(), CatalogError> {
+        match &st.poisoned {
+            None => Ok(()),
+            Some(why) => Err(CatalogError::Durability(format!(
+                "store is fail-stopped after a changelog append failure ({why}); \
+                 reopen the directory to recover to the last durable state"
+            ))),
+        }
+    }
+
+    /// Appends under the fail-stop discipline: an append failure poisons
+    /// the store before the error is surfaced, so no later mutation can
+    /// log past the lost epoch.
+    fn append(st: &mut DurableState, record: &WalRecord) -> Result<(), CatalogError> {
+        st.wal.append(record).map_err(|e| {
+            st.poisoned = Some(e.to_string());
+            durability(e)
+        })
+    }
+
     /// Renders the just-published generation into the time-travel ring.
     fn push_generation(&self, st: &mut DurableState) -> Result<(), CatalogError> {
         if self.opts.retain_generations == 0 {
@@ -384,12 +434,13 @@ impl DurableStore {
             }
             st.last_reshard_attempt.insert(column.clone(), epoch);
             if self.inner.reshard(&column)? {
-                st.wal
-                    .append(&WalRecord::Reshard {
+                Self::append(
+                    st,
+                    &WalRecord::Reshard {
                         column,
                         barrier: epoch,
-                    })
-                    .map_err(durability)?;
+                    },
+                )?;
             }
         }
         self.push_generation(st)?;
@@ -423,7 +474,17 @@ impl DurableStore {
             .collect();
         write_checkpoint(&self.dir, self.kind.byte(), &Checkpoint { epoch, columns })?;
         st.wal.rotate(epoch + 1)?;
-        st.wal.remove_covered(epoch)?;
+        // Prune segments back to the *oldest retained* checkpoint, not
+        // this one: if this checkpoint is later found damaged (bit rot),
+        // recovery falls back to the older retained checkpoint and still
+        // needs the log tail from there forward. Only when a single
+        // checkpoint exists (the first ever) is pruning to `epoch` right
+        // — there is no older fallback to preserve segments for.
+        let cover = checkpoint_epochs(&self.dir)?
+            .first()
+            .copied()
+            .unwrap_or(epoch);
+        st.wal.remove_covered(cover)?;
         st.last_checkpoint = epoch;
         Ok(epoch)
     }
@@ -432,6 +493,7 @@ impl DurableStore {
     /// the epoch it captured.
     pub fn checkpoint_now(&self) -> Result<u64, DurableError> {
         let mut st = self.lock();
+        Self::check_usable(&st).map_err(DurableError::Store)?;
         self.checkpoint_to_disk(&mut st)
     }
 
@@ -501,16 +563,24 @@ impl ColumnStore for DurableStore {
     /// [module docs](self)).
     fn register(&self, column: &str, config: ColumnConfig) -> Result<(), CatalogError> {
         let mut st = self.lock();
+        Self::check_usable(&st)?;
         if st.configs.contains_key(column) {
             return Err(CatalogError::DuplicateColumn(column.into()));
         }
+        // Inner first: the inner store is the validator (e.g. a sharded
+        // store rejecting a plan-less config), and a record logged for a
+        // registration that then fails would brick every reopen. If the
+        // append after it fails, `append` poisons the store, so the
+        // inner-only column can never be committed to or survive a
+        // reopen — the log and the durable column set cannot diverge.
         self.inner.register(column, strip_policy(&config))?;
-        st.wal
-            .append(&WalRecord::Register {
+        Self::append(
+            &mut st,
+            &WalRecord::Register {
                 column: column.to_string(),
                 config: config_to_record(&config),
-            })
-            .map_err(durability)?;
+            },
+        )?;
         st.configs.insert(column.to_string(), config);
         Ok(())
     }
@@ -529,30 +599,35 @@ impl ColumnStore for DurableStore {
 
     fn commit(&self, batch: WriteBatch) -> Result<u64, CatalogError> {
         let mut st = self.lock();
+        Self::check_usable(&st)?;
         let columns: Vec<(String, Vec<UpdateOp>)> = batch
             .columns()
             .map(|c| (c.to_string(), batch.ops(c).unwrap_or(&[]).to_vec()))
             .collect();
         let epoch = self.inner.commit(batch)?;
-        st.wal
-            .append(&WalRecord::Commit { epoch, columns })
-            .map_err(durability)?;
+        // If this append fails the inner store has already published
+        // `epoch`; a later successful append would leave a permanent
+        // epoch gap that replay treats as corruption. `append` poisons
+        // the store on failure so no later record can land past the gap.
+        Self::append(&mut st, &WalRecord::Commit { epoch, columns })?;
         self.after_commit(&mut st, epoch)?;
         Ok(epoch)
     }
 
     fn apply(&self, column: &str, batch: &[UpdateOp]) -> Result<u64, CatalogError> {
         let mut st = self.lock();
+        Self::check_usable(&st)?;
         let checkpoint = self.inner.apply(column, batch)?;
         // The lock serializes every publication, so the store's epoch
         // is the one this apply just published.
         let epoch = self.inner.epoch();
-        st.wal
-            .append(&WalRecord::Commit {
+        Self::append(
+            &mut st,
+            &WalRecord::Commit {
                 epoch,
                 columns: vec![(column.to_string(), batch.to_vec())],
-            })
-            .map_err(durability)?;
+            },
+        )?;
         self.after_commit(&mut st, epoch)?;
         Ok(checkpoint)
     }
@@ -606,16 +681,18 @@ impl ColumnStore for DurableStore {
     /// replays it at the same barrier.
     fn reshard(&self, column: &str) -> Result<bool, CatalogError> {
         let mut st = self.lock();
+        Self::check_usable(&st)?;
         let moved = self.inner.reshard(column)?;
         let barrier = self.inner.epoch();
         st.last_reshard_attempt.insert(column.to_string(), barrier);
         if moved {
-            st.wal
-                .append(&WalRecord::Reshard {
+            Self::append(
+                &mut st,
+                &WalRecord::Reshard {
                     column: column.to_string(),
                     barrier,
-                })
-                .map_err(durability)?;
+                },
+            )?;
             self.refresh_ring_tail(&mut st)?;
         }
         Ok(moved)
@@ -699,14 +776,13 @@ fn record_to_config(record: &ConfigRecord) -> Result<ColumnConfig, DurableError>
 }
 
 /// Rebuilds the inner store's state from a checkpoint: registers every
-/// column, then reconstructs the store epoch *and* every per-column
-/// accepted count exactly by replaying `epoch` commits — the first
-/// `epoch - 1` of them empty-op pads (an empty touch still advances a
-/// column's accepted count, and a zero-column commit still publishes an
-/// epoch), the final one carrying ops synthesized from the checkpointed
-/// spans so the mass lands at the right epoch.
-fn restore_checkpoint(
-    inner: &dyn ColumnStore,
+/// column, then seeds the store epoch and every per-column counter
+/// directly through the store's restore hook, applying ops synthesized
+/// from the checkpointed spans to rebuild the histogram mass. Cost is
+/// proportional to the checkpoint size, not the store's lifetime epoch
+/// count.
+fn restore_checkpoint<S: ColumnStore + DirectRestore>(
+    inner: &S,
     ckpt: &Checkpoint,
     configs: &mut BTreeMap<String, ColumnConfig>,
 ) -> Result<(), DurableError> {
@@ -724,30 +800,21 @@ fn restore_checkpoint(
     if ckpt.epoch == 0 {
         return Ok(());
     }
-    for pad in 0..ckpt.epoch - 1 {
-        let mut batch = WriteBatch::new();
-        for col in &ckpt.columns {
-            // `pad` touches leave room for the final data commit, so a
-            // column accepted in K commits pads K - 1 times.
-            if col.accepted > pad + 1 {
-                batch.extend(&col.column, []);
-            }
-        }
-        inner.commit(batch)?;
-    }
-    let mut batch = WriteBatch::new();
-    for col in &ckpt.columns {
-        if col.accepted > 0 {
-            batch.extend(&col.column, synthesize_ops(&col.spans));
-        }
-    }
-    let epoch = inner.commit(batch)?;
-    if epoch != ckpt.epoch {
-        return Err(DurableError::Recovery(format!(
-            "checkpoint restore published epoch {epoch}, expected {}",
-            ckpt.epoch
-        )));
-    }
+    let images: Vec<RestoreColumn> = ckpt
+        .columns
+        .iter()
+        .map(|col| RestoreColumn {
+            name: col.column.clone(),
+            accepted: col.accepted,
+            updates: col.updates,
+            ops: if col.accepted > 0 {
+                synthesize_ops(&col.spans)
+            } else {
+                Vec::new()
+            },
+        })
+        .collect();
+    inner.restore_at(ckpt.epoch, images)?;
     Ok(())
 }
 
@@ -812,6 +879,78 @@ mod tests {
         assert!(ops
             .iter()
             .all(|op| matches!(op, UpdateOp::Insert(v) if (0..=20).contains(v))));
+    }
+
+    #[test]
+    fn poisoned_store_rejects_mutations_but_keeps_serving_reads() {
+        let dir = dh_wal::tmp::TempDir::new("dur-poison");
+        let store = DurableStore::open(
+            dir.path(),
+            StoreKind::Single,
+            DurableOptions {
+                sync: SyncPolicy::PerCommit,
+                checkpoint_every: None,
+                retain_generations: 2,
+            },
+        )
+        .unwrap();
+        store
+            .register(
+                "c",
+                ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0)),
+            )
+            .unwrap();
+        store.apply("c", &[UpdateOp::Insert(5)]).unwrap();
+
+        // Simulate a failed changelog append (the real trigger is an
+        // I/O error inside `append`, which sets this same flag).
+        store.lock().poisoned = Some("injected".into());
+
+        let rejected = |r: Result<u64, CatalogError>| {
+            assert!(
+                matches!(r, Err(CatalogError::Durability(ref why)) if why.contains("fail-stopped")),
+                "expected fail-stop rejection, got {r:?}"
+            );
+        };
+        let mut batch = WriteBatch::new();
+        batch.extend("c", [UpdateOp::Insert(6)]);
+        rejected(store.commit(batch));
+        rejected(store.apply("c", &[UpdateOp::Insert(6)]));
+        assert!(matches!(
+            store.register(
+                "d",
+                ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0))
+            ),
+            Err(CatalogError::Durability(_))
+        ));
+        assert!(matches!(
+            store.reshard("c"),
+            Err(CatalogError::Durability(_))
+        ));
+        assert!(matches!(
+            store.checkpoint_now(),
+            Err(DurableError::Store(CatalogError::Durability(_)))
+        ));
+
+        // Reads keep serving the last acknowledged state.
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.total_count("c").unwrap(), 1.0);
+
+        // Nothing past the poison point was logged: a reopen recovers
+        // exactly the pre-failure state.
+        drop(store);
+        let store = DurableStore::open(
+            dir.path(),
+            StoreKind::Single,
+            DurableOptions {
+                sync: SyncPolicy::PerCommit,
+                checkpoint_every: None,
+                retain_generations: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.total_count("c").unwrap(), 1.0);
     }
 
     #[test]

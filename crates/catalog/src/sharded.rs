@@ -98,7 +98,7 @@ use crate::spec::AlgoSpec;
 use crate::store::{ColumnConfig, ColumnStore, SnapshotSet};
 use crate::txn::{
     compose_at, lock, read_lock, write_lock, BatchTicket, Cell, ColumnStamp, ComposeCache,
-    Registry, StoreColumn, WriteBatch,
+    DirectRestore, Registry, RestoreColumn, StoreColumn, WriteBatch,
 };
 use crate::Snapshot;
 use dh_core::{BucketSpan, MemoryBudget, UpdateOp};
@@ -737,6 +737,37 @@ impl StoreColumn for ShardedColumn {
             stamp.updates,
         )
     }
+
+    /// Routes `ops` through the live shard map exactly like a staged
+    /// commit — same clamp accounting, same per-shard load counters (so
+    /// a restored column's re-shard policy judges the same load a
+    /// replayed history would have accumulated) — but applies straight
+    /// into the cells instead of staging.
+    fn restore_content(&self, epoch: u64, ops: Vec<UpdateOp>) {
+        let generation = self.generation();
+        let (lo, hi) = generation.map.domain();
+        let mut routed: Vec<Vec<UpdateOp>> = vec![Vec::new(); generation.map.shards()];
+        let mut clamped = 0u64;
+        for &op in &ops {
+            let v = match op {
+                UpdateOp::Insert(v) | UpdateOp::Delete(v) => v,
+            };
+            if v < lo || v > hi {
+                clamped += 1;
+            }
+            routed[generation.map.route(v)].push(op);
+        }
+        if clamped > 0 {
+            self.clamped.fetch_add(clamped, Ordering::Relaxed);
+        }
+        for (i, sub) in routed.into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            generation.load[i].fetch_add(sub.len() as u64, Ordering::Relaxed);
+            generation.cells[i].restore(epoch, &sub);
+        }
+    }
 }
 
 /// One clipped slice of the composed histogram destined for a new
@@ -1331,6 +1362,12 @@ impl ColumnStore for ShardedCatalog {
 
     fn read_stats(&self) -> crate::read::ReadStats {
         self.registry.read_stats()
+    }
+}
+
+impl DirectRestore for ShardedCatalog {
+    fn restore_at(&self, epoch: u64, images: Vec<RestoreColumn>) -> Result<(), CatalogError> {
+        self.registry.restore_at(epoch, images)
     }
 }
 

@@ -194,6 +194,15 @@ impl EpochClock {
         let _gate = lock(&self.gate);
         f()
     }
+
+    /// Seeds the published counter directly — crash recovery restoring a
+    /// checkpoint's absolute epoch without replaying one publication per
+    /// historical epoch. Only meaningful on a store with no concurrent
+    /// writers (recovery owns the store exclusively).
+    pub(crate) fn restore(&self, epoch: u64) {
+        let _gate = lock(&self.gate);
+        self.published.store(epoch, Ordering::Release);
+    }
 }
 
 /// Publish-consistent per-column counters: the epoch of the column's
@@ -238,6 +247,35 @@ pub(crate) trait StoreColumn {
     /// Renders the column at exactly `epoch`, stamping the snapshot from
     /// the already-validated `stamp` (retry token on `Err`).
     fn render_at(&self, epoch: u64, stamp: ColumnStamp) -> Result<Snapshot, u64>;
+
+    /// Restore path: applies `ops` straight into the column's cells with
+    /// the content marked as-of `epoch`, bypassing the stage/publish
+    /// pipeline. Only for checkpoint recovery on an exclusively-owned
+    /// store (see [`Registry::restore_at`]).
+    fn restore_content(&self, epoch: u64, ops: Vec<UpdateOp>);
+}
+
+/// One column's image inside a checkpoint being restored: its exact
+/// historical counters plus the ops synthesized from its checkpointed
+/// spans.
+pub(crate) struct RestoreColumn {
+    pub name: String,
+    /// Accepted-batch count as of the checkpoint epoch.
+    pub accepted: u64,
+    /// Accepted-update count as of the checkpoint epoch (the historical
+    /// value — restore preserves it exactly).
+    pub updates: u64,
+    /// Synthesized insertions reproducing the checkpointed mass.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// Seam for the `DurableStore` decorator's checkpoint restore: every
+/// concrete store exposes [`Registry::restore_at`] through it, so the
+/// durable layer can seed a freshly built store without replaying one
+/// pad commit per historical epoch.
+pub(crate) trait DirectRestore {
+    /// See [`Registry::restore_at`].
+    fn restore_at(&self, epoch: u64, images: Vec<RestoreColumn>) -> Result<(), CatalogError>;
 }
 
 /// The shared store chassis: the named-column map plus the epoch clock,
@@ -507,6 +545,41 @@ impl<T: StoreColumn> Registry<T> {
         self.counters.stats()
     }
 
+    /// Seeds the store to a checkpoint in O(checkpoint size), not
+    /// O(historical epochs): every image's counters are written into its
+    /// column stamp verbatim, its synthesized ops applied straight into
+    /// the cells, the epoch clock jumped to `epoch`, and the read front
+    /// re-rendered once. Caller contract: the store is freshly built and
+    /// exclusively owned (recovery), all named columns are registered,
+    /// and no commit has been published yet.
+    ///
+    /// Observable state matches what replaying the history would leave:
+    /// a column with accepted batches stamps `epoch` (its last
+    /// publication is at or before the checkpoint, and the restored
+    /// content is exactly as-of `epoch`); a never-touched column keeps
+    /// stamp 0.
+    pub(crate) fn restore_at(
+        &self,
+        epoch: u64,
+        images: Vec<RestoreColumn>,
+    ) -> Result<(), CatalogError> {
+        for image in images {
+            let column = self.get(&image.name)?;
+            {
+                let mut stamp = lock(column.stamp());
+                *stamp = ColumnStamp {
+                    epoch: if image.accepted > 0 { epoch } else { 0 },
+                    accepted: image.accepted,
+                    updates: image.updates,
+                };
+            }
+            column.restore_content(epoch, image.ops);
+        }
+        self.clock.restore(epoch);
+        self.refresh_front(false);
+        Ok(())
+    }
+
     /// Renders the whole store at the current published epoch and
     /// installs it as the new front generation if it is newer than (or,
     /// with `force`, at least as new as) the incumbent — `force` is for
@@ -660,6 +733,23 @@ impl Cell {
         state.version += 1;
         state.spans = None;
         Ok(())
+    }
+
+    /// Applies `ops` directly, marking the content as-of `epoch` — the
+    /// checkpoint-restore fast path ([`Registry::restore_at`]), which
+    /// must not pay one publication per historical epoch. The cell must
+    /// have no pending entries (fresh store, recovery owns it). An empty
+    /// `ops` is a no-op: the histogram stays empty and `applied` stays
+    /// put, exactly as if the column's history held only empty batches.
+    pub(crate) fn restore(&self, epoch: u64, ops: &[UpdateOp]) {
+        if ops.is_empty() {
+            return;
+        }
+        let mut state = write_lock(&self.state);
+        state.histogram.apply_slice(ops);
+        state.applied = state.applied.max(epoch);
+        state.version += 1;
+        state.spans = None;
     }
 
     /// The cell's `(version, spans)` at *exactly* epoch `epoch`: drains

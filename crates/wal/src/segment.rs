@@ -17,10 +17,12 @@
 //! (see [`Wal::remove_covered`]).
 //!
 //! Torn-tail policy: only the **last** segment may end mid-record or
-//! with a failed checksum — [`Wal::open`] physically truncates it back
-//! to its last valid record. The same shape in a sealed segment, or a
-//! checksum-valid record that does not decode anywhere, is a
-//! [`WalError::Corrupt`].
+//! with a failed checksum, and only when nothing decodable follows the
+//! damage — [`Wal::open`] then physically truncates it back to its last
+//! valid record. A damaged frame with a decodable frame after it is
+//! mid-file bit rot, not a torn tail; that, the same shape in a sealed
+//! segment, or a checksum-valid record that does not decode anywhere,
+//! is a [`WalError::Corrupt`].
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read as _, Write as _};
@@ -237,6 +239,19 @@ impl Wal {
                     at = next;
                 }
                 Frame::Torn if is_last => {
+                    // A torn frame only means "crash mid-append" when
+                    // nothing decodable follows it. If a later offset
+                    // still yields a valid frame, the damage is mid-file
+                    // bit rot and truncating here would silently discard
+                    // valid (possibly acknowledged) records after it.
+                    if Self::scan_finds_frame(&buf, at) {
+                        return Err(WalError::Corrupt {
+                            path: path.to_path_buf(),
+                            offset: at as u64,
+                            why: "damaged record followed by decodable data in the active segment"
+                                .into(),
+                        });
+                    }
                     // Crash mid-append: shed the tail and keep the
                     // surviving prefix.
                     let file = OpenOptions::new()
@@ -265,6 +280,21 @@ impl Wal {
                 }
             }
         }
+    }
+
+    /// True when any offset past `from` still parses as a complete
+    /// frame (checksum-verified record or a typed-but-invalid payload):
+    /// the byte stream continues past the damage, so it cannot be a
+    /// torn tail. Only runs on the active segment's damaged suffix,
+    /// which a crash keeps short.
+    fn scan_finds_frame(buf: &[u8], from: usize) -> bool {
+        for at in from + 1..buf.len() {
+            match record::read_frame(buf, at) {
+                Frame::Record { .. } | Frame::Invalid { .. } => return true,
+                Frame::Torn | Frame::Done => {}
+            }
+        }
+        false
     }
 
     fn create_or_reset_header(path: &Path, kind: u8) -> Result<File, WalError> {
@@ -332,8 +362,10 @@ impl Wal {
     /// `checkpoint_epoch`: a sealed segment is removable when its
     /// *successor's* start epoch is `<= checkpoint_epoch + 1` (all its
     /// records then replay to states the checkpoint already contains).
-    /// The active segment is never removed. Returns how many segments
-    /// were deleted.
+    /// Callers that keep fallback checkpoints should pass the *oldest*
+    /// retained checkpoint's epoch (see [`checkpoint_epochs`]), not the
+    /// newest, or the fallback loses its log tail. The active segment is
+    /// never removed. Returns how many segments were deleted.
     pub fn remove_covered(&mut self, checkpoint_epoch: u64) -> Result<usize, WalError> {
         let mut removed = 0;
         while self.segments.len() > 1 && self.segments[1].0 <= checkpoint_epoch + 1 {
@@ -473,6 +505,14 @@ pub fn write_checkpoint(dir: &Path, kind: u8, ckpt: &Checkpoint) -> Result<PathB
     Ok(path)
 }
 
+/// Epochs of every on-disk checkpoint, oldest first. The oldest entry
+/// is the retention floor for segment pruning: segments must survive
+/// back to it so that falling back from a damaged newer checkpoint
+/// still finds a contiguous log tail.
+pub fn checkpoint_epochs(dir: &Path) -> Result<Vec<u64>, WalError> {
+    Ok(list_checkpoints(dir)?.into_iter().map(|(e, _)| e).collect())
+}
+
 fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
     let mut found = Vec::new();
     let entries = fs::read_dir(dir).map_err(|e| WalError::io(dir, "read dir", e))?;
@@ -488,9 +528,10 @@ fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
 
 /// Loads the newest checkpoint that validates, newest-first. A damaged
 /// checkpoint file (torn rename, bit rot) is skipped in favour of an
-/// older one — the WAL segments it would have covered are only removed
-/// *after* its successful write, so falling back is always safe. A
-/// store-kind mismatch is a real error, not a fallback.
+/// older one — callers must retain WAL segments back to the *oldest*
+/// on-disk checkpoint (see [`checkpoint_epochs`]) so the fallback still
+/// has a contiguous log tail to replay. A store-kind mismatch is a real
+/// error, not a fallback.
 pub fn latest_checkpoint(dir: &Path, kind: u8) -> Result<Option<Checkpoint>, WalError> {
     let mut candidates = list_checkpoints(dir)?;
     while let Some((_, path)) = candidates.pop() {
@@ -614,6 +655,32 @@ mod tests {
         drop(wal);
         let (_, recovered) = Wal::open(dir.path(), KIND, SyncPolicy::PerCommit).unwrap();
         assert_eq!(recovered, vec![commit(1), commit(2), commit(3)]);
+    }
+
+    #[test]
+    fn mid_file_damage_in_last_segment_is_typed_corruption() {
+        let dir = TempDir::new("seg-midrot");
+        {
+            let (mut wal, _) = Wal::open(dir.path(), KIND, SyncPolicy::PerCommit).unwrap();
+            for e in 1..=3 {
+                wal.append(&commit(e)).unwrap();
+            }
+        }
+        // Flip a payload byte inside the *first* record: the later
+        // records still decode, so this is bit rot, not a torn tail —
+        // truncating would silently drop commits 2 and 3.
+        let path = dir.path().join(segment_name(0));
+        let mut buf = fs::read(&path).unwrap();
+        let at = HEADER_LEN as usize + 8 + 1;
+        buf[at] ^= 0x40;
+        fs::write(&path, &buf).unwrap();
+
+        match Wal::open(dir.path(), KIND, SyncPolicy::PerCommit) {
+            Err(WalError::Corrupt { path: p, .. }) => assert_eq!(p, path),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // And nothing was truncated while deciding.
+        assert_eq!(fs::read(&path).unwrap(), buf);
     }
 
     #[test]

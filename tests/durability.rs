@@ -274,9 +274,11 @@ fn checkpoint_cadence_truncates_and_recovers_exact_counts() {
             batch.extend(COL, epoch_ops(e));
             store.commit(batch).unwrap();
         }
-        // Checkpoints fired at 50/100/150/200; every sealed segment they
-        // covered was removed, leaving the single active segment.
-        assert_eq!(store.segment_count(), 1);
+        // Checkpoints fired at 50/100/150/200; pruning retains segments
+        // back to the *oldest* on-disk checkpoint (150), so the fallback
+        // checkpoint keeps a contiguous log tail: the 151.. segment plus
+        // the active one.
+        assert_eq!(store.segment_count(), 2);
     }
     let store = DurableStore::open(dir.path(), StoreKind::Sharded, opts).unwrap();
     assert_eq!(store.epoch(), EPOCHS);
@@ -294,7 +296,7 @@ fn checkpoint_cadence_truncates_and_recovers_exact_counts() {
     store.apply(COL, &epoch_ops(EPOCHS)).unwrap();
     assert_eq!(store.epoch(), EPOCHS + 1);
     store.checkpoint_now().unwrap();
-    assert_eq!(store.segment_count(), 1);
+    assert_eq!(store.segment_count(), 2);
 }
 
 /// Columns registered mid-stream recover with their own accepted
@@ -337,4 +339,74 @@ fn mid_stream_registration_and_kind_mismatch() {
         Err(DurableError::Wal(WalError::StoreKindMismatch { .. })) => {}
         other => panic!("expected StoreKindMismatch, got {other:?}"),
     }
+}
+
+/// Bit rot in the newest checkpoint file: recovery must fall back to
+/// the previous checkpoint — whose log tail segment pruning retains —
+/// and replay forward to the exact pre-damage state.
+#[test]
+fn damaged_newest_checkpoint_recovers_via_fallback() {
+    let dir = TempDir::new("dur-ckpt-fallback");
+    let opts = DurableOptions {
+        sync: SyncPolicy::Batched(32),
+        checkpoint_every: Some(50),
+        retain_generations: 2,
+    };
+    {
+        let store = DurableStore::open(dir.path(), StoreKind::Sharded, opts).unwrap();
+        store.register(COL, Design::ShardedLock.config()).unwrap();
+        for e in 0..EPOCHS {
+            let mut batch = WriteBatch::new();
+            batch.extend(COL, epoch_ops(e));
+            store.commit(batch).unwrap();
+        }
+    }
+    // Checkpoints 150 and 200 are on disk; rot a payload byte in the
+    // newest so its CRC fails.
+    let newest = dir.path().join(format!("ckpt-{:020}.ck", 200));
+    let mut buf = std::fs::read(&newest).unwrap();
+    let at = buf.len() - 3;
+    buf[at] ^= 0x10;
+    std::fs::write(&newest, &buf).unwrap();
+
+    let store = DurableStore::open(dir.path(), StoreKind::Sharded, opts).unwrap();
+    assert_eq!(store.epoch(), EPOCHS);
+    assert_eq!(store.checkpoint(COL).unwrap(), EPOCHS);
+    let total = store.total_count(COL).unwrap();
+    assert!(
+        (total - (EPOCHS * OPS_PER_EPOCH) as f64).abs() < 1e-6,
+        "fallback-recovered mass {total} drifted"
+    );
+}
+
+/// The restored `updates` telemetry counter is the column's historical
+/// op count (inserts *and* deletes), carried through the checkpoint —
+/// not a figure synthesized from the surviving mass.
+#[test]
+fn recovered_updates_counter_is_historical() {
+    let dir = TempDir::new("dur-updates");
+    let opts = DurableOptions {
+        sync: SyncPolicy::PerCommit,
+        checkpoint_every: None,
+        retain_generations: 2,
+    };
+    {
+        let store = DurableStore::open(dir.path(), StoreKind::Single, opts).unwrap();
+        store.register(COL, Design::Single.config()).unwrap();
+        // 60 inserts then 20 deletes: 80 historical ops, net mass 40.
+        for e in 0..3 {
+            let ops: Vec<UpdateOp> = (0..20).map(|i| UpdateOp::Insert(e * 100 + i)).collect();
+            store.apply(COL, &ops).unwrap();
+        }
+        let deletes: Vec<UpdateOp> = (0..20).map(UpdateOp::Delete).collect();
+        store.apply(COL, &deletes).unwrap();
+        store.checkpoint_now().unwrap();
+    }
+    let store = DurableStore::open(dir.path(), StoreKind::Single, opts).unwrap();
+    let snap = store.snapshot(COL).unwrap();
+    assert_eq!(snap.epoch(), 4);
+    assert_eq!(snap.checkpoint(), 4);
+    assert_eq!(snap.updates(), 80);
+    let total = store.total_count(COL).unwrap();
+    assert!((total - 40.0).abs() < 1e-6, "net mass {total} drifted");
 }

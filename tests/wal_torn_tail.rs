@@ -123,9 +123,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Random bit flips anywhere in the file (header included): the
-    /// checksum window turns mid-file damage into a truncated tail,
-    /// header damage into a typed error — never a panic, never a torn
-    /// epoch.
+    /// checksum window turns tail damage into a truncated tail,
+    /// mid-file damage (valid frames still follow) and header damage
+    /// into typed errors — never a panic, never a torn epoch.
     #[test]
     fn random_bit_flips_never_tear_an_epoch(
         flips in prop::collection::vec((0usize..4096, 0u8..8), 1..4)
