@@ -38,11 +38,20 @@
 //!                                # throughput (store dropped, changelog
 //!                                # reopened and timed); --wal-dir keeps
 //!                                # the changelogs for inspection
+//! repro serve --replicas 1,2,4 [--lag-target E]
+//!                                # replication replay: R dh_replica
+//!                                # followers tail a committing durable
+//!                                # leader's changelog and serve the read
+//!                                # mix — follower estimate throughput +
+//!                                # mean/max reported staleness (and the
+//!                                # fraction of samples above E epochs),
+//!                                # with bit-identity spot checks against
+//!                                # the leader's retained generations
 //! ```
 
 use dh_bench::{
-    all_figure_ids, run_custom, run_durable, run_figure, run_read_mix, run_reshard, run_serve,
-    RunOptions, ServeConfig,
+    all_figure_ids, run_custom, run_durable, run_figure, run_read_mix, run_replicas, run_reshard,
+    run_serve, RunOptions, ServeConfig,
 };
 use dh_catalog::AlgoSpec;
 use dh_gen::workload::WorkloadKind;
@@ -55,7 +64,8 @@ fn usage() -> ! {
          \x20      repro custom --algos LIST [--workload random|sorted] [options]\n\
          \x20      repro serve [--shards N] [--writers LIST] [--algos SPEC] [--json]\n\
          \x20                  [--reshard] [--skew S] [--read-mix] [--readers LIST]\n\
-         \x20                  [--durable] [--wal-dir DIR] [options]\n\
+         \x20                  [--durable] [--wal-dir DIR] [--replicas LIST]\n\
+         \x20                  [--lag-target E] [options]\n\
          (no figure list means all figures; beware that without --quick this\n\
          is the paper-scale run. --algos takes paper legend names, e.g.\n\
          DC,DVO,DADO,AC20X,EquiWidth,EquiDepth,SC,SVO,SADO,SSBM)"
@@ -81,6 +91,8 @@ fn main() {
     let mut read_mix = false;
     let mut durable = false;
     let mut wal_dir: Option<PathBuf> = None;
+    let mut replicas: Option<Vec<usize>> = None;
+    let mut lag_target: Option<u64> = None;
     let mut skew: Option<f64> = None;
     let mut shards: Option<usize> = None;
     let mut writers: Option<Vec<usize>> = None;
@@ -99,6 +111,18 @@ fn main() {
             "--durable" => durable = true,
             "--wal-dir" => {
                 wal_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--replicas" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                replicas = Some(
+                    list.split(',')
+                        .map(|r| r.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
+            "--lag-target" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                lag_target = Some(v.parse().unwrap_or_else(|_| usage()));
             }
             "--readers" => {
                 let list = it.next().unwrap_or_else(|| usage());
@@ -204,6 +228,49 @@ fn main() {
         cfg.skew = skew;
         let writers = writers.unwrap_or_else(|| vec![1, 2, 4, 8]);
         let t0 = std::time::Instant::now();
+        if let Some(replicas) = &replicas {
+            if reshard || read_mix || durable {
+                eprintln!("--replicas is mutually exclusive with --reshard/--read-mix/--durable");
+                usage();
+            }
+            if readers.is_some() || wal_dir.is_some() {
+                eprintln!("--readers/--wal-dir do not apply to serve --replicas");
+                usage();
+            }
+            // Replication replay: followers tail the committing leader's
+            // changelog, serve the read mix, and report their staleness.
+            eprint!("running serve --replicas ... ");
+            std::io::stderr().flush().ok();
+            let report = run_replicas(cfg, replicas, opts, lag_target);
+            eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                println!("{}", report.to_markdown());
+            }
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).expect("create output directory");
+                let mut figs = vec![&report.throughput, &report.lag_mean, &report.lag_max];
+                if let Some(misses) = &report.lag_misses {
+                    figs.push(misses);
+                }
+                for fig in figs {
+                    let path = dir.join(format!("{}.csv", fig.id));
+                    std::fs::write(&path, fig.to_csv())
+                        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                    eprintln!("wrote {}", path.display());
+                }
+                let path = dir.join("replicas.json");
+                std::fs::write(&path, report.to_json())
+                    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                eprintln!("wrote {}", path.display());
+            }
+            return;
+        }
+        if lag_target.is_some() {
+            eprintln!("--lag-target only applies to serve --replicas");
+            usage();
+        }
         if durable {
             if reshard || read_mix {
                 eprintln!("--durable is mutually exclusive with --reshard/--read-mix");
@@ -340,10 +407,12 @@ fn main() {
         || readers.is_some()
         || durable
         || wal_dir.is_some()
+        || replicas.is_some()
+        || lag_target.is_some()
     {
         eprintln!(
-            "--shards/--writers/--reshard/--skew/--read-mix/--readers/--durable/--wal-dir \
-             only apply to serve mode"
+            "--shards/--writers/--reshard/--skew/--read-mix/--readers/--durable/--wal-dir/\
+             --replicas/--lag-target only apply to serve mode"
         );
         usage();
     }

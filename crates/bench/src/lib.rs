@@ -20,7 +20,11 @@
 //!   stream, the `--read-mix` replay measuring wait-free hot-path
 //!   estimate serving (and front-cache hit rate) under a live committing
 //!   writer, and the `--durable` replay measuring WAL-backed ingestion
-//!   and crash-recovery replay throughput through `DurableStore`.
+//!   and crash-recovery replay throughput through `DurableStore`, and
+//!   the `--replicas` replay racing `dh_replica` followers against a
+//!   committing durable leader — follower estimate throughput, reported
+//!   staleness, and bit-identity spot checks against the leader's
+//!   retained generations.
 //!
 //! The `repro` binary regenerates any or all figures as CSV files and a
 //! markdown summary, and runs custom algorithm mixes selected by name
@@ -45,7 +49,7 @@ pub use algos::{DynamicAlgo, StaticAlgo};
 pub use figures::{all_figure_ids, run_custom, run_figure};
 pub use harness::{FigureResult, RunOptions, Series};
 pub use serve::{
-    ingest, load_balance, run_durable, run_read_mix, run_reshard, run_serve, DurableReport,
-    ReadMixReport, ReshardReport, ServeConfig, ServeDesign, ServeReport, Serving, DURABLE_OPTIONS,
-    PROBES_PER_ROUND, RESHARD_POLICY,
+    ingest, load_balance, run_durable, run_read_mix, run_replicas, run_reshard, run_serve,
+    DurableReport, ReadMixReport, ReplicaReport, ReshardReport, ServeConfig, ServeDesign,
+    ServeReport, Serving, DURABLE_OPTIONS, PROBES_PER_ROUND, REPLICA_OPTIONS, RESHARD_POLICY,
 };

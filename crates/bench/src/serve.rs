@@ -15,12 +15,17 @@
 //! contention story and the paper's accuracy story stay on one page.
 //! The `--durable` arm ([`run_durable`]) re-runs the same replay behind
 //! a [`DurableStore`] and times the crash-recovery reopen, putting the
-//! durability tax and the replay speed on that same page.
+//! durability tax and the replay speed on that same page. The
+//! `--replicas` arm ([`run_replicas`]) keeps the durable leader
+//! ingesting while `R` `dh_replica` followers tail its changelog
+//! directory, serve the read mix, and report their measured staleness —
+//! with bit-identity spot checks against the leader's retained
+//! generations keeping the replicas honest as they are measured.
 
 use crate::harness::{mean, FigureResult, RunOptions, Series};
 use dh_catalog::{
-    AlgoSpec, Catalog, ColumnConfig, ColumnStore, DurableOptions, DurableStore, ReadStats,
-    ReshardPolicy, ShardPlan, ShardedCatalog, Snapshot, StoreKind,
+    AlgoSpec, Catalog, CatalogError, ColumnConfig, ColumnStore, DurableOptions, DurableStore,
+    ReadStats, ReshardPolicy, ShardPlan, ShardedCatalog, Snapshot, StoreKind,
 };
 use dh_core::{ks_error, DataDistribution, MemoryBudget, ReadHistogram, UpdateOp};
 use dh_gen::workload::{UpdateStream, WorkloadKind};
@@ -232,18 +237,24 @@ impl Serving {
     /// Panics if the serve column is missing (never happens after
     /// [`Serving::build`]).
     pub fn probe_round(&self, i: u64, domain: (i64, i64)) -> f64 {
-        let width = (domain.1 - domain.0).max(1);
-        let k = (i % 64) as i64;
-        let lo = domain.0 + (k * 97) % width;
-        let hi = (lo + width / 8).min(domain.1);
-        let store = self.store.as_ref();
-        let mut acc = store.estimate_range(COLUMN, lo, hi).expect("registered");
-        acc += store
-            .estimate_eq(COLUMN, domain.0 + (k * 131) % width)
-            .expect("registered");
-        acc += store.total_count(COLUMN).expect("registered");
-        acc
+        probe_store(self.store.as_ref(), i, domain)
     }
+}
+
+/// The probe body behind [`Serving::probe_round`], usable against any
+/// store serving the replay column — the replica arm drives follower
+/// reads through exactly the same probes the leader-side arms measure.
+fn probe_store(store: &dyn ColumnStore, i: u64, domain: (i64, i64)) -> f64 {
+    let width = (domain.1 - domain.0).max(1);
+    let k = (i % 64) as i64;
+    let lo = domain.0 + (k * 97) % width;
+    let hi = (lo + width / 8).min(domain.1);
+    let mut acc = store.estimate_range(COLUMN, lo, hi).expect("registered");
+    acc += store
+        .estimate_eq(COLUMN, domain.0 + (k * 131) % width)
+        .expect("registered");
+    acc += store.total_count(COLUMN).expect("registered");
+    acc
 }
 
 /// Probes per [`Serving::probe_round`] call.
@@ -920,6 +931,295 @@ pub fn run_durable(
     }
 }
 
+/// The changelog options the replica replay runs with: batched fsyncs
+/// on the leader (the follower tails the page cache, so staleness is
+/// bounded by the unsynced window, not by it alone), **no** checkpoint
+/// cadence — the follower's whole history is then pure log replay,
+/// which is the regime where replicated state is *bit*-identical to the
+/// leader's, so the spot checks can demand exact equality — and a ring
+/// deep enough that spot checks usually find their epoch still
+/// retained.
+pub const REPLICA_OPTIONS: DurableOptions = DurableOptions {
+    sync: SyncPolicy::Batched(64),
+    checkpoint_every: None,
+    retain_generations: 8,
+};
+
+/// The figures a replica replay produces: what follower-side serving
+/// delivers while the leader commits, and how stale it admits to being.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaReport {
+    /// Follower probe throughput (million estimates/s, summed across
+    /// followers) vs replica count, one series per design.
+    pub throughput: FigureResult,
+    /// Mean reported staleness (`Follower::lag_epochs`, sampled once
+    /// per probe round) vs replica count, one series per design.
+    pub lag_mean: FigureResult,
+    /// Max reported staleness over the replay vs replica count, one
+    /// series per design.
+    pub lag_max: FigureResult,
+    /// Fraction of staleness samples above the `--lag-target` bound,
+    /// when one was requested.
+    pub lag_misses: Option<FigureResult>,
+}
+
+impl ReplicaReport {
+    /// All figures as one markdown document.
+    pub fn to_markdown(&self) -> String {
+        let mut md = format!(
+            "{}{}{}",
+            self.throughput.to_markdown(),
+            self.lag_mean.to_markdown(),
+            self.lag_max.to_markdown()
+        );
+        if let Some(misses) = &self.lag_misses {
+            md.push_str(&misses.to_markdown());
+        }
+        md
+    }
+
+    /// All figures as one JSON document
+    /// (`{"throughput": {...}, "lag_mean": {...}, "lag_max": {...}}`,
+    /// plus `"lag_misses"` when a lag target was set) — what
+    /// `repro serve --replicas --json` emits and CI folds into the
+    /// `BENCH_serve` artifact as its fifth key.
+    pub fn to_json(&self) -> String {
+        let mut json = format!(
+            "{{\"throughput\":{},\"lag_mean\":{},\"lag_max\":{}",
+            self.throughput.to_json(),
+            self.lag_mean.to_json(),
+            self.lag_max.to_json()
+        );
+        if let Some(misses) = &self.lag_misses {
+            json.push_str(&format!(",\"lag_misses\":{}", misses.to_json()));
+        }
+        json.push_str("}\n");
+        json
+    }
+}
+
+/// A snapshot's rendered spans as raw bits — the exact-equality
+/// currency of the replica spot checks (floats compared as payloads,
+/// never tolerances).
+fn span_bits(snap: &Snapshot) -> Vec<(u64, u64, u64)> {
+    snap.spans()
+        .iter()
+        .map(|s| (s.lo.to_bits(), s.hi.to_bits(), s.count.to_bits()))
+        .collect()
+}
+
+/// Runs the replica replay: for every follower count in `replicas`, a
+/// durable leader ([`REPLICA_OPTIONS`]) ingests the stream with one
+/// committing writer while `R` [`dh_replica::Follower`]s tail its
+/// changelog directory, serve [`Serving::probe_round`]'s read mix, and
+/// sample their reported staleness after every poll. Records follower
+/// probe throughput (summed), mean and max reported lag, and — when
+/// `lag_target` is set — the fraction of samples exceeding it, per
+/// design, averaged over `opts` seeds.
+///
+/// The replay asserts the replication contract as it measures, twice
+/// over: every ~64 probe rounds a follower takes its own `SnapshotSet`,
+/// asks the leader for the *same epoch* via `snapshot_set_at`, and
+/// demands bit-identical spans (skipping only if retention already
+/// evicted that epoch); and once the leader finishes, every follower
+/// must catch up to the leader's exact final epoch and serve
+/// bit-identical spans. A replica that is "almost right" fails the
+/// bench instead of skewing the figure.
+///
+/// # Panics
+/// Panics if a follower poll errors, a spot check or the final
+/// convergence check diverges from the leader (contract violations), or
+/// the changelog cannot be opened.
+pub fn run_replicas(
+    cfg: ServeConfig,
+    replicas: &[usize],
+    opts: RunOptions,
+    lag_target: Option<u64>,
+) -> ReplicaReport {
+    use dh_replica::Follower;
+
+    let domain_max = opts.domain_max.unwrap_or(5000);
+    let gen_cfg = replay_gen_config(cfg, opts, domain_max);
+    let designs = ServeDesign::all();
+    let mut tp_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+    let mut mean_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+    let mut max_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+    let mut miss_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+
+    let mut per_tp: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; replicas.len()];
+    let mut per_mean: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; replicas.len()];
+    let mut per_max: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; replicas.len()];
+    let mut per_miss: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; replicas.len()];
+    for seed in opts.seed_values() {
+        let data = gen_cfg.generate(seed);
+        let stream =
+            UpdateStream::build(&data.values, WorkloadKind::RandomInsertions, seed ^ 0x5EED);
+        let ops = stream.ops();
+        let batches: Vec<Vec<UpdateOp>> = ops
+            .chunks(cfg.batch_size)
+            .map(<[UpdateOp]>::to_vec)
+            .collect();
+        for (ri, &r) in replicas.iter().enumerate() {
+            let r = r.max(1);
+            for (di, &design) in designs.iter().enumerate() {
+                let tmp = TempDir::new("serve-replicas");
+                let dir = tmp.path().to_path_buf();
+                let serving = Serving::build_durable(
+                    design,
+                    cfg.spec,
+                    cfg.memory,
+                    cfg.shards,
+                    (0, domain_max),
+                    seed,
+                    &dir,
+                    REPLICA_OPTIONS,
+                );
+                let done = AtomicBool::new(false);
+                let probes = AtomicU64::new(0);
+                let lag_sum = AtomicU64::new(0);
+                let lag_samples = AtomicU64::new(0);
+                let lag_peak = AtomicU64::new(0);
+                let lag_miss = AtomicU64::new(0);
+                let t0 = std::time::Instant::now();
+                std::thread::scope(|scope| {
+                    for t in 0..r {
+                        let (serving, dir) = (&serving, &dir);
+                        let (done, probes) = (&done, &probes);
+                        let (lag_sum, lag_samples) = (&lag_sum, &lag_samples);
+                        let (lag_peak, lag_miss) = (&lag_peak, &lag_miss);
+                        scope.spawn(move || {
+                            let follower =
+                                Follower::open(dir, design.store_kind()).expect("open follower");
+                            let mut i = t as u64;
+                            let mut local = 0u64;
+                            let mut sink = 0.0f64;
+                            let mut rounds = 0u64;
+                            while !done.load(Ordering::Acquire) || local == 0 {
+                                follower.poll().expect("follower poll");
+                                if follower.contains(COLUMN) {
+                                    sink += probe_store(&follower, i, (0, domain_max));
+                                    i += 1;
+                                    local += PROBES_PER_ROUND;
+                                }
+                                let lag = follower.lag_epochs();
+                                lag_sum.fetch_add(lag, Ordering::Relaxed);
+                                lag_samples.fetch_add(1, Ordering::Relaxed);
+                                lag_peak.fetch_max(lag, Ordering::Relaxed);
+                                if lag_target.is_some_and(|target| lag > target) {
+                                    lag_miss.fetch_add(1, Ordering::Relaxed);
+                                }
+                                rounds += 1;
+                                // Spot check: the follower's current
+                                // whole-epoch state must be bit-identical
+                                // to the leader's retained generation of
+                                // that same epoch.
+                                if rounds % 64 == 0 && follower.contains(COLUMN) {
+                                    let ours =
+                                        follower.snapshot_set(&[COLUMN]).expect("follower set");
+                                    match serving.store().snapshot_set_at(&[COLUMN], ours.epoch()) {
+                                        Ok(theirs) => assert_eq!(
+                                            span_bits(ours.get(COLUMN).expect("follower column")),
+                                            span_bits(theirs.get(COLUMN).expect("leader column")),
+                                            "{}: follower diverged at epoch {}",
+                                            design.label(),
+                                            ours.epoch()
+                                        ),
+                                        // Retention moved on between our
+                                        // poll and the lookup; nothing to
+                                        // compare against.
+                                        Err(CatalogError::EpochEvicted(_)) => {}
+                                        Err(e) => panic!("leader spot check: {e}"),
+                                    }
+                                }
+                            }
+                            std::hint::black_box(sink);
+                            probes.fetch_add(local, Ordering::Relaxed);
+                            // Convergence: once the leader stops, every
+                            // follower must reach its exact final epoch
+                            // and serve bit-identical spans.
+                            while follower.epoch() < serving.store().epoch() {
+                                follower.poll().expect("follower catch-up");
+                                std::thread::yield_now();
+                            }
+                            assert_eq!(follower.epoch(), serving.store().epoch());
+                            assert_eq!(
+                                span_bits(&follower.snapshot(COLUMN).expect("follower column")),
+                                span_bits(&serving.snapshot()),
+                                "{}: follower did not converge bit-identically",
+                                design.label()
+                            );
+                        });
+                    }
+                    // One committing writer, like the read mix: the
+                    // measured phase spans the whole commit burst.
+                    std::thread::scope(|writer| {
+                        let serving = &serving;
+                        let batches = &batches;
+                        writer.spawn(move || {
+                            for batch in batches {
+                                serving.apply(batch);
+                            }
+                            serving.flush();
+                        });
+                    });
+                    done.store(true, Ordering::Release);
+                });
+                let secs = t0.elapsed().as_secs_f64();
+                per_tp[ri][di].push(probes.load(Ordering::Relaxed) as f64 / secs / 1e6);
+                let samples = lag_samples.load(Ordering::Relaxed).max(1);
+                per_mean[ri][di].push(lag_sum.load(Ordering::Relaxed) as f64 / samples as f64);
+                per_max[ri][di].push(lag_peak.load(Ordering::Relaxed) as f64);
+                per_miss[ri][di].push(lag_miss.load(Ordering::Relaxed) as f64 / samples as f64);
+            }
+        }
+    }
+    for (ri, &r) in replicas.iter().enumerate() {
+        for di in 0..designs.len() {
+            tp_series[di].push(r as f64, mean(per_tp[ri][di].drain(..)));
+            mean_series[di].push(r as f64, mean(per_mean[ri][di].drain(..)));
+            max_series[di].push(r as f64, mean(per_max[ri][di].drain(..)));
+            miss_series[di].push(r as f64, mean(per_miss[ri][di].drain(..)));
+        }
+    }
+
+    let subtitle = format!(
+        "{} · {} shards · {:.2} KB · 1 committing leader writer",
+        cfg.spec.label(),
+        cfg.shards,
+        cfg.memory.kb()
+    );
+    ReplicaReport {
+        throughput: FigureResult {
+            id: "replica-throughput".into(),
+            title: format!("Follower estimate throughput while tailing ({subtitle})"),
+            x_label: "Replicas".into(),
+            y_label: "Throughput [M estimates/s]".into(),
+            series: tp_series,
+        },
+        lag_mean: FigureResult {
+            id: "replica-lag-mean".into(),
+            title: format!("Mean reported staleness ({subtitle})"),
+            x_label: "Replicas".into(),
+            y_label: "Lag [epochs]".into(),
+            series: mean_series,
+        },
+        lag_max: FigureResult {
+            id: "replica-lag-max".into(),
+            title: format!("Max reported staleness ({subtitle})"),
+            x_label: "Replicas".into(),
+            y_label: "Lag [epochs]".into(),
+            series: max_series,
+        },
+        lag_misses: lag_target.map(|target| FigureResult {
+            id: "replica-lag-misses".into(),
+            title: format!("Staleness samples above {target} epochs ({subtitle})"),
+            x_label: "Replicas".into(),
+            y_label: "Miss fraction".into(),
+            series: miss_series,
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1047,6 +1347,57 @@ mod tests {
         assert!(json.contains("\"recovery\":{\"id\":\"durable-recovery\""));
         let md = report.to_markdown();
         assert!(md.contains("durable-throughput") && md.contains("durable-recovery"));
+    }
+
+    #[test]
+    fn replica_report_measures_follower_serving_and_lag() {
+        let opts = RunOptions {
+            seeds: 1,
+            scale: 0.02,
+            domain_max: Some(500),
+        };
+        let report = run_replicas(ServeConfig::default(), &[1, 2], opts, Some(64));
+        let misses = report.lag_misses.as_ref().expect("lag target requested");
+        for fig in [
+            &report.throughput,
+            &report.lag_mean,
+            &report.lag_max,
+            misses,
+        ] {
+            assert_eq!(fig.series.len(), 3);
+            for design in ServeDesign::all() {
+                assert!(fig.series_named(design.label()).is_some());
+            }
+            for s in &fig.series {
+                assert_eq!(s.points.len(), 2);
+                assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y >= 0.0));
+            }
+        }
+        // Lag means never exceed lag maxima, and miss fractions are
+        // fractions.
+        for di in 0..3 {
+            for p in 0..2 {
+                assert!(
+                    report.lag_mean.series[di].points[p].1
+                        <= report.lag_max.series[di].points[p].1 + 1e-12
+                );
+            }
+        }
+        for s in &misses.series {
+            assert!(s.points.iter().all(|&(_, y)| (0.0..=1.0).contains(&y)));
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"throughput\":{\"id\":\"replica-throughput\""));
+        assert!(json.contains("\"lag_mean\":{\"id\":\"replica-lag-mean\""));
+        assert!(json.contains("\"lag_max\":{\"id\":\"replica-lag-max\""));
+        assert!(json.contains("\"lag_misses\":{\"id\":\"replica-lag-misses\""));
+        let md = report.to_markdown();
+        assert!(md.contains("replica-throughput") && md.contains("replica-lag-max"));
+        // Without a target there is no misses figure, and the JSON stays
+        // a three-key document.
+        let bare = run_replicas(ServeConfig::default(), &[1], opts, None);
+        assert!(bare.lag_misses.is_none());
+        assert!(!bare.to_json().contains("lag_misses"));
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub enum CatalogError {
     /// to a string (the trait's error type predates the durability
     /// layer; `DurableStore::open` returns the fully-typed error).
     Durability(String),
+    /// The store is a read replica (a `dh_replica` `Follower`): it
+    /// replays mutations from the leader's changelog and accepts none
+    /// of its own. Route the write to the leader.
+    ReadOnlyReplica,
 }
 
 impl fmt::Display for CatalogError {
@@ -57,6 +61,12 @@ impl fmt::Display for CatalogError {
                 write!(f, "epoch {epoch} is no longer retained for time travel")
             }
             CatalogError::Durability(why) => write!(f, "durability failure: {why}"),
+            CatalogError::ReadOnlyReplica => {
+                write!(
+                    f,
+                    "store is a read-only replica; route mutations to the leader"
+                )
+            }
         }
     }
 }

@@ -85,7 +85,10 @@ pub enum StoreKind {
 }
 
 impl StoreKind {
-    fn byte(self) -> u8 {
+    /// The header tag byte this kind stamps into segments and
+    /// checkpoints — what a follower must hand to `dh_wal`'s tail
+    /// reader so it refuses a directory of the wrong design.
+    pub fn tag(self) -> u8 {
         match self {
             StoreKind::Single => 1,
             StoreKind::Sharded => 2,
@@ -243,29 +246,9 @@ impl DurableStore {
         opts: DurableOptions,
     ) -> Result<Self, DurableError> {
         let dir = dir.into();
-        let (wal, records) = Wal::open(&dir, kind.byte(), opts.sync)?;
-        let checkpoint = latest_checkpoint(&dir, kind.byte())?;
-        let mut configs = BTreeMap::new();
-
-        // Build the concrete store first: the checkpoint restore needs
-        // its `DirectRestore` seam, which the object-safe `ColumnStore`
-        // trait deliberately does not carry.
-        let inner: Box<dyn ColumnStore> = match kind {
-            StoreKind::Single => {
-                let store = Catalog::new();
-                if let Some(ckpt) = &checkpoint {
-                    restore_checkpoint(&store, ckpt, &mut configs)?;
-                }
-                Box::new(store)
-            }
-            StoreKind::Sharded => {
-                let store = ShardedCatalog::new();
-                if let Some(ckpt) = &checkpoint {
-                    restore_checkpoint(&store, ckpt, &mut configs)?;
-                }
-                Box::new(store)
-            }
-        };
+        let (wal, records) = Wal::open(&dir, kind.tag(), opts.sync)?;
+        let checkpoint = latest_checkpoint(&dir, kind.tag())?;
+        let (inner, configs) = restore_base(kind, checkpoint.as_ref())?;
         let base = checkpoint.as_ref().map_or(0, |ckpt| ckpt.epoch);
 
         let store = DurableStore {
@@ -293,7 +276,7 @@ impl DurableStore {
         for record in records {
             match record {
                 WalRecord::Register { column, config } => {
-                    let config = record_to_config(&config)?;
+                    let config = config_from_record(&config)?;
                     match st.configs.get(&column) {
                         Some(live) if *live == config => {} // covered by the checkpoint
                         Some(live) => {
@@ -472,7 +455,7 @@ impl DurableStore {
                 spans: snap.spans(),
             })
             .collect();
-        write_checkpoint(&self.dir, self.kind.byte(), &Checkpoint { epoch, columns })?;
+        write_checkpoint(&self.dir, self.kind.tag(), &Checkpoint { epoch, columns })?;
         st.wal.rotate(epoch + 1)?;
         // Prune segments back to the *oldest retained* checkpoint, not
         // this one: if this checkpoint is later found damaged (bit rot),
@@ -723,9 +706,53 @@ impl ColumnStore for DurableStore {
     }
 }
 
+/// What [`restore_base`] hands back: the freshly built inner store and
+/// the restored per-column config map.
+pub type RestoredBase = (Box<dyn ColumnStore>, BTreeMap<String, ColumnConfig>);
+
+/// Builds a fresh inner store of `kind` and seeds it from `checkpoint`
+/// when one is given, returning the boxed store plus the restored
+/// config map (with re-shard policies intact — the store inside gets
+/// them stripped, see [`strip_policy`]). This is the recovery base both
+/// [`DurableStore::open`] and a read replica's checkpoint fallback
+/// start replaying the changelog tail onto.
+///
+/// # Errors
+/// [`DurableError::Recovery`] if the checkpoint is internally
+/// inconsistent; [`DurableError::Store`] if the inner store rejects a
+/// restored column.
+pub fn restore_base(
+    kind: StoreKind,
+    checkpoint: Option<&Checkpoint>,
+) -> Result<RestoredBase, DurableError> {
+    let mut configs = BTreeMap::new();
+    // Build the concrete store first: the checkpoint restore needs its
+    // `DirectRestore` seam, which the object-safe `ColumnStore` trait
+    // deliberately does not carry.
+    let inner: Box<dyn ColumnStore> = match kind {
+        StoreKind::Single => {
+            let store = Catalog::new();
+            if let Some(ckpt) = checkpoint {
+                restore_checkpoint(&store, ckpt, &mut configs)?;
+            }
+            Box::new(store)
+        }
+        StoreKind::Sharded => {
+            let store = ShardedCatalog::new();
+            if let Some(ckpt) = checkpoint {
+                restore_checkpoint(&store, ckpt, &mut configs)?;
+            }
+            Box::new(store)
+        }
+    };
+    Ok((inner, configs))
+}
+
 /// `config` as the inner store should see it: identical, minus any
-/// re-shard policy (the decorator runs policy itself).
-fn strip_policy(config: &ColumnConfig) -> ColumnConfig {
+/// re-shard policy (the [`DurableStore`] decorator — and likewise a
+/// replica replaying its log — runs policy itself, so the inner store
+/// must never second-guess it).
+pub fn strip_policy(config: &ColumnConfig) -> ColumnConfig {
     ColumnConfig {
         reshard: None,
         ..*config
@@ -751,7 +778,14 @@ fn config_to_record(config: &ColumnConfig) -> ConfigRecord {
     }
 }
 
-fn record_to_config(record: &ConfigRecord) -> Result<ColumnConfig, DurableError> {
+/// Decodes a logged [`ConfigRecord`] back into a live [`ColumnConfig`]
+/// — the shared leg of replaying a register record, on recovery and on
+/// a replica alike.
+///
+/// # Errors
+/// [`DurableError::Recovery`] if the record names an unknown algorithm
+/// or an invalid shard plan.
+pub fn config_from_record(record: &ConfigRecord) -> Result<ColumnConfig, DurableError> {
     let spec: AlgoSpec = record.spec.parse().map_err(|e| {
         DurableError::Recovery(format!("unknown algorithm in register record: {e}"))
     })?;
@@ -793,7 +827,7 @@ fn restore_checkpoint<S: ColumnStore + DirectRestore>(
                 col.column, col.accepted, ckpt.epoch
             )));
         }
-        let config = record_to_config(&col.config)?;
+        let config = config_from_record(&col.config)?;
         inner.register(&col.column, strip_policy(&config))?;
         configs.insert(col.column.clone(), config);
     }
@@ -964,7 +998,7 @@ mod tests {
                 min_interval_epochs: 3,
                 min_load: 17,
             });
-        let back = record_to_config(&config_to_record(&config)).unwrap();
+        let back = config_from_record(&config_to_record(&config)).unwrap();
         // Bit-wise equality: NaN thresholds compare equal to themselves.
         assert_eq!(back, config);
     }

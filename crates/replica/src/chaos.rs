@@ -1,0 +1,264 @@
+//! Fault-injecting changelog replication: the adversary the chaos
+//! suite races a [`Follower`](crate::Follower) against.
+//!
+//! [`ChaosDir`] models the ugliest honest replication stream a
+//! follower can face: a process copying the leader's changelog
+//! directory file-by-file, where any copy can be caught mid-write
+//! (truncated tails at arbitrary byte boundaries), any file's
+//! appearance can be delayed or reordered relative to the leader's
+//! write order, and checkpoint files can vanish mid-copy. It never
+//! *invents* bytes — every follower-side file is always a prefix of
+//! some past-or-present leader-side file — because the follower's
+//! contract is to survive every honest race, while actual bit rot is
+//! (correctly) a typed corruption error.
+//!
+//! Faults are driven by a seeded deterministic generator, so every
+//! chaos schedule in the test suite is reproducible from its seed.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A faulty one-way copier from a leader's changelog directory to a
+/// follower's.
+///
+/// Each [`step`](ChaosDir::step) makes one pass over the leader's
+/// files, copying each with an injected fault (or skipping it); it
+/// also mirrors the leader's deletions (segment pruning, checkpoint
+/// retention) and occasionally deletes a follower-side checkpoint
+/// mid-copy. [`settle`](ChaosDir::settle) ends the storm: it copies
+/// everything faithfully, after which the follower must converge.
+#[derive(Debug)]
+pub struct ChaosDir {
+    leader: PathBuf,
+    follower: PathBuf,
+    rng: u64,
+}
+
+impl ChaosDir {
+    /// A chaos copier from `leader` to `follower` (created if absent),
+    /// with all faults drawn deterministically from `seed`.
+    ///
+    /// # Errors
+    /// Any I/O failure creating the follower directory.
+    pub fn new(
+        leader: impl Into<PathBuf>,
+        follower: impl Into<PathBuf>,
+        seed: u64,
+    ) -> io::Result<ChaosDir> {
+        let leader = leader.into();
+        let follower = follower.into();
+        fs::create_dir_all(&follower)?;
+        Ok(ChaosDir {
+            leader,
+            follower,
+            // xorshift must not start at 0; fold the seed into a
+            // non-zero state.
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        })
+    }
+
+    /// The follower-side directory the copier writes into.
+    pub fn follower_dir(&self) -> &Path {
+        &self.follower
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*: deterministic, no external dependency.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// One faulty replication pass. Per leader file, one of: skip it
+    /// this round (delayed/reordered appearance), deliver a prefix
+    /// truncated at a random byte boundary (a copy caught mid-write),
+    /// or deliver it whole. Mirrors leader-side deletions, and with
+    /// some probability deletes one follower-side checkpoint (the
+    /// mid-copy checkpoint-deletion fault).
+    ///
+    /// # Errors
+    /// Any real I/O failure; injected faults are not errors.
+    pub fn step(&mut self) -> io::Result<()> {
+        for (name, path) in list(&self.leader)? {
+            let roll = self.next() % 100;
+            if roll < 30 {
+                continue; // delayed: this file does not appear yet
+            }
+            // Tolerate the leader pruning the file mid-pass.
+            let bytes = match fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let deliver = if roll < 60 {
+                // Truncated mid-copy, at any byte boundary.
+                let cut = (self.next() as usize) % (bytes.len() + 1);
+                &bytes[..cut]
+            } else {
+                &bytes[..]
+            };
+            // Never regress a fully-delivered file to a shorter prefix:
+            // a real copier appends, it does not rewind. (The tail
+            // reader tolerates shrinkage too, but the chaos model stays
+            // an honest stream.)
+            let dst = self.follower.join(&name);
+            let have = fs::metadata(&dst).map(|m| m.len()).unwrap_or(0);
+            if (deliver.len() as u64) < have {
+                continue;
+            }
+            fs::write(&dst, deliver)?;
+        }
+        self.mirror_deletions()?;
+        if self.next() % 100 < 20 {
+            // Mid-copy checkpoint deletion: one follower-side
+            // checkpoint vanishes even though the leader still has it.
+            let checkpoints: Vec<PathBuf> = list(&self.follower)?
+                .into_iter()
+                .filter(|(name, _)| name.ends_with(".ck"))
+                .map(|(_, path)| path)
+                .collect();
+            if !checkpoints.is_empty() {
+                let victim = &checkpoints[(self.next() as usize) % checkpoints.len()];
+                let _ = fs::remove_file(victim);
+            }
+        }
+        Ok(())
+    }
+
+    /// Ends the fault schedule: copies every leader file whole and
+    /// mirrors deletions, leaving the follower directory an exact
+    /// replica of the leader's. After this, a polling follower must
+    /// converge bit-identically.
+    ///
+    /// # Errors
+    /// Any real I/O failure.
+    pub fn settle(&mut self) -> io::Result<()> {
+        for (name, path) in list(&self.leader)? {
+            let bytes = match fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            fs::write(self.follower.join(&name), &bytes)?;
+        }
+        self.mirror_deletions()
+    }
+
+    /// Removes follower-side files the leader no longer has — the
+    /// replication stream's view of segment pruning and checkpoint
+    /// retention.
+    fn mirror_deletions(&mut self) -> io::Result<()> {
+        let keep: Vec<String> = list(&self.leader)?.into_iter().map(|(n, _)| n).collect();
+        for (name, path) in list(&self.follower)? {
+            if !keep.contains(&name) {
+                let _ = fs::remove_file(&path);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Changelog files (segments and checkpoints) in `dir`, sorted by name
+/// — which for segments is start-epoch order. A missing directory
+/// lists empty.
+fn list(dir: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(files),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let Some(name) = entry.file_name().to_str().map(str::to_owned) else {
+            continue;
+        };
+        if name.ends_with(".seg") || name.ends_with(".ck") {
+            files.push((name, entry.path()));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_wal::tmp::TempDir;
+
+    #[test]
+    fn settle_produces_an_exact_replica() {
+        let leader = TempDir::new("chaos-leader");
+        let follower = TempDir::new("chaos-follower");
+        fs::write(leader.path().join("wal-00000000000000000000.seg"), b"abc").unwrap();
+        fs::write(leader.path().join("ckpt-00000000000000000004.ck"), b"xyz").unwrap();
+        fs::write(follower.path().join("wal-99999999999999999999.seg"), b"zzz").unwrap();
+
+        let mut chaos = ChaosDir::new(leader.path(), follower.path(), 1).unwrap();
+        for _ in 0..5 {
+            chaos.step().unwrap();
+        }
+        chaos.settle().unwrap();
+
+        let snap = |dir: &Path| {
+            let mut v = list(dir)
+                .unwrap()
+                .into_iter()
+                .map(|(n, p)| (n, fs::read(p).unwrap()))
+                .collect::<Vec<_>>();
+            v.sort();
+            v
+        };
+        assert_eq!(snap(leader.path()), snap(follower.path()));
+    }
+
+    #[test]
+    fn faults_only_ever_deliver_prefixes() {
+        let leader = TempDir::new("chaos-pre-leader");
+        let follower = TempDir::new("chaos-pre-follower");
+        let payload: Vec<u8> = (0..=255).collect();
+        fs::write(leader.path().join("wal-00000000000000000000.seg"), &payload).unwrap();
+
+        let mut chaos = ChaosDir::new(leader.path(), follower.path(), 7).unwrap();
+        for _ in 0..20 {
+            chaos.step().unwrap();
+            let dst = follower.path().join("wal-00000000000000000000.seg");
+            if let Ok(bytes) = fs::read(&dst) {
+                assert_eq!(bytes[..], payload[..bytes.len()], "not a prefix");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |label: &str| {
+            let leader = TempDir::new(&format!("chaos-det-l-{label}"));
+            let follower = TempDir::new(&format!("chaos-det-f-{label}"));
+            for i in 0..4u64 {
+                fs::write(
+                    leader.path().join(format!("wal-{i:020}.seg")),
+                    vec![i as u8; 64],
+                )
+                .unwrap();
+            }
+            let mut chaos = ChaosDir::new(leader.path(), follower.path(), 42).unwrap();
+            let mut trace = Vec::new();
+            for _ in 0..6 {
+                chaos.step().unwrap();
+                let mut state: Vec<(String, u64)> = list(follower.path())
+                    .unwrap()
+                    .into_iter()
+                    .map(|(n, p)| (n, fs::metadata(p).unwrap().len()))
+                    .collect();
+                state.sort();
+                trace.push(state);
+            }
+            trace
+        };
+        assert_eq!(run("a"), run("b"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Read replicas for the catalog serving stack: a [`Follower`] tails a
+//! leader's epoch changelog (`dh_wal`) and serves the same wait-free
+//! read path the leader does, at a bounded, *reported* staleness.
+//!
+//! The leader side is `dh_catalog`'s `DurableStore`: its changelog is a
+//! totally-ordered sequence of whole-epoch state transitions whose
+//! replay is deterministic. A follower is nothing more than that replay
+//! running continuously against a directory someone else is writing —
+//! a shared directory, or one fed by a file-copying replication stream:
+//!
+//! * [`Follower`] — owns an inner store of the leader's
+//!   [`StoreKind`](dh_catalog::StoreKind), applies sealed epochs as
+//!   they become visible ([`Follower::poll`]), serves every
+//!   `ColumnStore` read (`snapshot_set`, `estimate_*`, the predicate
+//!   front cache), rejects every mutation with
+//!   [`CatalogError::ReadOnlyReplica`](dh_catalog::CatalogError), and
+//!   reports its staleness ([`Follower::lag_epochs`],
+//!   [`Follower::leader_epoch_hint`]).
+//! * [`chaos`] — [`ChaosDir`](chaos::ChaosDir), the fault-injecting
+//!   segment-copier the chaos suite (`tests/replica_chaos.rs`) races
+//!   the follower against: truncated tails, delayed and reordered
+//!   segment appearance, checkpoint deletion mid-copy.
+//!
+//! The tailing state machine, the staleness contract and the fault
+//! matrix are documented in `docs/REPLICATION.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chaos;
+mod follower;
+
+pub use follower::{Follower, PollReport, PollStatus};

@@ -17,6 +17,12 @@
 //!   rotation at checkpoint boundaries, and removal of segments fully
 //!   covered by a checkpoint; plus the [`Checkpoint`] file codec
 //!   (written via temp-file + atomic rename).
+//! * [`tail`] — [`TailReader`]: the read-only counterpart of
+//!   [`Wal::open`] for **followers** that tail a changelog directory
+//!   someone else is writing. It re-polls torn tails and half-rotated
+//!   segments instead of repairing them, never deletes or truncates,
+//!   and reports pruning-under-the-reader as a typed condition so a
+//!   replica can fall back to a checkpoint (`docs/REPLICATION.md`).
 //! * [`tmp`] — [`TempDir`], the per-test unique scratch directory every
 //!   disk-touching test and bench in the workspace goes through
 //!   (parallel-safe, removed on drop).
@@ -44,10 +50,12 @@
 
 pub mod record;
 pub mod segment;
+pub mod tail;
 pub mod tmp;
 
 pub use record::{ConfigRecord, PlanRecord, ReshardPolicyRecord, WalRecord};
 pub use segment::{Checkpoint, CheckpointColumn, Wal};
+pub use tail::{TailPoll, TailReader, TailStatus};
 pub use tmp::TempDir;
 
 use std::fmt;

@@ -33,11 +33,11 @@ use dh_core::BucketSpan;
 use crate::record::{self, ConfigRecord, Frame, Reader, WalRecord, Writer};
 use crate::{SyncPolicy, WalError};
 
-const SEG_MAGIC: &[u8; 8] = b"DHWAL001";
+pub(crate) const SEG_MAGIC: &[u8; 8] = b"DHWAL001";
 const CKPT_MAGIC: &[u8; 8] = b"DHCKP001";
-const HEADER_LEN: u64 = 9;
+pub(crate) const HEADER_LEN: u64 = 9;
 
-fn segment_name(start_epoch: u64) -> String {
+pub(crate) fn segment_name(start_epoch: u64) -> String {
     format!("wal-{start_epoch:020}.seg")
 }
 
@@ -46,12 +46,12 @@ fn checkpoint_name(epoch: u64) -> String {
 }
 
 /// Parses `wal-{epoch:020}.seg` back to its start epoch.
-fn parse_segment_name(name: &str) -> Option<u64> {
+pub(crate) fn parse_segment_name(name: &str) -> Option<u64> {
     let epoch = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
     (epoch.len() == 20).then(|| epoch.parse().ok()).flatten()
 }
 
-fn parse_checkpoint_name(name: &str) -> Option<u64> {
+pub(crate) fn parse_checkpoint_name(name: &str) -> Option<u64> {
     let epoch = name.strip_prefix("ckpt-")?.strip_suffix(".ck")?;
     (epoch.len() == 20).then(|| epoch.parse().ok()).flatten()
 }
@@ -64,7 +64,12 @@ fn fsync_dir(dir: &Path) -> Result<(), WalError> {
 }
 
 /// Validates a 9-byte header, returning the remaining payload offset.
-fn check_header(path: &Path, buf: &[u8], magic: &[u8; 8], kind: u8) -> Result<(), WalError> {
+pub(crate) fn check_header(
+    path: &Path,
+    buf: &[u8],
+    magic: &[u8; 8],
+    kind: u8,
+) -> Result<(), WalError> {
     if buf.len() < HEADER_LEN as usize {
         return Err(WalError::BadHeader {
             path: path.to_path_buf(),

@@ -30,6 +30,9 @@
 //! * [`wal`] — the epoch-changelog write-ahead log, checkpoint files and
 //!   crash-recovery primitives `DurableStore` persists through (see
 //!   `docs/DURABILITY.md`).
+//! * [`replica`] — read replicas: a `Follower` tails a leader's
+//!   changelog directory and serves the same wait-free read path at a
+//!   bounded, reported staleness (see `docs/REPLICATION.md`).
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@ pub use dh_core as core;
 pub use dh_distributed as distributed;
 pub use dh_gen as gen;
 pub use dh_optimizer as optimizer;
+pub use dh_replica as replica;
 pub use dh_sample as sample;
 pub use dh_static as statics;
 pub use dh_stats as stats;
@@ -78,6 +82,7 @@ pub mod prelude {
         synthetic::{SyntheticConfig, SyntheticDataset},
         workload::{Update, UpdateStream, WorkloadKind},
     };
+    pub use dh_replica::{Follower, PollReport, PollStatus};
     pub use dh_sample::{AcHistogram, ReservoirSample};
     pub use dh_static::{
         CompressedHistogram, EquiDepthHistogram, EquiWidthHistogram, SadoHistogram, SsbmHistogram,
