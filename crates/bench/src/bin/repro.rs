@@ -47,13 +47,24 @@
 //!                                # fraction of samples above E epochs),
 //!                                # with bit-identity spot checks against
 //!                                # the leader's retained generations
+//! repro serve --sites 1,2,4 [--kill K] [--strategy HU|UH]
+//!                                # multi-site replay: for every count N a
+//!                                # read-only GlobalCatalog composes one
+//!                                # in-process member per design with N-1
+//!                                # socket-remote SiteServers, fed over
+//!                                # the wire — composition throughput,
+//!                                # composed KS vs the pooled truth and
+//!                                # the site-probe failure fraction;
+//!                                # --kill stops K remote members and adds
+//!                                # the degraded-accuracy figure
 //! ```
 
 use dh_bench::{
     all_figure_ids, run_custom, run_durable, run_figure, run_read_mix, run_replicas, run_reshard,
-    run_serve, RunOptions, ServeConfig,
+    run_serve, run_sites, RunOptions, ServeConfig,
 };
 use dh_catalog::AlgoSpec;
+use dh_distributed::GlobalStrategy;
 use dh_gen::workload::WorkloadKind;
 use std::io::Write;
 use std::path::PathBuf;
@@ -65,7 +76,8 @@ fn usage() -> ! {
          \x20      repro serve [--shards N] [--writers LIST] [--algos SPEC] [--json]\n\
          \x20                  [--reshard] [--skew S] [--read-mix] [--readers LIST]\n\
          \x20                  [--durable] [--wal-dir DIR] [--replicas LIST]\n\
-         \x20                  [--lag-target E] [options]\n\
+         \x20                  [--lag-target E] [--sites LIST] [--kill K]\n\
+         \x20                  [--strategy HU|UH] [options]\n\
          (no figure list means all figures; beware that without --quick this\n\
          is the paper-scale run. --algos takes paper legend names, e.g.\n\
          DC,DVO,DADO,AC20X,EquiWidth,EquiDepth,SC,SVO,SADO,SSBM)"
@@ -93,6 +105,9 @@ fn main() {
     let mut wal_dir: Option<PathBuf> = None;
     let mut replicas: Option<Vec<usize>> = None;
     let mut lag_target: Option<u64> = None;
+    let mut sites: Option<Vec<usize>> = None;
+    let mut kill: Option<usize> = None;
+    let mut strategy: Option<GlobalStrategy> = None;
     let mut skew: Option<f64> = None;
     let mut shards: Option<usize> = None;
     let mut writers: Option<Vec<usize>> = None;
@@ -123,6 +138,28 @@ fn main() {
             "--lag-target" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 lag_target = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--sites" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                sites = Some(
+                    list.split(',')
+                        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
+            "--kill" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                kill = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--strategy" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                match v.parse::<GlobalStrategy>() {
+                    Ok(s) => strategy = Some(s),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage();
+                    }
+                }
             }
             "--readers" => {
                 let list = it.next().unwrap_or_else(|| usage());
@@ -228,6 +265,58 @@ fn main() {
         cfg.skew = skew;
         let writers = writers.unwrap_or_else(|| vec![1, 2, 4, 8]);
         let t0 = std::time::Instant::now();
+        if let Some(sites) = &sites {
+            if reshard || read_mix || durable || replicas.is_some() {
+                eprintln!(
+                    "--sites is mutually exclusive with --reshard/--read-mix/--durable/--replicas"
+                );
+                usage();
+            }
+            if readers.is_some() || wal_dir.is_some() || lag_target.is_some() {
+                eprintln!("--readers/--wal-dir/--lag-target do not apply to serve --sites");
+                usage();
+            }
+            // Multi-site replay: a GlobalCatalog composes one in-process
+            // member per design with N-1 socket-remote sites, optionally
+            // killing some to measure degraded reads.
+            eprint!("running serve --sites ... ");
+            std::io::stderr().flush().ok();
+            let report = run_sites(
+                cfg,
+                sites,
+                kill.unwrap_or(0),
+                strategy.unwrap_or(GlobalStrategy::HistogramThenUnion),
+                opts,
+            );
+            eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                println!("{}", report.to_markdown());
+            }
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).expect("create output directory");
+                let mut figs = vec![&report.throughput, &report.accuracy, &report.health];
+                if let Some(degraded) = &report.degraded {
+                    figs.push(degraded);
+                }
+                for fig in figs {
+                    let path = dir.join(format!("{}.csv", fig.id));
+                    std::fs::write(&path, fig.to_csv())
+                        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                    eprintln!("wrote {}", path.display());
+                }
+                let path = dir.join("sites.json");
+                std::fs::write(&path, report.to_json())
+                    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                eprintln!("wrote {}", path.display());
+            }
+            return;
+        }
+        if kill.is_some() || strategy.is_some() {
+            eprintln!("--kill/--strategy only apply to serve --sites");
+            usage();
+        }
         if let Some(replicas) = &replicas {
             if reshard || read_mix || durable {
                 eprintln!("--replicas is mutually exclusive with --reshard/--read-mix/--durable");
@@ -409,10 +498,13 @@ fn main() {
         || wal_dir.is_some()
         || replicas.is_some()
         || lag_target.is_some()
+        || sites.is_some()
+        || kill.is_some()
+        || strategy.is_some()
     {
         eprintln!(
             "--shards/--writers/--reshard/--skew/--read-mix/--readers/--durable/--wal-dir/\
-             --replicas/--lag-target only apply to serve mode"
+             --replicas/--lag-target/--sites/--kill/--strategy only apply to serve mode"
         );
         usage();
     }

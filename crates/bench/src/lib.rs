@@ -50,6 +50,7 @@ pub use figures::{all_figure_ids, run_custom, run_figure};
 pub use harness::{FigureResult, RunOptions, Series};
 pub use serve::{
     ingest, load_balance, run_durable, run_read_mix, run_replicas, run_reshard, run_serve,
-    DurableReport, ReadMixReport, ReplicaReport, ReshardReport, ServeConfig, ServeDesign,
-    ServeReport, Serving, DURABLE_OPTIONS, PROBES_PER_ROUND, REPLICA_OPTIONS, RESHARD_POLICY,
+    run_sites, DurableReport, ReadMixReport, ReplicaReport, ReshardReport, ServeConfig,
+    ServeDesign, ServeReport, Serving, SitesReport, DURABLE_OPTIONS, PROBES_PER_ROUND,
+    REPLICA_OPTIONS, RESHARD_POLICY,
 };

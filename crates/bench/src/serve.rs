@@ -185,6 +185,12 @@ impl Serving {
         self.store.as_ref()
     }
 
+    /// Unwraps the boxed store — how the `--sites` arm hands a design's
+    /// store to a `dh_site::LocalSite` member.
+    pub fn into_store(self) -> Box<dyn ColumnStore> {
+        self.store
+    }
+
     /// Applies one batch (thread-safe).
     ///
     /// # Panics
@@ -1220,6 +1226,271 @@ pub fn run_replicas(
     }
 }
 
+/// The figures a multi-site replay produces: what a `GlobalCatalog`
+/// composition over N member sites serves, healthy and degraded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SitesReport {
+    /// Global probe throughput (million estimates/s — every estimate is
+    /// a full cross-site composition) vs site count, one series per
+    /// design backing the local member.
+    pub throughput: FigureResult,
+    /// Composed estimation error (KS vs the exact pooled distribution)
+    /// vs site count, one series per design.
+    pub accuracy: FigureResult,
+    /// Site-probe failure fraction over the whole replay
+    /// (`ReadStats::site_failures / ReadStats::site_probes`) vs site
+    /// count, one series per design. Zero unless sites were killed.
+    pub health: FigureResult,
+    /// Composed KS against the *full* pooled distribution after `K`
+    /// remote members are killed — the price of degradation, present
+    /// only when the replay killed anyone.
+    pub degraded: Option<FigureResult>,
+}
+
+impl SitesReport {
+    /// All figures as one markdown document.
+    pub fn to_markdown(&self) -> String {
+        let mut md = format!(
+            "{}{}{}",
+            self.throughput.to_markdown(),
+            self.accuracy.to_markdown(),
+            self.health.to_markdown()
+        );
+        if let Some(degraded) = &self.degraded {
+            md.push_str(&degraded.to_markdown());
+        }
+        md
+    }
+
+    /// All figures as one JSON document
+    /// (`{"throughput": {...}, "accuracy": {...}, "health": {...}}`,
+    /// plus `"degraded"` when members were killed) — what
+    /// `repro serve --sites --json` emits and CI folds into the
+    /// `BENCH_serve` artifact as its sixth key.
+    pub fn to_json(&self) -> String {
+        let mut json = format!(
+            "{{\"throughput\":{},\"accuracy\":{},\"health\":{}",
+            self.throughput.to_json(),
+            self.accuracy.to_json(),
+            self.health.to_json()
+        );
+        if let Some(degraded) = &self.degraded {
+            json.push_str(&format!(",\"degraded\":{}", degraded.to_json()));
+        }
+        json.push_str("}\n");
+        json
+    }
+}
+
+/// Probe rounds per measured phase of the sites replay (each round is
+/// [`PROBES_PER_ROUND`] estimates, each a full cross-site composition
+/// with socket hops to every remote member).
+const SITE_PROBE_ROUNDS: u64 = 32;
+
+/// Runs the multi-site replay: for every member count `N` in `sites`,
+/// the generated stream is dealt round-robin across `N` members — the
+/// first backed by the design's in-process store ([`Serving`] handing
+/// its store to a `LocalSite`), the rest socket-remote `DurableStore`s
+/// behind `SiteServer`s, registered and fed *over the wire*. A
+/// read-only `GlobalCatalog` composes them under `strategy` (the
+/// histogram-then-union strategy is SSBM-reduced to the configured
+/// memory's bucket budget, mirroring the paper's Section 8 setup), and
+/// the replay records composition throughput and composed KS against
+/// the exact pooled distribution, averaged over `opts` seeds.
+///
+/// With `kill > 0`, the replay then stops that many remote servers
+/// (never the local member) and measures the degraded phase: composed
+/// KS against the *full* truth (the degradation price) and the
+/// site-probe failure fraction, while asserting the degradation
+/// contract — reads keep succeeding, the killed members are reported
+/// `Unreachable`, and `ReadStats::degraded_reads` advances.
+///
+/// # Panics
+/// Panics if a healthy read fails, a degraded read fails or
+/// under-reports its failures, or a store/server cannot be built
+/// (contract violations, not measurement noise).
+pub fn run_sites(
+    cfg: ServeConfig,
+    sites: &[usize],
+    kill: usize,
+    strategy: dh_distributed::GlobalStrategy,
+    opts: RunOptions,
+) -> SitesReport {
+    use dh_core::HistogramClass;
+    use dh_distributed::GlobalStrategy;
+    use dh_site::{GlobalCatalog, LocalSite, RemoteSite, Site, SiteServer, SiteStatus};
+
+    let domain_max = opts.domain_max.unwrap_or(5000);
+    let gen_cfg = replay_gen_config(cfg, opts, domain_max);
+    let designs = ServeDesign::all();
+    let mut tp_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+    let mut ks_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+    let mut health_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+    let mut deg_series: Vec<Series> = designs.iter().map(|d| Series::new(d.label())).collect();
+
+    let mut per_tp: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; sites.len()];
+    let mut per_ks: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; sites.len()];
+    let mut per_health: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; sites.len()];
+    let mut per_deg: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); designs.len()]; sites.len()];
+    for seed in opts.seed_values() {
+        let data = gen_cfg.generate(seed);
+        let truth = DataDistribution::from_values(&data.values);
+        for (ni, &n) in sites.iter().enumerate() {
+            let n = n.max(1);
+            let kill = kill.min(n - 1);
+            for (di, &design) in designs.iter().enumerate() {
+                // Member 0: the design's in-process store. Members
+                // 1..n: durable stores behind socket servers, set up
+                // entirely over the wire.
+                let local = Serving::build(
+                    design,
+                    cfg.spec,
+                    cfg.memory,
+                    cfg.shards,
+                    (0, domain_max),
+                    seed,
+                )
+                .into_store();
+                let mut members: Vec<std::sync::Arc<dyn Site>> =
+                    vec![std::sync::Arc::new(LocalSite::new("site0", local))];
+                let mut tmps: Vec<TempDir> = Vec::new();
+                let mut servers: Vec<SiteServer> = Vec::new();
+                for s in 1..n {
+                    let tmp = TempDir::new("serve-sites");
+                    let store = std::sync::Arc::new(
+                        DurableStore::open(
+                            tmp.path(),
+                            StoreKind::Single,
+                            DurableOptions {
+                                sync: SyncPolicy::Off,
+                                ..DurableOptions::default()
+                            },
+                        )
+                        .expect("open site store"),
+                    );
+                    let server = SiteServer::spawn(store).expect("spawn site server");
+                    let site = RemoteSite::new(format!("site{s}"), server.addr());
+                    site.register(
+                        COLUMN,
+                        ColumnConfig::new(cfg.spec, cfg.memory).with_seed(seed),
+                    )
+                    .expect("register over the wire");
+                    members.push(std::sync::Arc::new(site));
+                    tmps.push(tmp);
+                    servers.push(server);
+                }
+                // Deal the stream round-robin and commit per member in
+                // `cfg.batch_size` batches (remote members commit over
+                // the wire as the exact WAL records their replay logs).
+                for (s, member) in members.iter().enumerate() {
+                    let slice: Vec<i64> = data.values.iter().skip(s).step_by(n).copied().collect();
+                    for chunk in slice.chunks(cfg.batch_size.max(1)) {
+                        let mut batch = dh_catalog::WriteBatch::new();
+                        for &v in chunk {
+                            batch.insert(COLUMN, v);
+                        }
+                        member.commit(batch).expect("site commit");
+                    }
+                }
+
+                let mut global = GlobalCatalog::new(members).with_strategy(strategy);
+                if strategy == GlobalStrategy::HistogramThenUnion {
+                    global = global
+                        .with_budget(cfg.memory.buckets(HistogramClass::BorderAndCount).max(1));
+                }
+
+                // Healthy phase: timed composition probes + final KS.
+                let t0 = std::time::Instant::now();
+                let mut sink = 0.0f64;
+                for i in 0..SITE_PROBE_ROUNDS {
+                    sink += probe_store(&global, i, (0, domain_max));
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                std::hint::black_box(sink);
+                per_tp[ni][di].push((SITE_PROBE_ROUNDS * PROBES_PER_ROUND) as f64 / secs / 1e6);
+                let healthy = global.snapshot(COLUMN).expect("healthy global read");
+                per_ks[ni][di].push(ks_error(&healthy, &truth));
+
+                // Degraded phase: kill the last `kill` remote members;
+                // reads must keep succeeding and must say what broke.
+                if kill > 0 {
+                    for server in servers.iter_mut().rev().take(kill) {
+                        server.stop();
+                    }
+                    let degraded = global.snapshot(COLUMN).expect("degraded global read");
+                    per_deg[ni][di].push(ks_error(&degraded, &truth));
+                    let unreachable = global
+                        .site_statuses()
+                        .iter()
+                        .filter(|(_, s)| *s == SiteStatus::Unreachable)
+                        .count();
+                    assert!(
+                        unreachable >= kill,
+                        "{}: killed {kill} but only {unreachable} reported Unreachable",
+                        design.label()
+                    );
+                    let stats = global.read_stats();
+                    assert!(
+                        stats.degraded_reads >= 1 && stats.site_failures >= kill as u64,
+                        "{}: degradation unreported: {stats:?}",
+                        design.label()
+                    );
+                }
+                let stats = global.read_stats();
+                per_health[ni][di]
+                    .push(stats.site_failures as f64 / stats.site_probes.max(1) as f64);
+            }
+        }
+    }
+    for (ni, &n) in sites.iter().enumerate() {
+        for di in 0..designs.len() {
+            tp_series[di].push(n as f64, mean(per_tp[ni][di].drain(..)));
+            ks_series[di].push(n as f64, mean(per_ks[ni][di].drain(..)));
+            health_series[di].push(n as f64, mean(per_health[ni][di].drain(..)));
+            if kill > 0 {
+                deg_series[di].push(n as f64, mean(per_deg[ni][di].drain(..)));
+            }
+        }
+    }
+
+    let subtitle = format!(
+        "{} · {} · {:.2} KB · 1 local + N-1 socket-remote members",
+        cfg.spec.label(),
+        strategy,
+        cfg.memory.kb()
+    );
+    SitesReport {
+        throughput: FigureResult {
+            id: "sites-throughput".into(),
+            title: format!("Global composition throughput ({subtitle})"),
+            x_label: "Sites".into(),
+            y_label: "Throughput [M estimates/s]".into(),
+            series: tp_series,
+        },
+        accuracy: FigureResult {
+            id: "sites-accuracy".into(),
+            title: format!("Composed estimation error ({subtitle})"),
+            x_label: "Sites".into(),
+            y_label: "KS statistic".into(),
+            series: ks_series,
+        },
+        health: FigureResult {
+            id: "sites-health".into(),
+            title: format!("Site-probe failure fraction ({subtitle})"),
+            x_label: "Sites".into(),
+            y_label: "Failed probes / probes".into(),
+            series: health_series,
+        },
+        degraded: (kill > 0).then(|| FigureResult {
+            id: "sites-degraded-accuracy".into(),
+            title: format!("Composed error after killing {kill} member(s) ({subtitle})"),
+            x_label: "Sites".into(),
+            y_label: "KS statistic".into(),
+            series: deg_series,
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1448,5 +1719,59 @@ mod tests {
         assert!(json.contains("\"throughput\":{\"id\":\"serve-throughput\""));
         assert!(json.contains("\"accuracy\":{\"id\":\"serve-accuracy\""));
         assert!(json.contains("\"label\":\"sharded-channels\""));
+    }
+
+    #[test]
+    fn sites_report_covers_designs_and_degradation() {
+        let opts = RunOptions {
+            seeds: 1,
+            scale: 0.02,
+            domain_max: Some(500),
+        };
+        let report = run_sites(
+            ServeConfig::default(),
+            &[2],
+            1,
+            dh_distributed::GlobalStrategy::HistogramThenUnion,
+            opts,
+        );
+        for fig in [&report.throughput, &report.accuracy, &report.health] {
+            assert_eq!(fig.series.len(), 3);
+            for s in &fig.series {
+                assert_eq!(s.points.len(), 1);
+                assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y >= 0.0));
+            }
+        }
+        // One member killed → the degraded figure exists and health saw
+        // at least one failed probe.
+        let degraded = report.degraded.as_ref().expect("kill=1 degraded figure");
+        assert_eq!(degraded.id, "sites-degraded-accuracy");
+        for s in &report.health.series {
+            assert!(
+                s.points[0].1 > 0.0,
+                "{}: no failed probes recorded",
+                s.label
+            );
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"throughput\":{\"id\":\"sites-throughput\""));
+        assert!(json.contains("\"degraded\":{\"id\":\"sites-degraded-accuracy\""));
+        // Without kills the fourth figure (and key) disappears.
+        let healthy = run_sites(
+            ServeConfig::default(),
+            &[2],
+            0,
+            dh_distributed::GlobalStrategy::UnionThenHistogram,
+            opts,
+        );
+        assert!(healthy.degraded.is_none());
+        assert!(!healthy.to_json().contains("degraded"));
+        for s in &healthy.health.series {
+            assert_eq!(
+                s.points[0].1, 0.0,
+                "{}: healthy replay saw failures",
+                s.label
+            );
+        }
     }
 }

@@ -759,7 +759,11 @@ pub fn strip_policy(config: &ColumnConfig) -> ColumnConfig {
     }
 }
 
-fn config_to_record(config: &ColumnConfig) -> ConfigRecord {
+/// Flattens a live [`ColumnConfig`] to its logged [`ConfigRecord`] —
+/// the inverse of [`config_from_record`], shared with the `dh_site`
+/// wire protocol so a register request travels as the exact record its
+/// replay would log.
+pub fn config_to_record(config: &ColumnConfig) -> ConfigRecord {
     ConfigRecord {
         spec: config.spec.label(),
         memory_bytes: config.memory.bytes() as u64,

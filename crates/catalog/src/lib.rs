@@ -78,6 +78,7 @@
 pub mod adapter;
 pub mod catalog;
 pub mod durable;
+pub mod global;
 pub mod read;
 pub mod sharded;
 pub mod spec;

@@ -59,6 +59,11 @@ impl ReadCounters {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             cache_invalidations: self.invalidations.load(Ordering::Relaxed),
+            // Single-process stores never probe sites; the multi-site
+            // fields are owned by `dh_site`'s GlobalCatalog.
+            site_probes: 0,
+            site_failures: 0,
+            degraded_reads: 0,
         }
     }
 }
@@ -73,6 +78,11 @@ impl ReadCounters {
 /// fields cover the predicate front cache: `cache_invalidations` counts
 /// whole-cache discards, one per installed generation (every commit and
 /// every re-shard swap invalidates the entire memo).
+///
+/// The `site_*` and `degraded_reads` fields are multi-site telemetry:
+/// zero for every single-process store, counted by `dh_site`'s
+/// `GlobalCatalog` so degraded composition is observable rather than
+/// silent (see `docs/GLOBAL.md`).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ReadStats {
     /// Reads served from the front generation without locking.
@@ -85,6 +95,12 @@ pub struct ReadStats {
     pub cache_misses: u64,
     /// Whole-cache invalidations (= front generation swaps).
     pub cache_invalidations: u64,
+    /// Member-site pulls attempted by a multi-site read.
+    pub site_probes: u64,
+    /// Member-site pulls that failed (unreachable or stale site).
+    pub site_failures: u64,
+    /// Reads that composed fewer sites than configured.
+    pub degraded_reads: u64,
 }
 
 /// Number of seqlock slots per generation's front cache. Power of two;

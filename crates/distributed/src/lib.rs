@@ -22,7 +22,7 @@ pub mod site;
 pub mod union;
 
 pub use site::{DistributedConfig, SiteData};
-pub use union::{build_global, superimpose, GlobalStrategy};
+pub use union::{build_global, superimpose, GlobalStrategy, ParseGlobalStrategyError};
 
 #[cfg(test)]
 mod tests {

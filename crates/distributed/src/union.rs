@@ -11,15 +11,87 @@ use dh_core::dynamic::deviation::SquaredDeviation;
 use dh_core::{BucketSpan, DataDistribution, ReadHistogram};
 use dh_static::ssbm::ssbm_reduce;
 use dh_static::SsbmHistogram;
+use std::fmt;
+use std::str::FromStr;
 
 /// How the global histogram is constructed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GlobalStrategy {
     /// Build an SSBM histogram per member, superimpose them, then reduce
     /// the composite back to the memory budget with SSBM merging.
     HistogramThenUnion,
     /// Pool all member data and build a single SSBM histogram directly.
     UnionThenHistogram,
+}
+
+impl GlobalStrategy {
+    /// Both strategies, in the paper's figure order.
+    pub fn all() -> [GlobalStrategy; 2] {
+        [
+            GlobalStrategy::HistogramThenUnion,
+            GlobalStrategy::UnionThenHistogram,
+        ]
+    }
+
+    /// Legend label, bit-identical to the paper's Section 8 figures
+    /// (`"histogram + union"`, `"union + histogram"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            GlobalStrategy::HistogramThenUnion => "histogram + union",
+            GlobalStrategy::UnionThenHistogram => "union + histogram",
+        }
+    }
+}
+
+impl fmt::Display for GlobalStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error parsing a [`GlobalStrategy`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGlobalStrategyError {
+    input: String,
+}
+
+impl fmt::Display for ParseGlobalStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown global strategy '{}'; known: HU (histogram + union), \
+             UH (union + histogram)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseGlobalStrategyError {}
+
+impl FromStr for GlobalStrategy {
+    type Err = ParseGlobalStrategyError;
+
+    /// Parses the paper legends and their shorthands, case-insensitively
+    /// and ignoring interior whitespace: `HU`, `histogram+union`, and
+    /// `HistogramThenUnion` all select
+    /// [`GlobalStrategy::HistogramThenUnion`]; likewise `UH` and friends
+    /// for [`GlobalStrategy::UnionThenHistogram`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t: String = s
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| c.to_ascii_uppercase())
+            .collect();
+        match t.as_str() {
+            "HU" | "HISTOGRAM+UNION" | "HISTOGRAMTHENUNION" => {
+                Ok(GlobalStrategy::HistogramThenUnion)
+            }
+            "UH" | "UNION+HISTOGRAM" | "UNIONTHENHISTOGRAM" => {
+                Ok(GlobalStrategy::UnionThenHistogram)
+            }
+            _ => Err(ParseGlobalStrategyError { input: s.into() }),
+        }
+    }
 }
 
 /// Losslessly superimposes several span lists: output spans cover every
@@ -174,5 +246,30 @@ mod tests {
         let merged = superimpose(&[a.clone(), a]);
         assert_eq!(merged.len(), 1);
         assert!((merged[0].count - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategy_labels_round_trip_and_aliases_parse() {
+        for strategy in GlobalStrategy::all() {
+            let parsed: GlobalStrategy = strategy.label().parse().expect("label parses");
+            assert_eq!(parsed, strategy);
+            assert_eq!(strategy.to_string(), strategy.label());
+        }
+        for alias in ["HU", "hu", " Histogram + Union ", "HistogramThenUnion"] {
+            assert_eq!(
+                alias.parse::<GlobalStrategy>().unwrap(),
+                GlobalStrategy::HistogramThenUnion,
+                "{alias}"
+            );
+        }
+        for alias in ["UH", "union+histogram", "UnionThenHistogram"] {
+            assert_eq!(
+                alias.parse::<GlobalStrategy>().unwrap(),
+                GlobalStrategy::UnionThenHistogram,
+                "{alias}"
+            );
+        }
+        let err = "bogus".parse::<GlobalStrategy>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
     }
 }

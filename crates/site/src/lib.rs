@@ -1,0 +1,54 @@
+//! Multi-site global catalog: the paper's Section 8 shared-nothing
+//! study, lifted off the bench harness and into the serving layer.
+//!
+//! The paper builds a *global histogram* over member sites two ways —
+//! ship histograms and superimpose (`histogram + union`), or ship data
+//! and build one (`union + histogram`) — and shows superposition lands
+//! within the pooled quality band (Figs. 20–23). `dh_distributed`
+//! reproduces that offline; this crate makes it a deployment story:
+//!
+//! * [`Site`] — the minimal estimator surface a member site exposes:
+//!   register / commit, per-column span pulls pinned to an epoch, an
+//!   epoch clock, a health probe, and (for catch-up) a changelog tail.
+//!   Object-safe, so compositions hold `Arc<dyn Site>`.
+//! * [`LocalSite`] — any [`ColumnStore`](dh_catalog::ColumnStore) in
+//!   this process, adapted to the trait.
+//! * [`RemoteSite`] / [`SiteServer`] — the same surface over a
+//!   localhost `TcpStream`, speaking a length-prefixed CRC-framed
+//!   request/response protocol that reuses the `dh_wal` record codec
+//!   byte-for-byte (register and commit requests travel as the exact
+//!   [`WalRecord`](dh_wal::WalRecord) frames their replay would log).
+//!   The server hosts a [`DurableStore`](dh_catalog::DurableStore), so
+//!   a killed site restarts from its own changelog.
+//! * [`GlobalCatalog`] — a read-only
+//!   [`ColumnStore`](dh_catalog::ColumnStore) over N sites: pulls
+//!   per-site spans pinned to each site's epoch, reconciles the epoch
+//!   clocks into a version vector, composes via
+//!   [`dh_distributed::superimpose`] (optionally SSBM-reduced to a
+//!   bucket budget — the paper's histogram + union strategy), and
+//!   *degrades* instead of failing: unreachable or regressed sites are
+//!   dropped from the composition and reported per-site as a
+//!   [`SiteStatus`], with the read counted in
+//!   [`ReadStats`](dh_catalog::ReadStats)' `site_*` fields.
+//! * [`catch_up`] — site-to-site epoch replay: a rebuilt site pulls its
+//!   peer's changelog tail over the wire ([`Site::tail`], the
+//!   [`TailReader`](dh_wal::tail::TailReader) semantics one hop out)
+//!   and replays records idempotently until bit-identical.
+//!
+//! The wire format, version-vector reconciliation, degradation
+//! contract, and catch-up rule are specified in `docs/GLOBAL.md`.
+
+#![warn(missing_docs)]
+
+pub mod catchup;
+pub mod global;
+mod proto;
+pub mod remote;
+pub mod server;
+pub mod site;
+
+pub use catchup::{catch_up, CatchUp};
+pub use global::GlobalCatalog;
+pub use remote::RemoteSite;
+pub use server::SiteServer;
+pub use site::{LocalSite, Site, SiteError, SiteSpans, SiteStatus, SiteTail};

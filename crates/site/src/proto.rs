@@ -1,0 +1,456 @@
+//! The site wire protocol: request/response messages over one
+//! `TcpStream`, each message a single `[len][crc32][payload]` frame
+//! written with [`dh_wal::write_framed`] — the WAL record framing,
+//! verbatim, applied to a socket (`docs/GLOBAL.md` has the layout).
+//!
+//! Request payloads are `[kind: u8][body]`. Register and commit bodies
+//! embed the *exact* [`WalRecord`] frame their replay would log
+//! (`encode_frame` bytes, decoded server-side with the same
+//! [`read_frame`] the segment layer uses), so the codec is reused
+//! rather than paraphrased. Response payloads are `[1][kind][body]` on
+//! success — the kind byte echoes the request, so a desynced stream is
+//! caught as a protocol error, not a misread — or `[0][code][detail]`
+//! on failure, where the code preserves the two typed store errors
+//! composition logic branches on (unknown column, epoch evicted).
+
+use crate::site::{SiteError, SiteSpans, SiteTail};
+use dh_catalog::CatalogError;
+use dh_core::BucketSpan;
+use dh_wal::record::{read_frame, Frame};
+use dh_wal::{Reader, WalRecord, Writer};
+
+pub(crate) const REQ_EPOCH: u8 = 1;
+pub(crate) const REQ_COLUMNS: u8 = 2;
+pub(crate) const REQ_REGISTER: u8 = 3;
+pub(crate) const REQ_COMMIT: u8 = 4;
+pub(crate) const REQ_SPANS: u8 = 5;
+pub(crate) const REQ_PROBE: u8 = 6;
+pub(crate) const REQ_TAIL: u8 = 7;
+
+const STATUS_ERR: u8 = 0;
+const STATUS_OK: u8 = 1;
+
+const ERR_OTHER: u8 = 0;
+const ERR_UNKNOWN_COLUMN: u8 = 1;
+const ERR_EPOCH_EVICTED: u8 = 2;
+
+/// One decoded request.
+#[derive(Debug)]
+pub(crate) enum Request {
+    Epoch,
+    Columns,
+    /// Carries a [`WalRecord::Register`].
+    Register(WalRecord),
+    /// Carries a [`WalRecord::Commit`] (its epoch field is ignored; the
+    /// server assigns the real one).
+    Commit(WalRecord),
+    /// `epoch == 0` means "the site's current epoch" (epoch 0 itself is
+    /// the pre-first-commit state every column serves identically).
+    Spans {
+        column: String,
+        epoch: u64,
+    },
+    Probe,
+    Tail {
+        from: u64,
+    },
+}
+
+impl Request {
+    pub(crate) fn kind(&self) -> u8 {
+        match self {
+            Request::Epoch => REQ_EPOCH,
+            Request::Columns => REQ_COLUMNS,
+            Request::Register(_) => REQ_REGISTER,
+            Request::Commit(_) => REQ_COMMIT,
+            Request::Spans { .. } => REQ_SPANS,
+            Request::Probe => REQ_PROBE,
+            Request::Tail { .. } => REQ_TAIL,
+        }
+    }
+
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(self.kind());
+        match self {
+            Request::Epoch | Request::Columns | Request::Probe => {}
+            Request::Register(record) | Request::Commit(record) => {
+                let mut buf = w.into_bytes();
+                buf.extend_from_slice(&record.encode_frame());
+                return buf;
+            }
+            Request::Spans { column, epoch } => {
+                w.str_(column);
+                w.u64(*epoch);
+            }
+            Request::Tail { from } => w.u64(*from),
+        }
+        w.into_bytes()
+    }
+
+    pub(crate) fn decode(payload: &[u8]) -> Result<Request, String> {
+        let kind = *payload.first().ok_or("empty request")?;
+        let body = &payload[1..];
+        let request = match kind {
+            REQ_EPOCH | REQ_COLUMNS | REQ_PROBE => {
+                if !body.is_empty() {
+                    return Err(format!("unexpected body on request kind {kind}"));
+                }
+                match kind {
+                    REQ_EPOCH => Request::Epoch,
+                    REQ_COLUMNS => Request::Columns,
+                    _ => Request::Probe,
+                }
+            }
+            REQ_REGISTER | REQ_COMMIT => {
+                let record = decode_embedded_record(body)?;
+                match (kind, &record) {
+                    (REQ_REGISTER, WalRecord::Register { .. }) => Request::Register(record),
+                    (REQ_COMMIT, WalRecord::Commit { .. }) => Request::Commit(record),
+                    _ => return Err(format!("record kind mismatch on request kind {kind}")),
+                }
+            }
+            REQ_SPANS => {
+                let mut r = Reader::new(body);
+                let column = r.str_()?;
+                let epoch = r.u64()?;
+                r.finish()?;
+                Request::Spans { column, epoch }
+            }
+            REQ_TAIL => {
+                let mut r = Reader::new(body);
+                let from = r.u64()?;
+                r.finish()?;
+                Request::Tail { from }
+            }
+            other => return Err(format!("unknown request kind {other}")),
+        };
+        Ok(request)
+    }
+}
+
+/// One decoded response.
+#[derive(Debug)]
+pub(crate) enum Response {
+    Err(SiteError),
+    Epoch(u64),
+    Columns(Vec<String>),
+    Register,
+    Commit(u64),
+    Spans(SiteSpans),
+    Probe { epoch: u64, columns: u64 },
+    Tail(SiteTail),
+}
+
+impl Response {
+    fn kind(&self) -> u8 {
+        match self {
+            Response::Err(_) => STATUS_ERR,
+            Response::Epoch(_) => REQ_EPOCH,
+            Response::Columns(_) => REQ_COLUMNS,
+            Response::Register => REQ_REGISTER,
+            Response::Commit(_) => REQ_COMMIT,
+            Response::Spans(_) => REQ_SPANS,
+            Response::Probe { .. } => REQ_PROBE,
+            Response::Tail(_) => REQ_TAIL,
+        }
+    }
+
+    /// The error response for a store-side rejection, preserving the
+    /// typed cases the composition branches on.
+    pub(crate) fn store_err(e: &CatalogError) -> Response {
+        Response::Err(SiteError::Store(match e {
+            CatalogError::UnknownColumn(c) => CatalogError::UnknownColumn(c.clone()),
+            CatalogError::EpochEvicted(epoch) => CatalogError::EpochEvicted(*epoch),
+            other => return Response::Err(SiteError::Remote(other.to_string())),
+        }))
+    }
+
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::Err(e) => {
+                w.u8(STATUS_ERR);
+                match e {
+                    SiteError::Store(CatalogError::UnknownColumn(c)) => {
+                        w.u8(ERR_UNKNOWN_COLUMN);
+                        w.str_(c);
+                    }
+                    SiteError::Store(CatalogError::EpochEvicted(epoch)) => {
+                        w.u8(ERR_EPOCH_EVICTED);
+                        w.u64(*epoch);
+                    }
+                    other => {
+                        w.u8(ERR_OTHER);
+                        w.str_(&other.to_string());
+                    }
+                }
+            }
+            ok => {
+                w.u8(STATUS_OK);
+                w.u8(ok.kind());
+                match ok {
+                    Response::Epoch(epoch) | Response::Commit(epoch) => w.u64(*epoch),
+                    Response::Columns(names) => {
+                        w.u32(names.len() as u32);
+                        for name in names {
+                            w.str_(name);
+                        }
+                    }
+                    Response::Register => {}
+                    Response::Spans(spans) => {
+                        w.u64(spans.epoch);
+                        w.u64(spans.checkpoint);
+                        w.u64(spans.updates);
+                        w.str_(&spans.label);
+                        w.u32(spans.spans.len() as u32);
+                        for s in &spans.spans {
+                            w.f64(s.lo);
+                            w.f64(s.hi);
+                            w.f64(s.count);
+                        }
+                    }
+                    Response::Probe { epoch, columns } => {
+                        w.u64(*epoch);
+                        w.u64(*columns);
+                    }
+                    Response::Tail(tail) => {
+                        w.u8(u8::from(tail.caught_up));
+                        w.u32(tail.records.len() as u32);
+                        let mut buf = w.into_bytes();
+                        for record in &tail.records {
+                            buf.extend_from_slice(&record.encode_frame());
+                        }
+                        return buf;
+                    }
+                    Response::Err(_) => unreachable!("handled above"),
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a response to a request of kind `expect` — a mismatched
+    /// echo byte means the stream desynced and is a protocol error.
+    pub(crate) fn decode(payload: &[u8], expect: u8) -> Result<Response, String> {
+        let mut r = Reader::new(payload);
+        match r.u8()? {
+            STATUS_ERR => {
+                let e = match r.u8()? {
+                    ERR_UNKNOWN_COLUMN => SiteError::Store(CatalogError::UnknownColumn(r.str_()?)),
+                    ERR_EPOCH_EVICTED => SiteError::Store(CatalogError::EpochEvicted(r.u64()?)),
+                    _ => SiteError::Remote(r.str_()?),
+                };
+                r.finish()?;
+                Ok(Response::Err(e))
+            }
+            STATUS_OK => {
+                let kind = r.u8()?;
+                if kind != expect {
+                    return Err(format!("response kind {kind} answers request {expect}"));
+                }
+                let response = match kind {
+                    REQ_EPOCH => Response::Epoch(r.u64()?),
+                    REQ_COMMIT => Response::Commit(r.u64()?),
+                    REQ_COLUMNS => {
+                        let n = r.u32()? as usize;
+                        let mut names = Vec::with_capacity(n.min(1 << 16));
+                        for _ in 0..n {
+                            names.push(r.str_()?);
+                        }
+                        Response::Columns(names)
+                    }
+                    REQ_REGISTER => Response::Register,
+                    REQ_SPANS => {
+                        let epoch = r.u64()?;
+                        let checkpoint = r.u64()?;
+                        let updates = r.u64()?;
+                        let label = r.str_()?;
+                        let n = r.u32()? as usize;
+                        let mut spans = Vec::with_capacity(n.min(1 << 16));
+                        for _ in 0..n {
+                            let lo = r.f64()?;
+                            let hi = r.f64()?;
+                            let count = r.f64()?;
+                            spans.push(BucketSpan::new(lo, hi, count));
+                        }
+                        Response::Spans(SiteSpans {
+                            epoch,
+                            checkpoint,
+                            updates,
+                            label,
+                            spans,
+                        })
+                    }
+                    REQ_PROBE => Response::Probe {
+                        epoch: r.u64()?,
+                        columns: r.u64()?,
+                    },
+                    REQ_TAIL => {
+                        let caught_up = r.u8()? != 0;
+                        let n = r.u32()? as usize;
+                        // The record frames trail the fixed-size prefix
+                        // (status + kind + caught_up + count = 7 bytes);
+                        // walk them with the segment layer's own reader.
+                        let buf = &payload[7..];
+                        let mut at = 0;
+                        let mut records = Vec::with_capacity(n.min(1 << 16));
+                        for _ in 0..n {
+                            match read_frame(buf, at) {
+                                Frame::Record { record, next } => {
+                                    records.push(record);
+                                    at = next;
+                                }
+                                other => {
+                                    return Err(format!("bad embedded record frame: {other:?}"))
+                                }
+                            }
+                        }
+                        if at != buf.len() {
+                            return Err(format!("{} trailing bytes after tail", buf.len() - at));
+                        }
+                        return Ok(Response::Tail(SiteTail { records, caught_up }));
+                    }
+                    other => return Err(format!("unknown response kind {other}")),
+                };
+                r.finish()?;
+                Ok(response)
+            }
+            other => Err(format!("unknown response status {other}")),
+        }
+    }
+}
+
+/// Decodes one embedded `encode_frame` byte run that must span the
+/// whole buffer.
+fn decode_embedded_record(buf: &[u8]) -> Result<WalRecord, String> {
+    match read_frame(buf, 0) {
+        Frame::Record { record, next } if next == buf.len() => Ok(record),
+        Frame::Record { next, .. } => Err(format!("{} trailing bytes", buf.len() - next)),
+        other => Err(format!("bad embedded record frame: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dh_core::UpdateOp;
+
+    fn round_trip_request(req: Request) -> Request {
+        Request::decode(&req.encode()).unwrap()
+    }
+
+    fn round_trip_response(resp: Response, expect: u8) -> Response {
+        Response::decode(&resp.encode(), expect).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        assert!(matches!(round_trip_request(Request::Epoch), Request::Epoch));
+        assert!(matches!(round_trip_request(Request::Probe), Request::Probe));
+        match round_trip_request(Request::Spans {
+            column: "age".into(),
+            epoch: 7,
+        }) {
+            Request::Spans { column, epoch } => {
+                assert_eq!(column, "age");
+                assert_eq!(epoch, 7);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        match round_trip_request(Request::Tail { from: 41 }) {
+            Request::Tail { from } => assert_eq!(from, 41),
+            other => panic!("wrong request: {other:?}"),
+        }
+        let commit = WalRecord::Commit {
+            epoch: 0,
+            columns: vec![(
+                "c".to_string(),
+                vec![UpdateOp::Insert(3), UpdateOp::Delete(9)],
+            )],
+        };
+        match round_trip_request(Request::Commit(commit.clone())) {
+            Request::Commit(record) => assert_eq!(record, commit),
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        match round_trip_response(Response::Epoch(9), REQ_EPOCH) {
+            Response::Epoch(e) => assert_eq!(e, 9),
+            other => panic!("wrong response: {other:?}"),
+        }
+        match round_trip_response(Response::Columns(vec!["a".into(), "b".into()]), REQ_COLUMNS) {
+            Response::Columns(names) => assert_eq!(names, ["a", "b"]),
+            other => panic!("wrong response: {other:?}"),
+        }
+        let spans = SiteSpans {
+            epoch: 3,
+            checkpoint: 1,
+            updates: 250,
+            label: "DC".into(),
+            spans: vec![
+                BucketSpan::new(0.0, 4.5, 12.25),
+                BucketSpan::new(4.5, 9.0, 3.5),
+            ],
+        };
+        match round_trip_response(Response::Spans(spans.clone()), REQ_SPANS) {
+            Response::Spans(got) => assert_eq!(got, spans),
+            other => panic!("wrong response: {other:?}"),
+        }
+        let tail = SiteTail {
+            records: vec![
+                WalRecord::Commit {
+                    epoch: 4,
+                    columns: vec![("c".to_string(), vec![UpdateOp::Insert(1)])],
+                },
+                WalRecord::Commit {
+                    epoch: 5,
+                    columns: vec![("c".to_string(), vec![UpdateOp::Delete(1)])],
+                },
+            ],
+            caught_up: true,
+        };
+        match round_trip_response(Response::Tail(tail), REQ_TAIL) {
+            Response::Tail(got) => {
+                assert!(got.caught_up);
+                assert_eq!(got.records.len(), 2);
+                assert!(matches!(
+                    &got.records[1],
+                    WalRecord::Commit { epoch: 5, .. }
+                ));
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_errors_survive_the_wire() {
+        let unknown = Response::store_err(&CatalogError::UnknownColumn("ghost".into()));
+        match round_trip_response(unknown, REQ_SPANS) {
+            Response::Err(SiteError::Store(CatalogError::UnknownColumn(c))) => {
+                assert_eq!(c, "ghost");
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        let evicted = Response::store_err(&CatalogError::EpochEvicted(12));
+        match round_trip_response(evicted, REQ_SPANS) {
+            Response::Err(SiteError::Store(CatalogError::EpochEvicted(e))) => assert_eq!(e, 12),
+            other => panic!("wrong response: {other:?}"),
+        }
+        let generic = Response::store_err(&CatalogError::ReadOnlyReplica);
+        match round_trip_response(generic, REQ_COMMIT) {
+            Response::Err(SiteError::Remote(msg)) => assert!(msg.contains("read-only")),
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kind_echo_mismatch_is_a_protocol_error() {
+        let bytes = Response::Epoch(1).encode();
+        assert!(Response::decode(&bytes, REQ_SPANS).is_err());
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! [`RemoteSite`] — the [`Site`] surface over a localhost socket.
+//!
+//! Each request opens a fresh connection: a restarted
+//! [`SiteServer`](crate::SiteServer) (new process, new accept loop,
+//! same store directory) is picked up transparently by the very next
+//! request, with no connection-pool invalidation to get right. On
+//! localhost the connect is a couple of syscalls; this subsystem's
+//! request rate is span pulls per composition, not a hot path.
+//!
+//! Error mapping is the degradation contract's foundation: connect /
+//! send / receive failures become [`SiteError::Unreachable`] (the
+//! killed-site shape — compositions degrade), while frames that arrive
+//! but do not decode become [`SiteError::Protocol`] (a bug, not an
+//! outage — still dropped from composition, but distinguishable).
+
+use crate::proto::{Request, Response};
+use crate::site::{Site, SiteError, SiteSpans, SiteStatus, SiteTail};
+use dh_catalog::durable::config_to_record;
+use dh_catalog::{ColumnConfig, WriteBatch};
+use dh_wal::{read_framed, write_framed, WalRecord};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// How long one request may take end-to-end before the site is treated
+/// as unreachable.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A member site reached over the wire protocol (see the `proto`
+/// module and `docs/GLOBAL.md`).
+#[derive(Debug, Clone)]
+pub struct RemoteSite {
+    name: String,
+    addr: SocketAddr,
+}
+
+impl RemoteSite {
+    /// A client for the site at `addr` (a
+    /// [`SiteServer::addr`](crate::SiteServer::addr)), keyed `name` in
+    /// version vectors. No connection is made until the first request.
+    pub fn new(name: impl Into<String>, addr: SocketAddr) -> Self {
+        RemoteSite {
+            name: name.into(),
+            addr,
+        }
+    }
+
+    /// The address requests are sent to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// One request/response exchange on a fresh connection.
+    fn call(&self, request: &Request) -> Result<Response, SiteError> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT)
+            .map_err(|e| SiteError::Unreachable(format!("{}: connect: {e}", self.name)))?;
+        stream
+            .set_nodelay(true)
+            .and_then(|()| stream.set_read_timeout(Some(IO_TIMEOUT)))
+            .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
+            .map_err(|e| SiteError::Unreachable(format!("{}: setup: {e}", self.name)))?;
+        write_framed(&mut stream, &request.encode())
+            .map_err(|e| SiteError::Unreachable(format!("{}: send: {e}", self.name)))?;
+        let payload = match read_framed(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                return Err(SiteError::Protocol(format!(
+                    "{}: connection closed before the response",
+                    self.name
+                )))
+            }
+            // A frame that arrived but fails its checksum or length
+            // check is a protocol fault; everything else is transport.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Err(SiteError::Protocol(format!("{}: {e}", self.name)))
+            }
+            Err(e) => {
+                return Err(SiteError::Unreachable(format!(
+                    "{}: receive: {e}",
+                    self.name
+                )))
+            }
+        };
+        match Response::decode(&payload, request.kind()) {
+            Ok(Response::Err(e)) => Err(e),
+            Ok(response) => Ok(response),
+            Err(why) => Err(SiteError::Protocol(format!("{}: {why}", self.name))),
+        }
+    }
+}
+
+/// The answer arrived, but as the wrong response kind — only possible
+/// if the codec desynced, so report it as a protocol fault.
+fn unexpected(name: &str, what: &'static str) -> SiteError {
+    SiteError::Protocol(format!("{name}: response is not a {what}"))
+}
+
+impl Site for RemoteSite {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn probe(&self) -> SiteStatus {
+        match self.call(&Request::Epoch) {
+            Ok(Response::Epoch(epoch)) => SiteStatus::Healthy { epoch },
+            _ => SiteStatus::Unreachable,
+        }
+    }
+
+    fn epoch(&self) -> Result<u64, SiteError> {
+        match self.call(&Request::Epoch)? {
+            Response::Epoch(epoch) => Ok(epoch),
+            _ => Err(unexpected(&self.name, "REQ_EPOCH response")),
+        }
+    }
+
+    fn columns(&self) -> Result<Vec<String>, SiteError> {
+        match self.call(&Request::Columns)? {
+            Response::Columns(names) => Ok(names),
+            _ => Err(unexpected(&self.name, "REQ_COLUMNS response")),
+        }
+    }
+
+    fn register(&self, column: &str, config: ColumnConfig) -> Result<(), SiteError> {
+        // The request travels as the exact WAL record the server-side
+        // replay would log for this registration.
+        let record = WalRecord::Register {
+            column: column.to_string(),
+            config: config_to_record(&config),
+        };
+        match self.call(&Request::Register(record))? {
+            Response::Register => Ok(()),
+            _ => Err(unexpected(&self.name, "REQ_REGISTER response")),
+        }
+    }
+
+    fn commit(&self, batch: WriteBatch) -> Result<u64, SiteError> {
+        let columns = batch
+            .columns()
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|column| {
+                let ops = batch.ops(&column).unwrap_or_default().to_vec();
+                (column, ops)
+            })
+            .collect();
+        // Epoch 0 is a placeholder; the server's store assigns the real
+        // epoch at commit and returns it.
+        let record = WalRecord::Commit { epoch: 0, columns };
+        match self.call(&Request::Commit(record))? {
+            Response::Commit(epoch) => Ok(epoch),
+            _ => Err(unexpected(&self.name, "REQ_COMMIT response")),
+        }
+    }
+
+    fn snapshot_spans(&self, column: &str, at: Option<u64>) -> Result<SiteSpans, SiteError> {
+        let request = Request::Spans {
+            column: column.to_string(),
+            epoch: at.unwrap_or(0),
+        };
+        match self.call(&request)? {
+            Response::Spans(spans) => Ok(spans),
+            _ => Err(unexpected(&self.name, "REQ_SPANS response")),
+        }
+    }
+
+    fn tail(&self, from: u64) -> Result<SiteTail, SiteError> {
+        match self.call(&Request::Tail { from })? {
+            Response::Tail(tail) => Ok(tail),
+            _ => Err(unexpected(&self.name, "REQ_TAIL response")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_address_is_unreachable_not_an_error_in_probe() {
+        // Bind-and-drop yields a port nothing listens on.
+        let addr = {
+            let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            listener.local_addr().unwrap()
+        };
+        let site = RemoteSite::new("gone", addr);
+        assert_eq!(site.probe(), SiteStatus::Unreachable);
+        assert!(matches!(site.epoch(), Err(SiteError::Unreachable(_))));
+    }
+}

@@ -53,7 +53,10 @@ pub mod segment;
 pub mod tail;
 pub mod tmp;
 
-pub use record::{ConfigRecord, PlanRecord, ReshardPolicyRecord, WalRecord};
+pub use record::{
+    crc32, read_framed, write_framed, ConfigRecord, Frame, PlanRecord, Reader, ReshardPolicyRecord,
+    WalRecord, Writer,
+};
 pub use segment::{Checkpoint, CheckpointColumn, Wal};
 pub use tail::{TailPoll, TailReader, TailStatus};
 pub use tmp::TempDir;

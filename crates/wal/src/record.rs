@@ -251,8 +251,11 @@ impl ConfigRecord {
 }
 
 /// What one framing attempt against a byte buffer produced.
+///
+/// Public so transports outside the segment layer (the `dh_site` wire
+/// protocol) can reuse the exact on-disk framing for messages in flight.
 #[derive(Debug)]
-pub(crate) enum Frame {
+pub enum Frame {
     /// Clean end of buffer: `at == buf.len()`.
     Done,
     /// The buffer ends mid-frame, or the frame's checksum fails — the
@@ -275,7 +278,7 @@ pub(crate) enum Frame {
 }
 
 /// Reads the frame starting at `at`.
-pub(crate) fn read_frame(buf: &[u8], at: usize) -> Frame {
+pub fn read_frame(buf: &[u8], at: usize) -> Frame {
     if at == buf.len() {
         return Frame::Done;
     }
@@ -300,51 +303,119 @@ pub(crate) fn read_frame(buf: &[u8], at: usize) -> Frame {
     }
 }
 
-/// Little-endian byte sink for record and checkpoint bodies.
-pub(crate) struct Writer {
+/// Writes one `[len][crc32][payload]` frame — the exact on-disk record
+/// framing — to a byte stream. The transport face of the codec: what
+/// `encode_frame` produces for segments, this produces for sockets.
+pub fn write_framed(w: &mut impl std::io::Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one `[len][crc32][payload]` frame from a byte stream, returning
+/// the checksum-verified payload.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer
+/// closed between messages). A mid-frame EOF surfaces as
+/// `UnexpectedEof`; an oversized length prefix (> [`MAX_RECORD_LEN`]) or
+/// a checksum mismatch surfaces as `InvalidData` — a stream, unlike a
+/// segment tail, has no "torn but recoverable" state.
+pub fn read_framed(r: &mut impl std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 8];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame header",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_RECORD_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_RECORD_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    Ok(Some(payload))
+}
+
+/// Little-endian byte sink for record, checkpoint, and wire-message
+/// bodies. Shared with the `dh_site` protocol so every serialized body
+/// in the workspace speaks the same dialect.
+#[derive(Default)]
+pub struct Writer {
     pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    pub(crate) fn new() -> Self {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
         Writer { buf: Vec::new() }
     }
 
-    pub(crate) fn u8(&mut self, v: u8) {
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn u32(&mut self, v: u32) {
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn u64(&mut self, v: u64) {
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn i64(&mut self, v: i64) {
+    /// Appends an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn f64(&mut self, v: f64) {
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact round
+    /// trip, NaN payloads included).
+    pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    pub(crate) fn str_(&mut self, s: &str) {
+    /// Appends a string as a `u32` byte length followed by UTF-8 bytes.
+    pub fn str_(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Consumes the writer, yielding the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
     }
 }
 
 /// Checked little-endian reader; every getter fails loudly on underrun
 /// so a decode error is always a `Result`, never a panic.
-pub(crate) struct Reader<'a> {
+pub struct Reader<'a> {
     buf: &'a [u8],
     at: usize,
 }
 
 impl<'a> Reader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// Wraps a byte buffer for checked sequential reads.
+    pub fn new(buf: &'a [u8]) -> Self {
         Reader { buf, at: 0 }
     }
 
@@ -361,33 +432,39 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    pub(crate) fn i64(&mut self) -> Result<i64, String> {
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, String> {
         Ok(i64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, String> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    pub(crate) fn str_(&mut self) -> Result<String, String> {
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str_(&mut self) -> Result<String, String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid utf-8 string: {e}"))
@@ -395,7 +472,7 @@ impl<'a> Reader<'a> {
 
     /// Asserts the payload was consumed exactly — trailing bytes mean a
     /// corrupt or version-skewed record.
-    pub(crate) fn finish(&self) -> Result<(), String> {
+    pub fn finish(&self) -> Result<(), String> {
         if self.at != self.buf.len() {
             return Err(format!(
                 "{} trailing bytes after payload",
@@ -407,7 +484,7 @@ impl<'a> Reader<'a> {
 }
 
 /// CRC-32 (IEEE 802.3, reflected — the zlib/PNG polynomial), table-driven.
-pub(crate) fn crc32(data: &[u8]) -> u32 {
+pub fn crc32(data: &[u8]) -> u32 {
     const TABLE: [u32; 256] = crc32_table();
     let mut crc = !0u32;
     for &b in data {
@@ -592,5 +669,43 @@ mod tests {
         let mut frame = sample_records()[1].encode_frame();
         frame[0..4].copy_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
         assert!(matches!(read_frame(&frame, 0), Frame::Torn));
+    }
+
+    #[test]
+    fn stream_framing_round_trips_and_ends_cleanly() {
+        let mut stream = Vec::new();
+        let payloads: Vec<Vec<u8>> = vec![b"hello".to_vec(), Vec::new(), vec![0xFF; 300]];
+        for p in &payloads {
+            write_framed(&mut stream, p).unwrap();
+        }
+        let mut cursor = &stream[..];
+        for p in &payloads {
+            assert_eq!(read_framed(&mut cursor).unwrap().as_deref(), Some(&p[..]));
+        }
+        // Clean EOF at a frame boundary is None, repeatedly.
+        assert_eq!(read_framed(&mut cursor).unwrap(), None);
+        assert_eq!(read_framed(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn stream_framing_rejects_damage() {
+        let mut stream = Vec::new();
+        write_framed(&mut stream, b"payload").unwrap();
+        // Mid-frame EOF (header, then body).
+        for cut in [4, stream.len() - 2] {
+            let err = read_framed(&mut &stream[..cut]).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        }
+        // A flipped payload bit fails the checksum.
+        let mut bad = stream.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let err = read_framed(&mut &bad[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // An oversized length prefix is rejected before allocating.
+        let mut huge = stream;
+        huge[0..4].copy_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
+        let err = read_framed(&mut &huge[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

@@ -33,6 +33,11 @@
 //! * [`replica`] — read replicas: a `Follower` tails a leader's
 //!   changelog directory and serves the same wait-free read path at a
 //!   bounded, reported staleness (see `docs/REPLICATION.md`).
+//! * [`site`] — the multi-site global catalog: a `Site` abstraction over
+//!   in-process and socket-remote estimator backends, composed by a
+//!   read-only `GlobalCatalog` that degrades instead of failing when
+//!   members go down, with site-to-site epoch catch-up (see
+//!   `docs/GLOBAL.md`).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +63,7 @@ pub use dh_gen as gen;
 pub use dh_optimizer as optimizer;
 pub use dh_replica as replica;
 pub use dh_sample as sample;
+pub use dh_site as site;
 pub use dh_static as statics;
 pub use dh_stats as stats;
 pub use dh_wal as wal;
@@ -84,6 +90,9 @@ pub mod prelude {
     };
     pub use dh_replica::{Follower, PollReport, PollStatus};
     pub use dh_sample::{AcHistogram, ReservoirSample};
+    pub use dh_site::{
+        catch_up, GlobalCatalog, LocalSite, RemoteSite, Site, SiteServer, SiteStatus,
+    };
     pub use dh_static::{
         CompressedHistogram, EquiDepthHistogram, EquiWidthHistogram, SadoHistogram, SsbmHistogram,
         VOptimalHistogram,

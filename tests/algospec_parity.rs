@@ -190,3 +190,40 @@ fn batching_is_invisible_to_the_histogram() {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `GlobalStrategy` mirrors the `AlgoSpec` legend contract: the CLI
+    /// (`repro serve --sites --strategy`) parses what `Display` renders,
+    /// case-insensitively and with arbitrary interior whitespace, for
+    /// both of the paper's Section 8 strategies plus the short codes.
+    #[test]
+    fn global_strategy_display_fromstr_roundtrip(
+        variant in 0usize..2,
+        spaces in prop::collection::vec(0usize..4, 3..4),
+    ) {
+        use dynamic_histograms::distributed::GlobalStrategy;
+        let strategy = GlobalStrategy::all()[variant];
+        let label = strategy.to_string();
+        prop_assert_eq!(label.parse::<GlobalStrategy>().unwrap(), strategy);
+        prop_assert_eq!(
+            label.to_ascii_uppercase().parse::<GlobalStrategy>().unwrap(),
+            strategy
+        );
+        // Whitespace-injected spellings parse to the same strategy.
+        let words: Vec<&str> = label.split(' ').collect();
+        let mut padded = String::new();
+        for (word, pad) in words.iter().zip(spaces.iter().chain(std::iter::repeat(&1))) {
+            padded.push_str(&" ".repeat(*pad));
+            padded.push_str(word);
+        }
+        prop_assert_eq!(padded.parse::<GlobalStrategy>().unwrap(), strategy);
+        // The short code round-trips too.
+        let code = match strategy {
+            GlobalStrategy::HistogramThenUnion => "hu",
+            GlobalStrategy::UnionThenHistogram => "uh",
+        };
+        prop_assert_eq!(code.parse::<GlobalStrategy>().unwrap(), strategy);
+    }
+}
