@@ -47,6 +47,13 @@
 //!                                # fraction of samples above E epochs),
 //!                                # with bit-identity spot checks against
 //!                                # the leader's retained generations
+//! repro serve --autoscale        # elastic replay: one AutoscalePolicy-
+//!                                # armed sharded column walks a warm →
+//!                                # Zipf-burst → idle load cycle; the
+//!                                # report tracks the live shard count
+//!                                # doubling to the policy cap under the
+//!                                # burst and halving back once idle,
+//!                                # each step an epoch-barrier rebuild
 //! repro serve --sites 1,2,4 [--kill K] [--strategy HU|UH]
 //!                                # multi-site replay: for every count N a
 //!                                # read-only GlobalCatalog composes one
@@ -60,8 +67,8 @@
 //! ```
 
 use dh_bench::{
-    all_figure_ids, run_custom, run_durable, run_figure, run_read_mix, run_replicas, run_reshard,
-    run_serve, run_sites, RunOptions, ServeConfig,
+    all_figure_ids, run_autoscale, run_custom, run_durable, run_figure, run_read_mix, run_replicas,
+    run_reshard, run_serve, run_sites, RunOptions, ServeConfig,
 };
 use dh_catalog::AlgoSpec;
 use dh_distributed::GlobalStrategy;
@@ -77,7 +84,7 @@ fn usage() -> ! {
          \x20                  [--reshard] [--skew S] [--read-mix] [--readers LIST]\n\
          \x20                  [--durable] [--wal-dir DIR] [--replicas LIST]\n\
          \x20                  [--lag-target E] [--sites LIST] [--kill K]\n\
-         \x20                  [--strategy HU|UH] [options]\n\
+         \x20                  [--strategy HU|UH] [--autoscale] [options]\n\
          (no figure list means all figures; beware that without --quick this\n\
          is the paper-scale run. --algos takes paper legend names, e.g.\n\
          DC,DVO,DADO,AC20X,EquiWidth,EquiDepth,SC,SVO,SADO,SSBM)"
@@ -102,6 +109,7 @@ fn main() {
     let mut reshard = false;
     let mut read_mix = false;
     let mut durable = false;
+    let mut autoscale = false;
     let mut wal_dir: Option<PathBuf> = None;
     let mut replicas: Option<Vec<usize>> = None;
     let mut lag_target: Option<u64> = None;
@@ -124,6 +132,7 @@ fn main() {
             "--reshard" => reshard = true,
             "--read-mix" => read_mix = true,
             "--durable" => durable = true,
+            "--autoscale" => autoscale = true,
             "--wal-dir" => {
                 wal_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
             }
@@ -266,9 +275,10 @@ fn main() {
         let writers = writers.unwrap_or_else(|| vec![1, 2, 4, 8]);
         let t0 = std::time::Instant::now();
         if let Some(sites) = &sites {
-            if reshard || read_mix || durable || replicas.is_some() {
+            if reshard || read_mix || durable || autoscale || replicas.is_some() {
                 eprintln!(
-                    "--sites is mutually exclusive with --reshard/--read-mix/--durable/--replicas"
+                    "--sites is mutually exclusive with \
+                     --reshard/--read-mix/--durable/--autoscale/--replicas"
                 );
                 usage();
             }
@@ -318,8 +328,11 @@ fn main() {
             usage();
         }
         if let Some(replicas) = &replicas {
-            if reshard || read_mix || durable {
-                eprintln!("--replicas is mutually exclusive with --reshard/--read-mix/--durable");
+            if reshard || read_mix || durable || autoscale {
+                eprintln!(
+                    "--replicas is mutually exclusive with \
+                     --reshard/--read-mix/--durable/--autoscale"
+                );
                 usage();
             }
             if readers.is_some() || wal_dir.is_some() {
@@ -361,8 +374,8 @@ fn main() {
             usage();
         }
         if durable {
-            if reshard || read_mix {
-                eprintln!("--durable is mutually exclusive with --reshard/--read-mix");
+            if reshard || read_mix || autoscale {
+                eprintln!("--durable is mutually exclusive with --reshard/--read-mix/--autoscale");
                 usage();
             }
             if readers.is_some() {
@@ -400,8 +413,8 @@ fn main() {
             usage();
         }
         if read_mix {
-            if reshard {
-                eprintln!("--read-mix and --reshard are mutually exclusive");
+            if reshard || autoscale {
+                eprintln!("--read-mix is mutually exclusive with --reshard/--autoscale");
                 usage();
             }
             // Reader-heavy mix: R readers on the wait-free hot path, one
@@ -434,6 +447,38 @@ fn main() {
         if readers.is_some() {
             eprintln!("--readers only applies to serve --read-mix");
             usage();
+        }
+        if autoscale {
+            if reshard {
+                eprintln!("--autoscale and --reshard are mutually exclusive");
+                usage();
+            }
+            // Elastic replay: an AutoscalePolicy-armed column walks a
+            // warm → burst → idle load cycle; the report records the
+            // live shard count after every commit.
+            eprint!("running serve --autoscale ... ");
+            std::io::stderr().flush().ok();
+            let report = run_autoscale(cfg, opts);
+            eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                println!("{}", report.to_markdown());
+            }
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).expect("create output directory");
+                for fig in [&report.shards, &report.throughput] {
+                    let path = dir.join(format!("{}.csv", fig.id));
+                    std::fs::write(&path, fig.to_csv())
+                        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                    eprintln!("wrote {}", path.display());
+                }
+                let path = dir.join("autoscale.json");
+                std::fs::write(&path, report.to_json())
+                    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+                eprintln!("wrote {}", path.display());
+            }
+            return;
         }
         if reshard {
             // Static equal-width borders vs dynamic re-sharding on a
@@ -495,6 +540,7 @@ fn main() {
         || read_mix
         || readers.is_some()
         || durable
+        || autoscale
         || wal_dir.is_some()
         || replicas.is_some()
         || lag_target.is_some()
@@ -503,8 +549,8 @@ fn main() {
         || strategy.is_some()
     {
         eprintln!(
-            "--shards/--writers/--reshard/--skew/--read-mix/--readers/--durable/--wal-dir/\
-             --replicas/--lag-target/--sites/--kill/--strategy only apply to serve mode"
+            "--shards/--writers/--reshard/--skew/--read-mix/--readers/--durable/--autoscale/\
+             --wal-dir/--replicas/--lag-target/--sites/--kill/--strategy only apply to serve mode"
         );
         usage();
     }

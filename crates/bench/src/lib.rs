@@ -49,8 +49,8 @@ pub use algos::{DynamicAlgo, StaticAlgo};
 pub use figures::{all_figure_ids, run_custom, run_figure};
 pub use harness::{FigureResult, RunOptions, Series};
 pub use serve::{
-    ingest, load_balance, run_durable, run_read_mix, run_replicas, run_reshard, run_serve,
-    run_sites, DurableReport, ReadMixReport, ReplicaReport, ReshardReport, ServeConfig,
-    ServeDesign, ServeReport, Serving, SitesReport, DURABLE_OPTIONS, PROBES_PER_ROUND,
-    REPLICA_OPTIONS, RESHARD_POLICY,
+    ingest, load_balance, run_autoscale, run_durable, run_read_mix, run_replicas, run_reshard,
+    run_serve, run_sites, AutoscaleReport, DurableReport, ReadMixReport, ReplicaReport,
+    ReshardReport, ServeConfig, ServeDesign, ServeReport, Serving, SitesReport, AUTOSCALE_POLICY,
+    DURABLE_OPTIONS, PROBES_PER_ROUND, REPLICA_OPTIONS, RESHARD_POLICY,
 };

@@ -24,8 +24,8 @@
 
 use crate::harness::{mean, FigureResult, RunOptions, Series};
 use dh_catalog::{
-    AlgoSpec, Catalog, CatalogError, ColumnConfig, ColumnStore, DurableOptions, DurableStore,
-    ReadStats, ReshardPolicy, ShardPlan, ShardedCatalog, Snapshot, StoreKind,
+    AlgoSpec, AutoscalePolicy, Catalog, CatalogError, ColumnConfig, ColumnStore, DurableOptions,
+    DurableStore, ReadStats, ReshardPolicy, ShardPlan, ShardedCatalog, Snapshot, StoreKind,
 };
 use dh_core::{ks_error, DataDistribution, MemoryBudget, ReadHistogram, UpdateOp};
 use dh_gen::workload::{UpdateStream, WorkloadKind};
@@ -140,6 +140,41 @@ impl Serving {
         if let Some(policy) = reshard {
             config = config.with_reshard(policy);
         }
+        store.register(COLUMN, config).expect("fresh store");
+        Serving { store }
+    }
+
+    /// [`Serving::build`] with an [`AutoscalePolicy`] arming elastic
+    /// shape rebuilds on the sharded designs: the store owns its shard
+    /// count from here on, scaling `k` with the routed throughput (the
+    /// unsharded catalog ignores the policy, like the plan).
+    ///
+    /// # Panics
+    /// Panics on registration failure (fresh instance, cannot collide)
+    /// or a degenerate domain/shard count.
+    pub fn build_autoscale(
+        design: ServeDesign,
+        spec: AlgoSpec,
+        memory: MemoryBudget,
+        shards: usize,
+        domain: (i64, i64),
+        seed: u64,
+        autoscale: AutoscalePolicy,
+    ) -> Self {
+        let mut plan = ShardPlan::new(domain.0, domain.1, shards).expect("valid shard plan");
+        if design == ServeDesign::ShardedChannel {
+            plan = plan.channel();
+        }
+        let store: Box<dyn ColumnStore> = match design {
+            ServeDesign::SingleLock => Box::new(Catalog::new()),
+            ServeDesign::ShardedLock | ServeDesign::ShardedChannel => {
+                Box::new(ShardedCatalog::new())
+            }
+        };
+        let config = ColumnConfig::new(spec, memory)
+            .with_seed(seed)
+            .with_plan(plan)
+            .with_autoscale(autoscale);
         store.register(COLUMN, config).expect("fresh store");
         Serving { store }
     }
@@ -758,6 +793,175 @@ pub fn run_reshard(cfg: ServeConfig, writers: &[usize], opts: RunOptions) -> Res
             x_label: "Writers".into(),
             y_label: "KS statistic".into(),
             series: ks_series,
+        },
+    }
+}
+
+/// The policy the autoscale replay arms: thresholds matched to the
+/// replay's fixed warm/burst/idle phase batch sizes, so even a
+/// `--quick` run walks the full scale-up / scale-down cycle within a
+/// few dozen epochs.
+pub const AUTOSCALE_POLICY: AutoscalePolicy = AutoscalePolicy {
+    min_shards: 2,
+    max_shards: 16,
+    scale_up_rate: 2048,
+    scale_down_rate: 64,
+    skew_threshold: 2.0,
+    min_interval_epochs: 4,
+    min_load: 2048,
+};
+
+/// The autoscale replay's phases: `(label, commits, updates per
+/// commit)`. The warm phase sits between the scale thresholds (no
+/// resizing), the Zipf burst commits above [`AutoscalePolicy::scale_up_rate`]
+/// (the policy doubles `k` to its cap), and the idle trickle falls under
+/// [`AutoscalePolicy::scale_down_rate`] (the policy halves `k` back to
+/// its floor).
+const AUTOSCALE_PHASES: [(&str, usize, usize); 3] =
+    [("warm", 16, 256), ("burst", 24, 4096), ("idle", 32, 16)];
+
+/// The figures an autoscale replay produces: the shard-count trajectory
+/// an [`AutoscalePolicy`]-armed column walks through a load cycle, and
+/// what each phase ingested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscaleReport {
+    /// Live shard count vs published epoch, one series per phase (the
+    /// phases are contiguous on the epoch axis).
+    pub shards: FigureResult,
+    /// Ingestion throughput (million updates/s) per phase (x = phase
+    /// index in warm, burst, idle order).
+    pub throughput: FigureResult,
+}
+
+impl AutoscaleReport {
+    /// Both figures as one markdown document.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "{}{}",
+            self.shards.to_markdown(),
+            self.throughput.to_markdown()
+        )
+    }
+
+    /// Both figures as one JSON document
+    /// (`{"shards": {...}, "throughput": {...}}`) — what
+    /// `repro serve --autoscale --json` emits and CI folds into the
+    /// `BENCH_serve` artifact as its seventh key.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shards\":{},\"throughput\":{}}}\n",
+            self.shards.to_json(),
+            self.throughput.to_json()
+        )
+    }
+}
+
+/// Runs the autoscale replay: one sharded-locks column armed with
+/// [`AUTOSCALE_POLICY`] (starting at the policy's floor) ingests a
+/// three-phase load cycle — a moderate uniform warm-up, a Zipf-skewed
+/// burst, an idle trickle — and the replay samples the live shard count
+/// ([`ColumnStore::column_shape`]) after every commit. The recorded
+/// trajectory is the elastic story end to end: `k` doubles under the
+/// burst up to the policy cap and halves back to the floor once the
+/// load drains, each step a logged epoch-barrier rebuild. Phase lengths
+/// are fixed (the cycle *is* the workload), so `opts` contributes seeds
+/// and the domain, not scale.
+pub fn run_autoscale(cfg: ServeConfig, opts: RunOptions) -> AutoscaleReport {
+    let domain_max = opts.domain_max.unwrap_or(5000);
+    let skew = cfg.skew.unwrap_or(2.5);
+    let mut shard_series: Vec<Series> = AUTOSCALE_PHASES
+        .iter()
+        .map(|&(label, ..)| Series::new(label))
+        .collect();
+    let mut tp_series = vec![Series::new("autoscaled")];
+
+    let mut per_shards: Vec<Vec<Vec<f64>>> = AUTOSCALE_PHASES
+        .iter()
+        .map(|&(_, commits, _)| vec![Vec::new(); commits])
+        .collect();
+    let mut per_tp: Vec<Vec<f64>> = vec![Vec::new(); AUTOSCALE_PHASES.len()];
+    for seed in opts.seed_values() {
+        let calm_ops = AUTOSCALE_PHASES[0].1 * AUTOSCALE_PHASES[0].2
+            + AUTOSCALE_PHASES[2].1 * AUTOSCALE_PHASES[2].2;
+        let burst_ops = AUTOSCALE_PHASES[1].1 * AUTOSCALE_PHASES[1].2;
+        let calm = SyntheticConfig::default()
+            .with_total_points(calm_ops as u64)
+            .with_domain(0, domain_max)
+            .generate(seed);
+        let hot = SyntheticConfig::default()
+            .with_total_points(burst_ops as u64)
+            .with_domain(0, domain_max)
+            .with_size_skew(skew)
+            .with_spread_skew(skew)
+            .generate(seed ^ 0xB00C);
+        let serving = Serving::build_autoscale(
+            ServeDesign::ShardedLock,
+            cfg.spec,
+            cfg.memory,
+            AUTOSCALE_POLICY.min_shards,
+            (0, domain_max),
+            seed,
+            AUTOSCALE_POLICY,
+        );
+        let mut calm_cursor = 0usize;
+        let mut hot_cursor = 0usize;
+        for (pi, &(_, commits, per_commit)) in AUTOSCALE_PHASES.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            for commit_samples in per_shards[pi].iter_mut().take(commits) {
+                let (values, cursor) = if pi == 1 {
+                    (&hot.values, &mut hot_cursor)
+                } else {
+                    (&calm.values, &mut calm_cursor)
+                };
+                let batch: Vec<UpdateOp> = values[*cursor..*cursor + per_commit]
+                    .iter()
+                    .map(|&v| UpdateOp::Insert(v))
+                    .collect();
+                *cursor += per_commit;
+                serving.apply(&batch);
+                let shape = serving
+                    .store()
+                    .column_shape(COLUMN)
+                    .expect("column registered")
+                    .expect("sharded design");
+                commit_samples.push(shape.shards as f64);
+            }
+            serving.flush();
+            let secs = t0.elapsed().as_secs_f64();
+            per_tp[pi].push((commits * per_commit) as f64 / secs / 1e6);
+        }
+    }
+    let mut epoch = 1usize;
+    for (pi, &(_, commits, _)) in AUTOSCALE_PHASES.iter().enumerate() {
+        for commit_samples in per_shards[pi].iter_mut().take(commits) {
+            shard_series[pi].push(epoch as f64, mean(commit_samples.drain(..)));
+            epoch += 1;
+        }
+        tp_series[0].push(pi as f64, mean(per_tp[pi].drain(..)));
+    }
+
+    let subtitle = format!(
+        "{} · k in [{}, {}] · {:.2} KB · Zipf skew {:.2} burst",
+        cfg.spec.label(),
+        AUTOSCALE_POLICY.min_shards,
+        AUTOSCALE_POLICY.max_shards,
+        cfg.memory.kb(),
+        skew
+    );
+    AutoscaleReport {
+        shards: FigureResult {
+            id: "autoscale-shards".into(),
+            title: format!("Shard count under an autoscaled load cycle ({subtitle})"),
+            x_label: "Epoch".into(),
+            y_label: "Shards".into(),
+            series: shard_series,
+        },
+        throughput: FigureResult {
+            id: "autoscale-throughput".into(),
+            title: format!("Ingestion throughput per phase ({subtitle})"),
+            x_label: "Phase".into(),
+            y_label: "Throughput [M updates/s]".into(),
+            series: tp_series,
         },
     }
 }
@@ -1565,6 +1769,44 @@ mod tests {
         assert!(json.contains("\"accuracy\":{\"id\":\"reshard-accuracy\""));
         let md = report.to_markdown();
         assert!(md.contains("reshard-balance"));
+    }
+
+    #[test]
+    fn autoscale_report_scales_up_under_burst_and_back_down_idle() {
+        let opts = RunOptions {
+            seeds: 1,
+            scale: 0.02,
+            domain_max: Some(500),
+        };
+        let report = run_autoscale(ServeConfig::default(), opts);
+        assert_eq!(report.shards.series.len(), 3);
+        let warm = report.shards.series_named("warm").expect("warm series");
+        let burst = report.shards.series_named("burst").expect("burst series");
+        let idle = report.shards.series_named("idle").expect("idle series");
+        let floor = AUTOSCALE_POLICY.min_shards as f64;
+        let cap = AUTOSCALE_POLICY.max_shards as f64;
+        // The warm phase sits between the thresholds: no resizing.
+        assert!(warm.points.iter().all(|&(_, k)| k == floor), "{warm:?}");
+        // The burst doubles k to the cap...
+        let peak = burst.points.iter().map(|&(_, k)| k).fold(0.0, f64::max);
+        assert_eq!(peak, cap, "{burst:?}");
+        // ...and the idle trickle halves it back to the floor.
+        assert_eq!(
+            idle.points.last().expect("idle points").1,
+            floor,
+            "{idle:?}"
+        );
+        // Epochs are contiguous across phases.
+        let epochs: Vec<f64> = [&warm.points, &burst.points, &idle.points]
+            .iter()
+            .flat_map(|pts| pts.iter().map(|&(x, _)| x))
+            .collect();
+        assert!(epochs.windows(2).all(|w| w[1] == w[0] + 1.0));
+        let json = report.to_json();
+        assert!(json.contains("\"shards\":{\"id\":\"autoscale-shards\""));
+        assert!(json.contains("\"throughput\":{\"id\":\"autoscale-throughput\""));
+        let md = report.to_markdown();
+        assert!(md.contains("autoscale-shards") && md.contains("autoscale-throughput"));
     }
 
     #[test]

@@ -22,11 +22,12 @@
 //! * concurrent writers behind one `DurableStore` no longer overlap
 //!   their publishes (the durability cost the `--durable` bench arm
 //!   measures);
-//! * automatic re-sharding moves from the inner store to the decorator:
-//!   [`DurableStore::open`] strips any [`ReshardPolicy`] out of the
-//!   configs it registers inside and evaluates the same gates itself
-//!   after each commit, so every border move is logged with its exact
-//!   barrier epoch and replays deterministically.
+//! * automatic re-sharding and autoscaling move from the inner store to
+//!   the decorator: [`DurableStore::open`] strips any [`ReshardPolicy`]
+//!   or [`AutoscalePolicy`] out of the configs it registers inside and
+//!   evaluates the same gates itself after each commit, so every border
+//!   move and shape change is logged with its exact barrier epoch and
+//!   replays deterministically.
 //!
 //! # Fidelity of recovery
 //!
@@ -54,7 +55,10 @@
 
 use crate::catalog::{CatalogError, Snapshot};
 use crate::read::ReadStats;
-use crate::sharded::{spread_inserts, ReshardPolicy, ShardPlan, ShardedCatalog};
+use crate::sharded::{
+    spread_inserts, AutoscalePolicy, ColumnShape, RebuildPlan, ReshardPolicy, ShardPlan,
+    ShardedCatalog,
+};
 use crate::spec::AlgoSpec;
 use crate::store::{ColumnConfig, ColumnStore, SnapshotSet};
 use crate::txn::{DirectRestore, RestoreColumn, WriteBatch};
@@ -63,7 +67,10 @@ use dh_core::{BucketSpan, MemoryBudget, ReadHistogram, UpdateOp};
 use dh_wal::segment::{
     checkpoint_epochs, latest_checkpoint, write_checkpoint, Checkpoint, CheckpointColumn, Wal,
 };
-use dh_wal::{ConfigRecord, PlanRecord, ReshardPolicyRecord, SyncPolicy, WalError, WalRecord};
+use dh_wal::{
+    AutoscaleRecord, ConfigRecord, PlanRecord, ReshardPolicyRecord, ShapeRecord, SyncPolicy,
+    WalError, WalRecord,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -189,9 +196,15 @@ struct DurableState {
     ring: VecDeque<SnapshotSet>,
     /// Epoch of the last on-disk checkpoint (0 = none yet).
     last_checkpoint: u64,
-    /// Per column: the epoch of the last re-shard attempt the policy
-    /// gate should measure its interval from.
+    /// Per column: the epoch of the last re-shard/rebuild attempt the
+    /// policy gates should measure their intervals from.
     last_reshard_attempt: BTreeMap<String, u64>,
+    /// Per column: the *live* shape after the last shape-changing
+    /// rebuild, when it differs from the registration shape. Checkpoints
+    /// carry this (inside [`ConfigRecord::rebuilt`]) so a restore
+    /// re-applies the shape even after the rebuild records that produced
+    /// it are pruned.
+    shapes: BTreeMap<String, ShapeRecord>,
     /// `Some(why)` once a changelog append has failed. The inner store
     /// then holds an epoch the log does not — appending anything further
     /// would write an epoch gap that replay must refuse — so the store
@@ -250,6 +263,17 @@ impl DurableStore {
         let checkpoint = latest_checkpoint(&dir, kind.tag())?;
         let (inner, configs) = restore_base(kind, checkpoint.as_ref())?;
         let base = checkpoint.as_ref().map_or(0, |ckpt| ckpt.epoch);
+        // Seed the live-shape map from the checkpoint: `restore_base`
+        // already re-applied these shapes to the inner store; the map
+        // keeps them flowing into the *next* checkpoint too.
+        let mut shapes = BTreeMap::new();
+        if let Some(ckpt) = checkpoint.as_ref() {
+            for col in &ckpt.columns {
+                if let Some(shape) = &col.config.rebuilt {
+                    shapes.insert(col.column.clone(), shape.clone());
+                }
+            }
+        }
 
         let store = DurableStore {
             inner,
@@ -262,6 +286,7 @@ impl DurableStore {
                 ring: VecDeque::new(),
                 last_checkpoint: base,
                 last_reshard_attempt: BTreeMap::new(),
+                shapes,
                 poisoned: None,
             }),
         };
@@ -329,6 +354,33 @@ impl DurableStore {
                     self.inner.reshard(&column)?;
                     self.refresh_ring_tail(&mut st)?;
                 }
+                WalRecord::Rebuild {
+                    column,
+                    barrier,
+                    shards,
+                    spec,
+                    memory_bytes,
+                    channel,
+                } => {
+                    st.last_reshard_attempt.insert(column.clone(), barrier);
+                    if barrier <= base {
+                        continue; // the checkpoint's rebuilt shape already reflects it
+                    }
+                    let at = self.inner.epoch();
+                    if barrier != at {
+                        return Err(DurableError::Recovery(format!(
+                            "rebuild record for '{column}' at barrier {barrier} does not \
+                             follow its commit (store at {at})"
+                        )));
+                    }
+                    // The record carries the plan's *deltas*; resolving
+                    // them against the store state at the same barrier
+                    // reproduces the live rebuild bit-identically.
+                    let plan = plan_from_deltas(shards, spec.as_deref(), memory_bytes, channel)?;
+                    self.inner.rebuild(&column, plan)?;
+                    self.record_live_shape(&mut st, &column)?;
+                    self.refresh_ring_tail(&mut st)?;
+                }
             }
         }
         Ok(())
@@ -389,8 +441,20 @@ impl DurableStore {
         Ok(())
     }
 
+    /// Remembers the column's *live* shape after a shape-changing
+    /// rebuild, so the next checkpoint carries it (see
+    /// [`ConfigRecord::rebuilt`]).
+    fn record_live_shape(&self, st: &mut DurableState, column: &str) -> Result<(), CatalogError> {
+        if let Some(shape) = self.inner.column_shape(column)? {
+            st.shapes
+                .insert(column.to_string(), shape_to_record(&shape));
+        }
+        Ok(())
+    }
+
     /// Everything that follows a logged publication: policy-driven
-    /// re-sharding (logged), the ring push, and the checkpoint cadence.
+    /// re-sharding and autoscaling (logged), the ring push, and the
+    /// checkpoint cadence.
     fn after_commit(&self, st: &mut DurableState, epoch: u64) -> Result<(), CatalogError> {
         let armed: Vec<(String, ReshardPolicy)> = st
             .configs
@@ -426,6 +490,38 @@ impl DurableStore {
                 )?;
             }
         }
+        let auto: Vec<(String, AutoscalePolicy)> = st
+            .configs
+            .iter()
+            .filter_map(|(name, config)| config.autoscale.map(|p| (name.clone(), p)))
+            .collect();
+        for (column, policy) in auto {
+            let since = epoch - st.last_reshard_attempt.get(&column).copied().unwrap_or(0);
+            if since < policy.min_interval_epochs.max(1) {
+                continue;
+            }
+            let loads = self.inner.shard_load(&column)?;
+            if loads.is_empty() {
+                continue;
+            }
+            // The judged window is everything since the last attempt:
+            // shard load counters reset when a rebuild swaps the
+            // generation in, and the attempt epoch is recorded at that
+            // same swap, so `total / since` is the average routed
+            // throughput over exactly that window.
+            let total: u64 = loads.iter().sum();
+            let Some(plan) = policy.decide(loads.len(), total, since, &loads) else {
+                continue;
+            };
+            st.last_reshard_attempt.insert(column.clone(), epoch);
+            if self.inner.rebuild(&column, plan)? {
+                // Log the *decision*, not the gates: replay re-applies
+                // the resolved plan at the same barrier instead of
+                // re-judging a window it cannot reconstruct.
+                Self::append(st, &rebuild_record(&column, epoch, &plan))?;
+                self.record_live_shape(st, &column)?;
+            }
+        }
         self.push_generation(st)?;
         if let Some(every) = self.opts.checkpoint_every {
             if epoch - st.last_checkpoint >= every.max(1) {
@@ -449,7 +545,15 @@ impl DurableStore {
             .iter()
             .map(|(name, snap)| CheckpointColumn {
                 column: name.to_string(),
-                config: config_to_record(&st.configs[name]),
+                config: {
+                    // Checkpoints (and only checkpoints) annotate the
+                    // config with the live rebuilt shape: restore must
+                    // reproduce it even after the rebuild records that
+                    // produced it are pruned with the covered segments.
+                    let mut record = config_to_record(&st.configs[name]);
+                    record.rebuilt = st.shapes.get(name).cloned();
+                    record
+                },
                 accepted: snap.checkpoint(),
                 updates: snap.updates(),
                 spans: snap.spans(),
@@ -681,6 +785,27 @@ impl ColumnStore for DurableStore {
         Ok(moved)
     }
 
+    /// Explicit shape-changing rebuild, logged with the plan's deltas:
+    /// replay resolves them against the same prior state at the same
+    /// barrier, so recovery reproduces the rebuilt shape bit-identically.
+    fn rebuild(&self, column: &str, plan: RebuildPlan) -> Result<bool, CatalogError> {
+        let mut st = self.lock();
+        Self::check_usable(&st)?;
+        let moved = self.inner.rebuild(column, plan)?;
+        let barrier = self.inner.epoch();
+        st.last_reshard_attempt.insert(column.to_string(), barrier);
+        if moved {
+            Self::append(&mut st, &rebuild_record(column, barrier, &plan))?;
+            self.record_live_shape(&mut st, column)?;
+            self.refresh_ring_tail(&mut st)?;
+        }
+        Ok(moved)
+    }
+
+    fn column_shape(&self, column: &str) -> Result<Option<ColumnShape>, CatalogError> {
+        self.inner.column_shape(column)
+    }
+
     fn shard_load(&self, column: &str) -> Result<Vec<u64>, CatalogError> {
         self.inner.shard_load(column)
     }
@@ -749,12 +874,13 @@ pub fn restore_base(
 }
 
 /// `config` as the inner store should see it: identical, minus any
-/// re-shard policy (the [`DurableStore`] decorator — and likewise a
-/// replica replaying its log — runs policy itself, so the inner store
-/// must never second-guess it).
+/// re-shard or autoscale policy (the [`DurableStore`] decorator — and
+/// likewise a replica replaying its log — runs policy itself, so the
+/// inner store must never second-guess it).
 pub fn strip_policy(config: &ColumnConfig) -> ColumnConfig {
     ColumnConfig {
         reshard: None,
+        autoscale: None,
         ..*config
     }
 }
@@ -779,6 +905,18 @@ pub fn config_to_record(config: &ColumnConfig) -> ConfigRecord {
             min_interval_epochs: policy.min_interval_epochs,
             min_load: policy.min_load,
         }),
+        autoscale: config.autoscale.map(|policy| AutoscaleRecord {
+            min_shards: policy.min_shards as u64,
+            max_shards: policy.max_shards as u64,
+            scale_up_rate: policy.scale_up_rate,
+            scale_down_rate: policy.scale_down_rate,
+            skew_bits: policy.skew_threshold.to_bits(),
+            min_interval_epochs: policy.min_interval_epochs,
+            min_load: policy.min_load,
+        }),
+        // Only checkpoints annotate a rebuilt shape; a register record
+        // always describes the registration shape alone.
+        rebuilt: None,
     }
 }
 
@@ -810,7 +948,92 @@ pub fn config_from_record(record: &ConfigRecord) -> Result<ColumnConfig, Durable
             min_load: policy.min_load,
         });
     }
+    if let Some(policy) = &record.autoscale {
+        config = config.with_autoscale(AutoscalePolicy {
+            min_shards: policy.min_shards as usize,
+            max_shards: policy.max_shards as usize,
+            scale_up_rate: policy.scale_up_rate,
+            scale_down_rate: policy.scale_down_rate,
+            skew_threshold: f64::from_bits(policy.skew_bits),
+            min_interval_epochs: policy.min_interval_epochs,
+            min_load: policy.min_load,
+        });
+    }
+    // `record.rebuilt` is deliberately ignored here: it annotates the
+    // *live* shape inside a checkpoint, not the registration config —
+    // [`restore_checkpoint`] re-applies it through `rebuild` instead.
     Ok(config)
+}
+
+/// Decodes the shape deltas of a logged [`WalRecord::Rebuild`] back into
+/// the [`RebuildPlan`] to replay — the shared leg of replaying a rebuild
+/// record, on recovery and on a replica alike.
+///
+/// # Errors
+/// [`DurableError::Recovery`] if the record names an unknown algorithm.
+pub fn plan_from_deltas(
+    shards: Option<u64>,
+    spec: Option<&str>,
+    memory_bytes: Option<u64>,
+    channel: Option<bool>,
+) -> Result<RebuildPlan, DurableError> {
+    let mut plan = RebuildPlan::new();
+    plan.shards = shards.map(|k| k as usize);
+    if let Some(label) = spec {
+        plan.spec = Some(label.parse().map_err(|e| {
+            DurableError::Recovery(format!("unknown algorithm in rebuild record: {e}"))
+        })?);
+    }
+    plan.memory = memory_bytes.map(|bytes| MemoryBudget::from_bytes(bytes as usize));
+    plan.ingest_mode = channel.map(|ch| {
+        if ch {
+            IngestMode::Channel
+        } else {
+            IngestMode::Locked
+        }
+    });
+    Ok(plan)
+}
+
+/// The [`WalRecord`] a shape-changing rebuild logs: the plan's deltas
+/// plus the barrier epoch it executed at.
+fn rebuild_record(column: &str, barrier: u64, plan: &RebuildPlan) -> WalRecord {
+    WalRecord::Rebuild {
+        column: column.to_string(),
+        barrier,
+        shards: plan.shards.map(|k| k as u64),
+        spec: plan.spec.map(|s| s.label()),
+        memory_bytes: plan.memory.map(|m| m.bytes() as u64),
+        channel: plan.ingest_mode.map(|m| m == IngestMode::Channel),
+    }
+}
+
+/// Flattens a live [`ColumnShape`] into the [`ShapeRecord`] a checkpoint
+/// carries.
+fn shape_to_record(shape: &ColumnShape) -> ShapeRecord {
+    ShapeRecord {
+        shards: shape.shards as u64,
+        spec: shape.spec.label(),
+        memory_bytes: shape.memory.bytes() as u64,
+        channel: shape.ingest_mode == IngestMode::Channel,
+    }
+}
+
+/// The fully-specified [`RebuildPlan`] that reproduces a checkpointed
+/// shape on a freshly registered column.
+fn shape_to_plan(shape: &ShapeRecord) -> Result<RebuildPlan, DurableError> {
+    let spec: AlgoSpec = shape.spec.parse().map_err(|e| {
+        DurableError::Recovery(format!("unknown algorithm in checkpoint shape: {e}"))
+    })?;
+    Ok(RebuildPlan::new()
+        .with_shards(shape.shards as usize)
+        .with_spec(spec)
+        .with_memory(MemoryBudget::from_bytes(shape.memory_bytes as usize))
+        .with_ingest_mode(if shape.channel {
+            IngestMode::Channel
+        } else {
+            IngestMode::Locked
+        }))
 }
 
 /// Rebuilds the inner store's state from a checkpoint: registers every
@@ -834,6 +1057,14 @@ fn restore_checkpoint<S: ColumnStore + DirectRestore>(
         let config = config_from_record(&col.config)?;
         inner.register(&col.column, strip_policy(&config))?;
         configs.insert(col.column.clone(), config);
+    }
+    // Re-apply any rebuilt shape *before* seeding the mass, so the
+    // synthesized ops route through the shape live readers last saw —
+    // the rebuild records that produced it may already be pruned.
+    for col in &ckpt.columns {
+        if let Some(shape) = &col.config.rebuilt {
+            inner.rebuild(&col.column, shape_to_plan(shape)?)?;
+        }
     }
     if ckpt.epoch == 0 {
         return Ok(());
@@ -1001,6 +1232,15 @@ mod tests {
                 skew_threshold: f64::NAN,
                 min_interval_epochs: 3,
                 min_load: 17,
+            })
+            .with_autoscale(AutoscalePolicy {
+                min_shards: 2,
+                max_shards: 16,
+                scale_up_rate: 1000,
+                scale_down_rate: 10,
+                skew_threshold: f64::NAN,
+                min_interval_epochs: 5,
+                min_load: 100,
             });
         let back = config_from_record(&config_to_record(&config)).unwrap();
         // Bit-wise equality: NaN thresholds compare equal to themselves.

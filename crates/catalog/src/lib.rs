@@ -35,7 +35,15 @@
 //!   borders adapt to the routed load: a [`ReshardPolicy`] (or an
 //!   explicit [`ColumnStore::reshard`]) rebuilds the live [`ShardMap`]
 //!   from the composed CDF behind the epoch barrier, so a skewed update
-//!   stream cannot pile the ingestion onto one hot shard.
+//!   stream cannot pile the ingestion onto one hot shard. The border
+//!   move is one instance of the elastic rebuild plane:
+//!   [`ColumnStore::rebuild`] executes a [`RebuildPlan`] of deltas —
+//!   grow/shrink the shard count, migrate the algorithm online,
+//!   re-budget the memory, switch the ingestion design — behind the
+//!   same barrier with exact mass conservation, and an
+//!   [`AutoscalePolicy`] drives the shard count from the load on its
+//!   own (see `docs/ELASTIC.md`; the live shape is
+//!   [`ColumnStore::column_shape`]).
 //! * [`durable`] — [`DurableStore`], crash durability as a decorator
 //!   over any of the above: every publication appended to `dh_wal`'s
 //!   epoch changelog, checkpoints on an epoch cadence,
@@ -89,7 +97,10 @@ pub use adapter::StaticRebuild;
 pub use catalog::{Catalog, CatalogError, Snapshot};
 pub use durable::{DurableError, DurableOptions, DurableStore, StoreKind};
 pub use read::ReadStats;
-pub use sharded::{IngestMode, ReshardPolicy, ShardMap, ShardPlan, ShardedCatalog};
+pub use sharded::{
+    AutoscalePolicy, ColumnShape, IngestMode, RebuildPlan, ReshardPolicy, ShardMap, ShardPlan,
+    ShardedCatalog,
+};
 pub use spec::{AlgoSpec, ParseAlgoSpecError};
 pub use store::{ColumnConfig, ColumnStore, SnapshotSet};
 pub use txn::WriteBatch;

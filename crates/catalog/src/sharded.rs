@@ -69,6 +69,25 @@
 //! concurrent drain uses), and whole-epoch accounting holds throughout
 //! (`tests/txn_torn_reads.rs` races writers against a re-sharder).
 //!
+//! # Elastic rebuilds
+//!
+//! The border move is the all-defaults case of a general rebuild plane.
+//! [`ColumnStore::rebuild`] takes a [`RebuildPlan`] — four optional
+//! deltas: shard count, [`AlgoSpec`], [`MemoryBudget`], [`IngestMode`] —
+//! and executes any combination behind the same pin → drain-to-barrier →
+//! compose → clip/re-ingest → atomic-swap sequence: grow or shrink `k`,
+//! migrate the algorithm online (the composed spans are re-ingested
+//! into freshly built target-spec histograms by largest remainder, so
+//! exactly `round(total)` insertions come through), re-split a new
+//! budget, or switch ingestion designs. [`ColumnStore::reshard`] is the
+//! empty plan. An [`AutoscalePolicy`] on [`ColumnConfig`] drives the
+//! shard-count knob automatically — at or above its up-rate the count
+//! doubles toward the cap, at or below its down-rate it halves toward
+//! the floor, in between it falls back to the skew rebalance. The live
+//! shape (vs the frozen registration) is [`ColumnStore::column_shape`];
+//! the whole plane is specified in `docs/ELASTIC.md` and pinned by
+//! `tests/rebuild.rs`.
+//!
 //! # Example
 //!
 //! ```
@@ -133,8 +152,9 @@ pub enum IngestMode {
 ///
 /// The plan fixes the *initial, equal-width* borders; at runtime the
 /// store routes through a [`ShardMap`] whose borders may move on
-/// re-shard ([`ColumnStore::reshard`]). The domain, shard count, and
-/// ingestion mode are permanent.
+/// re-shard ([`ColumnStore::reshard`]), and the shard count and
+/// ingestion mode may change through an elastic rebuild
+/// ([`ColumnStore::rebuild`]). Only the domain is permanent.
 ///
 /// # Routing invariants
 ///
@@ -293,6 +313,196 @@ impl Default for ReshardPolicy {
             min_interval_epochs: 16,
             min_load: 4096,
         }
+    }
+}
+
+/// What an elastic rebuild should change about a column's live shape.
+///
+/// Every field is a *delta*: `None` keeps the column's current value at
+/// the barrier, `Some` replaces it. The all-`None` default is a pure
+/// border rebalance — exactly what [`ColumnStore::reshard`] runs. All
+/// four deltas execute behind the same epoch barrier (pin → drain →
+/// compose → clip/re-ingest → atomic swap), so any combination — grow
+/// `k` while migrating DC → DADO under a new budget — is one atomic
+/// routing swap with exact mass conservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RebuildPlan {
+    /// Target shard count (`None` keeps the live count; `Some(0)` is
+    /// rejected by [`ColumnStore::rebuild`]).
+    pub shards: Option<usize>,
+    /// Target algorithm (`None` keeps the live one). The composed spans
+    /// are re-ingested into freshly built histograms of this spec —
+    /// online algorithm migration, e.g. static → dynamic.
+    pub spec: Option<AlgoSpec>,
+    /// Target total memory budget, re-split across the (possibly new)
+    /// shard count (`None` keeps the live budget).
+    pub memory: Option<MemoryBudget>,
+    /// Target ingestion design (`None` keeps the live one). Switching to
+    /// [`IngestMode::Channel`] spawns drain workers for the new
+    /// generation; switching away joins them when the old generation
+    /// retires.
+    pub ingest_mode: Option<IngestMode>,
+}
+
+impl RebuildPlan {
+    /// The no-op delta: a pure border rebalance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the target shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Sets the target algorithm.
+    pub fn with_spec(mut self, spec: AlgoSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Sets the target total memory budget.
+    pub fn with_memory(mut self, memory: MemoryBudget) -> Self {
+        self.memory = Some(memory);
+        self
+    }
+
+    /// Sets the target ingestion design.
+    pub fn with_ingest_mode(mut self, mode: IngestMode) -> Self {
+        self.ingest_mode = Some(mode);
+        self
+    }
+
+    /// Whether every field is `None` (a pure border rebalance).
+    pub fn is_rebalance(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// A column's *live* shape: the structural choices a [`RebuildPlan`] can
+/// change, as currently served. Contrast with the frozen registration
+/// [`ShardPlan`] returned by [`ShardedCatalog::plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnShape {
+    /// The algorithm the live histograms were built from.
+    pub spec: AlgoSpec,
+    /// The total memory budget split across the live shards.
+    pub memory: MemoryBudget,
+    /// The live shard count.
+    pub shards: usize,
+    /// The live ingestion design.
+    pub ingest_mode: IngestMode,
+    /// The registered value domain (permanent; rebuilds never change it).
+    pub domain: (i64, i64),
+}
+
+/// When — and *how* — a sharded column should rebuild itself
+/// automatically: the elastic generalization of [`ReshardPolicy`].
+///
+/// Attached to a [`ColumnConfig`] via
+/// [`with_autoscale`](ColumnConfig::with_autoscale) and judged after
+/// every commit that touches the column (rate-limited by
+/// `min_interval_epochs`). Where a `ReshardPolicy` can only move
+/// borders, an autoscale decision returns a full [`RebuildPlan`]:
+///
+/// * routed throughput ≥ `scale_up_rate` ops/epoch → *grow* `k`
+///   (doubling, capped at `max_shards`);
+/// * routed throughput ≤ `scale_down_rate` ops/epoch → *shrink* `k`
+///   (halving, floored at `min_shards`), so an idle column stops paying
+///   per-shard overhead;
+/// * otherwise, skewed shard load (max/mean ≥ `skew_threshold`) →
+///   rebalance the borders at the current `k`.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscalePolicy {
+    /// Lower bound on the shard count (>= 1); scale-down stops here.
+    pub min_shards: usize,
+    /// Upper bound on the shard count (>= `min_shards`); scale-up stops
+    /// here.
+    pub max_shards: usize,
+    /// Routed ops per epoch at or above which the shard count doubles.
+    pub scale_up_rate: u64,
+    /// Routed ops per epoch at or below which the shard count halves.
+    pub scale_down_rate: u64,
+    /// Border-rebalance gate: rebalance when `max(load) / mean(load)`
+    /// reaches this ratio (must be finite and >= 1).
+    pub skew_threshold: f64,
+    /// Minimum published epochs between two automatic decisions — the
+    /// throughput window: rates are judged over the ops routed since the
+    /// last judgment.
+    pub min_interval_epochs: u64,
+    /// Minimum routed ops accumulated by the current generation before
+    /// the *skew* gate is judged (the rate gates have their own
+    /// thresholds).
+    pub min_load: u64,
+}
+
+/// Bit-wise equality on the float threshold, for the same reason as
+/// [`ReshardPolicy`]: recovery compares replayed configs for equality.
+impl PartialEq for AutoscalePolicy {
+    fn eq(&self, other: &Self) -> bool {
+        self.min_shards == other.min_shards
+            && self.max_shards == other.max_shards
+            && self.scale_up_rate == other.scale_up_rate
+            && self.scale_down_rate == other.scale_down_rate
+            && self.skew_threshold.to_bits() == other.skew_threshold.to_bits()
+            && self.min_interval_epochs == other.min_interval_epochs
+            && self.min_load == other.min_load
+    }
+}
+
+impl Eq for AutoscalePolicy {}
+
+impl Default for AutoscalePolicy {
+    /// Scale between 1 and 32 shards: up above 4096 ops/epoch, down at
+    /// or below 64, rebalance at 2x mean skew, judged at most every 16
+    /// epochs after 4096 routed ops.
+    fn default() -> Self {
+        Self {
+            min_shards: 1,
+            max_shards: 32,
+            scale_up_rate: 4096,
+            scale_down_rate: 64,
+            skew_threshold: 2.0,
+            min_interval_epochs: 16,
+            min_load: 4096,
+        }
+    }
+}
+
+impl AutoscalePolicy {
+    /// Judges one throughput window: the column served `window_ops`
+    /// routed ops over `window_epochs` published epochs at `shards`
+    /// shards, with per-shard generation loads `loads`. Returns the
+    /// [`RebuildPlan`] to run, or `None` to leave the column alone.
+    ///
+    /// Pure and deterministic — `DurableStore` logs the *decision* (the
+    /// resolved plan), so replay never re-judges a window.
+    pub fn decide(
+        &self,
+        shards: usize,
+        window_ops: u64,
+        window_epochs: u64,
+        loads: &[u64],
+    ) -> Option<RebuildPlan> {
+        let rate = window_ops / window_epochs.max(1);
+        if rate >= self.scale_up_rate.max(1) && shards < self.max_shards {
+            let target = shards.saturating_mul(2).min(self.max_shards);
+            return Some(RebuildPlan::new().with_shards(target));
+        }
+        if rate <= self.scale_down_rate && shards > self.min_shards.max(1) {
+            let target = (shards / 2).max(self.min_shards).max(1);
+            return Some(RebuildPlan::new().with_shards(target));
+        }
+        let total: u64 = loads.iter().sum();
+        if loads.len() > 1 && total >= self.min_load.max(1) {
+            let max = loads.iter().copied().max().unwrap_or(0);
+            let mean = total as f64 / loads.len() as f64;
+            if max as f64 >= self.skew_threshold * mean {
+                return Some(RebuildPlan::new());
+            }
+        }
+        None
     }
 }
 
@@ -518,6 +728,14 @@ struct Workers {
 /// agreement.
 struct Generation {
     map: ShardMap,
+    /// The algorithm the generation's histograms were built from. Part
+    /// of the generation (not the column) since PR 10: an online
+    /// migration swaps it atomically with the map and cells.
+    spec: AlgoSpec,
+    /// The total memory budget split across this generation's cells.
+    memory: MemoryBudget,
+    /// The ingestion design this generation serves (decides `workers`).
+    mode: IngestMode,
     cells: Vec<Arc<Cell>>,
     /// Ops routed into each shard since this generation was installed
     /// (the load the [`ReshardPolicy`] judges).
@@ -536,7 +754,13 @@ struct Generation {
 impl Generation {
     /// Builds a generation over `cells`, spawning one drain worker per
     /// shard in channel mode.
-    fn install(map: ShardMap, cells: Vec<Arc<Cell>>, mode: IngestMode) -> Arc<Self> {
+    fn install(
+        map: ShardMap,
+        spec: AlgoSpec,
+        memory: MemoryBudget,
+        mode: IngestMode,
+        cells: Vec<Arc<Cell>>,
+    ) -> Arc<Self> {
         let workers = match mode {
             IngestMode::Locked => None,
             IngestMode::Channel => {
@@ -558,6 +782,9 @@ impl Generation {
         let load = cells.iter().map(|_| AtomicU64::new(0)).collect();
         Arc::new(Self {
             map,
+            spec,
+            memory,
+            mode,
             cells,
             load,
             in_flight: AtomicU64::new(0),
@@ -594,25 +821,36 @@ impl Drop for StagedShards {
     }
 }
 
-/// Re-shard bookkeeping, under the per-column re-shard mutex (one
-/// re-shard at a time; policy-triggered attempts skip instead of
-/// queueing).
+/// Rebuild bookkeeping, under the per-column rebuild mutex (one rebuild
+/// at a time; policy-triggered attempts skip instead of queueing).
 #[derive(Default)]
 struct ReshardMeta {
-    /// Completed border rebuilds.
+    /// Completed generation rebuilds (border moves and shape changes).
     count: u64,
-    /// Store epoch of the last re-shard *attempt* (swap or not), for
-    /// the policy's rate limit.
+    /// Store epoch of the last rebuild *attempt* (swap or not), for
+    /// the policies' rate limits.
     last_epoch: u64,
+    /// Store epoch of the last [`AutoscalePolicy`] judgment — the start
+    /// of the current throughput window.
+    judged_epoch: u64,
+    /// Total generation load already judged — subtracted so each window
+    /// counts only the ops routed since the previous judgment. Reset
+    /// (with `judged_epoch`) when a rebuild swaps the generation, whose
+    /// load counters restart at zero.
+    judged_load: u64,
 }
 
 struct ShardedColumn {
     name: String,
+    /// The *registration* algorithm — what [`ColumnStore::spec`]
+    /// reports and replayed register records are compared against. The
+    /// live (possibly migrated) algorithm lives on the generation; see
+    /// [`ShardedCatalog::shape`].
     spec: AlgoSpec,
     plan: ShardPlan,
-    memory: MemoryBudget,
     seed: u64,
     policy: Option<ReshardPolicy>,
+    autoscale: Option<AutoscalePolicy>,
     /// The live routing generation; replaced whole on re-shard.
     generation: RwLock<Arc<Generation>>,
     /// Ops whose value lay outside the registered domain and were
@@ -732,7 +970,9 @@ impl StoreColumn for ShardedColumn {
             epoch,
             &generation.cache,
             &self.name,
-            self.spec.label(),
+            // The *live* algorithm: after a migration, snapshots label
+            // themselves with what actually built them.
+            generation.spec.label(),
             stamp.accepted,
             stamp.updates,
         )
@@ -983,14 +1223,36 @@ impl ShardedCatalog {
         Self::default()
     }
 
-    /// The shard plan a column was registered with (domain, shard count,
-    /// ingestion mode, and the *initial* equal-width borders — the live
-    /// borders are [`ShardedCatalog::shard_map`]).
+    /// The shard plan a column was *registered* with — a frozen record
+    /// of the registration call, not the live state: its borders,
+    /// shard count, and ingestion mode are all stale after the first
+    /// re-shard or rebuild. The live borders are
+    /// [`ShardedCatalog::shard_map`]; the live shard count, algorithm,
+    /// memory budget, and ingestion mode are [`ShardedCatalog::shape`].
+    /// Only the domain is permanent.
     ///
     /// # Errors
     /// [`CatalogError::UnknownColumn`] if absent.
     pub fn plan(&self, column: &str) -> Result<ShardPlan, CatalogError> {
         Ok(self.registry.get(column)?.plan)
+    }
+
+    /// The column's *live* shape: the algorithm, memory budget, shard
+    /// count, and ingestion mode currently serving — everything a
+    /// [`RebuildPlan`] can change, after every rebuild that changed it.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    pub fn shape(&self, column: &str) -> Result<ColumnShape, CatalogError> {
+        let col = self.registry.get(column)?;
+        let generation = col.generation();
+        Ok(ColumnShape {
+            spec: generation.spec,
+            memory: generation.memory,
+            shards: generation.map.shards(),
+            ingest_mode: generation.mode,
+            domain: generation.map.domain(),
+        })
     }
 
     /// The column's *current* routing table. Starts as the plan's
@@ -1010,16 +1272,16 @@ impl ShardedCatalog {
         Ok(lock(&self.registry.get(column)?.reshard).count)
     }
 
-    /// Policy-gated re-shard attempt after a commit touched `column`.
-    fn maybe_reshard(&self, column: &str) {
+    /// Policy-gated rebuild attempt after a commit touched `column`.
+    fn maybe_rebuild(&self, column: &str) {
         if let Ok(col) = self.registry.get(column) {
-            if col.policy.is_some() && col.plan.shards() > 1 {
-                self.do_reshard(&col, false);
+            if col.policy.is_some() || col.autoscale.is_some() {
+                self.do_rebuild(&col, None, false);
             }
         }
     }
 
-    /// Whether the column's policy gates all pass right now.
+    /// Whether the column's re-shard policy gates all pass right now.
     fn policy_fires(&self, col: &ShardedColumn, meta: &ReshardMeta) -> bool {
         let Some(policy) = col.policy else {
             return false;
@@ -1030,6 +1292,11 @@ impl ShardedCatalog {
         // Folded straight off the atomics — this runs after every
         // commit on an armed column, so it must not allocate.
         let generation = col.generation();
+        if generation.load.len() < 2 {
+            // One shard has no borders to move; only an autoscale
+            // decision can grow it.
+            return false;
+        }
         let (mut total, mut max) = (0u64, 0u64);
         for counter in &generation.load {
             let load = counter.load(Ordering::Relaxed);
@@ -1043,10 +1310,40 @@ impl ShardedCatalog {
         max as f64 >= policy.skew_threshold * mean
     }
 
-    /// The re-shard protocol. Returns whether the borders actually
-    /// moved (and the generation was swapped).
+    /// Resolves what the column's automatic policies want to do right
+    /// now, under the rebuild mutex. The [`ReshardPolicy`] (border
+    /// rebalance only) is judged first for compatibility; otherwise the
+    /// [`AutoscalePolicy`] judges the throughput window since its last
+    /// decision. Updates the window bookkeeping in `meta`.
+    fn policy_decides(&self, col: &ShardedColumn, meta: &mut ReshardMeta) -> Option<RebuildPlan> {
+        if self.policy_fires(col, meta) {
+            return Some(RebuildPlan::new());
+        }
+        let auto = col.autoscale?;
+        let epoch = self.registry.epoch();
+        let window_epochs = epoch.saturating_sub(meta.judged_epoch);
+        if window_epochs < auto.min_interval_epochs.max(1) {
+            return None;
+        }
+        let generation = col.generation();
+        let loads: Vec<u64> = generation
+            .load
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = loads.iter().sum();
+        let window_ops = total.saturating_sub(meta.judged_load);
+        meta.judged_epoch = epoch;
+        meta.judged_load = total;
+        auto.decide(generation.map.shards(), window_ops, window_epochs, &loads)
+    }
+
+    /// The rebuild protocol — one code path for border rebalance,
+    /// grow/shrink `k`, online algorithm migration, and memory
+    /// re-budgeting. Returns whether the generation was actually swapped
+    /// (the borders moved or the shape changed).
     ///
-    /// 1. **Pin** — take the column's re-shard mutex (forced calls
+    /// 1. **Pin** — take the column's rebuild mutex (forced calls
     ///    queue, policy-triggered ones skip if one is already running)
     ///    and the routing write lock: no new batch can stage into the
     ///    old generation.
@@ -1056,32 +1353,42 @@ impl ShardedCatalog {
     ///    stragglers), read the barrier epoch, and drain every shard up
     ///    to it. The column now has no pending entries at all.
     /// 3. **Rebuild** — compose the per-shard spans (the column's full
-    ///    histogram as of the barrier), compute equal-load borders from
-    ///    its CDF, and re-route the composed mass into fresh per-shard
-    ///    histograms (exact total, see [`reroute_clips`]).
-    /// 4. **Swap** — install the new generation (map + cells + load
-    ///    counters + workers) in one assignment under the routing write
-    ///    lock. Readers pinned at or after the barrier render the new
-    ///    cells; readers pinned before it retry at the barrier epoch,
-    ///    exactly like any overtaken pinned read.
-    fn do_reshard(&self, col: &ShardedColumn, forced: bool) -> bool {
-        let moved = self.do_reshard_inner(col, forced);
+    ///    histogram as of the barrier), resolve the plan's deltas
+    ///    against the live shape, compute equal-load borders at the
+    ///    *target* shard count from the composed CDF, and re-route the
+    ///    composed mass into per-shard histograms freshly built from the
+    ///    *target* algorithm and budget (exact total via the
+    ///    largest-remainder re-ingestion).
+    /// 4. **Swap** — install the new generation (map + shape + cells +
+    ///    load counters + workers) in one assignment under the routing
+    ///    write lock. Readers pinned at or after the barrier render the
+    ///    new cells; readers pinned before it retry at the barrier
+    ///    epoch, exactly like any overtaken pinned read.
+    ///
+    /// `plan: None` means "ask the column's automatic policies"
+    /// ([`ReshardPolicy`] first, then [`AutoscalePolicy`]) — the
+    /// post-commit path. `Some(plan)` executes that plan, gates
+    /// bypassed.
+    fn do_rebuild(&self, col: &ShardedColumn, plan: Option<RebuildPlan>, forced: bool) -> bool {
+        let moved = self.do_rebuild_inner(col, plan, forced);
         if moved {
-            // A re-shard rebuilds the column's cells *without* publishing
+            // A rebuild replaces the column's cells *without* publishing
             // an epoch, so the front generation (and its predicate cache)
             // must be force-re-rendered at the same epoch — a reader must
-            // never keep being served off the pre-re-shard rendering
+            // never keep being served off the pre-rebuild rendering
             // once the routing has swapped. Runs after every routing and
-            // re-shard lock is released.
+            // rebuild lock is released.
             self.registry.refresh_front(true);
         }
         moved
     }
 
-    fn do_reshard_inner(&self, col: &ShardedColumn, forced: bool) -> bool {
-        if col.plan.shards() < 2 {
-            return false;
-        }
+    fn do_rebuild_inner(
+        &self,
+        col: &ShardedColumn,
+        plan: Option<RebuildPlan>,
+        forced: bool,
+    ) -> bool {
         let mut meta = if forced {
             lock(&col.reshard)
         } else {
@@ -1091,11 +1398,16 @@ impl ShardedCatalog {
                 Err(std::sync::TryLockError::WouldBlock) => return false,
             }
         };
-        if !forced && !self.policy_fires(col, &meta) {
-            return false;
-        }
+        let plan = match plan {
+            Some(plan) => plan,
+            None if forced => RebuildPlan::new(),
+            None => match self.policy_decides(col, &mut meta) {
+                Some(plan) => plan,
+                None => return false,
+            },
+        };
 
-        // How many times a *forced* re-shard rebuilds outside the
+        // How many times a *forced* rebuild re-ingests outside the
         // routing lock before falling back to an under-lock rebuild to
         // guarantee completion against sustained racing commits.
         const UNLOCKED_REBUILD_ATTEMPTS: usize = 2;
@@ -1113,7 +1425,7 @@ impl ShardedCatalog {
                 cell.drain_to(epoch);
                 let (_, spans) = cell
                     .spans_at(epoch)
-                    .expect("no commit on this column can pass a held re-shard barrier");
+                    .expect("no commit on this column can pass a held rebuild barrier");
                 parts.push(spans);
             }
             let composed = if parts.len() == 1 {
@@ -1121,25 +1433,39 @@ impl ShardedCatalog {
             } else {
                 superimpose(&parts)
             };
-            let map = match ShardMap::balanced(&composed, col.plan.domain(), col.plan.shards()) {
+            // Resolve the plan's deltas against the *live* shape at the
+            // barrier — the same resolution a replayed rebuild record
+            // performs, against the same state, so recovery reproduces
+            // the shape bit-identically.
+            let spec = plan.spec.unwrap_or(slot.spec);
+            let memory = plan.memory.unwrap_or(slot.memory);
+            let mode = plan.ingest_mode.unwrap_or(slot.mode);
+            let shards = plan.shards.unwrap_or_else(|| slot.map.shards());
+            let reshapes = spec != slot.spec
+                || memory != slot.memory
+                || mode != slot.mode
+                || shards != slot.map.shards();
+            let map = match ShardMap::balanced(&composed, slot.map.domain(), shards) {
                 Ok(map) => map,
                 Err(_) => return false,
             };
-            if map == slot.map {
+            if !reshapes && map == slot.map {
+                // Nothing to change: same shape, borders already optimal
+                // (a single-shard rebalance always lands here — one
+                // shard has no borders to move).
                 return false;
             }
             // The column's publication stamp as of the barrier: any
             // commit touching the column during an unlocked rebuild
             // moves it, flagging the rebuilt cells stale.
             let column_epoch = lock(&col.stamp).epoch;
-            let budgets = split_budget(col.memory, map.shards());
+            let budgets = split_budget(memory, map.shards());
             let clips = reroute_clips(&composed, &map);
-            let shards = map.shards();
+            let n_shards = map.shards();
             let rebuild = |epoch: u64| -> Vec<Arc<Cell>> {
-                (0..shards)
+                (0..n_shards)
                     .map(|i| {
-                        let mut histogram =
-                            col.spec.build(budgets[i], col.seed.wrapping_add(i as u64));
+                        let mut histogram = spec.build(budgets[i], col.seed.wrapping_add(i as u64));
                         replay_clips(&mut histogram, &clips, i);
                         Arc::new(Cell::with_applied(histogram, epoch))
                     })
@@ -1149,11 +1475,13 @@ impl ShardedCatalog {
             // The expensive part — O(rows) re-ingestion — runs *outside*
             // the routing lock whenever possible, so readers (and, via
             // the gate-held fallback render, the store-wide publication
-            // gate) are never blocked behind it. Only a forced re-shard
-            // that keeps losing the race rebuilds under the lock.
+            // gate) are never blocked behind it. Only a forced rebuild
+            // that keeps losing the race re-ingests under the lock.
             if forced && attempt >= UNLOCKED_REBUILD_ATTEMPTS {
-                *slot = Generation::install(map, rebuild(epoch), col.plan.mode());
+                *slot = Generation::install(map, spec, memory, mode, rebuild(epoch));
                 meta.count += 1;
+                meta.judged_epoch = epoch;
+                meta.judged_load = 0;
                 return true;
             }
             drop(slot);
@@ -1170,11 +1498,15 @@ impl ShardedCatalog {
                 }
                 return false;
             }
-            *slot = Generation::install(map, cells, col.plan.mode());
+            *slot = Generation::install(map, spec, memory, mode, cells);
             meta.count += 1;
+            // The new generation's load counters restart at zero; the
+            // autoscale throughput window restarts with them.
+            meta.judged_epoch = epoch;
+            meta.judged_load = 0;
             return true;
         }
-        unreachable!("the re-shard loop always returns")
+        unreachable!("the rebuild loop always returns")
     }
 }
 
@@ -1204,6 +1536,25 @@ impl ColumnStore for ShardedCatalog {
                 )));
             }
         }
+        if let Some(auto) = config.autoscale {
+            if !auto.skew_threshold.is_finite() || auto.skew_threshold < 1.0 {
+                return Err(CatalogError::InvalidShardPlan(format!(
+                    "autoscale skew_threshold must be finite and >= 1, got {}",
+                    auto.skew_threshold
+                )));
+            }
+            if auto.min_shards == 0 {
+                return Err(CatalogError::InvalidShardPlan(
+                    "autoscale min_shards must be >= 1".into(),
+                ));
+            }
+            if auto.max_shards < auto.min_shards {
+                return Err(CatalogError::InvalidShardPlan(format!(
+                    "autoscale max_shards {} below min_shards {}",
+                    auto.max_shards, auto.min_shards
+                )));
+            }
+        }
         // `ShardPlan::new` is the single validation point: plans cannot
         // be constructed degenerate, so `plan` is valid here.
         let budgets = split_budget(config.memory, plan.shards());
@@ -1225,16 +1576,24 @@ impl ColumnStore for ShardedCatalog {
                 name: column.to_string(),
                 spec: config.spec,
                 plan,
-                memory: config.memory,
                 seed: config.seed,
                 policy: config.reshard,
-                generation: RwLock::new(Generation::install(map, cells, plan.mode())),
+                autoscale: config.autoscale,
+                generation: RwLock::new(Generation::install(
+                    map,
+                    config.spec,
+                    config.memory,
+                    plan.mode(),
+                    cells,
+                )),
                 clamped: AtomicU64::new(0),
                 reshard: Mutex::new(ReshardMeta::default()),
                 stamp: Mutex::new(ColumnStamp::default()),
             }
         });
-        if inserted.is_ok() && config.reshard.is_some() && plan.shards() > 1 {
+        if inserted.is_ok()
+            && ((config.reshard.is_some() && plan.shards() > 1) || config.autoscale.is_some())
+        {
             self.armed.store(true, Ordering::Relaxed);
         }
         inserted
@@ -1261,15 +1620,15 @@ impl ColumnStore for ShardedCatalog {
         let columns: Vec<String> = batch
             .columns()
             .filter(|column| {
-                self.registry
-                    .get(column)
-                    .is_ok_and(|col| col.policy.is_some() && col.plan.shards() > 1)
+                self.registry.get(column).is_ok_and(|col| {
+                    (col.policy.is_some() && col.plan.shards() > 1) || col.autoscale.is_some()
+                })
             })
             .map(str::to_string)
             .collect();
         let epoch = self.registry.commit(batch)?;
         for column in &columns {
-            self.maybe_reshard(column);
+            self.maybe_rebuild(column);
         }
         Ok(epoch)
     }
@@ -1277,7 +1636,7 @@ impl ColumnStore for ShardedCatalog {
     fn apply(&self, column: &str, batch: &[UpdateOp]) -> Result<u64, CatalogError> {
         let checkpoint = self.registry.apply(column, batch)?;
         if self.armed.load(Ordering::Relaxed) {
-            self.maybe_reshard(column);
+            self.maybe_rebuild(column);
         }
         Ok(checkpoint)
     }
@@ -1315,13 +1674,44 @@ impl ColumnStore for ShardedCatalog {
     /// recomputes equal-load borders from the composed CDF, and swaps
     /// the routing atomically. Returns `true` if the borders moved
     /// (`false` when they were already optimal or the column has a
-    /// single shard). Bypasses the [`ReshardPolicy`] gates.
+    /// single shard). Bypasses the [`ReshardPolicy`] gates. A thin
+    /// wrapper over [`ColumnStore::rebuild`] with the all-`None` plan.
     ///
     /// # Errors
     /// [`CatalogError::UnknownColumn`] if absent.
     fn reshard(&self, column: &str) -> Result<bool, CatalogError> {
+        self.rebuild(column, RebuildPlan::new())
+    }
+
+    /// Executes `plan` against `column` behind the epoch barrier: drains
+    /// to the barrier, composes the column's full histogram, resolves the
+    /// plan's deltas against the live shape, and swaps in a generation
+    /// with the target shard count, algorithm, memory budget, and
+    /// ingestion mode — total mass conserved exactly (the re-ingestion's
+    /// largest-remainder contract). Returns `true`
+    /// if the generation was swapped (`false` when the plan resolves to
+    /// the current shape with optimal borders).
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent;
+    /// [`CatalogError::InvalidShardPlan`] if `plan.shards == Some(0)`.
+    fn rebuild(&self, column: &str, plan: RebuildPlan) -> Result<bool, CatalogError> {
+        if plan.shards == Some(0) {
+            return Err(CatalogError::InvalidShardPlan(
+                "need at least one shard (shards == 0)".into(),
+            ));
+        }
         let col = self.registry.get(column)?;
-        Ok(self.do_reshard(&col, true))
+        Ok(self.do_rebuild(&col, Some(plan), true))
+    }
+
+    /// The live shape ([`ShardedCatalog::shape`]) behind the object-safe
+    /// trait surface.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn column_shape(&self, column: &str) -> Result<Option<ColumnShape>, CatalogError> {
+        self.shape(column).map(Some)
     }
 
     /// Ops routed into each shard since the current shard map was

@@ -38,7 +38,7 @@
 
 use crate::catalog::{CatalogError, Snapshot};
 use crate::read::{CacheKind, FrontCache, ReadStats};
-use crate::sharded::{ReshardPolicy, ShardPlan};
+use crate::sharded::{AutoscalePolicy, ColumnShape, RebuildPlan, ReshardPolicy, ShardPlan};
 use crate::spec::AlgoSpec;
 use crate::txn::WriteBatch;
 use dh_core::{MemoryBudget, ReadHistogram, UpdateOp};
@@ -74,11 +74,16 @@ pub struct ColumnConfig {
     /// shard (`None` keeps the borders static unless
     /// [`ColumnStore::reshard`] is called explicitly).
     pub reshard: Option<ReshardPolicy>,
+    /// When to *rebuild the column's shape* automatically — scale the
+    /// shard count with the routed throughput, rebalance skewed borders
+    /// — for stores that shard (the elastic generalization of `reshard`;
+    /// both may be armed, the re-shard policy is judged first).
+    pub autoscale: Option<AutoscalePolicy>,
 }
 
 impl ColumnConfig {
-    /// A config with the default seed, no shard plan, and no re-shard
-    /// policy.
+    /// A config with the default seed, no shard plan, and no automatic
+    /// policies.
     pub fn new(spec: AlgoSpec, memory: MemoryBudget) -> Self {
         Self {
             spec,
@@ -86,6 +91,7 @@ impl ColumnConfig {
             seed: 0,
             plan: None,
             reshard: None,
+            autoscale: None,
         }
     }
 
@@ -106,6 +112,12 @@ impl ColumnConfig {
         self.reshard = Some(policy);
         self
     }
+
+    /// The same config with elastic autoscaling armed by `policy`.
+    pub fn with_autoscale(mut self, policy: AutoscalePolicy) -> Self {
+        self.autoscale = Some(policy);
+        self
+    }
 }
 
 /// Bit-wise equality, so configs are comparable (and [`Eq`]) despite
@@ -121,6 +133,7 @@ impl PartialEq for ColumnConfig {
             && self.seed == other.seed
             && self.plan == other.plan
             && self.reshard == other.reshard
+            && self.autoscale == other.autoscale
     }
 }
 
@@ -250,6 +263,40 @@ pub trait ColumnStore: Send + Sync {
     fn reshard(&self, column: &str) -> Result<bool, CatalogError> {
         self.spec(column)?;
         Ok(false)
+    }
+
+    /// Rebuilds `column`'s live shape per `plan` — shard count,
+    /// algorithm, memory budget, ingestion mode — behind the store's
+    /// epoch barrier with exact mass conservation (see
+    /// [`ShardedCatalog`](crate::ShardedCatalog)). Returns whether the
+    /// column's generation was actually swapped. Stores that do not
+    /// partition have no shape to change and return `Ok(false)`;
+    /// [`ColumnStore::reshard`] is the all-`None` special case.
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent;
+    /// [`CatalogError::InvalidShardPlan`] on a degenerate plan
+    /// (`shards == Some(0)`).
+    fn rebuild(&self, column: &str, plan: RebuildPlan) -> Result<bool, CatalogError> {
+        if plan.shards == Some(0) {
+            return Err(CatalogError::InvalidShardPlan(
+                "need at least one shard (shards == 0)".into(),
+            ));
+        }
+        self.spec(column)?;
+        Ok(false)
+    }
+
+    /// The column's *live* shape (shard count, algorithm, memory,
+    /// ingestion mode) after any rebuilds — `None` for stores that do
+    /// not track one (unsharded stores; [`ColumnStore::spec`] always
+    /// reports the frozen *registration* algorithm, by contrast).
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownColumn`] if absent.
+    fn column_shape(&self, column: &str) -> Result<Option<ColumnShape>, CatalogError> {
+        self.spec(column)?;
+        Ok(None)
     }
 
     /// Ops routed into each shard of `column` under its current shard

@@ -6,10 +6,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use dh_catalog::durable::{config_from_record, restore_base, strip_policy};
+use dh_catalog::durable::{config_from_record, plan_from_deltas, restore_base, strip_policy};
 use dh_catalog::{
-    AlgoSpec, CatalogError, ColumnConfig, ColumnStore, DurableError, ReadStats, Snapshot,
-    SnapshotSet, StoreKind, WriteBatch,
+    AlgoSpec, CatalogError, ColumnConfig, ColumnShape, ColumnStore, DurableError, ReadStats,
+    RebuildPlan, Snapshot, SnapshotSet, StoreKind, WriteBatch,
 };
 use dh_core::UpdateOp;
 use dh_wal::segment::latest_checkpoint;
@@ -63,10 +63,10 @@ struct ServingState {
 struct TailState {
     reader: TailReader,
     configs: BTreeMap<String, ColumnConfig>,
-    /// Per column, the highest re-shard barrier already applied — a
-    /// gap rewind can re-read a re-shard record at exactly the current
-    /// epoch, and applying it twice could recompute borders the leader
-    /// only computed once.
+    /// Per column, the highest re-shard/rebuild barrier already applied
+    /// — a gap rewind can re-read such a record at exactly the current
+    /// epoch, and applying it twice could recompute borders (or rebuild
+    /// a shape) the leader only computed once.
     resharded: BTreeMap<String, u64>,
 }
 
@@ -391,6 +391,28 @@ fn apply_records(
                 store.reshard(&column)?;
                 resharded.insert(column, barrier);
             }
+            WalRecord::Rebuild {
+                column,
+                barrier,
+                shards,
+                spec,
+                memory_bytes,
+                channel,
+            } => {
+                let at = store.epoch();
+                if barrier < at || resharded.get(&column).is_some_and(|&b| barrier <= b) {
+                    // Same prefix-order argument as for re-shard
+                    // records: a commit past `barrier` proves this
+                    // rebuild was already replayed or checkpoint-covered.
+                    continue;
+                }
+                if barrier > at {
+                    return Ok(Applied::Gap);
+                }
+                let plan = plan_from_deltas(shards, spec.as_deref(), memory_bytes, channel)?;
+                store.rebuild(&column, plan)?;
+                resharded.insert(column, barrier);
+            }
         }
     }
     Ok(Applied::Clean)
@@ -461,6 +483,17 @@ impl ColumnStore for Follower {
     /// barrier epoch.
     fn reshard(&self, _column: &str) -> Result<bool, CatalogError> {
         read_only()
+    }
+
+    /// Mutation: rejected with [`CatalogError::ReadOnlyReplica`] — the
+    /// leader logs every shape change; followers replay it at its exact
+    /// barrier epoch.
+    fn rebuild(&self, _column: &str, _plan: RebuildPlan) -> Result<bool, CatalogError> {
+        read_only()
+    }
+
+    fn column_shape(&self, column: &str) -> Result<Option<ColumnShape>, CatalogError> {
+        self.current().store.column_shape(column)
     }
 
     fn shard_load(&self, column: &str) -> Result<Vec<u64>, CatalogError> {
@@ -560,6 +593,10 @@ mod tests {
         ));
         assert!(matches!(
             follower.reshard("c"),
+            Err(CatalogError::ReadOnlyReplica)
+        ));
+        assert!(matches!(
+            follower.rebuild("c", RebuildPlan::new().with_shards(4)),
             Err(CatalogError::ReadOnlyReplica)
         ));
         assert!(CatalogError::ReadOnlyReplica

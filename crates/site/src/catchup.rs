@@ -12,7 +12,7 @@
 //! written down as the *catch-up rule* in `docs/GLOBAL.md`.
 
 use crate::site::{Site, SiteError};
-use dh_catalog::durable::{config_from_record, strip_policy};
+use dh_catalog::durable::{config_from_record, plan_from_deltas, strip_policy};
 use dh_catalog::{CatalogError, ColumnConfig, ColumnStore, WriteBatch};
 use dh_wal::WalRecord;
 use std::collections::BTreeMap;
@@ -92,6 +92,27 @@ pub fn catch_up(
                     break 'replay;
                 }
                 target.reshard(&column)?;
+                resharded.insert(column, barrier);
+            }
+            WalRecord::Rebuild {
+                column,
+                barrier,
+                shards,
+                spec,
+                memory_bytes,
+                channel,
+            } => {
+                let at = target.epoch();
+                if barrier < at || resharded.get(&column).is_some_and(|&b| barrier <= b) {
+                    continue; // already covered by the target's state
+                }
+                if barrier > at {
+                    clean = false;
+                    break 'replay;
+                }
+                let plan = plan_from_deltas(shards, spec.as_deref(), memory_bytes, channel)
+                    .map_err(|e| SiteError::Remote(e.to_string()))?;
+                target.rebuild(&column, plan)?;
                 resharded.insert(column, barrier);
             }
         }

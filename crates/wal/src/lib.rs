@@ -54,8 +54,8 @@ pub mod tail;
 pub mod tmp;
 
 pub use record::{
-    crc32, read_framed, write_framed, ConfigRecord, Frame, PlanRecord, Reader, ReshardPolicyRecord,
-    WalRecord, Writer,
+    crc32, read_framed, write_framed, AutoscaleRecord, ConfigRecord, Frame, PlanRecord, Reader,
+    ReshardPolicyRecord, ShapeRecord, WalRecord, Writer,
 };
 pub use segment::{Checkpoint, CheckpointColumn, Wal};
 pub use tail::{TailPoll, TailReader, TailStatus};

@@ -56,6 +56,31 @@ pub enum WalRecord {
         /// of the immediately preceding commit record.
         barrier: u64,
     },
+    /// A completed *rebuild* that changed a column's shape — shard
+    /// count, algorithm, memory budget, or ingestion mode — behind the
+    /// same epoch barrier a re-shard uses. The shape-carrying successor
+    /// of [`WalRecord::Reshard`] (which stays in the format, both for
+    /// old logs and for pure border rebalances, whose target shape *is*
+    /// derivable from state): a rebuild's target is not derivable at
+    /// replay time, so the record carries the plan deltas. `None`
+    /// fields keep the column's value current at the barrier, exactly
+    /// as the live call resolved them.
+    Rebuild {
+        /// The rebuilt column.
+        column: String,
+        /// The epoch barrier the rebuild drained to — always the epoch
+        /// of the immediately preceding commit record.
+        barrier: u64,
+        /// Target shard count (`None` keeps the live count).
+        shards: Option<u64>,
+        /// Target algorithm legend label (`None` keeps the live one).
+        spec: Option<String>,
+        /// Target memory budget in bytes (`None` keeps the live one).
+        memory_bytes: Option<u64>,
+        /// Target ingestion mode (`None` keeps the live one; `true`
+        /// means channel workers, `false` locked).
+        channel: Option<bool>,
+    },
 }
 
 /// A `dh_catalog` `ColumnConfig` flattened to primitives this crate can
@@ -74,6 +99,13 @@ pub struct ConfigRecord {
     pub plan: Option<PlanRecord>,
     /// Re-shard policy, if the column armed one.
     pub reshard: Option<ReshardPolicyRecord>,
+    /// Autoscale policy, if the column armed one.
+    pub autoscale: Option<AutoscaleRecord>,
+    /// The column's *live* shape after any rebuilds, when it differs
+    /// from the registration shape. Only checkpoints set this (so a
+    /// restore re-applies the shape without replaying pruned rebuild
+    /// records); register records always carry `None`.
+    pub rebuilt: Option<ShapeRecord>,
 }
 
 /// A flattened `ShardPlan`.
@@ -101,9 +133,46 @@ pub struct ReshardPolicyRecord {
     pub min_load: u64,
 }
 
+/// A flattened `AutoscalePolicy`. Like [`ReshardPolicyRecord`], the
+/// float threshold travels as raw bits for bit-exact round trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoscaleRecord {
+    /// Lower bound on the shard count.
+    pub min_shards: u64,
+    /// Upper bound on the shard count.
+    pub max_shards: u64,
+    /// Routed ops per epoch above which the shard count grows.
+    pub scale_up_rate: u64,
+    /// Routed ops per epoch at or below which the shard count shrinks.
+    pub scale_down_rate: u64,
+    /// `skew_threshold` (border-rebalance gate) as IEEE-754 bits.
+    pub skew_bits: u64,
+    /// Minimum epochs between automatic decisions.
+    pub min_interval_epochs: u64,
+    /// Minimum routed ops before the skew ratio is judged.
+    pub min_load: u64,
+}
+
+/// A column's live shape — the part of its config a rebuild can change.
+/// Carried by checkpoints (inside [`ConfigRecord::rebuilt`]) so a
+/// restore reproduces the shape even when the rebuild records that
+/// produced it are pruned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeRecord {
+    /// Live shard count.
+    pub shards: u64,
+    /// Live algorithm legend label.
+    pub spec: String,
+    /// Live memory budget in bytes.
+    pub memory_bytes: u64,
+    /// Live ingestion mode (`true` = channel workers).
+    pub channel: bool,
+}
+
 const KIND_REGISTER: u8 = 1;
 const KIND_COMMIT: u8 = 2;
 const KIND_RESHARD: u8 = 3;
+const KIND_REBUILD: u8 = 4;
 
 const OP_INSERT: u8 = 0;
 const OP_DELETE: u8 = 1;
@@ -144,6 +213,35 @@ impl WalRecord {
                 payload.u8(KIND_RESHARD);
                 payload.str_(column);
                 payload.u64(*barrier);
+            }
+            WalRecord::Rebuild {
+                column,
+                barrier,
+                shards,
+                spec,
+                memory_bytes,
+                channel,
+            } => {
+                payload.u8(KIND_REBUILD);
+                payload.str_(column);
+                payload.u64(*barrier);
+                let flags = u8::from(shards.is_some())
+                    | (u8::from(spec.is_some()) << 1)
+                    | (u8::from(memory_bytes.is_some()) << 2)
+                    | (u8::from(channel.is_some()) << 3);
+                payload.u8(flags);
+                if let Some(shards) = shards {
+                    payload.u64(*shards);
+                }
+                if let Some(spec) = spec {
+                    payload.str_(spec);
+                }
+                if let Some(bytes) = memory_bytes {
+                    payload.u64(*bytes);
+                }
+                if let Some(channel) = channel {
+                    payload.u8(u8::from(*channel));
+                }
             }
         }
         let payload = payload.buf;
@@ -186,6 +284,34 @@ impl WalRecord {
                 column: r.str_()?,
                 barrier: r.u64()?,
             },
+            KIND_REBUILD => {
+                let column = r.str_()?;
+                let barrier = r.u64()?;
+                let flags = r.u8()?;
+                if flags & !0b1111 != 0 {
+                    return Err(format!("unknown rebuild flags {flags:#04x}"));
+                }
+                let shards = if flags & 1 != 0 { Some(r.u64()?) } else { None };
+                let spec = if flags & 2 != 0 {
+                    Some(r.str_()?)
+                } else {
+                    None
+                };
+                let memory_bytes = if flags & 4 != 0 { Some(r.u64()?) } else { None };
+                let channel = if flags & 8 != 0 {
+                    Some(r.u8()? != 0)
+                } else {
+                    None
+                };
+                WalRecord::Rebuild {
+                    column,
+                    barrier,
+                    shards,
+                    spec,
+                    memory_bytes,
+                    channel,
+                }
+            }
             other => return Err(format!("unknown record kind {other}")),
         };
         r.finish()?;
@@ -198,7 +324,10 @@ impl ConfigRecord {
         w.str_(&self.spec);
         w.u64(self.memory_bytes);
         w.u64(self.seed);
-        let flags = u8::from(self.plan.is_some()) | (u8::from(self.reshard.is_some()) << 1);
+        let flags = u8::from(self.plan.is_some())
+            | (u8::from(self.reshard.is_some()) << 1)
+            | (u8::from(self.autoscale.is_some()) << 2)
+            | (u8::from(self.rebuilt.is_some()) << 3);
         w.u8(flags);
         if let Some(plan) = &self.plan {
             w.i64(plan.lo);
@@ -211,6 +340,21 @@ impl ConfigRecord {
             w.u64(policy.min_interval_epochs);
             w.u64(policy.min_load);
         }
+        if let Some(auto) = &self.autoscale {
+            w.u64(auto.min_shards);
+            w.u64(auto.max_shards);
+            w.u64(auto.scale_up_rate);
+            w.u64(auto.scale_down_rate);
+            w.u64(auto.skew_bits);
+            w.u64(auto.min_interval_epochs);
+            w.u64(auto.min_load);
+        }
+        if let Some(shape) = &self.rebuilt {
+            w.u64(shape.shards);
+            w.str_(&shape.spec);
+            w.u64(shape.memory_bytes);
+            w.u8(u8::from(shape.channel));
+        }
     }
 
     pub(crate) fn decode(r: &mut Reader<'_>) -> Result<ConfigRecord, String> {
@@ -218,7 +362,7 @@ impl ConfigRecord {
         let memory_bytes = r.u64()?;
         let seed = r.u64()?;
         let flags = r.u8()?;
-        if flags & !0b11 != 0 {
+        if flags & !0b1111 != 0 {
             return Err(format!("unknown config flags {flags:#04x}"));
         }
         let plan = if flags & 1 != 0 {
@@ -240,12 +384,37 @@ impl ConfigRecord {
         } else {
             None
         };
+        let autoscale = if flags & 4 != 0 {
+            Some(AutoscaleRecord {
+                min_shards: r.u64()?,
+                max_shards: r.u64()?,
+                scale_up_rate: r.u64()?,
+                scale_down_rate: r.u64()?,
+                skew_bits: r.u64()?,
+                min_interval_epochs: r.u64()?,
+                min_load: r.u64()?,
+            })
+        } else {
+            None
+        };
+        let rebuilt = if flags & 8 != 0 {
+            Some(ShapeRecord {
+                shards: r.u64()?,
+                spec: r.str_()?,
+                memory_bytes: r.u64()?,
+                channel: r.u8()? != 0,
+            })
+        } else {
+            None
+        };
         Ok(ConfigRecord {
             spec,
             memory_bytes,
             seed,
             plan,
             reshard,
+            autoscale,
+            rebuilt,
         })
     }
 }
@@ -254,6 +423,11 @@ impl ConfigRecord {
 ///
 /// Public so transports outside the segment layer (the `dh_site` wire
 /// protocol) can reuse the exact on-disk framing for messages in flight.
+// `Record` dwarfs the other variants (a `ConfigRecord` with its
+// optional policies is a few hundred bytes), but frames are decoded
+// one at a time and consumed immediately — never collected — so the
+// size gap costs nothing and boxing would tax every replay match.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Frame {
     /// Clean end of buffer: `at == buf.len()`.
@@ -536,6 +710,21 @@ mod tests {
                         min_interval_epochs: 8,
                         min_load: 2048,
                     }),
+                    autoscale: Some(AutoscaleRecord {
+                        min_shards: 1,
+                        max_shards: 32,
+                        scale_up_rate: 4096,
+                        scale_down_rate: 64,
+                        skew_bits: 2.0f64.to_bits(),
+                        min_interval_epochs: 16,
+                        min_load: 4096,
+                    }),
+                    rebuilt: Some(ShapeRecord {
+                        shards: 16,
+                        spec: "DADO".into(),
+                        memory_bytes: 2048,
+                        channel: false,
+                    }),
                 },
             },
             WalRecord::Register {
@@ -546,6 +735,8 @@ mod tests {
                     seed: 0,
                     plan: None,
                     reshard: None,
+                    autoscale: None,
+                    rebuilt: None,
                 },
             },
             WalRecord::Commit {
@@ -561,6 +752,22 @@ mod tests {
             WalRecord::Reshard {
                 column: "orders.amount".into(),
                 barrier: 42,
+            },
+            WalRecord::Rebuild {
+                column: "orders.amount".into(),
+                barrier: 43,
+                shards: Some(16),
+                spec: Some("DADO".into()),
+                memory_bytes: None,
+                channel: Some(true),
+            },
+            WalRecord::Rebuild {
+                column: "t".into(),
+                barrier: 44,
+                shards: None,
+                spec: None,
+                memory_bytes: None,
+                channel: None,
             },
         ]
     }
@@ -602,6 +809,16 @@ mod tests {
                     min_interval_epochs: 1,
                     min_load: 1,
                 }),
+                autoscale: Some(AutoscaleRecord {
+                    min_shards: 1,
+                    max_shards: 4,
+                    scale_up_rate: 10,
+                    scale_down_rate: 1,
+                    skew_bits: bits,
+                    min_interval_epochs: 1,
+                    min_load: 1,
+                }),
+                rebuilt: None,
             },
         };
         let frame = record.encode_frame();
@@ -609,6 +826,93 @@ mod tests {
             Frame::Record { record: r, .. } => assert_eq!(r, record),
             other => panic!("unexpected frame: {other:?}"),
         }
+    }
+
+    #[test]
+    fn old_format_frames_still_decode() {
+        // A pre-rebuild-era register payload, hand-rolled byte-for-byte:
+        // flags carry only plan|reshard bits, no autoscale/rebuilt
+        // trailers. The decoder must accept it and fill the new fields
+        // with None.
+        let mut w = Writer::new();
+        w.u8(KIND_REGISTER);
+        w.str_("c");
+        w.str_("DC"); // spec
+        w.u64(512); // memory_bytes
+        w.u64(3); // seed
+        w.u8(0b11); // flags: plan + reshard only
+        w.i64(0); // plan.lo
+        w.i64(999); // plan.hi
+        w.u64(4); // plan.shards
+        w.u8(0); // plan.channel
+        w.u64(2.0f64.to_bits()); // reshard.skew_bits
+        w.u64(16); // reshard.min_interval_epochs
+        w.u64(4096); // reshard.min_load
+        let payload = w.into_bytes();
+        let decoded = WalRecord::decode_payload(&payload).unwrap();
+        assert_eq!(
+            decoded,
+            WalRecord::Register {
+                column: "c".into(),
+                config: ConfigRecord {
+                    spec: "DC".into(),
+                    memory_bytes: 512,
+                    seed: 3,
+                    plan: Some(PlanRecord {
+                        lo: 0,
+                        hi: 999,
+                        shards: 4,
+                        channel: false,
+                    }),
+                    reshard: Some(ReshardPolicyRecord {
+                        skew_bits: 2.0f64.to_bits(),
+                        min_interval_epochs: 16,
+                        min_load: 4096,
+                    }),
+                    autoscale: None,
+                    rebuilt: None,
+                },
+            }
+        );
+
+        // An old-format bare Reshard frame decodes unchanged.
+        let mut w = Writer::new();
+        w.u8(KIND_RESHARD);
+        w.str_("c");
+        w.u64(7);
+        let decoded = WalRecord::decode_payload(&w.into_bytes()).unwrap();
+        assert_eq!(
+            decoded,
+            WalRecord::Reshard {
+                column: "c".into(),
+                barrier: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_rejected_not_skipped() {
+        // Config flags above the known window are a version skew, not
+        // silently droppable state.
+        let mut w = Writer::new();
+        w.u8(KIND_REGISTER);
+        w.str_("c");
+        w.str_("DC");
+        w.u64(1);
+        w.u64(1);
+        w.u8(0b1_0000);
+        assert!(WalRecord::decode_payload(&w.into_bytes())
+            .unwrap_err()
+            .contains("unknown config flags"));
+
+        let mut w = Writer::new();
+        w.u8(KIND_REBUILD);
+        w.str_("c");
+        w.u64(1);
+        w.u8(0b1_0000);
+        assert!(WalRecord::decode_payload(&w.into_bytes())
+            .unwrap_err()
+            .contains("unknown rebuild flags"));
     }
 
     #[test]

@@ -753,6 +753,13 @@ mod tests {
                     seed: 3,
                     plan: None,
                     reshard: None,
+                    autoscale: None,
+                    rebuilt: Some(crate::record::ShapeRecord {
+                        shards: 8,
+                        spec: "DADO".into(),
+                        memory_bytes: 1024,
+                        channel: false,
+                    }),
                 },
                 accepted: 128,
                 updates: 4096,

@@ -197,6 +197,7 @@ impl TailReader {
                 match record {
                     WalRecord::Commit { epoch, .. } => self.seen = self.seen.max(*epoch),
                     WalRecord::Reshard { barrier, .. } => self.seen = self.seen.max(*barrier),
+                    WalRecord::Rebuild { barrier, .. } => self.seen = self.seen.max(*barrier),
                     WalRecord::Register { .. } => {}
                 }
             }
@@ -226,6 +227,7 @@ impl TailReader {
             match record {
                 WalRecord::Commit { epoch, .. } => self.hint = self.hint.max(*epoch),
                 WalRecord::Reshard { barrier, .. } => self.hint = self.hint.max(*barrier),
+                WalRecord::Rebuild { barrier, .. } => self.hint = self.hint.max(*barrier),
                 WalRecord::Register { .. } => {}
             }
         }

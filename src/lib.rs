@@ -71,9 +71,10 @@ pub use dh_wal as wal;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use dh_catalog::{
-        AlgoSpec, Catalog, CatalogError, ColumnConfig, ColumnStore, DurableError, DurableOptions,
-        DurableStore, IngestMode, ReadStats, ReshardPolicy, ShardMap, ShardPlan, ShardedCatalog,
-        Snapshot, SnapshotSet, StoreKind, WriteBatch,
+        AlgoSpec, AutoscalePolicy, Catalog, CatalogError, ColumnConfig, ColumnShape, ColumnStore,
+        DurableError, DurableOptions, DurableStore, IngestMode, ReadStats, RebuildPlan,
+        ReshardPolicy, ShardMap, ShardPlan, ShardedCatalog, Snapshot, SnapshotSet, StoreKind,
+        WriteBatch,
     };
     pub use dh_core::dynamic::{
         AbsoluteDeviation, DadoHistogram, DcHistogram, DvoHistogram, Grid2dHistogram,

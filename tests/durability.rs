@@ -379,6 +379,122 @@ fn damaged_newest_checkpoint_recovers_via_fallback() {
     );
 }
 
+/// Mid-stream **shape** changes — a shard-count growth and an online
+/// DC→DADO algorithm migration — recover bit-identically through pure
+/// log replay: the `Rebuild` records carry only the plan deltas, and
+/// replaying them at their exact barriers reproduces the same composed
+/// spans, the same re-ingestion, the same everything.
+fn rebuild_recovery_is_bit_identical(design: Design, label: &str) {
+    let dir = TempDir::new(label);
+    let opts = DurableOptions {
+        sync: SyncPolicy::Batched(16),
+        checkpoint_every: None, // pure-log replay: the bit-identical path
+        retain_generations: 4,
+    };
+
+    let (live_bits, live_shape) = {
+        let store = DurableStore::open(dir.path(), design.kind(), opts).unwrap();
+        store.register(COL, design.config()).unwrap();
+        for e in 0..EPOCHS {
+            let mut batch = WriteBatch::new();
+            batch.extend(COL, epoch_ops(e));
+            store.commit(batch).unwrap();
+            if e == EPOCHS / 3 {
+                // Grow the shard count 8 → 16 behind the epoch barrier.
+                assert!(store
+                    .rebuild(COL, RebuildPlan::new().with_shards(16))
+                    .unwrap());
+            }
+            if e == 2 * EPOCHS / 3 {
+                // Migrate the algorithm online, keeping the new count.
+                assert!(store
+                    .rebuild(COL, RebuildPlan::new().with_spec(AlgoSpec::Dado))
+                    .unwrap());
+            }
+        }
+        let shape = store.column_shape(COL).unwrap().unwrap();
+        assert_eq!(shape.shards, 16);
+        assert_eq!(shape.spec, AlgoSpec::Dado);
+        (probe_bits(&store), shape)
+    }; // drop: final sync
+
+    let store = DurableStore::open(dir.path(), design.kind(), opts).unwrap();
+    assert_eq!(store.epoch(), EPOCHS);
+    assert_eq!(
+        probe_bits(&store),
+        live_bits,
+        "{label}: recovered estimates differ after shape changes"
+    );
+    // The live shape came back; the *registration* spec is frozen by
+    // contract (`spec()` documents itself as the registered algorithm).
+    assert_eq!(store.column_shape(COL).unwrap().unwrap(), live_shape);
+    assert_eq!(store.spec(COL).unwrap(), AlgoSpec::Dc);
+}
+
+#[test]
+fn sharded_locked_rebuild_recovery_is_bit_identical() {
+    rebuild_recovery_is_bit_identical(Design::ShardedLock, "dur-rebuild-locked");
+}
+
+#[test]
+fn sharded_channel_rebuild_recovery_is_bit_identical() {
+    rebuild_recovery_is_bit_identical(Design::ShardedChannel, "dur-rebuild-channel");
+}
+
+/// A shape change must also survive **checkpoint**-based recovery:
+/// once the cadence prunes the segments holding the `Rebuild` record,
+/// the checkpoint's shape annotation is the only trace of it, and
+/// `open()` must re-apply it before seeding mass so the synthesized
+/// restore routes through the rebuilt borders.
+#[test]
+fn rebuilt_shape_survives_checkpoint_pruning() {
+    let dir = TempDir::new("dur-rebuild-ckpt");
+    let opts = DurableOptions {
+        sync: SyncPolicy::Batched(32),
+        checkpoint_every: Some(50),
+        retain_generations: 2,
+    };
+    {
+        let store = DurableStore::open(dir.path(), StoreKind::Sharded, opts).unwrap();
+        store.register(COL, Design::ShardedLock.config()).unwrap();
+        for e in 0..EPOCHS {
+            let mut batch = WriteBatch::new();
+            batch.extend(COL, epoch_ops(e));
+            store.commit(batch).unwrap();
+            if e == 20 {
+                // Early enough that checkpoint pruning discards the
+                // segment holding this record long before the end.
+                assert!(store
+                    .rebuild(
+                        COL,
+                        RebuildPlan::new()
+                            .with_shards(16)
+                            .with_spec(AlgoSpec::Dado)
+                            .with_memory(MemoryBudget::from_kb(2.0)),
+                    )
+                    .unwrap());
+            }
+        }
+        assert_eq!(store.segment_count(), 2);
+    }
+    let store = DurableStore::open(dir.path(), StoreKind::Sharded, opts).unwrap();
+    assert_eq!(store.epoch(), EPOCHS);
+    let shape = store.column_shape(COL).unwrap().unwrap();
+    assert_eq!(shape.shards, 16);
+    assert_eq!(shape.spec, AlgoSpec::Dado);
+    assert_eq!(shape.memory, MemoryBudget::from_kb(2.0));
+    let total = store.total_count(COL).unwrap();
+    assert!(
+        (total - (EPOCHS * OPS_PER_EPOCH) as f64).abs() < 1e-6,
+        "recovered mass {total} drifted across the rebuilt checkpoint"
+    );
+    // The recovered store keeps serving — and keeps its shape — after
+    // further commits and another checkpoint round-trip.
+    store.apply(COL, &epoch_ops(EPOCHS)).unwrap();
+    store.checkpoint_now().unwrap();
+    assert_eq!(store.column_shape(COL).unwrap().unwrap(), shape);
+}
+
 /// The restored `updates` telemetry counter is the column's historical
 /// op count (inserts *and* deletes), carried through the checkpoint —
 /// not a figure synthesized from the surviving mass.

@@ -10,12 +10,14 @@
 //! leader's span for span in raw bits — across all three ingestion
 //! designs.
 //!
-//! Two deterministic companions pin down the edges the random schedule
+//! Deterministic companions pin down the edges the random schedule
 //! can't guarantee it hits: a mid-stream re-shard that *must* move
 //! (skewed workload), whose replay at the exact barrier is proven by
 //! the shard-load counters matching the leader's integer for integer;
-//! and a leader crash-and-reopen mid-stream that the follower tails
-//! straight through.
+//! a mid-stream shape change (shard-count growth plus an online
+//! algorithm migration) replayed the same way; and a leader
+//! crash-and-reopen mid-stream that the follower tails straight
+//! through.
 
 use dynamic_histograms::prelude::*;
 use dynamic_histograms::replica::Follower;
@@ -201,6 +203,68 @@ fn mid_stream_reshard_replays_at_its_exact_barrier() {
             span_bits(&follower.snapshot("c").unwrap()),
             span_bits(&leader.snapshot("c").unwrap()),
             "{design:?}: post-re-shard state not bit-identical"
+        );
+    }
+}
+
+/// Mid-stream **shape** changes: the leader grows the shard count and
+/// then migrates the algorithm online; the follower replays each
+/// `Rebuild` record at its exact barrier. Proven the same two ways as
+/// the re-shard test — bit-identical spans, and shard-load counters
+/// matching integer for integer (a replay one epoch off would route a
+/// batch under the wrong borders) — plus the follower's live shape
+/// matching the leader's, and a restarted follower replaying the whole
+/// shape history from scratch to the same state.
+#[test]
+fn mid_stream_rebuild_replays_at_its_exact_barrier() {
+    for design in [Design::ShardedLock, Design::ShardedChannel] {
+        let dir = TempDir::new("replica-rebuild");
+        let leader = DurableStore::open(dir.path(), design.kind(), opts()).unwrap();
+        leader.register("c", design.config()).unwrap();
+        let follower = Follower::open(dir.path(), design.kind()).unwrap();
+
+        for e in 0..12i64 {
+            let batch: Vec<UpdateOp> = (0..32)
+                .map(|j| UpdateOp::Insert((e * 7 + j) % 120))
+                .collect();
+            leader.apply("c", &batch).unwrap();
+            if e == 4 {
+                assert!(leader
+                    .rebuild("c", RebuildPlan::new().with_shards(8))
+                    .unwrap());
+            }
+            if e == 8 {
+                assert!(leader
+                    .rebuild("c", RebuildPlan::new().with_spec(AlgoSpec::Dado))
+                    .unwrap());
+            }
+            follower.poll().unwrap();
+        }
+        follower.poll().unwrap();
+        assert_eq!(follower.epoch(), leader.epoch());
+        assert_eq!(
+            follower.shard_load("c").unwrap(),
+            leader.shard_load("c").unwrap(),
+            "{design:?}: shard counters prove a rebuild barrier was missed"
+        );
+        assert_eq!(
+            span_bits(&follower.snapshot("c").unwrap()),
+            span_bits(&leader.snapshot("c").unwrap()),
+            "{design:?}: post-rebuild state not bit-identical"
+        );
+        let shape = follower.column_shape("c").unwrap().unwrap();
+        assert_eq!(shape.shards, 8);
+        assert_eq!(shape.spec, AlgoSpec::Dado);
+        assert_eq!(shape, leader.column_shape("c").unwrap().unwrap());
+
+        // A fresh follower replays the whole shape history from scratch.
+        let restarted = Follower::open(dir.path(), design.kind()).unwrap();
+        restarted.poll().unwrap();
+        assert_eq!(restarted.epoch(), leader.epoch());
+        assert_eq!(
+            span_bits(&restarted.snapshot("c").unwrap()),
+            span_bits(&leader.snapshot("c").unwrap()),
+            "{design:?}: restarted follower diverged across rebuilds"
         );
     }
 }
