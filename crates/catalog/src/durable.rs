@@ -199,6 +199,18 @@ struct DurableState {
     /// Per column: the epoch of the last re-shard/rebuild attempt the
     /// policy gates should measure their intervals from.
     last_reshard_attempt: BTreeMap<String, u64>,
+    /// Per column: the lifetime-monotone ordinal of the last logged
+    /// shape change ([`WalRecord::Rebuild::seq`]). Checkpoints persist
+    /// it (inside [`ConfigRecord::rebuild_seq`]) so a restarted leader
+    /// never reissues an ordinal a follower has already applied.
+    rebuild_seqs: BTreeMap<String, u64>,
+    /// Per column: `(judged_epoch, judged_load)` — the autoscale rate
+    /// window floor, mirroring the inner store's own bookkeeping. Load
+    /// counters are cumulative per generation, so the rate window must
+    /// subtract the load already judged last time; resetting to
+    /// `(epoch, 0)` whenever a rebuild swaps the generation in keeps
+    /// the pair aligned with the counters it windows.
+    judged: BTreeMap<String, (u64, u64)>,
     /// Per column: the *live* shape after the last shape-changing
     /// rebuild, when it differs from the registration shape. Checkpoints
     /// carry this (inside [`ConfigRecord::rebuilt`]) so a restore
@@ -267,10 +279,17 @@ impl DurableStore {
         // already re-applied these shapes to the inner store; the map
         // keeps them flowing into the *next* checkpoint too.
         let mut shapes = BTreeMap::new();
+        // Likewise the rebuild ordinals: the records that issued them
+        // may be pruned, but the next shape change must still draw a
+        // fresh ordinal no follower has seen.
+        let mut rebuild_seqs = BTreeMap::new();
         if let Some(ckpt) = checkpoint.as_ref() {
             for col in &ckpt.columns {
                 if let Some(shape) = &col.config.rebuilt {
                     shapes.insert(col.column.clone(), shape.clone());
+                }
+                if col.config.rebuild_seq > 0 {
+                    rebuild_seqs.insert(col.column.clone(), col.config.rebuild_seq);
                 }
             }
         }
@@ -286,11 +305,31 @@ impl DurableStore {
                 ring: VecDeque::new(),
                 last_checkpoint: base,
                 last_reshard_attempt: BTreeMap::new(),
+                rebuild_seqs,
+                judged: BTreeMap::new(),
                 shapes,
                 poisoned: None,
             }),
         };
         store.replay(base, records)?;
+        // Open the autoscale rate window *at* the recovered state: the
+        // replayed load counters accumulated over epochs this process
+        // never judged, so counting them into the first live window
+        // would manufacture a burst that never happened.
+        {
+            let mut st = store.lock();
+            let epoch = store.inner.epoch();
+            let armed: Vec<String> = st
+                .configs
+                .iter()
+                .filter(|(_, config)| config.autoscale.is_some())
+                .map(|(name, _)| name.clone())
+                .collect();
+            for column in armed {
+                let judged: u64 = store.inner.shard_load(&column)?.iter().sum();
+                st.judged.insert(column, (epoch, judged));
+            }
+        }
         Ok(store)
     }
 
@@ -339,6 +378,10 @@ impl DurableStore {
                     self.inner.commit(batch)?;
                     self.push_generation(&mut st)?;
                 }
+                // Legacy: logs written before the elastic rebuild plane
+                // carry border moves as `Reshard`; the live leader now
+                // logs every shape change as `Rebuild` (with its
+                // ordinal), so this arm only ever replays old logs.
                 WalRecord::Reshard { column, barrier } => {
                     st.last_reshard_attempt.insert(column.clone(), barrier);
                     if barrier <= base {
@@ -357,12 +400,17 @@ impl DurableStore {
                 WalRecord::Rebuild {
                     column,
                     barrier,
+                    seq,
                     shards,
                     spec,
                     memory_bytes,
                     channel,
                 } => {
                     st.last_reshard_attempt.insert(column.clone(), barrier);
+                    // Resume the ordinal sequence where the log left it,
+                    // even for records the checkpoint already covers —
+                    // the next live rebuild must not reissue an ordinal.
+                    st.rebuild_seqs.insert(column.clone(), seq);
                     if barrier <= base {
                         continue; // the checkpoint's rebuilt shape already reflects it
                     }
@@ -441,6 +489,16 @@ impl DurableStore {
         Ok(())
     }
 
+    /// Draws the next rebuild ordinal for `column` — lifetime-monotone,
+    /// so two shape changes at the same barrier (rebuilds publish no
+    /// epoch) still log as distinguishable records and a follower's
+    /// gap-rewind re-read cannot be confused with a distinct rebuild.
+    fn bump_rebuild_seq(st: &mut DurableState, column: &str) -> u64 {
+        let seq = st.rebuild_seqs.get(column).copied().unwrap_or(0) + 1;
+        st.rebuild_seqs.insert(column.to_string(), seq);
+        seq
+    }
+
     /// Remembers the column's *live* shape after a shape-changing
     /// rebuild, so the next checkpoint carries it (see
     /// [`ConfigRecord::rebuilt`]).
@@ -481,12 +539,15 @@ impl DurableStore {
             }
             st.last_reshard_attempt.insert(column.clone(), epoch);
             if self.inner.reshard(&column)? {
+                // A border move is logged as a delta-less `Rebuild` so
+                // it draws an ordinal like every other shape change —
+                // `Reshard` records are legacy, decoded but never
+                // written (see [`WalRecord::Reshard`]).
+                st.judged.insert(column.clone(), (epoch, 0));
+                let seq = Self::bump_rebuild_seq(st, &column);
                 Self::append(
                     st,
-                    &WalRecord::Reshard {
-                        column,
-                        barrier: epoch,
-                    },
+                    &rebuild_record(&column, epoch, seq, &RebuildPlan::new()),
                 )?;
             }
         }
@@ -496,29 +557,37 @@ impl DurableStore {
             .filter_map(|(name, config)| config.autoscale.map(|p| (name.clone(), p)))
             .collect();
         for (column, policy) in auto {
-            let since = epoch - st.last_reshard_attempt.get(&column).copied().unwrap_or(0);
-            if since < policy.min_interval_epochs.max(1) {
+            let (judged_epoch, judged_load) = st.judged.get(&column).copied().unwrap_or((0, 0));
+            let window_epochs = epoch.saturating_sub(judged_epoch);
+            if window_epochs < policy.min_interval_epochs.max(1) {
                 continue;
             }
             let loads = self.inner.shard_load(&column)?;
             if loads.is_empty() {
                 continue;
             }
-            // The judged window is everything since the last attempt:
-            // shard load counters reset when a rebuild swaps the
-            // generation in, and the attempt epoch is recorded at that
-            // same swap, so `total / since` is the average routed
-            // throughput over exactly that window.
+            // The rate window is everything since the last *judgment*:
+            // shard load counters are cumulative per generation, so the
+            // load already judged must be subtracted or a judgment that
+            // decides a plan without swapping the generation (e.g. a
+            // skew rebalance resolving to unchanged borders) would
+            // double-count its window into the next rate.
             let total: u64 = loads.iter().sum();
-            let Some(plan) = policy.decide(loads.len(), total, since, &loads) else {
+            let window_ops = total.saturating_sub(judged_load);
+            st.judged.insert(column.clone(), (epoch, total));
+            let Some(plan) = policy.decide(loads.len(), window_ops, window_epochs, &loads) else {
                 continue;
             };
             st.last_reshard_attempt.insert(column.clone(), epoch);
             if self.inner.rebuild(&column, plan)? {
-                // Log the *decision*, not the gates: replay re-applies
-                // the resolved plan at the same barrier instead of
-                // re-judging a window it cannot reconstruct.
-                Self::append(st, &rebuild_record(&column, epoch, &plan))?;
+                // The swap reset the load counters; re-floor the window
+                // to match, and log the *decision*, not the gates:
+                // replay re-applies the resolved plan at the same
+                // barrier instead of re-judging a window it cannot
+                // reconstruct.
+                st.judged.insert(column.clone(), (epoch, 0));
+                let seq = Self::bump_rebuild_seq(st, &column);
+                Self::append(st, &rebuild_record(&column, epoch, seq, &plan))?;
                 self.record_live_shape(st, &column)?;
             }
         }
@@ -552,6 +621,7 @@ impl DurableStore {
                     // produced it are pruned with the covered segments.
                     let mut record = config_to_record(&st.configs[name]);
                     record.rebuilt = st.shapes.get(name).cloned();
+                    record.rebuild_seq = st.rebuild_seqs.get(name).copied().unwrap_or(0);
                     record
                 },
                 accepted: snap.checkpoint(),
@@ -654,6 +724,10 @@ impl ColumnStore for DurableStore {
         if st.configs.contains_key(column) {
             return Err(CatalogError::DuplicateColumn(column.into()));
         }
+        // The inner store never sees the policies (stripped below), so
+        // the decorator must apply the same validation the inner
+        // register would.
+        crate::sharded::validate_policies(&config)?;
         // Inner first: the inner store is the validator (e.g. a sharded
         // store rejecting a plan-less config), and a record logged for a
         // registration that then fails would brick every reopen. If the
@@ -765,7 +839,11 @@ impl ColumnStore for DurableStore {
     }
 
     /// Explicit re-shard, logged like a policy-driven one so recovery
-    /// replays it at the same barrier.
+    /// replays it at the same barrier — as a delta-less [`Rebuild`]
+    /// record carrying its ordinal ([`WalRecord::Reshard`] is legacy,
+    /// decoded but never written).
+    ///
+    /// [`Rebuild`]: WalRecord::Rebuild
     fn reshard(&self, column: &str) -> Result<bool, CatalogError> {
         let mut st = self.lock();
         Self::check_usable(&st)?;
@@ -773,12 +851,11 @@ impl ColumnStore for DurableStore {
         let barrier = self.inner.epoch();
         st.last_reshard_attempt.insert(column.to_string(), barrier);
         if moved {
+            st.judged.insert(column.to_string(), (barrier, 0));
+            let seq = Self::bump_rebuild_seq(&mut st, column);
             Self::append(
                 &mut st,
-                &WalRecord::Reshard {
-                    column: column.to_string(),
-                    barrier,
-                },
+                &rebuild_record(column, barrier, seq, &RebuildPlan::new()),
             )?;
             self.refresh_ring_tail(&mut st)?;
         }
@@ -795,7 +872,9 @@ impl ColumnStore for DurableStore {
         let barrier = self.inner.epoch();
         st.last_reshard_attempt.insert(column.to_string(), barrier);
         if moved {
-            Self::append(&mut st, &rebuild_record(column, barrier, &plan))?;
+            st.judged.insert(column.to_string(), (barrier, 0));
+            let seq = Self::bump_rebuild_seq(&mut st, column);
+            Self::append(&mut st, &rebuild_record(column, barrier, seq, &plan))?;
             self.record_live_shape(&mut st, column)?;
             self.refresh_ring_tail(&mut st)?;
         }
@@ -914,9 +993,11 @@ pub fn config_to_record(config: &ColumnConfig) -> ConfigRecord {
             min_interval_epochs: policy.min_interval_epochs,
             min_load: policy.min_load,
         }),
-        // Only checkpoints annotate a rebuilt shape; a register record
-        // always describes the registration shape alone.
+        // Only checkpoints annotate a rebuilt shape and a rebuild
+        // ordinal; a register record always describes the registration
+        // shape alone.
         rebuilt: None,
+        rebuild_seq: 0,
     }
 }
 
@@ -996,11 +1077,12 @@ pub fn plan_from_deltas(
 }
 
 /// The [`WalRecord`] a shape-changing rebuild logs: the plan's deltas
-/// plus the barrier epoch it executed at.
-fn rebuild_record(column: &str, barrier: u64, plan: &RebuildPlan) -> WalRecord {
+/// plus the barrier epoch it executed at and its per-column ordinal.
+fn rebuild_record(column: &str, barrier: u64, seq: u64, plan: &RebuildPlan) -> WalRecord {
     WalRecord::Rebuild {
         column: column.to_string(),
         barrier,
+        seq,
         shards: plan.shards.map(|k| k as u64),
         spec: plan.spec.map(|s| s.label()),
         memory_bytes: plan.memory.map(|m| m.bytes() as u64),

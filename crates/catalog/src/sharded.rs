@@ -506,6 +506,51 @@ impl AutoscalePolicy {
     }
 }
 
+/// Validates the automatic-rebuild policies a registration carries —
+/// shared by [`ShardedCatalog::register`] and the `DurableStore`
+/// decorator, which strips the policies out of the config before the
+/// inner store ever sees them and must therefore reject a nonsensical
+/// policy itself.
+pub(crate) fn validate_policies(config: &ColumnConfig) -> Result<(), CatalogError> {
+    if let Some(policy) = config.reshard {
+        if !policy.skew_threshold.is_finite() || policy.skew_threshold < 1.0 {
+            return Err(CatalogError::InvalidShardPlan(format!(
+                "reshard skew_threshold must be finite and >= 1, got {}",
+                policy.skew_threshold
+            )));
+        }
+    }
+    if let Some(auto) = config.autoscale {
+        if !auto.skew_threshold.is_finite() || auto.skew_threshold < 1.0 {
+            return Err(CatalogError::InvalidShardPlan(format!(
+                "autoscale skew_threshold must be finite and >= 1, got {}",
+                auto.skew_threshold
+            )));
+        }
+        if auto.min_shards == 0 {
+            return Err(CatalogError::InvalidShardPlan(
+                "autoscale min_shards must be >= 1".into(),
+            ));
+        }
+        if auto.max_shards < auto.min_shards {
+            return Err(CatalogError::InvalidShardPlan(format!(
+                "autoscale max_shards {} below min_shards {}",
+                auto.max_shards, auto.min_shards
+            )));
+        }
+        // The rate gates need hysteresis: scale-up is judged first, so
+        // a policy satisfying both gates in one window would ratchet
+        // the column to `max_shards` and never shrink it.
+        if auto.scale_down_rate >= auto.scale_up_rate {
+            return Err(CatalogError::InvalidShardPlan(format!(
+                "autoscale scale_down_rate {} must be below scale_up_rate {}",
+                auto.scale_down_rate, auto.scale_up_rate
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// The live routing table of a sharded column: `k` contiguous value
 /// subranges given by their start cuts, over the registered domain.
 ///
@@ -1528,33 +1573,7 @@ impl ColumnStore for ShardedCatalog {
                 "a sharded store needs ColumnConfig::with_plan(...)".into(),
             )
         })?;
-        if let Some(policy) = config.reshard {
-            if !policy.skew_threshold.is_finite() || policy.skew_threshold < 1.0 {
-                return Err(CatalogError::InvalidShardPlan(format!(
-                    "reshard skew_threshold must be finite and >= 1, got {}",
-                    policy.skew_threshold
-                )));
-            }
-        }
-        if let Some(auto) = config.autoscale {
-            if !auto.skew_threshold.is_finite() || auto.skew_threshold < 1.0 {
-                return Err(CatalogError::InvalidShardPlan(format!(
-                    "autoscale skew_threshold must be finite and >= 1, got {}",
-                    auto.skew_threshold
-                )));
-            }
-            if auto.min_shards == 0 {
-                return Err(CatalogError::InvalidShardPlan(
-                    "autoscale min_shards must be >= 1".into(),
-                ));
-            }
-            if auto.max_shards < auto.min_shards {
-                return Err(CatalogError::InvalidShardPlan(format!(
-                    "autoscale max_shards {} below min_shards {}",
-                    auto.max_shards, auto.min_shards
-                )));
-            }
-        }
+        validate_policies(&config)?;
         // `ShardPlan::new` is the single validation point: plans cannot
         // be constructed degenerate, so `plan` is valid here.
         let budgets = split_budget(config.memory, plan.shards());

@@ -63,11 +63,17 @@ struct ServingState {
 struct TailState {
     reader: TailReader,
     configs: BTreeMap<String, ColumnConfig>,
-    /// Per column, the highest re-shard/rebuild barrier already applied
+    /// Per column, the highest legacy re-shard barrier already applied
     /// — a gap rewind can re-read such a record at exactly the current
-    /// epoch, and applying it twice could recompute borders (or rebuild
-    /// a shape) the leader only computed once.
+    /// epoch, and applying it twice could recompute borders the leader
+    /// only computed once.
     resharded: BTreeMap<String, u64>,
+    /// Per column, the highest rebuild ordinal
+    /// ([`WalRecord::Rebuild::seq`]) already applied. Rebuilds dedup on
+    /// the ordinal, not the barrier: rebuilds publish no epoch, so two
+    /// distinct rebuilds can legitimately share a barrier, and only the
+    /// ordinal tells them apart from a gap-rewind re-read.
+    rebuilt: BTreeMap<String, u64>,
 }
 
 /// A read replica: tails a leader's changelog directory and serves the
@@ -122,6 +128,7 @@ impl Follower {
         let checkpoint = load_checkpoint(&dir, kind)?;
         let base = checkpoint.as_ref().map_or(0, |ckpt| ckpt.epoch);
         let (store, configs) = restore_base(kind, checkpoint.as_ref())?;
+        let rebuilt = checkpoint.as_ref().map(seed_rebuilt).unwrap_or_default();
         let mut reader = TailReader::new(&dir, kind.tag());
         if base > 0 {
             reader.seek(base);
@@ -134,6 +141,7 @@ impl Follower {
                 reader,
                 configs,
                 resharded: BTreeMap::new(),
+                rebuilt,
             }),
             hint: AtomicU64::new(base),
         })
@@ -192,12 +200,16 @@ impl Follower {
             TailStatus::Lost => self.fall_back(&mut tail, &mut applied)?,
             TailStatus::CaughtUp => {
                 let TailState {
-                    configs, resharded, ..
+                    configs,
+                    resharded,
+                    rebuilt,
+                    ..
                 } = &mut *tail;
                 match apply_records(
                     serving.store.as_ref(),
                     configs,
                     resharded,
+                    rebuilt,
                     polled.records,
                     &mut applied,
                 )? {
@@ -249,6 +261,11 @@ impl Follower {
         };
         let (store, mut configs) = restore_base(self.kind, Some(&ckpt))?;
         let mut resharded = BTreeMap::new();
+        // Seed the rebuild-ordinal floor from the checkpoint: a rebuild
+        // record at exactly the checkpoint epoch is still in the log
+        // tail, and only its ordinal proves it is already inside the
+        // restored shape.
+        let mut rebuilt = seed_rebuilt(&ckpt);
         let mut reader = TailReader::new(&self.dir, self.kind.tag());
         reader.seek(ckpt.epoch);
         let polled = reader.poll()?;
@@ -264,6 +281,7 @@ impl Follower {
                     store.as_ref(),
                     &mut configs,
                     &mut resharded,
+                    &mut rebuilt,
                     polled.records,
                     &mut restored_applied,
                 )?,
@@ -292,6 +310,7 @@ impl Follower {
         tail.reader = reader;
         tail.configs = configs;
         tail.resharded = resharded;
+        tail.rebuilt = rebuilt;
         Ok(PollStatus::Restored)
     }
 
@@ -327,6 +346,16 @@ fn load_checkpoint(
     Ok(latest_checkpoint(dir, kind.tag())?)
 }
 
+/// The per-column rebuild ordinals a checkpoint proves applied — the
+/// dedup floor replay starts from after a checkpoint restore.
+fn seed_rebuilt(ckpt: &dh_wal::Checkpoint) -> BTreeMap<String, u64> {
+    ckpt.columns
+        .iter()
+        .filter(|col| col.config.rebuild_seq > 0)
+        .map(|col| (col.column.clone(), col.config.rebuild_seq))
+        .collect()
+}
+
 /// Replays records onto a serving store, mirroring the leader-side
 /// recovery replay — with one deliberate difference: where recovery
 /// treats an epoch gap as unreplayable corruption (the leader owns its
@@ -336,6 +365,7 @@ fn apply_records(
     store: &dyn ColumnStore,
     configs: &mut BTreeMap<String, ColumnConfig>,
     resharded: &mut BTreeMap<String, u64>,
+    rebuilt: &mut BTreeMap<String, u64>,
     records: Vec<WalRecord>,
     applied: &mut u64,
 ) -> Result<Applied, DurableError> {
@@ -374,6 +404,10 @@ fn apply_records(
                 store.commit(batch)?;
                 *applied += 1;
             }
+            // Legacy records: written before the elastic rebuild plane
+            // (today's leaders log every border move as `Rebuild`). At
+            // most one could land per barrier, so the barrier doubles as
+            // its identity and the dedup below is sound for them.
             WalRecord::Reshard { column, barrier } => {
                 let at = store.epoch();
                 if barrier < at || resharded.get(&column).is_some_and(|&b| barrier <= b) {
@@ -394,16 +428,22 @@ fn apply_records(
             WalRecord::Rebuild {
                 column,
                 barrier,
+                seq,
                 shards,
                 spec,
                 memory_bytes,
                 channel,
             } => {
                 let at = store.epoch();
-                if barrier < at || resharded.get(&column).is_some_and(|&b| barrier <= b) {
-                    // Same prefix-order argument as for re-shard
-                    // records: a commit past `barrier` proves this
-                    // rebuild was already replayed or checkpoint-covered.
+                if barrier < at || rebuilt.get(&column).is_some_and(|&s| seq <= s) {
+                    // A commit past `barrier` proves this rebuild was
+                    // already replayed or checkpoint-covered (the same
+                    // prefix-order argument as for re-shard records).
+                    // At the barrier itself only the ordinal decides:
+                    // rebuilds publish no epoch, so a *distinct* second
+                    // rebuild at the same barrier (seq above the floor)
+                    // must apply, while a gap-rewind re-read (seq at or
+                    // below it) must not.
                     continue;
                 }
                 if barrier > at {
@@ -411,7 +451,7 @@ fn apply_records(
                 }
                 let plan = plan_from_deltas(shards, spec.as_deref(), memory_bytes, channel)?;
                 store.rebuild(&column, plan)?;
-                resharded.insert(column, barrier);
+                rebuilt.insert(column, seq);
             }
         }
     }

@@ -52,9 +52,14 @@ pub fn catch_up(
     let tail = source.tail(from)?;
     let mut applied = 0u64;
     let mut clean = true;
-    // Re-shard barriers already replayed this call, so a barrier that
-    // lands exactly at the current epoch replays once, not per re-read.
+    // Legacy re-shard barriers already replayed this call, so a barrier
+    // that lands exactly at the current epoch replays once, not per
+    // re-read.
     let mut resharded: BTreeMap<String, u64> = BTreeMap::new();
+    // Rebuild ordinals already replayed this call. Rebuilds dedup on
+    // the ordinal, not the barrier: rebuilds publish no epoch, so two
+    // distinct rebuilds can legitimately share a barrier.
+    let mut rebuilt: BTreeMap<String, u64> = BTreeMap::new();
     'replay: for record in tail.records {
         match record {
             WalRecord::Register { column, config } => {
@@ -82,6 +87,9 @@ pub fn catch_up(
                 target.commit(batch)?;
                 applied += 1;
             }
+            // Legacy: logs written before the elastic rebuild plane; at
+            // most one `Reshard` could land per barrier, so the barrier
+            // doubles as its identity.
             WalRecord::Reshard { column, barrier } => {
                 let at = target.epoch();
                 if barrier < at || resharded.get(&column).is_some_and(|&b| barrier <= b) {
@@ -97,14 +105,19 @@ pub fn catch_up(
             WalRecord::Rebuild {
                 column,
                 barrier,
+                seq,
                 shards,
                 spec,
                 memory_bytes,
                 channel,
             } => {
                 let at = target.epoch();
-                if barrier < at || resharded.get(&column).is_some_and(|&b| barrier <= b) {
-                    continue; // already covered by the target's state
+                if barrier < at || rebuilt.get(&column).is_some_and(|&s| seq <= s) {
+                    // Covered by the target's state — or, at the barrier
+                    // itself, a re-read of an ordinal this call already
+                    // applied. A *distinct* second rebuild at the same
+                    // barrier carries a higher ordinal and must apply.
+                    continue;
                 }
                 if barrier > at {
                     clean = false;
@@ -113,7 +126,7 @@ pub fn catch_up(
                 let plan = plan_from_deltas(shards, spec.as_deref(), memory_bytes, channel)
                     .map_err(|e| SiteError::Remote(e.to_string()))?;
                 target.rebuild(&column, plan)?;
-                resharded.insert(column, barrier);
+                rebuilt.insert(column, seq);
             }
         }
     }
@@ -204,6 +217,72 @@ mod tests {
         assert!(again.caught_up);
         assert_eq!(again.applied, 0);
         assert_eq!(again.epoch, 5);
+    }
+
+    #[test]
+    fn same_barrier_rebuild_stack_catches_up_over_the_wire() {
+        use dh_catalog::{RebuildPlan, ShardPlan, ShardedCatalog};
+
+        let dir = TempDir::new("catchup_same_barrier");
+        let options = DurableOptions {
+            sync: SyncPolicy::Off,
+            checkpoint_every: None,
+            ..DurableOptions::default()
+        };
+        let store = Arc::new(DurableStore::open(dir.path(), StoreKind::Sharded, options).unwrap());
+        store
+            .register(
+                "c",
+                ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0))
+                    .with_seed(3)
+                    .with_plan(ShardPlan::new(0, 119, 4).unwrap()),
+            )
+            .unwrap();
+        // Skewed commits, then two shape changes with no commit between
+        // them: both rebuild records carry the same barrier and only
+        // their ordinals keep them apart during replay.
+        for round in 0..5i64 {
+            let mut batch = WriteBatch::new();
+            for v in 0..32 {
+                batch.insert("c", (round * 7 + v) % 40);
+            }
+            store.commit(batch).unwrap();
+        }
+        assert!(store.reshard("c").unwrap());
+        assert!(store
+            .rebuild("c", RebuildPlan::new().with_shards(8))
+            .unwrap());
+        let mut batch = WriteBatch::new();
+        batch.insert("c", 60);
+        store.commit(batch).unwrap();
+
+        let server = SiteServer::spawn(Arc::clone(&store)).unwrap();
+        let source = RemoteSite::new("src", server.addr());
+        let target = ShardedCatalog::new();
+        let report = catch_up(&target, &source, 0).unwrap();
+        assert!(report.caught_up);
+        assert_eq!(report.epoch, store.epoch());
+        assert_eq!(
+            target.column_shape("c").unwrap().unwrap().shards,
+            8,
+            "the second same-barrier rebuild was skipped"
+        );
+        assert_eq!(
+            target.shard_load("c").unwrap(),
+            store.shard_load("c").unwrap()
+        );
+        let want = store.snapshot("c").unwrap();
+        let got = target.snapshot("c").unwrap();
+        assert_eq!(
+            want.spans()
+                .iter()
+                .map(|s| (s.lo.to_bits(), s.hi.to_bits(), s.count.to_bits()))
+                .collect::<Vec<_>>(),
+            got.spans()
+                .iter()
+                .map(|s| (s.lo.to_bits(), s.hi.to_bits(), s.count.to_bits()))
+                .collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub enum WalRecord {
     },
     /// A completed re-shard that moved a column's borders. Replayed by
     /// re-running the (deterministic) border rebuild at the same point
-    /// in the epoch sequence.
+    /// in the epoch sequence. **Legacy**: decoded from pre-elastic logs
+    /// only — a current leader logs every shape change, border
+    /// rebalances included, as a [`WalRecord::Rebuild`], whose `seq`
+    /// makes same-barrier changes distinguishable on replay.
     Reshard {
         /// The re-sharded column.
         column: String,
@@ -56,21 +59,29 @@ pub enum WalRecord {
         /// of the immediately preceding commit record.
         barrier: u64,
     },
-    /// A completed *rebuild* that changed a column's shape — shard
-    /// count, algorithm, memory budget, or ingestion mode — behind the
-    /// same epoch barrier a re-shard uses. The shape-carrying successor
-    /// of [`WalRecord::Reshard`] (which stays in the format, both for
-    /// old logs and for pure border rebalances, whose target shape *is*
-    /// derivable from state): a rebuild's target is not derivable at
-    /// replay time, so the record carries the plan deltas. `None`
-    /// fields keep the column's value current at the barrier, exactly
-    /// as the live call resolved them.
+    /// A completed *rebuild* that changed a column's borders or shape —
+    /// shard count, algorithm, memory budget, or ingestion mode —
+    /// behind the same epoch barrier a re-shard uses. The shape-carrying
+    /// successor of the legacy [`WalRecord::Reshard`]: a rebuild's
+    /// target is not derivable at replay time, so the record carries
+    /// the plan deltas. `None` fields keep the column's value current
+    /// at the barrier, exactly as the live call resolved them (a pure
+    /// border rebalance carries all-`None` deltas).
     Rebuild {
         /// The rebuilt column.
         column: String,
         /// The epoch barrier the rebuild drained to — always the epoch
         /// of the immediately preceding commit record.
         barrier: u64,
+        /// The column's shape-change ordinal: `1` for the column's
+        /// first logged rebuild, strictly increasing thereafter across
+        /// the column's whole lifetime (checkpoints persist it, see
+        /// [`ConfigRecord::rebuild_seq`]). Rebuilds publish no epoch,
+        /// so back-to-back rebuilds share one barrier — the ordinal is
+        /// what lets a replica tell a gap-rewind *re-read* of an
+        /// applied record (`seq` not above its tracked ordinal) from a
+        /// *distinct* second rebuild at the same barrier.
+        seq: u64,
         /// Target shard count (`None` keeps the live count).
         shards: Option<u64>,
         /// Target algorithm legend label (`None` keeps the live one).
@@ -106,6 +117,14 @@ pub struct ConfigRecord {
     /// restore re-applies the shape without replaying pruned rebuild
     /// records); register records always carry `None`.
     pub rebuilt: Option<ShapeRecord>,
+    /// The column's last logged shape-change ordinal
+    /// ([`WalRecord::Rebuild`]'s `seq`); `0` = never rebuilt. Like
+    /// `rebuilt`, only checkpoints carry a nonzero value: a restored
+    /// leader resumes the ordinal past everything it ever logged (the
+    /// records themselves may be pruned), so it can never re-issue a
+    /// `seq` a replica has already applied — and a replica restoring
+    /// through the checkpoint knows which ordinals it covers.
+    pub rebuild_seq: u64,
 }
 
 /// A flattened `ShardPlan`.
@@ -217,6 +236,7 @@ impl WalRecord {
             WalRecord::Rebuild {
                 column,
                 barrier,
+                seq,
                 shards,
                 spec,
                 memory_bytes,
@@ -225,6 +245,7 @@ impl WalRecord {
                 payload.u8(KIND_REBUILD);
                 payload.str_(column);
                 payload.u64(*barrier);
+                payload.u64(*seq);
                 let flags = u8::from(shards.is_some())
                     | (u8::from(spec.is_some()) << 1)
                     | (u8::from(memory_bytes.is_some()) << 2)
@@ -287,6 +308,7 @@ impl WalRecord {
             KIND_REBUILD => {
                 let column = r.str_()?;
                 let barrier = r.u64()?;
+                let seq = r.u64()?;
                 let flags = r.u8()?;
                 if flags & !0b1111 != 0 {
                     return Err(format!("unknown rebuild flags {flags:#04x}"));
@@ -306,6 +328,7 @@ impl WalRecord {
                 WalRecord::Rebuild {
                     column,
                     barrier,
+                    seq,
                     shards,
                     spec,
                     memory_bytes,
@@ -327,7 +350,8 @@ impl ConfigRecord {
         let flags = u8::from(self.plan.is_some())
             | (u8::from(self.reshard.is_some()) << 1)
             | (u8::from(self.autoscale.is_some()) << 2)
-            | (u8::from(self.rebuilt.is_some()) << 3);
+            | (u8::from(self.rebuilt.is_some()) << 3)
+            | (u8::from(self.rebuild_seq != 0) << 4);
         w.u8(flags);
         if let Some(plan) = &self.plan {
             w.i64(plan.lo);
@@ -355,6 +379,9 @@ impl ConfigRecord {
             w.u64(shape.memory_bytes);
             w.u8(u8::from(shape.channel));
         }
+        if self.rebuild_seq != 0 {
+            w.u64(self.rebuild_seq);
+        }
     }
 
     pub(crate) fn decode(r: &mut Reader<'_>) -> Result<ConfigRecord, String> {
@@ -362,7 +389,7 @@ impl ConfigRecord {
         let memory_bytes = r.u64()?;
         let seed = r.u64()?;
         let flags = r.u8()?;
-        if flags & !0b1111 != 0 {
+        if flags & !0b1_1111 != 0 {
             return Err(format!("unknown config flags {flags:#04x}"));
         }
         let plan = if flags & 1 != 0 {
@@ -407,6 +434,7 @@ impl ConfigRecord {
         } else {
             None
         };
+        let rebuild_seq = if flags & 16 != 0 { r.u64()? } else { 0 };
         Ok(ConfigRecord {
             spec,
             memory_bytes,
@@ -415,6 +443,7 @@ impl ConfigRecord {
             reshard,
             autoscale,
             rebuilt,
+            rebuild_seq,
         })
     }
 }
@@ -725,6 +754,7 @@ mod tests {
                         memory_bytes: 2048,
                         channel: false,
                     }),
+                    rebuild_seq: 3,
                 },
             },
             WalRecord::Register {
@@ -737,6 +767,7 @@ mod tests {
                     reshard: None,
                     autoscale: None,
                     rebuilt: None,
+                    rebuild_seq: 0,
                 },
             },
             WalRecord::Commit {
@@ -756,14 +787,17 @@ mod tests {
             WalRecord::Rebuild {
                 column: "orders.amount".into(),
                 barrier: 43,
+                seq: 4,
                 shards: Some(16),
                 spec: Some("DADO".into()),
                 memory_bytes: None,
                 channel: Some(true),
             },
+            // A delta-less rebuild: a pure border rebalance.
             WalRecord::Rebuild {
                 column: "t".into(),
                 barrier: 44,
+                seq: 1,
                 shards: None,
                 spec: None,
                 memory_bytes: None,
@@ -819,6 +853,7 @@ mod tests {
                     min_load: 1,
                 }),
                 rebuilt: None,
+                rebuild_seq: 0,
             },
         };
         let frame = record.encode_frame();
@@ -871,6 +906,7 @@ mod tests {
                     }),
                     autoscale: None,
                     rebuilt: None,
+                    rebuild_seq: 0,
                 },
             }
         );
@@ -900,7 +936,7 @@ mod tests {
         w.str_("DC");
         w.u64(1);
         w.u64(1);
-        w.u8(0b1_0000);
+        w.u8(0b10_0000);
         assert!(WalRecord::decode_payload(&w.into_bytes())
             .unwrap_err()
             .contains("unknown config flags"));
@@ -908,7 +944,8 @@ mod tests {
         let mut w = Writer::new();
         w.u8(KIND_REBUILD);
         w.str_("c");
-        w.u64(1);
+        w.u64(1); // barrier
+        w.u64(1); // seq
         w.u8(0b1_0000);
         assert!(WalRecord::decode_payload(&w.into_bytes())
             .unwrap_err()

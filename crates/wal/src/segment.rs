@@ -760,6 +760,7 @@ mod tests {
                         memory_bytes: 1024,
                         channel: false,
                     }),
+                    rebuild_seq: 2,
                 },
                 accepted: 128,
                 updates: 4096,

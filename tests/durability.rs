@@ -495,6 +495,157 @@ fn rebuilt_shape_survives_checkpoint_pruning() {
     assert_eq!(store.column_shape(COL).unwrap().unwrap(), shape);
 }
 
+/// Back-to-back shape changes with no commit between them all log the
+/// **same barrier** (rebuilds publish no epoch); recovery must replay
+/// every one of them, in order, to the identical final state. Each
+/// record carries its own ordinal precisely so the stack stays
+/// distinguishable — here the leader's own replay proves the records
+/// round-trip and re-apply one by one.
+#[test]
+fn same_barrier_rebuild_stack_recovers_bit_identically() {
+    let dir = TempDir::new("dur-same-barrier");
+    let opts = DurableOptions {
+        sync: SyncPolicy::Batched(16),
+        checkpoint_every: None, // pure-log replay: the bit-identical path
+        retain_generations: 2,
+    };
+    let (live_bits, live_shape) = {
+        let store = DurableStore::open(dir.path(), StoreKind::Sharded, opts).unwrap();
+        store.register(COL, Design::ShardedLock.config()).unwrap();
+        for e in 0..EPOCHS / 2 {
+            let mut batch = WriteBatch::new();
+            batch.extend(COL, epoch_ops(e));
+            store.commit(batch).unwrap();
+        }
+        // Three shape changes, one barrier: the skewed mass guarantees
+        // the border move is a move, then the count and algorithm
+        // change on top of it without an intervening commit.
+        assert!(store.reshard(COL).unwrap());
+        assert!(store
+            .rebuild(COL, RebuildPlan::new().with_shards(16))
+            .unwrap());
+        assert!(store
+            .rebuild(COL, RebuildPlan::new().with_spec(AlgoSpec::Dado))
+            .unwrap());
+        for e in EPOCHS / 2..EPOCHS {
+            let mut batch = WriteBatch::new();
+            batch.extend(COL, epoch_ops(e));
+            store.commit(batch).unwrap();
+        }
+        (
+            probe_bits(&store),
+            store.column_shape(COL).unwrap().unwrap(),
+        )
+    }; // drop: final sync
+
+    let store = DurableStore::open(dir.path(), StoreKind::Sharded, opts).unwrap();
+    assert_eq!(store.epoch(), EPOCHS);
+    assert_eq!(
+        probe_bits(&store),
+        live_bits,
+        "recovered estimates differ after a same-barrier rebuild stack"
+    );
+    let shape = store.column_shape(COL).unwrap().unwrap();
+    assert_eq!(shape.shards, 16);
+    assert_eq!(shape.spec, AlgoSpec::Dado);
+    assert_eq!(shape, live_shape);
+}
+
+/// The autoscale rate window must close at each *judgment*, not at each
+/// generation swap: shard-load counters are cumulative per generation,
+/// so a judged skew rebalance that resolves to unchanged borders (no
+/// swap, counters keep accumulating) must not let the next judgment
+/// count the same ops again and scale up on a throughput burst that
+/// never happened.
+#[test]
+fn autoscale_window_is_not_inflated_by_no_swap_judgments() {
+    let dir = TempDir::new("dur-autoscale-window");
+    let opts = DurableOptions {
+        sync: SyncPolicy::Off,
+        checkpoint_every: None,
+        retain_generations: 2,
+    };
+    let store = DurableStore::open(dir.path(), StoreKind::Sharded, opts).unwrap();
+    // A two-value domain pins the borders: a 2-shard rebalance can only
+    // resolve to the equal-width cuts it already has, so every skew
+    // judgment below decides a plan that never swaps the generation.
+    let config = ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0))
+        .with_seed(7)
+        .with_plan(ShardPlan::new(0, 1, 2).unwrap())
+        .with_autoscale(AutoscalePolicy {
+            min_shards: 2,
+            max_shards: 8,
+            scale_up_rate: 6,
+            scale_down_rate: 0,
+            skew_threshold: 1.4,
+            min_interval_epochs: 1,
+            min_load: 1,
+        });
+    store.register(COL, config).unwrap();
+
+    // 4 skewed ops per epoch: rate 4/epoch, below the scale-up gate of
+    // 6 — but the skew gate fires every epoch. A window that only
+    // resets on a swap would see a cumulative 8, 12, 16, ... ops over
+    // "one epoch" and scale up by the second judgment.
+    for _ in 0..6 {
+        let ops = [
+            UpdateOp::Insert(0),
+            UpdateOp::Insert(0),
+            UpdateOp::Insert(0),
+            UpdateOp::Insert(1),
+        ];
+        store.apply(COL, &ops).unwrap();
+        assert_eq!(
+            store.column_shape(COL).unwrap().unwrap().shards,
+            2,
+            "a no-swap judgment inflated the next rate window"
+        );
+    }
+
+    // Positive control: a genuine 8-op epoch clears the gate and the
+    // same policy scales the column 2 -> 4.
+    let burst: Vec<UpdateOp> = (0..8).map(|i| UpdateOp::Insert(i % 2)).collect();
+    store.apply(COL, &burst).unwrap();
+    assert_eq!(store.column_shape(COL).unwrap().unwrap().shards, 4);
+}
+
+/// Policy registration rejects an autoscale policy without rate
+/// hysteresis: with `scale_down_rate >= scale_up_rate` (and scale-up
+/// judged first) every window above the up-gate doubles the shard
+/// count and no window can ever halve it. The decorator strips
+/// policies before the inner store sees them, so it must make the
+/// same check itself.
+#[test]
+fn autoscale_registration_requires_rate_hysteresis() {
+    let bad = ColumnConfig::new(AlgoSpec::Dc, MemoryBudget::from_kb(1.0))
+        .with_plan(ShardPlan::new(DOMAIN.0, DOMAIN.1, 4).unwrap())
+        .with_autoscale(AutoscalePolicy {
+            scale_up_rate: 64,
+            scale_down_rate: 64,
+            ..AutoscalePolicy::default()
+        });
+
+    let sharded = ShardedCatalog::new();
+    assert!(matches!(
+        sharded.register(COL, bad),
+        Err(CatalogError::InvalidShardPlan(_))
+    ));
+
+    let dir = TempDir::new("dur-autoscale-validate");
+    let durable =
+        DurableStore::open(dir.path(), StoreKind::Sharded, DurableOptions::default()).unwrap();
+    assert!(matches!(
+        durable.register(COL, bad),
+        Err(CatalogError::InvalidShardPlan(_))
+    ));
+    // Nothing was logged for the rejected column: a reopen still works
+    // and still does not know it.
+    drop(durable);
+    let durable =
+        DurableStore::open(dir.path(), StoreKind::Sharded, DurableOptions::default()).unwrap();
+    assert!(!durable.contains(COL));
+}
+
 /// The restored `updates` telemetry counter is the column's historical
 /// op count (inserts *and* deletes), carried through the checkpoint —
 /// not a figure synthesized from the surviving mass.

@@ -269,6 +269,144 @@ fn mid_stream_rebuild_replays_at_its_exact_barrier() {
     }
 }
 
+/// Back-to-back shape changes at the **same barrier**: rebuilds publish
+/// no epoch, so a re-shard followed by two rebuilds with no commit in
+/// between all log the same barrier — only their ordinals
+/// (`WalRecord::Rebuild::seq`) tell them apart. A follower that deduped
+/// on the barrier would skip everything after the first record and
+/// silently diverge (while the leader's own recovery replays all
+/// three); the ordinal-based dedup must apply each exactly once.
+#[test]
+fn same_barrier_rebuild_stack_replays_every_record() {
+    for design in [Design::ShardedLock, Design::ShardedChannel] {
+        let dir = TempDir::new("replica-same-barrier");
+        let leader = DurableStore::open(dir.path(), design.kind(), opts()).unwrap();
+        leader.register("c", design.config()).unwrap();
+        let follower = Follower::open(dir.path(), design.kind()).unwrap();
+
+        // Skewed mass so the border move is guaranteed to be a move.
+        for e in 0..6i64 {
+            let batch: Vec<UpdateOp> = (0..32)
+                .map(|j| UpdateOp::Insert((e * 7 + j) % 120))
+                .collect();
+            leader.apply("c", &batch).unwrap();
+            follower.poll().unwrap();
+        }
+        // Three shape changes, no commit between them: one barrier.
+        assert!(
+            leader.reshard("c").unwrap(),
+            "{design:?}: borders must move"
+        );
+        assert!(leader
+            .rebuild("c", RebuildPlan::new().with_shards(8))
+            .unwrap());
+        assert!(leader
+            .rebuild("c", RebuildPlan::new().with_spec(AlgoSpec::Dado))
+            .unwrap());
+        for e in 6..10i64 {
+            let batch: Vec<UpdateOp> = (0..32)
+                .map(|j| UpdateOp::Insert((e * 7 + j) % 120))
+                .collect();
+            leader.apply("c", &batch).unwrap();
+            follower.poll().unwrap();
+        }
+        follower.poll().unwrap();
+
+        assert_eq!(follower.epoch(), leader.epoch());
+        let shape = follower.column_shape("c").unwrap().unwrap();
+        assert_eq!(shape.shards, 8, "{design:?}: second rebuild was skipped");
+        assert_eq!(
+            shape.spec,
+            AlgoSpec::Dado,
+            "{design:?}: third rebuild was skipped"
+        );
+        assert_eq!(
+            follower.shard_load("c").unwrap(),
+            leader.shard_load("c").unwrap(),
+            "{design:?}: shard counters prove a same-barrier record was missed"
+        );
+        assert_eq!(
+            span_bits(&follower.snapshot("c").unwrap()),
+            span_bits(&leader.snapshot("c").unwrap()),
+            "{design:?}: same-barrier rebuild stack not bit-identical"
+        );
+
+        // A fresh follower replays the stack from scratch to the same
+        // state — and so does the leader's own recovery.
+        let restarted = Follower::open(dir.path(), design.kind()).unwrap();
+        restarted.poll().unwrap();
+        assert_eq!(
+            span_bits(&restarted.snapshot("c").unwrap()),
+            span_bits(&leader.snapshot("c").unwrap()),
+            "{design:?}: restarted follower diverged across the stack"
+        );
+    }
+}
+
+/// Rebuild ordinals survive checkpoint pruning: after the cadence
+/// discards the segments holding a column's rebuild records, a
+/// restarted leader must keep numbering where it left off (the
+/// checkpoint carries the ordinal floor) — if it reissued ordinals a
+/// follower restored from that same checkpoint had already applied,
+/// the follower would skip every later shape change as a re-read.
+#[test]
+fn rebuild_ordinals_survive_checkpoint_pruning_and_leader_restart() {
+    let dir = TempDir::new("replica-seq-ckpt");
+    let opts = DurableOptions {
+        sync: SyncPolicy::Off,
+        checkpoint_every: Some(8),
+        retain_generations: 2,
+    };
+    let design = Design::ShardedLock;
+    {
+        let leader = DurableStore::open(dir.path(), design.kind(), opts).unwrap();
+        leader.register("c", design.config()).unwrap();
+        for e in 0..6i64 {
+            let batch: Vec<UpdateOp> = (0..32)
+                .map(|j| UpdateOp::Insert((e * 7 + j) % 120))
+                .collect();
+            leader.apply("c", &batch).unwrap();
+        }
+        // Three ordinals issued, then checkpointed away: the records
+        // are pruned, the checkpoint floor is all that remains.
+        assert!(leader.reshard("c").unwrap());
+        assert!(leader
+            .rebuild("c", RebuildPlan::new().with_shards(8))
+            .unwrap());
+        assert!(leader
+            .rebuild("c", RebuildPlan::new().with_spec(AlgoSpec::Dado))
+            .unwrap());
+        leader.checkpoint_now().unwrap();
+    }
+
+    let leader = DurableStore::open(dir.path(), design.kind(), opts).unwrap();
+    let follower = Follower::open(dir.path(), design.kind()).unwrap();
+    follower.poll().unwrap();
+    assert_eq!(follower.epoch(), leader.epoch());
+
+    // A shape change issued *after* the restart must reach the
+    // follower: its ordinal has to land above the checkpoint floor.
+    leader.apply("c", &[UpdateOp::Insert(3)]).unwrap();
+    assert!(leader
+        .rebuild("c", RebuildPlan::new().with_shards(4))
+        .unwrap());
+    leader.apply("c", &[UpdateOp::Insert(9)]).unwrap();
+    follower.poll().unwrap();
+    follower.poll().unwrap();
+
+    assert_eq!(follower.epoch(), leader.epoch());
+    assert_eq!(
+        follower.column_shape("c").unwrap().unwrap().shards,
+        4,
+        "post-restart rebuild was skipped as a reissued ordinal"
+    );
+    assert_eq!(
+        span_bits(&follower.snapshot("c").unwrap()),
+        span_bits(&leader.snapshot("c").unwrap()),
+        "follower diverged across the pruned rebuild history"
+    );
+}
+
 /// A leader crash-and-reopen mid-stream: recovery replays the leader's
 /// own log (deterministically, to the identical state) and resumes
 /// appending to the same changelog; a follower that was tailing it
